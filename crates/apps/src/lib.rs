@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # vopp-apps — the paper's application suite
+//!
+//! The four applications evaluated in the paper (§5), each as a traditional
+//! DSM program (for LRC_d) and a VOPP program (for VC_d / VC_sd), plus the
+//! MPI baseline for NN:
+//!
+//! | App | Traditional | VOPP | Paper tables |
+//! |---|---|---|---|
+//! | [`is`] Integer Sort | packed partial histograms, barrier-phased | histogram chunk views (+ hoisted-barrier variant) | 1, 2, 3 |
+//! | [`gauss`] Gauss–Jacobi | packed shared solution vector | per-slice solution views | 4, 5 |
+//! | [`sor`] grid relaxation | whole grid shared | local blocks + border views | 6, 7 |
+//! | [`nn`] back-prop NN | lock-accumulated gradient | Rview weights + delta views; MPI allreduce | 8, 9 |
+//!
+//! Every application has a sequential reference; results are checked for
+//! exact (IS/Gauss/SOR) or near-exact (NN) agreement in the test suite.
+
+pub mod gauss;
+pub mod is;
+pub mod nn;
+pub mod sor;
+pub mod workload;
+
+pub use vopp_core::RunStats;
+
+/// Result of one application run: the paper's statistics plus the
+/// application's verified output value.
+pub struct AppOutcome<T> {
+    /// Verification value (checksum / final loss).
+    pub value: T,
+    /// The statistics of the run (Tables 1/2/4/6/8 rows).
+    pub stats: RunStats,
+}

@@ -1,0 +1,512 @@
+//! NN: back-propagation neural-network training (paper §3.1, §3.4, §5.4).
+//!
+//! A two-layer sigmoid MLP is trained by full-batch gradient descent on a
+//! synthetic regression set. Each epoch every processor computes the
+//! gradient over its training-data shard (local buffers, §3.1); the
+//! gradients are combined and the weights updated before the next epoch.
+//!
+//! * **Traditional** (LRC_d): weights and per-processor gradient slots live
+//!   in shared memory ("the errors of the weights are gathered from each
+//!   processor"); the packed slots share pages (false sharing) and every
+//!   barrier carries their consistency.
+//! * **VOPP**: weights live in views read under `acquire_Rview` — the §3.4
+//!   optimization that lets every processor read them concurrently; each
+//!   processor publishes its gradient through its own view.
+//! * **MPI**: gradients are `allreduce`d and every rank updates its own
+//!   replica — the paper's MPICH baseline for Table 9.
+
+use std::sync::Arc;
+
+use vopp_core::prelude::*;
+use vopp_mpi::{run_mpi, MpiConfig};
+
+use crate::workload::{share, unit_f64};
+use crate::AppOutcome;
+
+/// NN problem description.
+#[derive(Debug, Clone)]
+pub struct NnParams {
+    /// Input units.
+    pub n_in: usize,
+    /// Hidden units.
+    pub n_hidden: usize,
+    /// Output units.
+    pub n_out: usize,
+    /// Training samples (sharded over processors).
+    pub samples: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl NnParams {
+    /// Small instance for tests.
+    pub fn quick() -> NnParams {
+        NnParams {
+            n_in: 6,
+            n_hidden: 8,
+            n_out: 3,
+            samples: 64,
+            epochs: 4,
+            lr: 0.05,
+            seed: 0xA7,
+        }
+    }
+
+    /// The benchmark instance (scaled; the paper trains for 235 epochs).
+    pub fn bench() -> NnParams {
+        NnParams {
+            n_in: 16,
+            n_hidden: 64,
+            n_out: 8,
+            samples: 4096,
+            epochs: 100,
+            lr: 0.02,
+            seed: 0xA7,
+        }
+    }
+
+    /// Weight count of layer 1 (including biases).
+    pub fn w1_len(&self) -> usize {
+        (self.n_in + 1) * self.n_hidden
+    }
+
+    /// Weight count of layer 2 (including biases).
+    pub fn w2_len(&self) -> usize {
+        (self.n_hidden + 1) * self.n_out
+    }
+
+    /// Total weight count.
+    pub fn w_len(&self) -> usize {
+        self.w1_len() + self.w2_len()
+    }
+
+    /// Initial weights (identical on every node).
+    pub fn init_weights(&self) -> Vec<f64> {
+        (0..self.w_len())
+            .map(|i| (unit_f64(self.seed ^ 0x11, i as u64) - 0.5) * 0.5)
+            .collect()
+    }
+
+    /// Input vector of sample `s`.
+    pub fn sample_x(&self, s: usize) -> Vec<f64> {
+        (0..self.n_in)
+            .map(|k| unit_f64(self.seed ^ 0x22, (s * self.n_in + k) as u64))
+            .collect()
+    }
+
+    /// Target vector of sample `s`.
+    pub fn sample_y(&self, s: usize) -> Vec<f64> {
+        (0..self.n_out)
+            .map(|k| unit_f64(self.seed ^ 0x33, (s * self.n_out + k) as u64))
+            .collect()
+    }
+
+    /// Approximate flops of one sample's forward+backward pass.
+    pub fn flops_per_sample(&self) -> u64 {
+        (4 * (self.n_in * self.n_hidden + self.n_hidden * self.n_out)) as u64
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Forward + backward for one sample: adds this sample's gradient into
+/// `grad` (laid out like the weights) and returns its squared-error loss.
+/// Shared by every variant so the arithmetic is identical.
+pub fn backprop(p: &NnParams, w: &[f64], x: &[f64], y: &[f64], grad: &mut [f64]) -> f64 {
+    let (ni, nh, no) = (p.n_in, p.n_hidden, p.n_out);
+    let (w1, w2) = w.split_at(p.w1_len());
+    // Forward.
+    let mut h = vec![0.0; nh];
+    for j in 0..nh {
+        let mut z = w1[ni * nh + j]; // bias
+        for (i, xi) in x.iter().enumerate() {
+            z += w1[i * nh + j] * xi;
+        }
+        h[j] = sigmoid(z);
+    }
+    let mut o = vec![0.0; no];
+    for k in 0..no {
+        let mut z = w2[nh * no + k]; // bias
+        for (j, hj) in h.iter().enumerate() {
+            z += w2[j * no + k] * hj;
+        }
+        o[k] = sigmoid(z);
+    }
+    // Backward.
+    let mut delta_o = vec![0.0; no];
+    let mut loss = 0.0;
+    for k in 0..no {
+        let err = o[k] - y[k];
+        loss += 0.5 * err * err;
+        delta_o[k] = err * o[k] * (1.0 - o[k]);
+    }
+    let (g1, g2) = grad.split_at_mut(p.w1_len());
+    let mut delta_h = vec![0.0; nh];
+    for j in 0..nh {
+        let mut s = 0.0;
+        for k in 0..no {
+            s += w2[j * no + k] * delta_o[k];
+            g2[j * no + k] += h[j] * delta_o[k];
+        }
+        delta_h[j] = s * h[j] * (1.0 - h[j]);
+    }
+    for k in 0..no {
+        g2[nh * no + k] += delta_o[k];
+    }
+    for (i, xi) in x.iter().enumerate() {
+        for j in 0..nh {
+            g1[i * nh + j] += xi * delta_h[j];
+        }
+    }
+    for j in 0..nh {
+        g1[ni * nh + j] += delta_h[j];
+    }
+    loss
+}
+
+/// Quantization grid for shard gradients: rounding each component to a
+/// multiple of 2^-32 makes cross-shard summation *exactly* associative and
+/// commutative (sums of < 2^20-magnitude multiples of 2^-32 are exact in
+/// f64), so every schedule — sequential, lock order, view order, allreduce
+/// tree — produces bit-identical training.
+pub const GRAD_QUANTUM: f64 = 4_294_967_296.0; // 2^32
+
+/// Gradient + loss over a shard of samples. The returned gradient is
+/// quantized (see [`GRAD_QUANTUM`]).
+pub fn shard_gradient(p: &NnParams, w: &[f64], ss: usize, se: usize) -> (Vec<f64>, f64) {
+    let mut grad = vec![0.0; p.w_len()];
+    let mut loss = 0.0;
+    for s in ss..se {
+        let x = p.sample_x(s);
+        let y = p.sample_y(s);
+        loss += backprop(p, w, &x, &y, &mut grad);
+    }
+    for g in &mut grad {
+        *g = (*g * GRAD_QUANTUM).round() / GRAD_QUANTUM;
+    }
+    (grad, loss)
+}
+
+/// Loss over a shard without touching gradients (final evaluation).
+pub fn shard_loss(p: &NnParams, w: &[f64], ss: usize, se: usize) -> f64 {
+    let mut grad = vec![0.0; p.w_len()];
+    let mut loss = 0.0;
+    for s in ss..se {
+        let x = p.sample_x(s);
+        let y = p.sample_y(s);
+        loss += backprop(p, w, &x, &y, &mut grad);
+    }
+    loss
+}
+
+/// Sequential reference for `np` processors: final training loss after
+/// `epochs` full-batch updates, accumulating the same per-shard quantized
+/// gradients the parallel versions exchange. Thanks to the quantization the
+/// parallel results are **bit-identical** to this reference regardless of
+/// accumulation order.
+pub fn nn_reference(p: &NnParams, np: usize) -> f64 {
+    let mut w = p.init_weights();
+    for _ in 0..p.epochs {
+        let mut total = vec![0.0; p.w_len()];
+        for q in 0..np {
+            let (ss, se) = share(p.samples, q, np);
+            let (grad, _) = shard_gradient(p, &w, ss, se);
+            for (t, g) in total.iter_mut().zip(&grad) {
+                *t += g;
+            }
+        }
+        for (wi, gi) in w.iter_mut().zip(&total) {
+            *wi -= p.lr * gi;
+        }
+    }
+    let mut loss = 0.0;
+    for q in 0..np {
+        let (ss, se) = share(p.samples, q, np);
+        loss += shard_loss(p, &w, ss, se);
+    }
+    loss
+}
+
+/// Which program variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NnVariant {
+    /// Shared weights + packed per-processor gradient slots (LRC_d).
+    Traditional,
+    /// Weight read-views + exclusive delta views (VC_d / VC_sd).
+    Vopp,
+    /// Allreduce baseline.
+    Mpi,
+}
+
+/// Run NN training; returns the final total loss.
+pub fn run_nn(cfg: &ClusterConfig, p: &NnParams, variant: NnVariant) -> AppOutcome<f64> {
+    match variant {
+        NnVariant::Traditional => {
+            assert!(cfg.protocol.is_lrc_family());
+            run_nn_traditional(cfg, p)
+        }
+        NnVariant::Vopp => {
+            assert!(cfg.protocol.is_vc());
+            run_nn_vopp(cfg, p)
+        }
+        NnVariant::Mpi => run_nn_mpi(cfg, p),
+    }
+}
+
+fn run_nn_traditional(cfg: &ClusterConfig, p: &NnParams) -> AppOutcome<f64> {
+    let np = cfg.nprocs;
+    let mut world = WorldBuilder::new();
+    let weights = world.alloc_f64(p.w_len());
+    // Per-processor gradient slots, packed: neighbouring slots share pages.
+    let slots = world.alloc_f64(np * p.w_len());
+    let layout = world.build();
+    let p = p.clone();
+    let out = run_cluster(cfg, layout, move |ctx| {
+        let me = ctx.me();
+        let (ss, se) = share(p.samples, me, np);
+        // Proc 0 publishes the initial weights.
+        if me == 0 {
+            weights.write_all(ctx, &p.init_weights());
+        }
+        ctx.barrier();
+        let mut w = vec![0.0; p.w_len()];
+        for _ in 0..p.epochs {
+            weights.read_into(ctx, 0, &mut w);
+            let (grad, _) = shard_gradient(&p, &w, ss, se);
+            ctx.flops(p.flops_per_sample() * (se - ss) as u64);
+            // "The errors of the weights are gathered from each processor":
+            // every processor deposits its gradient in its own slot.
+            slots.write_at(ctx, me * p.w_len(), &grad);
+            ctx.barrier();
+            if me == 0 {
+                let mut total = vec![0.0; p.w_len()];
+                let mut g = vec![0.0; p.w_len()];
+                for q in 0..np {
+                    slots.read_into(ctx, q * p.w_len(), &mut g);
+                    for (t, gv) in total.iter_mut().zip(&g) {
+                        *t += gv;
+                    }
+                }
+                for (wi, ti) in w.iter_mut().zip(&total) {
+                    *wi -= p.lr * ti;
+                }
+                weights.write_all(ctx, &w);
+                ctx.flops((np + 2) as u64 * p.w_len() as u64);
+            }
+            ctx.barrier();
+        }
+        weights.read_into(ctx, 0, &mut w);
+        let loss = shard_loss(&p, &w, ss, se);
+        ctx.flops(p.flops_per_sample() * (se - ss) as u64);
+        loss
+    });
+    AppOutcome {
+        value: out.results.iter().sum(),
+        stats: out.stats,
+    }
+}
+
+fn run_nn_vopp(cfg: &ClusterConfig, p: &NnParams) -> AppOutcome<f64> {
+    let np = cfg.nprocs;
+    let mut world = WorldBuilder::new();
+    // Per-layer weight views, read concurrently under acquire_Rview (§3.4),
+    // and one gradient view per processor (no accumulation chain).
+    // Homes follow the primary writer: weights at proc 0, each gradient
+    // view at its producer.
+    let wv1 = world.view_f64_at(p.w1_len(), 0);
+    let wv2 = world.view_f64_at(p.w2_len(), 0);
+    let dv: Vec<ViewRegion<f64>> = (0..np).map(|q| world.view_f64_at(p.w_len(), q)).collect();
+    let layout = world.build();
+    let p = p.clone();
+    let out = run_cluster(cfg, layout, move |ctx| {
+        let me = ctx.me();
+        let (ss, se) = share(p.samples, me, np);
+        if me == 0 {
+            let w0 = p.init_weights();
+            ctx.with_view(&wv1, |r| r.write_all(ctx, &w0[..p.w1_len()]));
+            ctx.with_view(&wv2, |r| r.write_all(ctx, &w0[p.w1_len()..]));
+        }
+        ctx.barrier();
+        let mut w = vec![0.0; p.w_len()];
+        for _ in 0..p.epochs {
+            // Concurrent weight reads (acquire_Rview, §3.4).
+            let (head, tail) = w.split_at_mut(p.w1_len());
+            ctx.with_rview(&wv1, |r| r.read_into(ctx, 0, head));
+            ctx.with_rview(&wv2, |r| r.read_into(ctx, 0, tail));
+            let (grad, _) = shard_gradient(&p, &w, ss, se);
+            ctx.flops(p.flops_per_sample() * (se - ss) as u64);
+            // Publish my gradient through my own view.
+            ctx.with_view(&dv[me], |r| r.write_all(ctx, &grad));
+            ctx.barrier();
+            if me == 0 {
+                // Gather the gradients and update the weights.
+                let mut total = vec![0.0; p.w_len()];
+                let mut g = vec![0.0; p.w_len()];
+                for view in dv.iter() {
+                    ctx.with_rview(view, |r| r.read_into(ctx, 0, &mut g));
+                    for (t, gv) in total.iter_mut().zip(&g) {
+                        *t += gv;
+                    }
+                }
+                for (wi, ti) in w.iter_mut().zip(&total) {
+                    *wi -= p.lr * ti;
+                }
+                ctx.with_view(&wv1, |r| r.write_all(ctx, &w[..p.w1_len()]));
+                ctx.with_view(&wv2, |r| r.write_all(ctx, &w[p.w1_len()..]));
+                ctx.flops((np + 2) as u64 * p.w_len() as u64);
+            }
+            ctx.barrier();
+        }
+        let (head, tail) = w.split_at_mut(p.w1_len());
+        ctx.with_rview(&wv1, |r| r.read_into(ctx, 0, head));
+        ctx.with_rview(&wv2, |r| r.read_into(ctx, 0, tail));
+        let loss = shard_loss(&p, &w, ss, se);
+        ctx.flops(p.flops_per_sample() * (se - ss) as u64);
+        loss
+    });
+    AppOutcome {
+        value: out.results.iter().sum(),
+        stats: out.stats,
+    }
+}
+
+fn run_nn_mpi(cfg: &ClusterConfig, p: &NnParams) -> AppOutcome<f64> {
+    let mcfg = MpiConfig {
+        nprocs: cfg.nprocs,
+        net: cfg.net.clone(),
+        cost: cfg.cost.clone(),
+    };
+    let p = p.clone();
+    let np = cfg.nprocs;
+    let out = run_mpi(&mcfg, move |c| {
+        let me = c.me();
+        let (ss, se) = share(p.samples, me, np);
+        let mut w = p.init_weights();
+        for _ in 0..p.epochs {
+            let (grad, _) = shard_gradient(&p, &w, ss, se);
+            c.flops(p.flops_per_sample() * (se - ss) as u64);
+            let total = c.allreduce_sum_f64(grad);
+            for (wi, gi) in w.iter_mut().zip(&total) {
+                *wi -= p.lr * gi;
+            }
+            c.flops(p.w_len() as u64);
+        }
+        let loss = shard_loss(&p, &w, ss, se);
+        c.flops(p.flops_per_sample() * (se - ss) as u64);
+        loss
+    });
+    // Fold MPI transport stats into the common shape.
+    let nodes = vopp_dsm::NodeStats {
+        rexmits: out.rexmits,
+        ..Default::default()
+    };
+    AppOutcome {
+        value: out.results.iter().sum(),
+        stats: RunStats {
+            time: out.time,
+            nprocs: np,
+            nodes,
+            net: vopp_simnet_stats(out.msgs, out.bytes),
+        },
+    }
+}
+
+fn vopp_simnet_stats(msgs: u64, bytes: u64) -> vopp_simnet::NetStats {
+    vopp_simnet::NetStats {
+        msgs,
+        bytes,
+        ..Default::default()
+    }
+}
+
+/// Relative difference helper for loss comparisons (gradient addition order
+/// differs between schedules, so equality is only approximate).
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-12)
+}
+
+/// Arc wrapper used by benches that share one `NnParams` across threads.
+pub type SharedNnParams = Arc<NnParams>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_loss_decreases() {
+        let p = NnParams::quick();
+        let short = NnParams { epochs: 1, ..p.clone() };
+        let long = NnParams { epochs: 8, ..p };
+        assert!(nn_reference(&long, 1) < nn_reference(&short, 1));
+    }
+
+    #[test]
+    fn traditional_bit_exact() {
+        let p = NnParams::quick();
+        let cfg = ClusterConfig::lossless(4, Protocol::LrcD);
+        let out = run_nn(&cfg, &p, NnVariant::Traditional);
+        assert_eq!(out.value, nn_reference(&p, 4));
+    }
+
+    #[test]
+    fn vopp_bit_exact() {
+        let p = NnParams::quick();
+        for proto in [Protocol::VcD, Protocol::VcSd] {
+            let cfg = ClusterConfig::lossless(4, proto);
+            let out = run_nn(&cfg, &p, NnVariant::Vopp);
+            assert_eq!(out.value, nn_reference(&p, 4), "{proto}");
+        }
+    }
+
+    #[test]
+    fn mpi_bit_exact() {
+        let p = NnParams::quick();
+        let cfg = ClusterConfig::lossless(4, Protocol::VcSd);
+        let out = run_nn(&cfg, &p, NnVariant::Mpi);
+        assert_eq!(out.value, nn_reference(&p, 4));
+    }
+
+    #[test]
+    fn single_proc_exact() {
+        let p = NnParams::quick();
+        let out = run_nn(
+            &ClusterConfig::lossless(1, Protocol::VcSd),
+            &p,
+            NnVariant::Vopp,
+        );
+        assert_eq!(out.value, nn_reference(&p, 1));
+    }
+
+    #[test]
+    fn quantized_sums_commute() {
+        // The property the quantization buys: shard sums are exact in any
+        // order, so schedules cannot diverge.
+        let p = NnParams::quick();
+        let w = p.init_weights();
+        let (g1, _) = shard_gradient(&p, &w, 0, 32);
+        let (g2, _) = shard_gradient(&p, &w, 32, 64);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert_eq!(a + b, b + a);
+            // Exactly representable: adding and subtracting round-trips.
+            assert_eq!((a + b) - b, *a);
+        }
+    }
+
+    #[test]
+    fn vcsd_has_no_diff_requests() {
+        let p = NnParams::quick();
+        let out = run_nn(
+            &ClusterConfig::lossless(3, Protocol::VcSd),
+            &p,
+            NnVariant::Vopp,
+        );
+        assert_eq!(out.stats.diff_requests(), 0);
+    }
+}

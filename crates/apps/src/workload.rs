@@ -1,0 +1,93 @@
+//! Deterministic workload generation.
+//!
+//! Every node generates exactly the same inputs from a seed and an index, so
+//! no input distribution traffic is needed and every run is reproducible.
+
+/// SplitMix64 hash of a (seed, index) pair — the basis of all generators.
+#[inline]
+pub fn mix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `f64` in `[0, 1)` from a (seed, index) pair.
+#[inline]
+pub fn unit_f64(seed: u64, index: u64) -> f64 {
+    (mix64(seed, index) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, bound)`.
+#[inline]
+pub fn bounded(seed: u64, index: u64, bound: usize) -> usize {
+    (mix64(seed, index) % bound as u64) as usize
+}
+
+/// The contiguous share of `total` items owned by `who` of `n` workers:
+/// `[start, end)`. Remainders go to the lowest ranks, sizes differ by at
+/// most one.
+pub fn share(total: usize, who: usize, n: usize) -> (usize, usize) {
+    let base = total / n;
+    let extra = total % n;
+    let start = who * base + who.min(extra);
+    let len = base + usize::from(who < extra);
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spread() {
+        assert_eq!(mix64(1, 2), mix64(1, 2));
+        assert_ne!(mix64(1, 2), mix64(1, 3));
+        assert_ne!(mix64(1, 2), mix64(2, 2));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        for i in 0..1000 {
+            let v = unit_f64(7, i);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bounded_in_range() {
+        for i in 0..1000 {
+            assert!(bounded(3, i, 17) < 17);
+        }
+    }
+
+    #[test]
+    fn shares_partition_exactly() {
+        for total in [0usize, 1, 7, 64, 65, 1000] {
+            for n in [1usize, 2, 3, 16, 24] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for w in 0..n {
+                    let (s, e) = share(total, w, n);
+                    assert_eq!(s, prev_end);
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, total);
+                assert_eq!(prev_end, total);
+            }
+        }
+    }
+
+    #[test]
+    fn share_sizes_balanced() {
+        let sizes: Vec<usize> = (0..5).map(|w| {
+            let (s, e) = share(13, w, 5);
+            e - s
+        }).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 13);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+}

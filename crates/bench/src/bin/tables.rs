@@ -1,0 +1,60 @@
+//! Regenerate the paper's evaluation tables.
+//!
+//! ```text
+//! cargo run -p vopp-bench --release --bin tables -- all
+//! cargo run -p vopp-bench --release --bin tables -- table1 table3
+//! cargo run -p vopp-bench --release --bin tables -- all --quick
+//! cargo run -p vopp-bench --release --bin tables -- all --json > tables.json
+//! ```
+
+use std::time::Instant;
+
+use vopp_bench::tables;
+use vopp_bench::{Scale, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if wanted.is_empty() {
+        eprintln!("usage: tables [--quick] [--json] (all | table1 .. table9 | ext)+");
+        std::process::exit(2);
+    }
+    let scale = Scale { quick };
+    type TableFn = fn(Scale) -> Table;
+    let jobs: Vec<(&str, TableFn)> = vec![
+        ("table1", tables::table1),
+        ("table2", tables::table2),
+        ("table3", tables::table3),
+        ("table4", tables::table4),
+        ("table5", tables::table5),
+        ("table6", tables::table6),
+        ("table7", tables::table7),
+        ("table8", tables::table8),
+        ("table9", tables::table9),
+        ("ext", tables::table_ext),
+    ];
+    let run_all = wanted.contains(&"all");
+    let mut produced = Vec::new();
+    for (name, f) in jobs {
+        let in_all = run_all && name != "ext"; // `ext` is opt-in
+        if in_all || wanted.contains(&name) {
+            let t0 = Instant::now();
+            let table = f(scale);
+            eprintln!("[{name} generated in {:.1?}]", t0.elapsed());
+            if json {
+                produced.push(table);
+            } else {
+                println!("{table}");
+            }
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&produced).expect("serialize tables"));
+    }
+}

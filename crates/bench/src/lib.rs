@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! # vopp-bench — the evaluation harness
+//!
+//! [`tables`] regenerates every table of the paper's §5 (see the `tables`
+//! binary: `cargo run -p vopp-bench --release --bin tables -- all`);
+//! the Criterion benches under `benches/` measure the substrates (diffing,
+//! network model, protocol operations) and the ablations called out in
+//! DESIGN.md.
+
+pub mod table;
+pub mod tables;
+
+pub use table::Table;
+pub use tables::{all_tables, Scale};

@@ -1,0 +1,467 @@
+//! Regeneration of the paper's nine evaluation tables.
+//!
+//! Every run validates its application result against the sequential
+//! reference before reporting statistics — a table is only produced from
+//! verified executions.
+
+use vopp_apps::gauss::{gauss_reference, run_gauss, GaussParams, GaussVariant};
+use vopp_apps::is::{is_reference, run_is, IsParams, IsVariant};
+use vopp_apps::nn::{nn_reference, run_nn, NnParams, NnVariant};
+use vopp_apps::sor::{run_sor, sor_reference, SorParams, SorVariant};
+use vopp_core::{ClusterConfig, Protocol, RunStats};
+
+use crate::table::Table;
+
+/// Problem scaling: `quick` shrinks every instance for smoke tests; the
+/// full scale is the calibrated reproduction reported in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Use miniature problem instances and fewer processor counts.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Processor count of the statistics tables (paper: 16).
+    pub fn stats_procs(&self) -> usize {
+        if self.quick {
+            4
+        } else {
+            16
+        }
+    }
+
+    /// Processor counts of the speedup tables (paper: 2..32).
+    pub fn speedup_procs(&self) -> Vec<usize> {
+        if self.quick {
+            vec![2, 4]
+        } else {
+            vec![2, 4, 8, 16, 24, 32]
+        }
+    }
+
+    fn is(&self) -> IsParams {
+        if self.quick {
+            IsParams::quick()
+        } else {
+            IsParams::bench()
+        }
+    }
+
+    fn gauss(&self) -> GaussParams {
+        if self.quick {
+            GaussParams::quick()
+        } else {
+            GaussParams::bench()
+        }
+    }
+
+    fn sor(&self) -> SorParams {
+        if self.quick {
+            SorParams::quick()
+        } else {
+            SorParams::bench()
+        }
+    }
+
+    fn nn(&self) -> NnParams {
+        if self.quick {
+            NnParams::quick()
+        } else {
+            NnParams::bench()
+        }
+    }
+}
+
+fn cfg(np: usize, proto: Protocol) -> ClusterConfig {
+    ClusterConfig::new(np, proto)
+}
+
+/// The statistics rows shared by Tables 1, 2, 4, 6 and 8.
+fn stats_rows(t: &mut Table, runs: &[RunStats], with_acquire_time: bool) {
+    t.row(
+        "Time (Sec.)",
+        runs.iter().map(|s| Table::f(s.time_secs(), 2)).collect(),
+    );
+    t.row(
+        "Barriers",
+        runs.iter().map(|s| Table::i(s.barriers())).collect(),
+    );
+    t.row(
+        "Acquires",
+        runs.iter().map(|s| Table::i(s.acquires())).collect(),
+    );
+    t.row(
+        "Data (MByte)",
+        runs.iter().map(|s| Table::f(s.data_mbytes(), 2)).collect(),
+    );
+    t.row(
+        "Num. Msg",
+        runs.iter().map(|s| Table::i(s.num_msgs())).collect(),
+    );
+    t.row(
+        "Diff Requests",
+        runs.iter().map(|s| Table::i(s.diff_requests())).collect(),
+    );
+    t.row(
+        "Barrier Time (usec.)",
+        runs.iter()
+            .map(|s| Table::f(s.barrier_time_usec(), 0))
+            .collect(),
+    );
+    if with_acquire_time {
+        t.row(
+            "Acquire Time (usec.)",
+            runs.iter()
+                .map(|s| Table::f(s.acquire_time_usec(), 0))
+                .collect(),
+        );
+    }
+    t.row(
+        "Rexmit",
+        runs.iter().map(|s| Table::i(s.rexmits())).collect(),
+    );
+}
+
+// -------------------------------------------------------------------
+// IS (Tables 1-3)
+// -------------------------------------------------------------------
+
+fn is_run(np: usize, proto: Protocol, p: &IsParams, variant: IsVariant) -> RunStats {
+    let out = run_is(&cfg(np, proto), p, variant);
+    let lb = variant == IsVariant::VoppLb;
+    assert_eq!(out.value, is_reference(p, np, lb), "IS result mismatch");
+    out.stats
+}
+
+/// Table 1: Statistics of IS on the stats processor count.
+pub fn table1(scale: Scale) -> Table {
+    let p = scale.is();
+    let np = scale.stats_procs();
+    let runs = vec![
+        is_run(np, Protocol::LrcD, &p, IsVariant::Traditional),
+        is_run(np, Protocol::VcD, &p, IsVariant::Vopp),
+        is_run(np, Protocol::VcSd, &p, IsVariant::Vopp),
+    ];
+    let mut t = Table::new(
+        format!("Table 1: Statistics of IS on {np} processors"),
+        vec!["LRC_d".into(), "VC_d".into(), "VC_sd".into()],
+    );
+    stats_rows(&mut t, &runs, false);
+    t
+}
+
+/// Table 2: Statistics of IS with fewer barriers (barrier hoisted, §3.2).
+pub fn table2(scale: Scale) -> Table {
+    let p = scale.is();
+    let np = scale.stats_procs();
+    let runs = vec![
+        is_run(np, Protocol::VcD, &p, IsVariant::VoppLb),
+        is_run(np, Protocol::VcSd, &p, IsVariant::VoppLb),
+    ];
+    let mut t = Table::new(
+        format!("Table 2: Statistics of IS with fewer barriers on {np} processors"),
+        vec!["VC_d".into(), "VC_sd".into()],
+    );
+    stats_rows(&mut t, &runs, false);
+    t
+}
+
+/// Table 3: Speedup of IS on LRC_d and VC_sd (plus the hoisted-barrier
+/// VOPP variant, the paper's `VC_sd lb` row).
+pub fn table3(scale: Scale) -> Table {
+    let p = scale.is();
+    let procs = scale.speedup_procs();
+    // Base: the traditional program on one processor.
+    let base = is_run(1, Protocol::LrcD, &p, IsVariant::Traditional)
+        .time
+        .as_secs_f64();
+    let speedup = |np: usize, proto: Protocol, variant: IsVariant| {
+        let s = is_run(np, proto, &p, variant);
+        Table::f(base / s.time_secs(), 2)
+    };
+    let mut t = Table::new(
+        "Table 3: Speedup of IS on LRC_d and VC_sd",
+        procs.iter().map(|p| format!("{p}-p")).collect(),
+    );
+    t.row(
+        "LRC_d",
+        procs
+            .iter()
+            .map(|&np| speedup(np, Protocol::LrcD, IsVariant::Traditional))
+            .collect(),
+    );
+    t.row(
+        "VC_sd",
+        procs
+            .iter()
+            .map(|&np| speedup(np, Protocol::VcSd, IsVariant::Vopp))
+            .collect(),
+    );
+    t.row(
+        "VC_sd lb",
+        procs
+            .iter()
+            .map(|&np| speedup(np, Protocol::VcSd, IsVariant::VoppLb))
+            .collect(),
+    );
+    t
+}
+
+// -------------------------------------------------------------------
+// Gauss (Tables 4-5)
+// -------------------------------------------------------------------
+
+fn gauss_run(np: usize, proto: Protocol, p: &GaussParams, variant: GaussVariant) -> RunStats {
+    let out = run_gauss(&cfg(np, proto), p, variant);
+    assert_eq!(out.value, gauss_reference(p, np), "Gauss result mismatch");
+    out.stats
+}
+
+/// Table 4: Statistics of Gauss.
+pub fn table4(scale: Scale) -> Table {
+    let p = scale.gauss();
+    let np = scale.stats_procs();
+    let runs = vec![
+        gauss_run(np, Protocol::LrcD, &p, GaussVariant::Traditional),
+        gauss_run(np, Protocol::VcD, &p, GaussVariant::Vopp),
+        gauss_run(np, Protocol::VcSd, &p, GaussVariant::Vopp),
+    ];
+    let mut t = Table::new(
+        format!("Table 4: Statistics of Gauss on {np} processors"),
+        vec!["LRC_d".into(), "VC_d".into(), "VC_sd".into()],
+    );
+    stats_rows(&mut t, &runs, false);
+    t
+}
+
+/// Table 5: Speedup of Gauss on LRC_d and VC_sd.
+pub fn table5(scale: Scale) -> Table {
+    let p = scale.gauss();
+    let procs = scale.speedup_procs();
+    let base = gauss_run(1, Protocol::LrcD, &p, GaussVariant::Traditional)
+        .time
+        .as_secs_f64();
+    let mut t = Table::new(
+        "Table 5: Speedup of Gauss on LRC_d and VC_sd",
+        procs.iter().map(|p| format!("{p}-p")).collect(),
+    );
+    t.row(
+        "LRC_d",
+        procs
+            .iter()
+            .map(|&np| {
+                let s = gauss_run(np, Protocol::LrcD, &p, GaussVariant::Traditional);
+                Table::f(base / s.time_secs(), 2)
+            })
+            .collect(),
+    );
+    t.row(
+        "VC_sd",
+        procs
+            .iter()
+            .map(|&np| {
+                let s = gauss_run(np, Protocol::VcSd, &p, GaussVariant::Vopp);
+                Table::f(base / s.time_secs(), 2)
+            })
+            .collect(),
+    );
+    t
+}
+
+// -------------------------------------------------------------------
+// SOR (Tables 6-7)
+// -------------------------------------------------------------------
+
+fn sor_run(np: usize, proto: Protocol, p: &SorParams, variant: SorVariant) -> RunStats {
+    let out = run_sor(&cfg(np, proto), p, variant);
+    assert_eq!(out.value, sor_reference(p), "SOR result mismatch");
+    out.stats
+}
+
+/// Table 6: Statistics of SOR.
+pub fn table6(scale: Scale) -> Table {
+    let p = scale.sor();
+    let np = scale.stats_procs();
+    let runs = vec![
+        sor_run(np, Protocol::LrcD, &p, SorVariant::Traditional),
+        sor_run(np, Protocol::VcD, &p, SorVariant::Vopp),
+        sor_run(np, Protocol::VcSd, &p, SorVariant::Vopp),
+    ];
+    let mut t = Table::new(
+        format!("Table 6: Statistics of SOR on {np} processors"),
+        vec!["LRC_d".into(), "VC_d".into(), "VC_sd".into()],
+    );
+    stats_rows(&mut t, &runs, false);
+    t
+}
+
+/// Table 7: Speedup of SOR on LRC_d and VC_sd.
+pub fn table7(scale: Scale) -> Table {
+    let p = scale.sor();
+    let procs = scale.speedup_procs();
+    let base = sor_run(1, Protocol::LrcD, &p, SorVariant::Traditional)
+        .time
+        .as_secs_f64();
+    let mut t = Table::new(
+        "Table 7: Speedup of SOR on LRC_d and VC_sd",
+        procs.iter().map(|p| format!("{p}-p")).collect(),
+    );
+    t.row(
+        "LRC_d",
+        procs
+            .iter()
+            .map(|&np| {
+                let s = sor_run(np, Protocol::LrcD, &p, SorVariant::Traditional);
+                Table::f(base / s.time_secs(), 2)
+            })
+            .collect(),
+    );
+    t.row(
+        "VC_sd",
+        procs
+            .iter()
+            .map(|&np| {
+                let s = sor_run(np, Protocol::VcSd, &p, SorVariant::Vopp);
+                Table::f(base / s.time_secs(), 2)
+            })
+            .collect(),
+    );
+    t
+}
+
+// -------------------------------------------------------------------
+// NN (Tables 8-9)
+// -------------------------------------------------------------------
+
+fn nn_run(np: usize, proto: Protocol, p: &NnParams, variant: NnVariant) -> RunStats {
+    let out = run_nn(&cfg(np, proto), p, variant);
+    assert_eq!(out.value, nn_reference(p, np), "NN result mismatch");
+    out.stats
+}
+
+/// Table 8: Statistics of NN (includes the Acquire Time row).
+pub fn table8(scale: Scale) -> Table {
+    let p = scale.nn();
+    let np = scale.stats_procs();
+    let runs = vec![
+        nn_run(np, Protocol::LrcD, &p, NnVariant::Traditional),
+        nn_run(np, Protocol::VcD, &p, NnVariant::Vopp),
+        nn_run(np, Protocol::VcSd, &p, NnVariant::Vopp),
+    ];
+    let mut t = Table::new(
+        format!("Table 8: Statistics of NN on {np} processors"),
+        vec!["LRC_d".into(), "VC_d".into(), "VC_sd".into()],
+    );
+    stats_rows(&mut t, &runs, true);
+    t
+}
+
+/// Table 9: Speedup of NN on LRC_d, VC_sd and MPI.
+pub fn table9(scale: Scale) -> Table {
+    let p = scale.nn();
+    let procs = scale.speedup_procs();
+    let base = nn_run(1, Protocol::LrcD, &p, NnVariant::Traditional)
+        .time
+        .as_secs_f64();
+    let mut t = Table::new(
+        "Table 9: Speedup of NN on LRC_d, VC_sd and MPI",
+        procs.iter().map(|p| format!("{p}-p")).collect(),
+    );
+    t.row(
+        "LRC_d",
+        procs
+            .iter()
+            .map(|&np| {
+                let s = nn_run(np, Protocol::LrcD, &p, NnVariant::Traditional);
+                Table::f(base / s.time_secs(), 2)
+            })
+            .collect(),
+    );
+    t.row(
+        "VC_sd",
+        procs
+            .iter()
+            .map(|&np| {
+                let s = nn_run(np, Protocol::VcSd, &p, NnVariant::Vopp);
+                Table::f(base / s.time_secs(), 2)
+            })
+            .collect(),
+    );
+    t.row(
+        "MPI",
+        procs
+            .iter()
+            .map(|&np| {
+                let s = nn_run(np, Protocol::VcSd, &p, NnVariant::Mpi);
+                Table::f(base / s.time_secs(), 2)
+            })
+            .collect(),
+    );
+    t
+}
+
+/// Extension table (not in the paper): the four traditional applications
+/// on homeless vs. home-based LRC at the stats processor count — the
+/// trade-off studied in the authors' companion work.
+pub fn table_ext(scale: Scale) -> Table {
+    let np = scale.stats_procs();
+    let is = scale.is();
+    let gauss = scale.gauss();
+    let sor = scale.sor();
+    let nn = scale.nn();
+    let mut t = Table::new(
+        format!("Extension: traditional applications on LRC_d vs HLRC_d, {np} processors"),
+        vec![
+            "IS LRC_d".into(),
+            "IS HLRC".into(),
+            "Gauss LRC_d".into(),
+            "Gauss HLRC".into(),
+            "SOR LRC_d".into(),
+            "SOR HLRC".into(),
+            "NN LRC_d".into(),
+            "NN HLRC".into(),
+        ],
+    );
+    let runs = [
+        is_run(np, Protocol::LrcD, &is, IsVariant::Traditional),
+        is_run(np, Protocol::Hlrc, &is, IsVariant::Traditional),
+        gauss_run(np, Protocol::LrcD, &gauss, GaussVariant::Traditional),
+        gauss_run(np, Protocol::Hlrc, &gauss, GaussVariant::Traditional),
+        sor_run(np, Protocol::LrcD, &sor, SorVariant::Traditional),
+        sor_run(np, Protocol::Hlrc, &sor, SorVariant::Traditional),
+        nn_run(np, Protocol::LrcD, &nn, NnVariant::Traditional),
+        nn_run(np, Protocol::Hlrc, &nn, NnVariant::Traditional),
+    ];
+    t.row(
+        "Time (Sec.)",
+        runs.iter().map(|s| Table::f(s.time_secs(), 2)).collect(),
+    );
+    t.row(
+        "Data (MByte)",
+        runs.iter().map(|s| Table::f(s.data_mbytes(), 2)).collect(),
+    );
+    t.row(
+        "Num. Msg",
+        runs.iter().map(|s| Table::i(s.num_msgs())).collect(),
+    );
+    t.row(
+        "Diff/Page Requests",
+        runs.iter().map(|s| Table::i(s.diff_requests())).collect(),
+    );
+    t
+}
+
+/// All tables in paper order.
+pub fn all_tables(scale: Scale) -> Vec<Table> {
+    vec![
+        table1(scale),
+        table2(scale),
+        table3(scale),
+        table4(scale),
+        table5(scale),
+        table6(scale),
+        table7(scale),
+        table8(scale),
+        table9(scale),
+    ]
+}

@@ -1,0 +1,62 @@
+//! The table harness itself is under test: the quick-scale version of every
+//! paper table must generate (each run is internally validated against its
+//! sequential reference) and contain the expected rows and columns.
+
+use vopp_bench::{all_tables, Scale};
+
+#[test]
+fn all_nine_tables_generate_at_quick_scale() {
+    let tables = all_tables(Scale { quick: true });
+    assert_eq!(tables.len(), 9);
+    // Paper order and shape.
+    assert!(tables[0].title.starts_with("Table 1"));
+    assert!(tables[8].title.starts_with("Table 9"));
+    for t in &tables {
+        assert!(!t.columns.is_empty());
+        assert!(!t.rows.is_empty());
+        for (label, cells) in &t.rows {
+            assert!(!label.is_empty());
+            assert_eq!(cells.len(), t.columns.len(), "{}", t.title);
+        }
+    }
+    // Statistics tables carry the paper's row set.
+    let t1 = &tables[0];
+    let labels: Vec<&str> = t1.rows.iter().map(|(l, _)| l.as_str()).collect();
+    for want in [
+        "Time (Sec.)",
+        "Barriers",
+        "Acquires",
+        "Data (MByte)",
+        "Num. Msg",
+        "Diff Requests",
+        "Barrier Time (usec.)",
+        "Rexmit",
+    ] {
+        assert!(labels.contains(&want), "Table 1 must have row {want}");
+    }
+    // Table 8 additionally reports acquire time.
+    assert!(tables[7]
+        .rows
+        .iter()
+        .any(|(l, _)| l == "Acquire Time (usec.)"));
+    // Speedup tables are keyed by system.
+    for idx in [2, 4, 6, 8] {
+        let t = &tables[idx];
+        assert!(t.rows.iter().any(|(l, _)| l.contains("LRC_d")), "{}", t.title);
+        assert!(
+            t.rows.iter().any(|(l, _)| l.contains("VC_sd")),
+            "{}",
+            t.title
+        );
+    }
+    assert!(tables[8].rows.iter().any(|(l, _)| l == "MPI"));
+}
+
+#[test]
+fn tables_render_and_serialize() {
+    let t = vopp_bench::tables::table2(Scale { quick: true });
+    let text = t.to_string();
+    assert!(text.contains("VC_sd"));
+    let json = serde_json::to_string(&t).unwrap();
+    assert!(json.contains("\"title\""));
+}

@@ -1,0 +1,67 @@
+//! RAII view guards: scope-based `acquire_view` / `release_view`.
+//!
+//! The paper's primitives are explicit acquire/release pairs; these guards
+//! give them an idiomatic Rust shape while keeping the underlying protocol
+//! calls identical.
+
+use vopp_dsm::{DsmCtx, ViewId};
+
+use crate::region::{Region, ViewRegion};
+
+/// Exclusive access to a view for the guard's lifetime.
+pub struct ViewGuard<'c, 'a> {
+    ctx: &'c DsmCtx<'a>,
+    view: ViewId,
+}
+
+impl Drop for ViewGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.ctx.release_view(self.view);
+    }
+}
+
+/// Shared read access to a view for the guard's lifetime.
+pub struct RViewGuard<'c, 'a> {
+    ctx: &'c DsmCtx<'a>,
+    view: ViewId,
+}
+
+impl Drop for RViewGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.ctx.release_rview(self.view);
+    }
+}
+
+/// Scoped VOPP operations on a [`DsmCtx`].
+pub trait VoppExt<'a> {
+    /// `acquire_view` returning a guard that releases on drop.
+    fn view<'c>(&'c self, v: ViewId) -> ViewGuard<'c, 'a>;
+    /// `acquire_Rview` returning a guard that releases on drop.
+    fn rview<'c>(&'c self, v: ViewId) -> RViewGuard<'c, 'a>;
+    /// Acquire `vr` for writing, run `f`, release.
+    fn with_view<T, R>(&self, vr: &ViewRegion<T>, f: impl FnOnce(&Region<T>) -> R) -> R;
+    /// Acquire `vr` for reading, run `f`, release.
+    fn with_rview<T, R>(&self, vr: &ViewRegion<T>, f: impl FnOnce(&Region<T>) -> R) -> R;
+}
+
+impl<'a> VoppExt<'a> for DsmCtx<'a> {
+    fn view<'c>(&'c self, v: ViewId) -> ViewGuard<'c, 'a> {
+        self.acquire_view(v);
+        ViewGuard { ctx: self, view: v }
+    }
+
+    fn rview<'c>(&'c self, v: ViewId) -> RViewGuard<'c, 'a> {
+        self.acquire_rview(v);
+        RViewGuard { ctx: self, view: v }
+    }
+
+    fn with_view<T, R>(&self, vr: &ViewRegion<T>, f: impl FnOnce(&Region<T>) -> R) -> R {
+        let _g = self.view(vr.view);
+        f(&vr.region)
+    }
+
+    fn with_rview<T, R>(&self, vr: &ViewRegion<T>, f: impl FnOnce(&Region<T>) -> R) -> R {
+        let _g = self.rview(vr.view);
+        f(&vr.region)
+    }
+}

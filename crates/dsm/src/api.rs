@@ -1,0 +1,1021 @@
+//! The per-node programming interface.
+//!
+//! [`DsmCtx`] is what application code sees: shared-memory accessors, the
+//! traditional lock/barrier API (LRC programs) and the VOPP view primitives
+//! (`acquire_view` / `release_view` / `acquire_rview` / `release_rview` /
+//! `merge_views`, paper §2).
+//!
+//! Under the VC protocols the context *enforces* the VOPP discipline at run
+//! time: shared memory may only be read inside a held (read or write) view
+//! and written inside the held write view, write views do not nest, and a
+//! release must only have dirtied pages of the released view. Violations
+//! panic with a diagnostic — programming errors, not recoverable states.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vopp_page::{
+    offset_in_page, page_of, pages_spanned, Addr, IntervalId, PageId, PageState, VTime, PAGE_SIZE,
+};
+use vopp_sim::{AppCtx, ProcId, SimDuration, SimTime};
+use vopp_simnet::RpcClient;
+
+use crate::cost::{CostModel, CpuDebt};
+use crate::layout::{Layout, ViewId};
+use crate::msg::{AccessMode, Req, Resp};
+use crate::node::{NodeState, Protocol};
+
+/// The application-side handle to one DSM node.
+pub struct DsmCtx<'a> {
+    sim: AppCtx<'a>,
+    node: Arc<Mutex<NodeState>>,
+    rpc: RefCell<RpcClient>,
+    debt: CpuDebt,
+    cost: CostModel,
+    layout: Arc<Layout>,
+    protocol: Protocol,
+    next_barrier: Cell<u32>,
+    barrier_timeout: SimDuration,
+    auto_views: Cell<bool>,
+}
+
+impl<'a> DsmCtx<'a> {
+    pub(crate) fn new(
+        sim: AppCtx<'a>,
+        node: Arc<Mutex<NodeState>>,
+        barrier_timeout: SimDuration,
+    ) -> DsmCtx<'a> {
+        let (cost, layout, protocol) = {
+            let n = node.lock();
+            (n.cost.clone(), n.layout.clone(), n.protocol)
+        };
+        DsmCtx {
+            sim,
+            node,
+            rpc: RefCell::new(RpcClient::new()),
+            debt: CpuDebt::new(),
+            cost,
+            layout,
+            protocol,
+            next_barrier: Cell::new(0),
+            barrier_timeout,
+            auto_views: Cell::new(false),
+        }
+    }
+
+    /// This processor's id.
+    pub fn me(&self) -> ProcId {
+        self.sim.me()
+    }
+
+    /// Cluster size.
+    pub fn nprocs(&self) -> usize {
+        self.sim.nprocs()
+    }
+
+    /// Which DSM implementation this run uses.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The shared-memory layout (views, allocations).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Current virtual time (flushes accumulated CPU debt first).
+    pub fn now(&self) -> SimTime {
+        self.debt.flush(&self.sim);
+        self.sim.now()
+    }
+
+    // ---------------------------------------------------------------
+    // CPU accounting
+    // ---------------------------------------------------------------
+
+    /// Charge `n` floating-point operations of compute.
+    pub fn flops(&self, n: u64) {
+        self.debt.add_ns(n as f64 * self.cost.ns_per_flop);
+    }
+
+    /// Charge `n` integer/index operations of compute.
+    pub fn int_ops(&self, n: u64) {
+        self.debt.add_ns(n as f64 * self.cost.ns_per_int);
+    }
+
+    /// Charge a local buffer copy of `n` bytes.
+    pub fn copy_cost(&self, n: u64) {
+        self.debt.add_ns(n as f64 * self.cost.ns_per_byte_copy);
+    }
+
+    /// Charge raw nanoseconds of compute.
+    pub fn compute_ns(&self, ns: f64) {
+        self.debt.add_ns(ns);
+    }
+
+    fn flush(&self) {
+        self.debt.flush(&self.sim);
+    }
+
+    /// Close the current write interval. Under HLRC the diffs are flushed
+    /// eagerly to their pages' home nodes (and acknowledged) *before* any
+    /// synchronization message is sent — the flush-before-sync invariant
+    /// that keeps home copies current when invalidated readers fetch them.
+    fn close_interval(&self) -> usize {
+        let diffs = {
+            let mut n = self.node.lock();
+            let (_, diffs) = n.end_interval_with_diffs();
+            diffs
+        };
+        let ndiffs = diffs.len();
+        if self.protocol == Protocol::Hlrc && !diffs.is_empty() {
+            let np = self.nprocs();
+            let me = self.me();
+            let mut groups: std::collections::BTreeMap<ProcId, Vec<_>> =
+                std::collections::BTreeMap::new();
+            for (p, d) in diffs {
+                groups.entry(p % np).or_default().push((p, d));
+            }
+            // The home's own pages are already current locally.
+            groups.remove(&me);
+            if !groups.is_empty() {
+                if ndiffs > 0 {
+                    self.debt.add(self.cost.diff_create * ndiffs as u64);
+                }
+                self.flush();
+                let calls: Vec<(ProcId, usize, Req)> = groups
+                    .into_iter()
+                    .map(|(home, items)| {
+                        let req = Req::HomeFlush { items };
+                        let bytes = req.wire_bytes();
+                        (home, bytes, req)
+                    })
+                    .collect();
+                let replies = self.rpc.borrow_mut().call_all(&self.sim, &calls);
+                for pkt in replies {
+                    assert!(matches!(pkt.expect::<Resp>(), Resp::Ack));
+                }
+                return 0; // diff-creation cost already charged
+            }
+        }
+        ndiffs
+    }
+
+    // ---------------------------------------------------------------
+    // Synchronization: barrier
+    // ---------------------------------------------------------------
+
+    /// Global barrier. Under LRC this also performs (centralized)
+    /// consistency maintenance; under VC it only synchronizes (paper §3.2).
+    pub fn barrier(&self) {
+        self.flush();
+        let t0 = self.sim.now();
+        let episode = self.next_barrier.get();
+        self.next_barrier.set(episode + 1);
+        let (records, vt) = if self.protocol.is_lrc_family() {
+            let ndiffs = self.close_interval();
+            if ndiffs > 0 {
+                self.debt.add(self.cost.diff_create * ndiffs as u64);
+                self.flush();
+            }
+            let mut n = self.node.lock();
+            (n.delta_for_home(0), n.logged_vt.clone())
+        } else {
+            let n = self.node.lock();
+            assert!(
+                n.mem.dirty_pages().is_empty(),
+                "proc {}: barrier with unreleased view modifications",
+                n.me
+            );
+            (Vec::new(), VTime::zero(0))
+        };
+        let req = Req::BarrierArrive { episode, records, vt };
+        let bytes = req.wire_bytes();
+        let resp = self
+            .rpc
+            .borrow_mut()
+            .call_with_timeout(&self.sim, 0, bytes, req, self.barrier_timeout)
+            .expect::<Resp>();
+        match resp {
+            Resp::BarrierRelease { records, vt, lamport } => {
+                let mut n = self.node.lock();
+                if self.protocol.is_lrc_family() {
+                    n.absorb_lrc_grant(&records, &vt, lamport);
+                    let lv = vt.clone();
+                    n.note_home_knows(0, &lv);
+                } else {
+                    n.lamport_sync(lamport);
+                }
+                n.stats.barriers += 1;
+                n.stats.barrier_wait_ns += (self.sim.now() - t0).nanos();
+            }
+            other => panic!("barrier got unexpected reply {other:?}"),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Synchronization: traditional locks (LRC programs)
+    // ---------------------------------------------------------------
+
+    /// Acquire lock `lock` (traditional API; LRC/HLRC/ScC).
+    ///
+    /// Under Scope Consistency the grant enforces only the updates made
+    /// under this lock's scope (paper §4); under the LRC family it enforces
+    /// everything the grantor knows.
+    pub fn lock_acquire(&self, lock: u32) {
+        assert!(
+            self.protocol.is_lrc_family(),
+            "locks belong to the traditional API; VOPP programs use views"
+        );
+        if self.protocol == Protocol::ScC {
+            return self.scc_lock_acquire(lock);
+        }
+        self.flush();
+        let t0 = self.sim.now();
+        let ndiffs = self.close_interval();
+        if ndiffs > 0 {
+            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.flush();
+        }
+        let (home, vt) = {
+            let n = self.node.lock();
+            (n.lock_home(lock), n.logged_vt.clone())
+        };
+        let req = Req::LockAcquire { lock, vt };
+        let bytes = req.wire_bytes();
+        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        match resp {
+            Resp::LockGrant { records, vt, lamport } => {
+                let mut n = self.node.lock();
+                n.absorb_lrc_grant(&records, &vt, lamport);
+                let lv = vt.clone();
+                n.note_home_knows(home, &lv);
+                n.stats.acquires += 1;
+                n.stats.acquire_wait_ns += (self.sim.now() - t0).nanos();
+            }
+            other => panic!("lock_acquire got unexpected reply {other:?}"),
+        }
+    }
+
+    /// Release lock `lock`, pushing this node's new interval records to the
+    /// lock home (LRC family) or publishing this scope's release record
+    /// (ScC).
+    pub fn lock_release(&self, lock: u32) {
+        assert!(self.protocol.is_lrc_family());
+        if self.protocol == Protocol::ScC {
+            return self.scc_lock_release(lock);
+        }
+        self.flush();
+        let ndiffs = self.close_interval();
+        if ndiffs > 0 {
+            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.flush();
+        }
+        let (home, records) = {
+            let mut n = self.node.lock();
+            let home = n.lock_home(lock);
+            (home, n.delta_for_home(home))
+        };
+        let req = Req::LockRelease { lock, records };
+        let bytes = req.wire_bytes();
+        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        assert!(matches!(resp, Resp::Ack), "lock_release expects Ack");
+    }
+
+    // ---------------------------------------------------------------
+    // Synchronization: Scope Consistency locks (related work, paper §4)
+    // ---------------------------------------------------------------
+
+    /// ScC acquire: the lock home sends the release records of *this scope*
+    /// newer than what this node has enforced; their pages are invalidated
+    /// and fetched on fault, exactly like a `VC_d` view grant — but the
+    /// scope's page set is dynamic (whatever its releases dirtied).
+    fn scc_lock_acquire(&self, lock: u32) {
+        self.flush();
+        let t0 = self.sim.now();
+        let ndiffs = self.close_interval();
+        if ndiffs > 0 {
+            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.flush();
+        }
+        let (home, have) = {
+            let n = self.node.lock();
+            (
+                n.lock_home(lock),
+                n.lock_applied.get(&lock).copied().unwrap_or(0),
+            )
+        };
+        let req = Req::ViewAcquire {
+            view: lock,
+            mode: AccessMode::Write,
+            have,
+        };
+        let bytes = req.wire_bytes();
+        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        match resp {
+            Resp::ViewGrant { records, version, lamport, .. } => {
+                let mut n = self.node.lock();
+                n.scc_absorb(&records, lamport);
+                let la = n.lock_applied.entry(lock).or_insert(0);
+                *la = (*la).max(version);
+                n.stats.acquires += 1;
+                n.stats.acquire_wait_ns += (self.sim.now() - t0).nanos();
+            }
+            other => panic!("scc lock_acquire got unexpected reply {other:?}"),
+        }
+    }
+
+    /// ScC release: close the interval (also logging it for the global
+    /// barrier merge) and publish its record under this lock's scope.
+    fn scc_lock_release(&self, lock: u32) {
+        self.flush();
+        let (home, interval, lamport, pages, ndiffs) = {
+            let mut n = self.node.lock();
+            let (rec, ndiffs) = n.end_interval();
+            let home = n.lock_home(lock);
+            match rec {
+                Some(r) => {
+                    // This node's own release is already enforced locally.
+                    n.scoped_applied.insert(r.id);
+                    (home, Some(r.id), r.lamport, r.pages, ndiffs)
+                }
+                None => (home, None, n.lamport, Vec::new(), 0),
+            }
+        };
+        if ndiffs > 0 {
+            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.flush();
+        }
+        let req = Req::ViewRelease {
+            view: lock,
+            mode: AccessMode::Write,
+            interval,
+            lamport,
+            pages,
+            diffs: Vec::new(),
+        };
+        let bytes = req.wire_bytes();
+        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        match resp {
+            Resp::ReleaseAck { version } => {
+                let mut n = self.node.lock();
+                let la = n.lock_applied.entry(lock).or_insert(0);
+                *la = (*la).max(version);
+            }
+            other => panic!("scc lock_release got unexpected reply {other:?}"),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Synchronization: VOPP view primitives
+    // ---------------------------------------------------------------
+
+    /// `acquire_view` (paper §2): gain exclusive access to view `v` and make
+    /// its content consistent. Not nestable.
+    pub fn acquire_view(&self, v: ViewId) {
+        self.acquire_view_mode(v, AccessMode::Write);
+    }
+
+    /// `acquire_Rview` (paper §2, §3.4): gain shared read access. Nestable;
+    /// concurrent readers are granted simultaneously.
+    pub fn acquire_rview(&self, v: ViewId) {
+        // Nested re-acquisition of an already-held read view is local.
+        {
+            let mut n = self.node.lock();
+            if let Some(c) = n.held_read.get_mut(&v) {
+                *c += 1;
+                return;
+            }
+        }
+        self.acquire_view_mode(v, AccessMode::Read);
+    }
+
+    fn acquire_view_mode(&self, v: ViewId, mode: AccessMode) {
+        assert!(
+            self.protocol.is_vc(),
+            "views require a VC protocol; traditional programs use locks/barriers"
+        );
+        self.flush();
+        let t0 = self.sim.now();
+        let (home, have) = {
+            let n = self.node.lock();
+            if mode == AccessMode::Write {
+                assert!(
+                    n.held_write.is_none(),
+                    "proc {}: acquire_view({v}) while holding view {:?} — \
+                     acquire_view cannot be nested (paper §2)",
+                    n.me,
+                    n.held_write
+                );
+            }
+            assert!(
+                !(mode == AccessMode::Write && n.held_read.contains_key(&v)),
+                "proc {}: acquire_view({v}) while holding it as a read view",
+                n.me
+            );
+            (n.view_home(v), n.view_applied[v as usize])
+        };
+        let req = Req::ViewAcquire { view: v, mode, have };
+        let bytes = req.wire_bytes();
+        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        match resp {
+            Resp::ViewGrant { records, diffs, version, lamport } => {
+                let napplied = diffs.len();
+                let grant_bytes: u64 = diffs
+                    .iter()
+                    .map(|(_, d)| d.wire_bytes() as u64)
+                    .sum::<u64>()
+                    + records.iter().map(|r| r.wire_bytes() as u64).sum::<u64>();
+                let mut n = self.node.lock();
+                n.vc_absorb_grant(v, &records, &diffs, version, lamport);
+                match mode {
+                    AccessMode::Write => n.held_write = Some(v),
+                    AccessMode::Read => {
+                        n.held_read.insert(v, 1);
+                    }
+                }
+                n.stats.acquires += 1;
+                let waited = (self.sim.now() - t0).nanos();
+                n.stats.acquire_wait_ns += waited;
+                let vs = n.stats.views.entry(v).or_default();
+                vs.acquires += 1;
+                vs.wait_ns += waited;
+                vs.grant_bytes += grant_bytes;
+                drop(n);
+                if napplied > 0 {
+                    self.debt.add(self.cost.diff_apply * napplied as u64);
+                }
+            }
+            other => panic!("acquire_view got unexpected reply {other:?}"),
+        }
+    }
+
+    /// `release_view` (paper §2): publish this view's modifications and give
+    /// up exclusive access.
+    pub fn release_view(&self, v: ViewId) {
+        assert!(self.protocol.is_vc());
+        self.flush();
+        let (home, interval, lamport, pages, diffs, ndiffs) = {
+            let mut n = self.node.lock();
+            assert_eq!(
+                n.held_write,
+                Some(v),
+                "proc {}: release_view({v}) without holding it",
+                n.me
+            );
+            // VOPP discipline: everything dirtied belongs to the view.
+            let view_pages = self.layout.view(v).pages.clone();
+            for p in n.mem.dirty_pages() {
+                assert!(
+                    view_pages.contains(&p),
+                    "proc {}: modified page {p} (view {:?}) while holding view {v} — \
+                     VOPP programs modify only the acquired view (paper §2)",
+                    n.me,
+                    self.layout.view_of_page(p)
+                );
+            }
+            let (closed, ndiffs) = n.end_interval_vc();
+            n.held_write = None;
+            let home = n.view_home(v);
+            match closed {
+                Some((id, lamport, pages, diffs)) => {
+                    let sd = if self.protocol == Protocol::VcSd { diffs } else { Vec::new() };
+                    (home, Some(id), lamport, pages, sd, ndiffs)
+                }
+                None => (home, None, n.lamport, Vec::new(), Vec::new(), 0),
+            }
+        };
+        if ndiffs > 0 {
+            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.flush();
+        }
+        let req = Req::ViewRelease {
+            view: v,
+            mode: AccessMode::Write,
+            interval,
+            lamport,
+            pages,
+            diffs,
+        };
+        let bytes = req.wire_bytes();
+        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        match resp {
+            Resp::ReleaseAck { version } => {
+                let mut n = self.node.lock();
+                let bumped = version > n.view_applied[v as usize];
+                let va = &mut n.view_applied[v as usize];
+                *va = (*va).max(version);
+                if bumped {
+                    n.stats.views.entry(v).or_default().versions += 1;
+                }
+            }
+            other => panic!("release_view got unexpected reply {other:?}"),
+        }
+    }
+
+    /// `release_Rview` (paper §2).
+    pub fn release_rview(&self, v: ViewId) {
+        assert!(self.protocol.is_vc());
+        {
+            let mut n = self.node.lock();
+            let c = n
+                .held_read
+                .get_mut(&v)
+                .unwrap_or_else(|| panic!("release_rview({v}) without holding it"));
+            *c -= 1;
+            if *c > 0 {
+                return; // nested release: local
+            }
+            n.held_read.remove(&v);
+        }
+        self.flush();
+        let (home, lamport) = {
+            let n = self.node.lock();
+            (n.view_home(v), n.lamport)
+        };
+        let req = Req::ViewRelease {
+            view: v,
+            mode: AccessMode::Read,
+            interval: None,
+            lamport,
+            pages: Vec::new(),
+            diffs: Vec::new(),
+        };
+        let bytes = req.wire_bytes();
+        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        assert!(matches!(resp, Resp::Ack));
+    }
+
+    /// `merge_views` (paper §3.5): bring every view up to date on this node.
+    /// Expensive but convenient; implemented as a read acquisition of each
+    /// view not currently held.
+    pub fn merge_views(&self) {
+        assert!(self.protocol.is_vc());
+        for v in 0..self.layout.nviews() as ViewId {
+            let held = {
+                let n = self.node.lock();
+                n.held_write == Some(v) || n.held_read.contains_key(&v)
+            };
+            if !held {
+                self.acquire_rview(v);
+                self.release_rview(v);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Automated view insertion (paper §6 future work)
+    // ---------------------------------------------------------------
+
+    /// Enable or disable *automated view-primitive insertion*: the paper's
+    /// §6 future work ("the insertion of view primitives can be automated
+    /// by compiling techniques"), realized at run time. While enabled, a
+    /// shared-memory access whose view is not currently held automatically
+    /// acquires it (read view for reads, exclusive view for writes) for
+    /// exactly that access and releases it afterwards.
+    ///
+    /// This is correct but naive: each unbracketed access pays a full
+    /// acquire/release round trip, which is exactly why the paper argues
+    /// for programmer-placed (or cleverly compiler-batched) primitives —
+    /// see the `ablation_auto_views` benchmark.
+    pub fn set_auto_views(&self, on: bool) {
+        assert!(
+            self.protocol.is_vc() || !on,
+            "auto views require a VC protocol"
+        );
+        self.auto_views.set(on);
+    }
+
+    /// If auto mode is on and the span's view is not held, acquire it;
+    /// returns what must be released after the access. The span must lie
+    /// within one view (a compiler would split larger statements).
+    fn auto_acquire(&self, addr: Addr, len: usize, write: bool) -> Option<(ViewId, AccessMode)> {
+        if !self.auto_views.get() || !self.protocol.is_vc() || len == 0 {
+            return None;
+        }
+        let mut views = pages_spanned(addr, len).map(|p| self.layout.view_of_page(p));
+        let v = views
+            .next()
+            .flatten()
+            .expect("auto views: access outside any view");
+        assert!(
+            views.all(|o| o == Some(v)),
+            "auto views: one access must stay within one view"
+        );
+        let (held_w, held_r) = {
+            let n = self.node.lock();
+            (n.held_write == Some(v), n.held_read.contains_key(&v))
+        };
+        if write {
+            if held_w {
+                None
+            } else {
+                assert!(
+                    !held_r,
+                    "auto views: write access to view {v} held read-only"
+                );
+                self.acquire_view(v);
+                Some((v, AccessMode::Write))
+            }
+        } else if held_w || held_r {
+            None
+        } else {
+            self.acquire_rview(v);
+            Some((v, AccessMode::Read))
+        }
+    }
+
+    fn auto_release(&self, held: Option<(ViewId, AccessMode)>) {
+        match held {
+            Some((v, AccessMode::Write)) => self.release_view(v),
+            Some((v, AccessMode::Read)) => self.release_rview(v),
+            None => {}
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Shared memory access
+    // ---------------------------------------------------------------
+
+    fn vopp_check(&self, n: &NodeState, p: PageId, write: bool) {
+        if !self.protocol.is_vc() {
+            return;
+        }
+        let v = self.layout.view_of_page(p).unwrap_or_else(|| {
+            panic!(
+                "proc {}: access to shared page {p} outside any view — \
+                 VOPP programs put all shared data in views",
+                n.me
+            )
+        });
+        let ok = if write {
+            n.held_write == Some(v)
+        } else {
+            n.held_write == Some(v) || n.held_read.contains_key(&v)
+        };
+        assert!(
+            ok,
+            "proc {}: {} page {p} of view {v} without {} it (held_write={:?}) — \
+             view primitives must bracket every access (paper §2)",
+            n.me,
+            if write { "write to" } else { "read of" },
+            if write { "acquire_view-ing" } else { "acquiring" },
+            n.held_write
+        );
+    }
+
+    /// Resolve a fault on `p`: fetch the missing diffs from their writers
+    /// (in parallel, grouped per writer) and apply them in happens-before
+    /// order. The invalidate-protocol hot path of LRC_d and VC_d.
+    fn fault(&self, p: PageId) {
+        self.debt.add(self.cost.page_fault);
+        self.flush();
+        let fetches = {
+            let mut n = self.node.lock();
+            n.stats.page_faults += 1;
+            n.take_pending(p)
+        };
+        if fetches.is_empty() {
+            // Invalid page with no recorded writer: nothing to fetch.
+            self.node.lock().mem.validate(p);
+            return;
+        }
+        // Whole-page fetch (TreadMarks' "get whole page" escape hatch):
+        // when the accumulated per-interval diffs would exceed one page
+        // transfer, ask a node whose copy is known complete instead.
+        //   * View pages (VC): writes are serialized, so the most recent
+        //     writer's copy is provably complete while we hold the view.
+        //   * LRC pages with a *single* writer: in a data-race-free program
+        //     no write can be concurrent with this read, so the writer's
+        //     current copy equals the diff-reconstructed content. (Multi-
+        //     writer pages — false sharing — must merge diffs.)
+        let distinct_owners = {
+            let mut o: Vec<_> = fetches.iter().map(|f| f.id.owner).collect();
+            o.sort_unstable();
+            o.dedup();
+            o.len()
+        };
+        let is_view_page = self.layout.view_of_page(p).is_some();
+        // HLRC always fetches the current page from its home (one round
+        // trip; the home is kept current by eager flushes).
+        if self.protocol == Protocol::Hlrc {
+            let home = p % self.nprocs();
+            let req = Req::PageReq { page: p };
+            let bytes = req.wire_bytes();
+            {
+                let mut n = self.node.lock();
+                n.stats.diff_requests += 1;
+            }
+            let pkt = self.rpc.borrow_mut().call(&self.sim, home, bytes, req);
+            match pkt.expect::<Resp>() {
+                Resp::PageResp { content: Some(content) } => {
+                    let mut n = self.node.lock();
+                    *n.mem.page_mut(p) = *content;
+                    n.mem.validate(p);
+                    n.stats.diffs_applied += 1;
+                    self.debt.add(self.cost.diff_apply);
+                    return;
+                }
+                other => panic!("HLRC home fetch got unexpected reply {other:?}"),
+            }
+        }
+        let whole_page = (self.protocol.is_vc() && is_view_page && distinct_owners >= 3)
+            || (self.protocol == Protocol::LrcD && distinct_owners == 1 && fetches.len() >= 4);
+        if whole_page {
+            let last = fetches.last().unwrap();
+            let req = Req::PageReq { page: p };
+            let bytes = req.wire_bytes();
+            {
+                let mut n = self.node.lock();
+                n.stats.diff_requests += 1;
+            }
+            let pkt = self.rpc.borrow_mut().call(&self.sim, last.id.owner, bytes, req);
+            match pkt.expect::<Resp>() {
+                Resp::PageResp { content: Some(content) } => {
+                    let mut n = self.node.lock();
+                    *n.mem.page_mut(p) = *content;
+                    n.mem.validate(p);
+                    n.stats.diffs_applied += 1;
+                    self.debt.add(self.cost.diff_apply);
+                    return;
+                }
+                Resp::PageResp { content: None } => {
+                    assert_eq!(
+                        self.protocol,
+                        Protocol::LrcD,
+                        "view-page server copy must stay valid while the view is held"
+                    );
+                    // Fall through to per-interval diff fetches.
+                }
+                other => panic!("PageReq got unexpected reply {other:?}"),
+            }
+        }
+        // Group per writer, preserving order.
+        let mut per_owner: Vec<(ProcId, Vec<IntervalId>)> = Vec::new();
+        for f in &fetches {
+            match per_owner.iter_mut().find(|(o, _)| *o == f.id.owner) {
+                Some((_, ids)) => ids.push(f.id),
+                None => per_owner.push((f.id.owner, vec![f.id])),
+            }
+        }
+        let calls: Vec<(ProcId, usize, Req)> = per_owner
+            .into_iter()
+            .map(|(owner, intervals)| {
+                let req = Req::DiffReq { page: p, intervals };
+                let bytes = req.wire_bytes();
+                (owner, bytes, req)
+            })
+            .collect();
+        {
+            let mut n = self.node.lock();
+            n.stats.diff_requests += calls.len() as u64;
+        }
+        let replies = self.rpc.borrow_mut().call_all(&self.sim, &calls);
+        let mut items = Vec::new();
+        for pkt in replies {
+            match pkt.expect::<Resp>() {
+                Resp::DiffResp { items: it } => items.extend(it),
+                other => panic!("DiffReq got unexpected reply {other:?}"),
+            }
+        }
+        items.sort_by_key(|(id, lam, _)| (*lam, id.owner, id.seq));
+        let mut n = self.node.lock();
+        for (_, _, diff) in &items {
+            n.mem.apply_diff(p, diff);
+            n.stats.diffs_applied += 1;
+        }
+        n.mem.validate(p);
+        drop(n);
+        self.debt.add(self.cost.diff_apply * items.len() as u64);
+    }
+
+    fn ensure_readable(&self, p: PageId) {
+        loop {
+            let n = self.node.lock();
+            self.vopp_check(&n, p, false);
+            match n.mem.state(p) {
+                PageState::Valid | PageState::Dirty => return,
+                PageState::Invalid => {
+                    drop(n);
+                    self.fault(p);
+                }
+            }
+        }
+    }
+
+    fn ensure_writable(&self, p: PageId) {
+        loop {
+            let mut n = self.node.lock();
+            self.vopp_check(&n, p, true);
+            match n.mem.state(p) {
+                PageState::Dirty => return,
+                PageState::Valid => {
+                    n.mem.note_write(p);
+                    n.stats.twins += 1;
+                    self.debt.add(self.cost.twin);
+                    return;
+                }
+                PageState::Invalid => {
+                    drop(n);
+                    self.fault(p);
+                }
+            }
+        }
+    }
+
+    /// Read `out.len()` bytes of shared memory starting at `addr`.
+    pub fn read_bytes(&self, addr: Addr, out: &mut [u8]) {
+        let auto = self.auto_acquire(addr, out.len(), false);
+        self.copy_cost(out.len() as u64);
+        let mut i = 0;
+        while i < out.len() {
+            let a = addr + i;
+            let p = page_of(a);
+            let off = offset_in_page(a);
+            let chunk = (PAGE_SIZE - off).min(out.len() - i);
+            self.ensure_readable(p);
+            let n = self.node.lock();
+            out[i..i + chunk].copy_from_slice(&n.mem.page(p)[off..off + chunk]);
+            i += chunk;
+        }
+        self.auto_release(auto);
+    }
+
+    /// Write `data` into shared memory at `addr`.
+    pub fn write_bytes(&self, addr: Addr, data: &[u8]) {
+        let auto = self.auto_acquire(addr, data.len(), true);
+        self.copy_cost(data.len() as u64);
+        let mut i = 0;
+        while i < data.len() {
+            let a = addr + i;
+            let p = page_of(a);
+            let off = offset_in_page(a);
+            let chunk = (PAGE_SIZE - off).min(data.len() - i);
+            self.ensure_writable(p);
+            let mut n = self.node.lock();
+            n.mem.page_mut(p)[off..off + chunk].copy_from_slice(&data[i..i + chunk]);
+            i += chunk;
+        }
+        self.auto_release(auto);
+    }
+
+    /// Read one `u32` (4-aligned).
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        let auto = self.auto_acquire(addr, 4, false);
+        debug_assert_eq!(addr % 4, 0);
+        self.copy_cost(4);
+        let p = page_of(addr);
+        self.ensure_readable(p);
+        let r = {
+            let n = self.node.lock();
+            n.mem.page(p).word(offset_in_page(addr) / 4)
+        };
+        self.auto_release(auto);
+        r
+    }
+
+    /// Write one `u32` (4-aligned).
+    pub fn write_u32(&self, addr: Addr, v: u32) {
+        let auto = self.auto_acquire(addr, 4, true);
+        debug_assert_eq!(addr % 4, 0);
+        self.copy_cost(4);
+        let p = page_of(addr);
+        self.ensure_writable(p);
+        {
+            let mut n = self.node.lock();
+            n.mem.page_mut(p).set_word(offset_in_page(addr) / 4, v);
+        }
+        self.auto_release(auto);
+    }
+
+    /// Read-modify-write one `u32` in place.
+    pub fn update_u32(&self, addr: Addr, f: impl FnOnce(u32) -> u32) {
+        let auto = self.auto_acquire(addr, 4, true);
+        debug_assert_eq!(addr % 4, 0);
+        self.copy_cost(8);
+        let p = page_of(addr);
+        self.ensure_writable(p);
+        {
+            let mut n = self.node.lock();
+            let w = offset_in_page(addr) / 4;
+            let old = n.mem.page(p).word(w);
+            n.mem.page_mut(p).set_word(w, f(old));
+        }
+        self.auto_release(auto);
+    }
+
+    /// Read one `f64` (8-aligned).
+    pub fn read_f64(&self, addr: Addr) -> f64 {
+        let auto = self.auto_acquire(addr, 8, false);
+        debug_assert_eq!(addr % 8, 0);
+        self.copy_cost(8);
+        let p = page_of(addr);
+        self.ensure_readable(p);
+        let r = {
+            let n = self.node.lock();
+            let off = offset_in_page(addr);
+            f64::from_le_bytes(n.mem.page(p)[off..off + 8].try_into().unwrap())
+        };
+        self.auto_release(auto);
+        r
+    }
+
+    /// Write one `f64` (8-aligned).
+    pub fn write_f64(&self, addr: Addr, v: f64) {
+        let auto = self.auto_acquire(addr, 8, true);
+        debug_assert_eq!(addr % 8, 0);
+        self.copy_cost(8);
+        let p = page_of(addr);
+        self.ensure_writable(p);
+        {
+            let mut n = self.node.lock();
+            let off = offset_in_page(addr);
+            n.mem.page_mut(p)[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        self.auto_release(auto);
+    }
+
+    /// Bulk read of `f64`s (8-aligned base).
+    pub fn read_f64s(&self, addr: Addr, out: &mut [f64]) {
+        let auto = self.auto_acquire(addr, out.len() * 8, false);
+        debug_assert_eq!(addr % 8, 0);
+        self.copy_cost(out.len() as u64 * 8);
+        for p in pages_spanned(addr, out.len() * 8) {
+            self.ensure_readable(p);
+        }
+        {
+            let n = self.node.lock();
+            for (i, o) in out.iter_mut().enumerate() {
+                let a = addr + i * 8;
+                let off = offset_in_page(a);
+                *o = f64::from_le_bytes(n.mem.page(page_of(a))[off..off + 8].try_into().unwrap());
+            }
+        }
+        self.auto_release(auto);
+    }
+
+    /// Bulk write of `f64`s (8-aligned base).
+    pub fn write_f64s(&self, addr: Addr, data: &[f64]) {
+        let auto = self.auto_acquire(addr, data.len() * 8, true);
+        debug_assert_eq!(addr % 8, 0);
+        self.copy_cost(data.len() as u64 * 8);
+        for p in pages_spanned(addr, data.len() * 8) {
+            self.ensure_writable(p);
+        }
+        {
+            let mut n = self.node.lock();
+            for (i, v) in data.iter().enumerate() {
+                let a = addr + i * 8;
+                let off = offset_in_page(a);
+                n.mem.page_mut(page_of(a))[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        self.auto_release(auto);
+    }
+
+    /// Bulk read of `u32`s (4-aligned base).
+    pub fn read_u32s(&self, addr: Addr, out: &mut [u32]) {
+        let auto = self.auto_acquire(addr, out.len() * 4, false);
+        debug_assert_eq!(addr % 4, 0);
+        self.copy_cost(out.len() as u64 * 4);
+        for p in pages_spanned(addr, out.len() * 4) {
+            self.ensure_readable(p);
+        }
+        {
+            let n = self.node.lock();
+            for (i, o) in out.iter_mut().enumerate() {
+                let a = addr + i * 4;
+                *o = n.mem.page(page_of(a)).word(offset_in_page(a) / 4);
+            }
+        }
+        self.auto_release(auto);
+    }
+
+    /// Bulk write of `u32`s (4-aligned base).
+    pub fn write_u32s(&self, addr: Addr, data: &[u32]) {
+        let auto = self.auto_acquire(addr, data.len() * 4, true);
+        debug_assert_eq!(addr % 4, 0);
+        self.copy_cost(data.len() as u64 * 4);
+        for p in pages_spanned(addr, data.len() * 4) {
+            self.ensure_writable(p);
+        }
+        {
+            let mut n = self.node.lock();
+            for (i, v) in data.iter().enumerate() {
+                let a = addr + i * 4;
+                n.mem.page_mut(page_of(a)).set_word(offset_in_page(a) / 4, *v);
+            }
+        }
+        self.auto_release(auto);
+    }
+
+    /// Fold the transport's retransmission count into the node statistics
+    /// and flush remaining CPU debt. Called by the runtime after the body.
+    pub(crate) fn finish(&self) {
+        self.flush();
+        let rexmits = self.rpc.borrow().rexmits;
+        let mut n = self.node.lock();
+        n.stats.rexmits += rexmits;
+    }
+}

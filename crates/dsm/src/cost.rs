@@ -1,0 +1,119 @@
+//! CPU cost model, calibrated to the paper's 350 MHz Pentium-class nodes.
+//!
+//! Application code charges its algorithmic work through [`CpuDebt`] (flops,
+//! integer ops, byte copies); the DSM runtime charges protocol overheads
+//! (page-fault traps, twin snapshots, diff creation/application). Debt is
+//! accumulated locally and flushed into the simulation clock at interaction
+//! points (sync operations, faults), so element-wise shared-memory access
+//! does not flood the event queue.
+
+use std::cell::Cell;
+
+use vopp_sim::{AppCtx, SimDuration};
+
+/// Nanosecond costs of primitive operations on the simulated CPU.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// One floating-point operation (350 MHz, no SIMD, cache-imperfect).
+    pub ns_per_flop: f64,
+    /// One integer/index operation.
+    pub ns_per_int: f64,
+    /// Copying one byte between buffers (memcpy-style bulk rate).
+    pub ns_per_byte_copy: f64,
+    /// Entering the page-fault trap and protocol handler (SIGSEGV path).
+    pub page_fault: SimDuration,
+    /// Snapshotting a 4 KB twin on first write to a page.
+    pub twin: SimDuration,
+    /// Creating the diff of one dirty page at interval end.
+    pub diff_create: SimDuration,
+    /// Applying one incoming diff to a page.
+    pub diff_apply: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ns_per_flop: 12.0,
+            ns_per_int: 6.0,
+            ns_per_byte_copy: 3.0,
+            page_fault: SimDuration::from_micros(40),
+            twin: SimDuration::from_micros(25),
+            diff_create: SimDuration::from_micros(30),
+            diff_apply: SimDuration::from_micros(15),
+        }
+    }
+}
+
+/// Locally accumulated CPU time, flushed into the simulator lazily.
+#[derive(Debug, Default)]
+pub struct CpuDebt {
+    ns: Cell<f64>,
+}
+
+impl CpuDebt {
+    /// An empty account.
+    pub fn new() -> CpuDebt {
+        CpuDebt::default()
+    }
+
+    /// Add raw nanoseconds.
+    #[inline]
+    pub fn add_ns(&self, ns: f64) {
+        self.ns.set(self.ns.get() + ns);
+    }
+
+    /// Add a structured duration.
+    #[inline]
+    pub fn add(&self, d: SimDuration) {
+        self.add_ns(d.nanos() as f64);
+    }
+
+    /// Nanoseconds currently owed.
+    pub fn owed_ns(&self) -> f64 {
+        self.ns.get()
+    }
+
+    /// Push all owed time into the simulation clock.
+    pub fn flush(&self, ctx: &AppCtx<'_>) {
+        let ns = self.ns.replace(0.0);
+        if ns >= 1.0 {
+            ctx.compute(SimDuration::from_nanos(ns as u64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debt_accumulates() {
+        let d = CpuDebt::new();
+        d.add_ns(10.5);
+        d.add(SimDuration::from_nanos(4));
+        assert!((d.owed_ns() - 14.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flush_drains_into_clock() {
+        let out = vopp_sim::run_simple(1, SimDuration::from_micros(1), |ctx| {
+            let d = CpuDebt::new();
+            d.add_ns(2_500.0);
+            d.flush(&ctx);
+            assert_eq!(d.owed_ns(), 0.0);
+            // Sub-nanosecond residue is dropped, not re-queued.
+            d.add_ns(0.4);
+            d.flush(&ctx);
+            ctx.now()
+        });
+        assert_eq!(out.results[0].nanos(), 2_500);
+    }
+
+    #[test]
+    fn default_model_is_era_plausible() {
+        let c = CostModel::default();
+        // A 4 KB memcpy should be on the order of 10us on a 350 MHz box.
+        let memcpy_us = 4096.0 * c.ns_per_byte_copy / 1000.0;
+        assert!(memcpy_us > 5.0 && memcpy_us < 50.0);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # vopp-dsm — the three DSM systems of the paper
+//!
+//! * **LRC_d** — diff-based Lazy Release Consistency (TreadMarks-style):
+//!   twins, word-granularity diffs, write notices with vector timestamps, an
+//!   invalidate protocol with fault-time diff requests, and barriers that
+//!   perform centralized whole-memory consistency maintenance.
+//! * **VC_d** — View-based Consistency on the same machinery: consistency is
+//!   maintained *per view* at `acquire_view`; barriers only synchronize.
+//! * **VC_sd** — the optimal VC implementation (CCGrid'05): a single
+//!   integrated diff per page, piggy-backed on the view-grant message — an
+//!   update protocol with zero fault-time diff requests.
+//!
+//! The crate provides the per-node protocol engine ([`NodeState`]), the
+//! manager roles ([`homes`]), the application-facing context ([`DsmCtx`])
+//! with both the traditional lock/barrier API and the VOPP view primitives,
+//! and the cluster runtime ([`run_cluster`]) that produces the statistics
+//! reported in the paper's tables ([`RunStats`]).
+
+/// Wire size of a full page transfer payload.
+pub(crate) const PAGE_SIZE_WIRE: usize = vopp_page::PAGE_SIZE;
+
+pub mod api;
+pub mod cost;
+pub mod homes;
+pub mod layout;
+pub mod msg;
+pub mod node;
+pub mod runtime;
+pub mod stats;
+
+pub use api::DsmCtx;
+pub use cost::{CostModel, CpuDebt};
+pub use layout::{check_views, Layout, ViewDef, ViewId};
+pub use msg::{AccessMode, Req, Resp, ViewRecord};
+pub use node::{NodeState, PendingFetch, Protocol, StoredDiff};
+pub use runtime::{run_cluster, ClusterConfig, ClusterOutcome};
+pub use stats::{NodeStats, RunStats, ViewStats, ViewStatsMap};

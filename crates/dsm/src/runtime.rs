@@ -1,0 +1,135 @@
+//! Wiring: build a simulated cluster, run a DSM program on it, collect the
+//! paper's statistics.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vopp_sim::{Sim, SimDuration};
+use vopp_simnet::{EthernetModel, NetConfig};
+
+use crate::api::DsmCtx;
+use crate::cost::CostModel;
+use crate::homes::make_handler;
+use crate::layout::Layout;
+use crate::node::{NodeState, Protocol};
+use crate::stats::{NodeStats, RunStats};
+
+/// Everything configurable about a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of processors.
+    pub nprocs: usize,
+    /// Which DSM implementation to run.
+    pub protocol: Protocol,
+    /// Network parameters.
+    pub net: NetConfig,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Retransmission timeout for barrier waits (longer than the default
+    /// RPC timeout: the reply is legitimately deferred until all arrive).
+    pub barrier_timeout: SimDuration,
+}
+
+impl ClusterConfig {
+    /// A cluster of `nprocs` running `protocol` with default calibration.
+    pub fn new(nprocs: usize, protocol: Protocol) -> ClusterConfig {
+        ClusterConfig {
+            nprocs,
+            protocol,
+            net: NetConfig::default(),
+            cost: CostModel::default(),
+            barrier_timeout: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Same cluster with a lossless network (tests, calibration).
+    pub fn lossless(nprocs: usize, protocol: Protocol) -> ClusterConfig {
+        ClusterConfig {
+            net: NetConfig::lossless(),
+            ..ClusterConfig::new(nprocs, protocol)
+        }
+    }
+}
+
+/// The outcome of a cluster run: per-node results plus statistics.
+pub struct ClusterOutcome<R> {
+    /// Per-node return values of the program body.
+    pub results: Vec<R>,
+    /// The paper's statistics for this run.
+    pub stats: RunStats,
+}
+
+/// Run `body` on every node of a simulated cluster.
+///
+/// `layout` describes the shared address space (identical on all nodes);
+/// `body` is the SPMD program, branching on [`DsmCtx::me`] where needed.
+///
+/// ```
+/// use vopp_dsm::{run_cluster, ClusterConfig, Layout, Protocol};
+///
+/// let mut layout = Layout::new();
+/// let (view, addr) = layout.add_view(4);
+/// let cfg = ClusterConfig::lossless(4, Protocol::VcSd);
+/// let out = run_cluster(&cfg, layout.freeze(), move |ctx| {
+///     ctx.acquire_view(view);
+///     ctx.update_u32(addr, |x| x + 1);
+///     ctx.release_view(view);
+///     ctx.barrier();
+///     ctx.acquire_rview(view);
+///     let total = ctx.read_u32(addr);
+///     ctx.release_rview(view);
+///     total
+/// });
+/// assert_eq!(out.results, vec![4, 4, 4, 4]);
+/// assert_eq!(out.stats.diff_requests(), 0); // VC_sd: update protocol
+/// ```
+pub fn run_cluster<R, F>(cfg: &ClusterConfig, layout: Arc<Layout>, body: F) -> ClusterOutcome<R>
+where
+    R: Send,
+    F: Fn(&DsmCtx<'_>) -> R + Send + Sync,
+{
+    let n = cfg.nprocs;
+    assert!(n > 0);
+    let model = EthernetModel::new(n, cfg.net.clone());
+    let net_stats = model.stats_handle();
+    let mut sim = Sim::new(n, Box::new(model));
+
+    let nodes: Vec<Arc<Mutex<NodeState>>> = (0..n)
+        .map(|p| {
+            Arc::new(Mutex::new(NodeState::new(
+                p,
+                n,
+                cfg.protocol,
+                cfg.cost.clone(),
+                layout.clone(),
+            )))
+        })
+        .collect();
+    for (p, node) in nodes.iter().enumerate() {
+        sim.set_handler(p, make_handler(node.clone()));
+    }
+
+    let nodes_ref = &nodes;
+    let barrier_timeout = cfg.barrier_timeout;
+    let out = sim.run(move |ctx| {
+        let dctx = DsmCtx::new(ctx, nodes_ref[ctx.me()].clone(), barrier_timeout);
+        let r = body(&dctx);
+        dctx.finish();
+        r
+    });
+
+    let mut agg = NodeStats::default();
+    for node in &nodes {
+        agg.absorb(&node.lock().stats);
+    }
+    let net = *net_stats.lock();
+    ClusterOutcome {
+        results: out.results,
+        stats: RunStats {
+            time: out.end_time,
+            nprocs: n,
+            nodes: agg,
+            net,
+        },
+    }
+}

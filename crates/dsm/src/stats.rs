@@ -1,0 +1,223 @@
+//! The statistics reported in the paper's tables.
+//!
+//! Every table row of the evaluation (Tables 1, 2, 4, 6, 8) is a field here:
+//! `Time`, `Barriers`, `Acquires`, `Data`, `Num. Msg`, `Diff Requests`,
+//! `Barrier Time`, `Acquire Time`, `Rexmit`.
+
+use std::collections::BTreeMap;
+
+use vopp_sim::SimTime;
+use vopp_simnet::NetStats;
+
+/// Per-view counters, the data behind the paper's §3.6 rule of thumb
+/// ("the more views are acquired, the more messages there are in the
+/// system; and the larger a view is, the more data traffic is caused").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ViewStats {
+    /// Acquire operations (read + write) on this view.
+    pub acquires: u64,
+    /// Write releases that produced a new version.
+    pub versions: u64,
+    /// Total time spent blocked acquiring this view, in nanoseconds.
+    pub wait_ns: u64,
+    /// Consistency payload bytes received in this view's grants.
+    pub grant_bytes: u64,
+}
+
+/// Map of view id to its counters.
+pub type ViewStatsMap = BTreeMap<u32, ViewStats>;
+
+/// Counters collected on one node during a run.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Barrier operations performed by this node.
+    pub barriers: u64,
+    /// Lock/view acquire request messages issued (read and write views).
+    pub acquires: u64,
+    /// Diff request messages issued on page faults.
+    pub diff_requests: u64,
+    /// Page faults taken (invalid page accessed).
+    pub page_faults: u64,
+    /// Retransmitted datagrams (from the reliable transport).
+    pub rexmits: u64,
+    /// Total virtual time spent blocked in barriers.
+    pub barrier_wait_ns: u64,
+    /// Total virtual time spent blocked acquiring locks/views.
+    pub acquire_wait_ns: u64,
+    /// Twin snapshots taken.
+    pub twins: u64,
+    /// Diffs created at interval ends.
+    pub diffs_created: u64,
+    /// Diffs applied to local pages.
+    pub diffs_applied: u64,
+    /// Per-view breakdown of acquire traffic.
+    pub views: ViewStatsMap,
+}
+
+impl NodeStats {
+    /// Mutable access to one view's counters (creating them if absent).
+    pub fn stats_view(&mut self, v: u32) -> &mut ViewStats {
+        self.views.entry(v).or_default()
+    }
+
+    /// Merge another node's counters into an aggregate.
+    pub fn absorb(&mut self, o: &NodeStats) {
+        self.barriers += o.barriers;
+        self.acquires += o.acquires;
+        self.diff_requests += o.diff_requests;
+        self.page_faults += o.page_faults;
+        self.rexmits += o.rexmits;
+        self.barrier_wait_ns += o.barrier_wait_ns;
+        self.acquire_wait_ns += o.acquire_wait_ns;
+        self.twins += o.twins;
+        self.diffs_created += o.diffs_created;
+        self.diffs_applied += o.diffs_applied;
+        for (v, vs) in &o.views {
+            let e = self.views.entry(*v).or_default();
+            e.acquires += vs.acquires;
+            e.versions += vs.versions;
+            e.wait_ns += vs.wait_ns;
+            e.grant_bytes += vs.grant_bytes;
+        }
+    }
+}
+
+/// Whole-run statistics: the paper's table rows.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Wall-clock (virtual) execution time.
+    pub time: SimTime,
+    /// Number of processors.
+    pub nprocs: usize,
+    /// Summed node counters.
+    pub nodes: NodeStats,
+    /// Network totals (messages, bytes, drops).
+    pub net: NetStats,
+}
+
+impl RunStats {
+    /// `Time (Sec.)` row.
+    pub fn time_secs(&self) -> f64 {
+        self.time.as_secs_f64()
+    }
+
+    /// `Barriers` row: barriers per node (every node executes each barrier).
+    pub fn barriers(&self) -> u64 {
+        if self.nprocs == 0 {
+            0
+        } else {
+            self.nodes.barriers / self.nprocs as u64
+        }
+    }
+
+    /// `Acquires` row: total acquire messages across the cluster.
+    pub fn acquires(&self) -> u64 {
+        self.nodes.acquires
+    }
+
+    /// `Data` row, in megabytes put on the wire.
+    pub fn data_mbytes(&self) -> f64 {
+        self.net.bytes as f64 / 1e6
+    }
+
+    /// `Num. Msg` row: datagrams on the wire (including retransmissions).
+    pub fn num_msgs(&self) -> u64 {
+        self.net.msgs
+    }
+
+    /// `Diff Requests` row.
+    pub fn diff_requests(&self) -> u64 {
+        self.nodes.diff_requests
+    }
+
+    /// `Barrier Time (usec.)` row: mean blocked time per barrier crossing.
+    pub fn barrier_time_usec(&self) -> f64 {
+        if self.nodes.barriers == 0 {
+            0.0
+        } else {
+            self.nodes.barrier_wait_ns as f64 / 1000.0 / self.nodes.barriers as f64
+        }
+    }
+
+    /// `Acquire Time (usec.)` row: mean blocked time per acquire.
+    pub fn acquire_time_usec(&self) -> f64 {
+        if self.nodes.acquires == 0 {
+            0.0
+        } else {
+            self.nodes.acquire_wait_ns as f64 / 1000.0 / self.nodes.acquires as f64
+        }
+    }
+
+    /// `Rexmit` row.
+    pub fn rexmits(&self) -> u64 {
+        self.nodes.rexmits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_everything() {
+        let mut a = NodeStats {
+            barriers: 1,
+            acquires: 2,
+            diff_requests: 3,
+            page_faults: 4,
+            rexmits: 5,
+            barrier_wait_ns: 6,
+            acquire_wait_ns: 7,
+            twins: 8,
+            diffs_created: 9,
+            diffs_applied: 10,
+            ..Default::default()
+        };
+        a.stats_view(3).acquires = 2;
+        a.absorb(&a.clone());
+        assert_eq!(a.barriers, 2);
+        assert_eq!(a.diffs_applied, 20);
+        assert_eq!(a.views[&3].acquires, 4);
+    }
+
+    #[test]
+    fn derived_rows() {
+        let s = RunStats {
+            time: SimTime(2_000_000_000),
+            nprocs: 4,
+            nodes: NodeStats {
+                barriers: 40, // 10 per node
+                acquires: 8,
+                barrier_wait_ns: 40_000_000, // 1ms per crossing
+                acquire_wait_ns: 16_000,     // 2us per acquire
+                rexmits: 3,
+                ..Default::default()
+            },
+            net: NetStats {
+                msgs: 100,
+                bytes: 3_000_000,
+                ..Default::default()
+            },
+        };
+        assert_eq!(s.time_secs(), 2.0);
+        assert_eq!(s.barriers(), 10);
+        assert_eq!(s.acquires(), 8);
+        assert_eq!(s.data_mbytes(), 3.0);
+        assert_eq!(s.num_msgs(), 100);
+        assert_eq!(s.barrier_time_usec(), 1000.0);
+        assert_eq!(s.acquire_time_usec(), 2.0);
+        assert_eq!(s.rexmits(), 3);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = RunStats {
+            time: SimTime::ZERO,
+            nprocs: 1,
+            nodes: NodeStats::default(),
+            net: NetStats::default(),
+        };
+        assert_eq!(s.barrier_time_usec(), 0.0);
+        assert_eq!(s.acquire_time_usec(), 0.0);
+    }
+}

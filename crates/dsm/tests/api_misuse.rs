@@ -1,0 +1,89 @@
+//! API misuse diagnostics: using the wrong primitive family for a protocol
+//! must fail fast with a clear message.
+
+use vopp_dsm::{run_cluster, ClusterConfig, Layout, Protocol};
+
+#[test]
+#[should_panic(expected = "views require a VC protocol")]
+fn views_rejected_on_lrc() {
+    let mut l = Layout::new();
+    let (v, _) = l.add_view(8);
+    run_cluster(&ClusterConfig::lossless(1, Protocol::LrcD), l.freeze(), move |ctx| {
+        ctx.acquire_view(v);
+    });
+}
+
+#[test]
+#[should_panic(expected = "locks belong to the traditional API")]
+fn locks_rejected_on_vc() {
+    let l = Layout::new();
+    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), |ctx| {
+        ctx.lock_acquire(0);
+    });
+}
+
+#[test]
+#[should_panic(expected = "without holding it")]
+fn release_unheld_view_rejected() {
+    let mut l = Layout::new();
+    let (v, _) = l.add_view(8);
+    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
+        ctx.release_view(v);
+    });
+}
+
+#[test]
+#[should_panic(expected = "release_rview(0) without holding it")]
+fn release_unheld_rview_rejected() {
+    let mut l = Layout::new();
+    let (v, _) = l.add_view(8);
+    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
+        ctx.release_rview(v);
+    });
+}
+
+#[test]
+#[should_panic(expected = "holding it as a read view")]
+fn write_upgrade_of_read_view_rejected() {
+    let mut l = Layout::new();
+    let (v, _) = l.add_view(8);
+    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
+        ctx.acquire_rview(v);
+        ctx.acquire_view(v); // upgrade would deadlock at the home
+    });
+}
+
+#[test]
+#[should_panic(expected = "without acquire_view-ing")]
+fn cross_view_write_rejected_at_release() {
+    // Writing pages of view B while holding view A is caught immediately
+    // by the per-access discipline check.
+    let mut l = Layout::new();
+    let (va, _) = l.add_view(8);
+    let (_vb, addr_b) = l.add_view(8);
+    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
+        ctx.acquire_view(va);
+        ctx.write_u32(addr_b, 1); // page belongs to view B
+
+        ctx.release_view(va);
+    });
+}
+
+#[test]
+fn auto_views_off_by_default() {
+    let mut l = Layout::new();
+    let (_, addr) = l.add_view(8);
+    let r = std::panic::catch_unwind(move || {
+        run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
+            let _ = ctx.read_u32(addr);
+        })
+    });
+    assert!(r.is_err(), "unbracketed access must panic when auto mode is off");
+}
+
+#[test]
+#[should_panic(expected = "n > 0")]
+fn zero_proc_cluster_rejected() {
+    let l = Layout::new();
+    run_cluster(&ClusterConfig::lossless(0, Protocol::VcSd), l.freeze(), |_| {});
+}

@@ -1,0 +1,109 @@
+//! Tests of automated view-primitive insertion (paper §6 future work).
+
+use vopp_dsm::{run_cluster, ClusterConfig, Layout, Protocol};
+
+#[test]
+fn auto_views_produce_correct_results() {
+    for proto in [Protocol::VcD, Protocol::VcSd] {
+        let mut l = Layout::new();
+        let (_, addr) = l.add_view(64);
+        let out = run_cluster(&ClusterConfig::lossless(4, proto), l.freeze(), move |ctx| {
+            ctx.set_auto_views(true);
+            // No explicit acquire/release anywhere: the runtime inserts them.
+            for _ in 0..5 {
+                ctx.update_u32(addr, |x| x + 1);
+            }
+            ctx.barrier();
+            ctx.read_u32(addr)
+        });
+        assert!(out.results.iter().all(|&r| r == 20), "{proto}");
+    }
+}
+
+#[test]
+fn auto_views_cost_more_acquires_than_manual() {
+    // The reason the paper wants smarter-than-naive insertion: per-access
+    // acquisition pays a round trip per element.
+    let manual = {
+        let mut l = Layout::new();
+        let (v, addr) = l.add_view(256);
+        run_cluster(&ClusterConfig::lossless(2, Protocol::VcSd), l.freeze(), move |ctx| {
+            ctx.acquire_view(v);
+            for i in 0..32 {
+                ctx.write_u32(addr + 4 * i, i as u32);
+            }
+            ctx.release_view(v);
+            ctx.barrier();
+        })
+    };
+    let auto = {
+        let mut l = Layout::new();
+        let (_, addr) = l.add_view(256);
+        run_cluster(&ClusterConfig::lossless(2, Protocol::VcSd), l.freeze(), move |ctx| {
+            ctx.set_auto_views(true);
+            for i in 0..32 {
+                ctx.write_u32(addr + 4 * i, i as u32);
+            }
+            ctx.barrier();
+        })
+    };
+    assert_eq!(manual.stats.acquires(), 2, "one acquire per processor");
+    assert_eq!(auto.stats.acquires(), 64, "one acquire per access");
+    assert!(auto.stats.time > manual.stats.time);
+    assert!(auto.stats.num_msgs() > manual.stats.num_msgs());
+}
+
+#[test]
+fn auto_views_defer_to_held_views() {
+    // Inside an explicit view, auto mode inserts nothing.
+    let mut l = Layout::new();
+    let (v, addr) = l.add_view(16);
+    let out = run_cluster(&ClusterConfig::lossless(2, Protocol::VcSd), l.freeze(), move |ctx| {
+        ctx.set_auto_views(true);
+        ctx.acquire_view(v);
+        ctx.write_u32(addr, 1);
+        ctx.write_u32(addr + 4, 2);
+        ctx.release_view(v);
+        ctx.barrier();
+        ctx.read_u32(addr) + ctx.read_u32(addr + 4)
+    });
+    assert!(out.results.iter().all(|&r| r == 3));
+    // 2 explicit writes + 2x2 auto read acquires.
+    assert_eq!(out.stats.acquires(), 2 + 4);
+}
+
+#[test]
+fn auto_reads_use_read_views() {
+    // Concurrent auto-readers must not serialize (they get read views).
+    let mut l = Layout::new();
+    let (v, addr) = l.add_view(8);
+    let out = run_cluster(&ClusterConfig::lossless(6, Protocol::VcSd), l.freeze(), move |ctx| {
+        if ctx.me() == 0 {
+            ctx.acquire_view(v);
+            ctx.write_u32(addr, 9);
+            ctx.release_view(v);
+        }
+        ctx.barrier();
+        ctx.set_auto_views(true);
+        let t0 = ctx.now();
+        let val = ctx.read_u32(addr); // auto read view
+        ctx.compute_ns(20_000_000.0); // hold nothing: already released
+        (val, (ctx.now() - t0).nanos())
+    });
+    for (val, _) in &out.results {
+        assert_eq!(*val, 9);
+    }
+    assert!(out.stats.time.as_secs_f64() < 0.1);
+}
+
+#[test]
+#[should_panic(expected = "outside any view")]
+fn auto_views_still_reject_unviewed_memory() {
+    let mut l = Layout::new();
+    let plain = l.alloc(8, 4);
+    let (_, _) = l.add_view(8);
+    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
+        ctx.set_auto_views(true);
+        let _ = ctx.read_u32(plain);
+    });
+}

@@ -1,0 +1,181 @@
+//! Tests of the Scope Consistency comparator (paper §4): scoped lock
+//! grants, the defining stale-read behaviour, and the global merge at
+//! barriers.
+
+use vopp_dsm::{run_cluster, ClusterConfig, Layout, Protocol};
+
+fn scc(n: usize) -> ClusterConfig {
+    ClusterConfig::lossless(n, Protocol::ScC)
+}
+
+#[test]
+fn same_scope_passes_values() {
+    let mut l = Layout::new();
+    let a = l.alloc(8, 8);
+    let out = run_cluster(&scc(2), l.freeze(), move |ctx| {
+        if ctx.me() == 0 {
+            ctx.lock_acquire(1);
+            ctx.write_u32(a, 41);
+            ctx.write_u32(a + 4, 1);
+            ctx.lock_release(1);
+            ctx.barrier();
+            0
+        } else {
+            ctx.barrier();
+            ctx.lock_acquire(1);
+            let v = ctx.read_u32(a) + ctx.read_u32(a + 4);
+            ctx.lock_release(1);
+            v
+        }
+    });
+    assert_eq!(out.results[1], 42);
+}
+
+#[test]
+fn different_scope_reads_stale_until_barrier() {
+    // The semantic difference from LRC: updates made under lock 1 are NOT
+    // enforced by acquiring lock 2 (paper §4) — only a barrier merges the
+    // scopes globally. The signal travels through lock 2's own scope (a
+    // flag variable), so no barrier intervenes before the stale read.
+    let run = |proto: Protocol| {
+        let mut l = Layout::new();
+        let a = l.alloc(4, 4);
+        let f = l.alloc(4096, 4); // flag on its own page, lock 2's scope
+        run_cluster(&ClusterConfig::lossless(2, proto), l.freeze(), move |ctx| {
+            if ctx.me() == 0 {
+                ctx.lock_acquire(1);
+                ctx.write_u32(a, 7);
+                ctx.lock_release(1);
+                ctx.lock_acquire(2);
+                ctx.write_u32(f + 8, 1); // flag, inside lock 2's scope
+                ctx.lock_release(2);
+                ctx.barrier();
+                ctx.barrier();
+                (0, 0)
+            } else {
+                // Spin on the flag through lock 2.
+                loop {
+                    ctx.lock_acquire(2);
+                    let flag = ctx.read_u32(f + 8);
+                    ctx.lock_release(2);
+                    if flag == 1 {
+                        break;
+                    }
+                    ctx.compute_ns(200_000.0);
+                }
+                let through_other_scope = ctx.read_u32(a);
+                ctx.barrier(); // global merge
+                let after_barrier = ctx.read_u32(a);
+                ctx.barrier();
+                (through_other_scope, after_barrier)
+            }
+        })
+    };
+    // LRC's lock grants carry *all* knowledge: lock 2 also publishes the
+    // lock-1 write.
+    let lrc = run(Protocol::LrcD);
+    assert_eq!(lrc.results[1], (7, 7));
+    // ScC's scoped grant does not; only the barrier does.
+    let scc = run(Protocol::ScC);
+    assert_eq!(
+        scc.results[1],
+        (0, 7),
+        "ScC must not propagate lock-1 updates through lock 2"
+    );
+}
+
+#[test]
+fn scoped_grants_are_smaller_than_lrc() {
+    // Six processors each churn their own disjoint region under their own
+    // lock, but all locks share one home node: LRC's grants broadcast the
+    // transitive closure of everyone's records through that home, ScC's
+    // grants carry only the (empty) scope history. The record metadata
+    // difference is visible in total wire bytes.
+    let np = 6;
+    let run = |proto: Protocol| {
+        let mut l = Layout::new();
+        let base = l.alloc(4096 * np, 8);
+        run_cluster(&ClusterConfig::lossless(np, proto), l.freeze(), move |ctx| {
+            let me = ctx.me();
+            let lock = (me as u32) * np as u32; // all locks home on node 0
+            let mine = base + 4096 * me;
+            for round in 0..20u32 {
+                ctx.lock_acquire(lock);
+                ctx.write_u32(mine, round + 1);
+                ctx.write_u32(mine + 2048, round + 2);
+                ctx.lock_release(lock);
+            }
+            ctx.barrier();
+            ctx.read_u32(mine) + ctx.read_u32(mine + 2048)
+        })
+    };
+    let lrc = run(Protocol::LrcD);
+    let scc = run(Protocol::ScC);
+    assert_eq!(lrc.results, scc.results, "same final values");
+    assert!(
+        scc.stats.net.bytes < lrc.stats.net.bytes,
+        "scoped grants must carry less metadata: ScC {} B vs LRC {} B",
+        scc.stats.net.bytes,
+        lrc.stats.net.bytes
+    );
+}
+
+#[test]
+fn barrier_merges_all_scopes() {
+    let mut l = Layout::new();
+    let base = l.alloc(4 * 4, 4);
+    let out = run_cluster(&scc(4), l.freeze(), move |ctx| {
+        // Each proc updates its slot under its own lock.
+        ctx.lock_acquire(ctx.me() as u32 + 10);
+        ctx.write_u32(base + 4 * ctx.me(), ctx.me() as u32 + 1);
+        ctx.lock_release(ctx.me() as u32 + 10);
+        ctx.barrier();
+        // After the barrier every slot is visible without any lock.
+        (0..4).map(|i| ctx.read_u32(base + 4 * i)).sum::<u32>()
+    });
+    assert_eq!(out.results, vec![10, 10, 10, 10]);
+}
+
+#[test]
+fn repeated_scope_handoffs_accumulate() {
+    let mut l = Layout::new();
+    let a = l.alloc(4, 4);
+    let out = run_cluster(&scc(4), l.freeze(), move |ctx| {
+        for _ in 0..10 {
+            ctx.lock_acquire(3);
+            ctx.update_u32(a, |x| x + 1);
+            ctx.lock_release(3);
+        }
+        ctx.barrier();
+        ctx.lock_acquire(3);
+        let v = ctx.read_u32(a);
+        ctx.lock_release(3);
+        v
+    });
+    assert!(out.results.iter().all(|&r| r == 40));
+    assert!(out.stats.diff_requests() > 0, "scoped faults fetch diffs");
+}
+
+#[test]
+fn scc_survives_loss_deterministically() {
+    let run = |seed: u64| {
+        let mut l = Layout::new();
+        let a = l.alloc(16, 4);
+        let mut cfg = ClusterConfig::new(3, Protocol::ScC);
+        cfg.net.base_drop_prob = 0.03;
+        cfg.net.seed = seed;
+        run_cluster(&cfg, l.freeze(), move |ctx| {
+            for r in 0..8u32 {
+                ctx.lock_acquire(1);
+                ctx.update_u32(a, |x| x + r + 1);
+                ctx.lock_release(1);
+            }
+            ctx.barrier();
+            ctx.read_u32(a)
+        })
+    };
+    let x = run(3);
+    assert_eq!(x.results, run(3).results);
+    assert_eq!(x.results, run(9).results, "losses cannot change the sums");
+    assert!(x.results.iter().all(|&v| v == 3 * 36));
+}

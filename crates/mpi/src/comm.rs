@@ -1,0 +1,380 @@
+//! The communicator: point-to-point API, collectives, and the runner.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vopp_dsm::{CostModel, CpuDebt};
+use vopp_sim::{AppCtx, ProcId, Sim, SimTime};
+use vopp_simnet::{EthernetModel, NetConfig, RpcClient};
+
+use crate::p2p::{deliver_tag, make_handler, Delivered, MpiData, MpiNode, MpiPayload};
+
+/// Configuration of an MPI run (same network and CPU models as the DSM).
+#[derive(Debug, Clone)]
+pub struct MpiConfig {
+    /// Number of ranks.
+    pub nprocs: usize,
+    /// Network parameters.
+    pub net: NetConfig,
+    /// CPU cost model.
+    pub cost: CostModel,
+}
+
+impl MpiConfig {
+    /// `nprocs` ranks with default calibration.
+    pub fn new(nprocs: usize) -> MpiConfig {
+        MpiConfig {
+            nprocs,
+            net: NetConfig::default(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Lossless variant for tests.
+    pub fn lossless(nprocs: usize) -> MpiConfig {
+        MpiConfig {
+            net: NetConfig::lossless(),
+            ..MpiConfig::new(nprocs)
+        }
+    }
+}
+
+/// Outcome of an MPI run.
+pub struct MpiOutcome<R> {
+    /// Per-rank results.
+    pub results: Vec<R>,
+    /// Virtual execution time.
+    pub time: SimTime,
+    /// Datagrams on the wire.
+    pub msgs: u64,
+    /// Bytes on the wire.
+    pub bytes: u64,
+    /// Retransmissions.
+    pub rexmits: u64,
+}
+
+/// The per-rank communicator handle.
+pub struct MpiCtx<'a> {
+    sim: AppCtx<'a>,
+    rpc: RefCell<RpcClient>,
+    seq_out: RefCell<Vec<u64>>,
+    debt: CpuDebt,
+    cost: CostModel,
+}
+
+impl<'a> MpiCtx<'a> {
+    /// This rank.
+    pub fn me(&self) -> ProcId {
+        self.sim.me()
+    }
+
+    /// Communicator size.
+    pub fn nprocs(&self) -> usize {
+        self.sim.nprocs()
+    }
+
+    /// Current virtual time (flushes CPU debt).
+    pub fn now(&self) -> SimTime {
+        self.debt.flush(&self.sim);
+        self.sim.now()
+    }
+
+    /// Charge floating-point work.
+    pub fn flops(&self, n: u64) {
+        self.debt.add_ns(n as f64 * self.cost.ns_per_flop);
+    }
+
+    /// Charge integer work.
+    pub fn int_ops(&self, n: u64) {
+        self.debt.add_ns(n as f64 * self.cost.ns_per_int);
+    }
+
+    /// Charge raw nanoseconds.
+    pub fn compute_ns(&self, ns: f64) {
+        self.debt.add_ns(ns);
+    }
+
+    /// Blocking reliable send to `dst` with message tag `tag`.
+    pub fn send(&self, dst: ProcId, tag: u32, payload: MpiPayload) {
+        self.debt.flush(&self.sim);
+        let seq = {
+            let mut s = self.seq_out.borrow_mut();
+            let v = s[dst];
+            s[dst] += 1;
+            v
+        };
+        let data = MpiData { tag, seq, payload };
+        let bytes = data.wire_bytes();
+        // The ack is the rpc reply; retransmission handled by the transport.
+        let _ = self.rpc.borrow_mut().call(&self.sim, dst, bytes, data);
+    }
+
+    /// Blocking receive of the next in-order message from `src` with `tag`.
+    pub fn recv(&self, src: ProcId, tag: u32) -> MpiPayload {
+        self.debt.flush(&self.sim);
+        let want = deliver_tag(src, tag);
+        let pkt = self.sim.recv_filter(|p| p.tag == want);
+        pkt.expect::<Delivered>().payload
+    }
+
+    /// Flat barrier through rank 0 (gather + release).
+    pub fn barrier(&self) {
+        let n = self.nprocs();
+        if n == 1 {
+            return;
+        }
+        if self.me() == 0 {
+            for src in 1..n {
+                let _ = self.recv(src, TAG_BARRIER);
+            }
+            for dst in 1..n {
+                self.send(dst, TAG_BARRIER, MpiPayload::Unit);
+            }
+        } else {
+            self.send(0, TAG_BARRIER, MpiPayload::Unit);
+            let _ = self.recv(0, TAG_BARRIER);
+        }
+    }
+
+    /// Binomial-tree broadcast from `root`. Non-root ranks pass `None`.
+    pub fn bcast(&self, root: ProcId, mine: Option<MpiPayload>) -> MpiPayload {
+        let n = self.nprocs();
+        let rel = (self.me() + n - root) % n;
+        let abs = |r: usize| (r + root) % n;
+        let mut payload = mine;
+        let mut mask = 1usize;
+        while mask < n {
+            if rel & mask != 0 {
+                let parent = rel & !mask;
+                payload = Some(self.recv(abs(parent), TAG_BCAST));
+                break;
+            }
+            mask <<= 1;
+        }
+        let payload = payload.expect("bcast root must supply a payload");
+        mask >>= 1;
+        let mut m = mask;
+        while m > 0 {
+            if rel | m != rel && rel + m < n {
+                self.send(abs(rel + m), TAG_BCAST, payload.clone());
+            }
+            m >>= 1;
+        }
+        payload
+    }
+
+    /// Binomial-tree sum-reduction of a double vector to rank `root`.
+    /// Every rank must pass a vector of the same length; the result is
+    /// meaningful only at the root (others get their partial sums back).
+    pub fn reduce_sum_f64(&self, root: ProcId, mine: Vec<f64>) -> Vec<f64> {
+        let n = self.nprocs();
+        let rel = (self.me() + n - root) % n;
+        let abs = |r: usize| (r + root) % n;
+        let mut acc = mine;
+        let mut mask = 1usize;
+        while mask < n {
+            if rel & mask == 0 {
+                let src_rel = rel | mask;
+                if src_rel < n {
+                    let theirs = self.recv(abs(src_rel), TAG_REDUCE).into_f64s();
+                    assert_eq!(theirs.len(), acc.len(), "reduce length mismatch");
+                    self.flops(acc.len() as u64);
+                    for (a, b) in acc.iter_mut().zip(theirs.iter()) {
+                        *a += b;
+                    }
+                }
+            } else {
+                let dst_rel = rel & !mask;
+                self.send(abs(dst_rel), TAG_REDUCE, MpiPayload::F64s(Arc::new(acc.clone())));
+                break;
+            }
+            mask <<= 1;
+        }
+        acc
+    }
+
+    /// Allreduce (sum) of a double vector: binomial reduce + broadcast,
+    /// MPICH's default for medium messages in this era.
+    pub fn allreduce_sum_f64(&self, mine: Vec<f64>) -> Vec<f64> {
+        let reduced = self.reduce_sum_f64(0, mine);
+        let out = if self.me() == 0 {
+            self.bcast(0, Some(MpiPayload::F64s(Arc::new(reduced))))
+        } else {
+            self.bcast(0, None)
+        };
+        out.into_f64s().as_ref().clone()
+    }
+
+    fn finish(&self) -> u64 {
+        self.debt.flush(&self.sim);
+        self.rpc.borrow().rexmits
+    }
+}
+
+const TAG_BARRIER: u32 = 0xB000;
+const TAG_BCAST: u32 = 0xB001;
+const TAG_REDUCE: u32 = 0xB002;
+
+/// Run an SPMD MPI program on the simulated cluster.
+pub fn run_mpi<R, F>(cfg: &MpiConfig, body: F) -> MpiOutcome<R>
+where
+    R: Send,
+    F: Fn(&MpiCtx<'_>) -> R + Send + Sync,
+{
+    let n = cfg.nprocs;
+    let model = EthernetModel::new(n, cfg.net.clone());
+    let net_stats = model.stats_handle();
+    let mut sim = Sim::new(n, Box::new(model));
+    let states: Vec<Arc<Mutex<MpiNode>>> = (0..n)
+        .map(|_| Arc::new(Mutex::new(MpiNode { expected_in: vec![0; n] })))
+        .collect();
+    for (p, st) in states.iter().enumerate() {
+        sim.set_handler(p, make_handler(st.clone()));
+    }
+    let cost = cfg.cost.clone();
+    let rexmits = Mutex::new(0u64);
+    let out = sim.run(|ctx| {
+        let n = ctx.nprocs();
+        let mctx = MpiCtx {
+            sim: ctx,
+            rpc: RefCell::new(RpcClient::new()),
+            seq_out: RefCell::new(vec![0; n]),
+            debt: CpuDebt::new(),
+            cost: cost.clone(),
+        };
+        let r = body(&mctx);
+        *rexmits.lock() += mctx.finish();
+        r
+    });
+    let ns = *net_stats.lock();
+    let rexmits = *rexmits.lock();
+    MpiOutcome {
+        results: out.results,
+        time: out.end_time,
+        msgs: ns.msgs,
+        bytes: ns.bytes,
+        rexmits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let out = run_mpi(&MpiConfig::lossless(2), |c| {
+            if c.me() == 0 {
+                c.send(1, 7, MpiPayload::F64s(Arc::new(vec![1.0, 2.0])));
+                0.0
+            } else {
+                let v = c.recv(0, 7).into_f64s();
+                v.iter().sum::<f64>()
+            }
+        });
+        assert_eq!(out.results[1], 3.0);
+        assert!(out.msgs >= 2); // DATA + ACK
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let out = run_mpi(&MpiConfig::lossless(5), |c| {
+            if c.me() == 2 {
+                c.compute_ns(10_000_000.0); // straggler
+            }
+            c.barrier();
+            c.now().nanos()
+        });
+        for t in &out.results {
+            assert!(*t >= 10_000_000, "barrier must wait for the straggler");
+        }
+    }
+
+    #[test]
+    fn bcast_all_sizes() {
+        for n in [1, 2, 3, 4, 7, 8] {
+            let out = run_mpi(&MpiConfig::lossless(n), |c| {
+                let data = if c.me() == 0 {
+                    Some(MpiPayload::U32s(Arc::new(vec![42, 43])))
+                } else {
+                    None
+                };
+                let got = c.bcast(0, data).into_u32s();
+                got[0] + got[1]
+            });
+            assert!(out.results.iter().all(|&r| r == 85), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bcast_nonzero_root() {
+        let out = run_mpi(&MpiConfig::lossless(6), |c| {
+            let data = if c.me() == 4 {
+                Some(MpiPayload::U32s(Arc::new(vec![9])))
+            } else {
+                None
+            };
+            c.bcast(4, data).into_u32s()[0]
+        });
+        assert!(out.results.iter().all(|&r| r == 9));
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        for n in [1, 2, 3, 4, 6, 8] {
+            let out = run_mpi(&MpiConfig::lossless(n), move |c| {
+                let mine = vec![c.me() as f64, 1.0];
+                c.allreduce_sum_f64(mine)
+            });
+            let expect0: f64 = (0..n).map(|i| i as f64).sum();
+            for r in &out.results {
+                assert_eq!(r[0], expect0, "n = {n}");
+                assert_eq!(r[1], n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn reliable_under_loss() {
+        let mut cfg = MpiConfig::new(4);
+        cfg.net.base_drop_prob = 0.05;
+        let out = run_mpi(&cfg, |c| {
+            let mut acc = [0.0; 8];
+            for round in 0..10 {
+                let mine = vec![(c.me() + round) as f64; 8];
+                let s = c.allreduce_sum_f64(mine);
+                for (a, b) in acc.iter_mut().zip(&s) {
+                    *a += b;
+                }
+                c.barrier();
+            }
+            acc[0]
+        });
+        // sum over rounds of sum over ranks of (rank + round)
+        let expect: f64 = (0..10)
+            .map(|r| (0..4).map(|k| (k + r) as f64).sum::<f64>())
+            .sum();
+        for r in &out.results {
+            assert_eq!(*r, expect);
+        }
+        assert!(out.rexmits > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut cfg = MpiConfig::new(3);
+            cfg.net.base_drop_prob = 0.02;
+            run_mpi(&cfg, |c| {
+                let s = c.allreduce_sum_f64(vec![c.me() as f64; 32]);
+                c.barrier();
+                s[0]
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.msgs, b.msgs);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # vopp-mpi — message-passing baseline
+//!
+//! A small MPI-like library running over the same simulated switched
+//! Ethernet as the DSM systems, standing in for the paper's MPICH runs
+//! (Table 9 compares the VOPP neural-network application against MPI).
+//!
+//! Point-to-point transfers are reliable stop-and-wait exchanges: DATA goes
+//! to the receiver's service handler, which acknowledges immediately and
+//! hands the payload (in order) to the application mailbox. Retransmission
+//! and duplicate suppression reuse the `vopp-simnet` transport. Collectives
+//! (barrier, broadcast, reduce, allreduce) use binomial trees, like MPICH's
+//! defaults of the era.
+
+mod comm;
+mod p2p;
+
+pub use comm::{run_mpi, MpiConfig, MpiCtx, MpiOutcome};
+pub use p2p::MpiPayload;

@@ -1,0 +1,287 @@
+//! Word-granularity page diffs.
+//!
+//! A diff records the words of a page that changed relative to its *twin*
+//! (the copy snapshotted at the first write of an interval), encoded as
+//! maximal runs of consecutive modified words — the TreadMarks encoding.
+//!
+//! `VC_sd`'s *diff integration* (Huang et al., CCGrid'05) is implemented by
+//! [`Diff::merge`]: any number of diffs against the same page collapse into a
+//! single diff bounded by the page size, with later writes overriding earlier
+//! ones.
+
+use crate::page::{PageBuf, PAGE_WORDS, WORD_SIZE};
+
+/// One maximal run of consecutive modified words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRun {
+    /// Word index of the first modified word.
+    pub word_off: u32,
+    /// The new little-endian word values.
+    pub words: Vec<u32>,
+}
+
+impl DiffRun {
+    fn end(&self) -> u32 {
+        self.word_off + self.words.len() as u32
+    }
+}
+
+/// A set of modifications to a single page: sorted, non-overlapping,
+/// non-adjacent maximal runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diff {
+    runs: Vec<DiffRun>,
+}
+
+/// Wire-format overhead per diff (page id + run count), in bytes.
+pub const DIFF_HEADER_BYTES: usize = 8;
+/// Wire-format overhead per run (offset + length), in bytes.
+pub const RUN_HEADER_BYTES: usize = 4;
+
+impl Diff {
+    /// An empty diff.
+    pub fn empty() -> Diff {
+        Diff::default()
+    }
+
+    /// True if no words are modified.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of modified words.
+    pub fn word_count(&self) -> usize {
+        self.runs.iter().map(|r| r.words.len()).sum()
+    }
+
+    /// The runs, in ascending word order.
+    pub fn runs(&self) -> &[DiffRun] {
+        &self.runs
+    }
+
+    /// Bytes this diff would occupy on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        DIFF_HEADER_BYTES
+            + self
+                .runs
+                .iter()
+                .map(|r| RUN_HEADER_BYTES + r.words.len() * WORD_SIZE)
+                .sum::<usize>()
+    }
+
+    /// Compare `current` against its `twin` and record every changed word.
+    pub fn create(twin: &PageBuf, current: &PageBuf) -> Diff {
+        let mut runs = Vec::new();
+        let mut w = 0;
+        while w < PAGE_WORDS {
+            if twin.word(w) != current.word(w) {
+                let start = w;
+                let mut words = Vec::new();
+                while w < PAGE_WORDS && twin.word(w) != current.word(w) {
+                    words.push(current.word(w));
+                    w += 1;
+                }
+                runs.push(DiffRun {
+                    word_off: start as u32,
+                    words,
+                });
+            } else {
+                w += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// Build a diff from raw runs (used by tests and protocol decoding).
+    /// Panics if the runs are not sorted, non-overlapping and in-bounds.
+    pub fn from_runs(runs: Vec<DiffRun>) -> Diff {
+        let mut prev_end = 0u32;
+        for (i, r) in runs.iter().enumerate() {
+            assert!(!r.words.is_empty(), "empty run");
+            assert!(i == 0 || r.word_off > prev_end, "unsorted or adjacent runs");
+            assert!(r.end() as usize <= PAGE_WORDS, "run out of bounds");
+            prev_end = r.end();
+        }
+        Diff { runs }
+    }
+
+    /// Write the modified words into `page`.
+    pub fn apply(&self, page: &mut PageBuf) {
+        for r in &self.runs {
+            for (i, &v) in r.words.iter().enumerate() {
+                page.set_word(r.word_off as usize + i, v);
+            }
+        }
+    }
+
+    /// Diff integration: overlay `newer` on top of `self`, producing a single
+    /// diff equivalent to applying `self` then `newer`.
+    pub fn merge(&self, newer: &Diff) -> Diff {
+        // Pages are only 1024 words: materialize into a sparse overlay.
+        let mut overlay: Vec<Option<u32>> = vec![None; PAGE_WORDS];
+        for d in [self, newer] {
+            for r in &d.runs {
+                for (i, &v) in r.words.iter().enumerate() {
+                    overlay[r.word_off as usize + i] = Some(v);
+                }
+            }
+        }
+        let mut runs = Vec::new();
+        let mut w = 0;
+        while w < PAGE_WORDS {
+            if overlay[w].is_some() {
+                let start = w;
+                let mut words = Vec::new();
+                while w < PAGE_WORDS {
+                    match overlay[w] {
+                        Some(v) => {
+                            words.push(v);
+                            w += 1;
+                        }
+                        None => break,
+                    }
+                }
+                runs.push(DiffRun {
+                    word_off: start as u32,
+                    words,
+                });
+            } else {
+                w += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// In-place variant of [`Diff::merge`].
+    pub fn merge_from(&mut self, newer: &Diff) {
+        if self.is_empty() {
+            self.runs = newer.runs.clone();
+        } else if !newer.is_empty() {
+            *self = self.merge(newer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+
+    fn page_with(words: &[(usize, u32)]) -> Box<PageBuf> {
+        let mut p = PageBuf::zeroed();
+        for &(w, v) in words {
+            p.set_word(w, v);
+        }
+        p
+    }
+
+    #[test]
+    fn identical_pages_empty_diff() {
+        let a = PageBuf::zeroed();
+        let b = a.clone();
+        let d = Diff::create(&a, &b);
+        assert!(d.is_empty());
+        assert_eq!(d.wire_bytes(), DIFF_HEADER_BYTES);
+    }
+
+    #[test]
+    fn create_apply_roundtrip() {
+        let twin = page_with(&[(0, 1), (100, 2)]);
+        let cur = page_with(&[(0, 9), (100, 2), (101, 5), (1023, 7)]);
+        let d = Diff::create(&twin, &cur);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        assert_eq!(&*rebuilt, &*cur);
+    }
+
+    #[test]
+    fn runs_are_maximal_and_sorted() {
+        let twin = PageBuf::zeroed();
+        let cur = page_with(&[(3, 1), (4, 2), (5, 3), (9, 4)]);
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs().len(), 2);
+        assert_eq!(d.runs()[0].word_off, 3);
+        assert_eq!(d.runs()[0].words, vec![1, 2, 3]);
+        assert_eq!(d.runs()[1].word_off, 9);
+        assert_eq!(d.word_count(), 4);
+    }
+
+    #[test]
+    fn wire_bytes_counts_runs() {
+        let twin = PageBuf::zeroed();
+        let cur = page_with(&[(0, 1), (10, 2)]);
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(
+            d.wire_bytes(),
+            DIFF_HEADER_BYTES + 2 * (RUN_HEADER_BYTES + WORD_SIZE)
+        );
+    }
+
+    #[test]
+    fn merge_last_writer_wins() {
+        let twin = PageBuf::zeroed();
+        let a = Diff::create(&twin, &page_with(&[(0, 1), (1, 1)]));
+        let b = Diff::create(&twin, &page_with(&[(1, 2), (2, 2)]));
+        let m = a.merge(&b);
+        let mut p = PageBuf::zeroed();
+        m.apply(&mut p);
+        assert_eq!(p.word(0), 1);
+        assert_eq!(p.word(1), 2);
+        assert_eq!(p.word(2), 2);
+        // Integration collapses into a single contiguous run.
+        assert_eq!(m.runs().len(), 1);
+    }
+
+    #[test]
+    fn merge_equals_sequential_application() {
+        let twin = PageBuf::zeroed();
+        let a = Diff::create(&twin, &page_with(&[(5, 10), (6, 11)]));
+        let b = Diff::create(&twin, &page_with(&[(6, 20), (200, 21)]));
+        let mut seq = PageBuf::zeroed();
+        a.apply(&mut seq);
+        b.apply(&mut seq);
+        let mut merged = PageBuf::zeroed();
+        a.merge(&b).apply(&mut merged);
+        assert_eq!(&*seq, &*merged);
+    }
+
+    #[test]
+    fn full_page_diff_bounded() {
+        let twin = PageBuf::zeroed();
+        let mut cur = PageBuf::zeroed();
+        for w in 0..PAGE_WORDS {
+            cur.set_word(w, w as u32 + 1);
+        }
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs().len(), 1);
+        assert_eq!(d.word_count(), PAGE_WORDS);
+        assert_eq!(
+            d.wire_bytes(),
+            DIFF_HEADER_BYTES + RUN_HEADER_BYTES + PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn merge_from_empty_is_clone() {
+        let twin = PageBuf::zeroed();
+        let b = Diff::create(&twin, &page_with(&[(1, 2)]));
+        let mut acc = Diff::empty();
+        acc.merge_from(&b);
+        assert_eq!(acc, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted")]
+    fn from_runs_validates() {
+        Diff::from_runs(vec![
+            DiffRun {
+                word_off: 5,
+                words: vec![1],
+            },
+            DiffRun {
+                word_off: 2,
+                words: vec![1],
+            },
+        ]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-node view of the shared paged memory.
+//!
+//! Every node keeps its own copy of each page it has touched, together with
+//! an access-state machine per page. The DSM protocol layer drives the state
+//! transitions; this module only provides the mechanics that a real system
+//! would get from `mprotect`/SIGSEGV: valid/invalid pages, twin creation on
+//! first write, and diff extraction at interval boundaries.
+//!
+//! All pages are logically zero-initialized on every node, so a node that
+//! applies every missing diff to its (possibly never-written) local copy
+//! reconstructs the current content exactly.
+
+use std::collections::BTreeMap;
+
+use crate::diff::Diff;
+use crate::page::{PageBuf, PageId};
+
+/// Access state of one page on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Stale: must be updated (diffs applied) before any access.
+    Invalid,
+    /// Up to date for reading; first write must create a twin.
+    Valid,
+    /// Up to date and already twinned: freely writable this interval.
+    Dirty,
+}
+
+/// One node's copy of the shared memory.
+pub struct NodeMemory {
+    pages: Vec<Option<Box<PageBuf>>>,
+    state: Vec<PageState>,
+    twins: BTreeMap<PageId, Box<PageBuf>>,
+}
+
+impl NodeMemory {
+    /// Memory of `npages` pages, all valid and zero-filled (pages are
+    /// materialized lazily on first touch).
+    pub fn new(npages: usize) -> NodeMemory {
+        NodeMemory {
+            pages: (0..npages).map(|_| None).collect(),
+            state: vec![PageState::Valid; npages],
+            twins: BTreeMap::new(),
+        }
+    }
+
+    /// Number of pages in the address space.
+    pub fn npages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Current access state of `p`.
+    #[inline]
+    pub fn state(&self, p: PageId) -> PageState {
+        self.state[p]
+    }
+
+    /// Mark `p` stale. Content is retained: missing diffs will be applied to
+    /// it. Any twin is discarded (an invalidation always happens at a sync
+    /// point, after diffs were extracted).
+    pub fn invalidate(&mut self, p: PageId) {
+        debug_assert!(
+            !self.twins.contains_key(&p),
+            "invalidating page {p} with a live twin (diffs not yet extracted)"
+        );
+        self.state[p] = PageState::Invalid;
+    }
+
+    /// Mark `p` up to date after the protocol applied all missing diffs.
+    pub fn validate(&mut self, p: PageId) {
+        if self.state[p] == PageState::Invalid {
+            self.state[p] = PageState::Valid;
+        }
+    }
+
+    /// Read-only page content (zero page if never touched).
+    pub fn page(&self, p: PageId) -> &PageBuf {
+        match &self.pages[p] {
+            Some(b) => b,
+            None => zero_page(),
+        }
+    }
+
+    /// Writable page content, materializing it if needed. Does **not** touch
+    /// the state machine — callers go through [`NodeMemory::note_write`].
+    pub fn page_mut(&mut self, p: PageId) -> &mut PageBuf {
+        self.pages[p].get_or_insert_with(PageBuf::zeroed)
+    }
+
+    /// Record the first write of an interval to `p`: snapshot a twin and mark
+    /// the page dirty. Must only be called on a `Valid` page; `Dirty` pages
+    /// are already twinned and `Invalid` pages must be updated first.
+    pub fn note_write(&mut self, p: PageId) {
+        match self.state[p] {
+            PageState::Dirty => {}
+            PageState::Valid => {
+                let twin = match &self.pages[p] {
+                    Some(b) => b.clone(),
+                    None => PageBuf::zeroed(),
+                };
+                self.twins.insert(p, twin);
+                self.state[p] = PageState::Dirty;
+            }
+            PageState::Invalid => panic!("write to invalid page {p} without update"),
+        }
+    }
+
+    /// Pages dirtied in the current interval, ascending.
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        self.twins.keys().copied().collect()
+    }
+
+    /// End the current interval: extract a diff for every dirty page (twin
+    /// vs. current), drop the twins, and downgrade the pages to `Valid`.
+    /// Diffs may be empty if a page was rewritten with identical values.
+    pub fn end_interval(&mut self) -> Vec<(PageId, Diff)> {
+        let twins = std::mem::take(&mut self.twins);
+        let mut out = Vec::with_capacity(twins.len());
+        for (p, twin) in twins {
+            let cur = self.page(p);
+            out.push((p, Diff::create(&twin, cur)));
+            self.state[p] = PageState::Valid;
+        }
+        out
+    }
+
+    /// Apply a diff from another node onto the local copy of `p`.
+    pub fn apply_diff(&mut self, p: PageId, d: &Diff) {
+        d.apply(self.page_mut(p));
+    }
+
+    /// Apply a remote diff onto the local copy *and* onto any live twin of
+    /// `p`, so the remote words do not later show up in this node's own
+    /// diff (home-based protocols apply flushes mid-interval).
+    pub fn apply_diff_with_twin(&mut self, p: PageId, d: &Diff) {
+        d.apply(self.page_mut(p));
+        if let Some(twin) = self.twins.get_mut(&p) {
+            d.apply(twin);
+        }
+    }
+
+    /// Bytes resident in materialized pages and twins (for diagnostics).
+    pub fn resident_bytes(&self) -> usize {
+        let pages = self.pages.iter().filter(|p| p.is_some()).count();
+        (pages + self.twins.len()) * crate::page::PAGE_SIZE
+    }
+}
+
+/// A process-wide zero page, so reads of never-touched pages need no
+/// allocation.
+fn zero_page() -> &'static PageBuf {
+    use std::sync::OnceLock;
+    static ZERO_PAGE: OnceLock<Box<PageBuf>> = OnceLock::new();
+    ZERO_PAGE.get_or_init(PageBuf::zeroed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_is_zero_and_valid() {
+        let m = NodeMemory::new(4);
+        assert_eq!(m.state(2), PageState::Valid);
+        assert!(m.page(2).iter().all(|&b| b == 0));
+        assert_eq!(m.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn write_then_end_interval_produces_diff() {
+        let mut m = NodeMemory::new(2);
+        m.note_write(1);
+        m.page_mut(1).set_word(10, 99);
+        assert_eq!(m.state(1), PageState::Dirty);
+        assert_eq!(m.dirty_pages(), vec![1]);
+        let diffs = m.end_interval();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].0, 1);
+        assert_eq!(diffs[0].1.word_count(), 1);
+        assert_eq!(m.state(1), PageState::Valid);
+        assert!(m.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn rewrite_same_value_gives_empty_diff() {
+        let mut m = NodeMemory::new(1);
+        m.note_write(0);
+        m.page_mut(0).set_word(0, 0); // same as zero fill
+        let diffs = m.end_interval();
+        assert!(diffs[0].1.is_empty());
+    }
+
+    #[test]
+    fn second_write_in_interval_does_not_retwin() {
+        let mut m = NodeMemory::new(1);
+        m.note_write(0);
+        m.page_mut(0).set_word(0, 1);
+        m.note_write(0); // no-op: already dirty
+        m.page_mut(0).set_word(1, 2);
+        let diffs = m.end_interval();
+        assert_eq!(diffs[0].1.word_count(), 2);
+    }
+
+    #[test]
+    fn apply_diff_updates_stale_copy() {
+        // Writer produces a diff; a reader applies it to its zero copy.
+        let mut w = NodeMemory::new(1);
+        w.note_write(0);
+        w.page_mut(0).set_word(7, 42);
+        let (p, d) = w.end_interval().pop().unwrap();
+
+        let mut r = NodeMemory::new(1);
+        r.invalidate(0);
+        r.apply_diff(p, &d);
+        r.validate(0);
+        assert_eq!(r.page(0).word(7), 42);
+        assert_eq!(r.state(0), PageState::Valid);
+    }
+
+    #[test]
+    #[should_panic(expected = "write to invalid page")]
+    fn write_to_invalid_page_is_a_bug() {
+        let mut m = NodeMemory::new(1);
+        m.invalidate(0);
+        m.note_write(0);
+    }
+
+    #[test]
+    fn validate_only_affects_invalid() {
+        let mut m = NodeMemory::new(1);
+        m.note_write(0);
+        m.validate(0); // dirty stays dirty
+        assert_eq!(m.state(0), PageState::Dirty);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fixed-size pages, the unit of sharing in the DSM.
+//!
+//! The paper's testbed used a 4 KB virtual-memory page; diffs are computed at
+//! 32-bit word granularity, like TreadMarks.
+
+use std::ops::{Deref, DerefMut};
+
+/// Bytes per page (matches the paper's Linux 2.4 / x86 testbed).
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes per diff word.
+pub const WORD_SIZE: usize = 4;
+/// Words per page.
+pub const PAGE_WORDS: usize = PAGE_SIZE / WORD_SIZE;
+
+/// Index of a page within the shared address space.
+pub type PageId = usize;
+
+/// A byte address in the shared address space.
+pub type Addr = usize;
+
+/// Page containing byte address `a`.
+#[inline]
+pub const fn page_of(a: Addr) -> PageId {
+    a / PAGE_SIZE
+}
+
+/// Byte offset of `a` within its page.
+#[inline]
+pub const fn offset_in_page(a: Addr) -> usize {
+    a % PAGE_SIZE
+}
+
+/// First byte address of page `p`.
+#[inline]
+pub const fn page_base(p: PageId) -> Addr {
+    p * PAGE_SIZE
+}
+
+/// Inclusive range of pages overlapped by `len` bytes starting at `a`.
+/// Returns an empty range for `len == 0`.
+pub fn pages_spanned(a: Addr, len: usize) -> std::ops::Range<PageId> {
+    if len == 0 {
+        page_of(a)..page_of(a)
+    } else {
+        page_of(a)..page_of(a + len - 1) + 1
+    }
+}
+
+/// One 4 KB page of shared memory. Heap-allocated via `Box<PageBuf>`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PageBuf {
+    bytes: [u8; PAGE_SIZE],
+}
+
+impl PageBuf {
+    /// A zero-filled page.
+    pub fn zeroed() -> Box<PageBuf> {
+        Box::new(PageBuf {
+            bytes: [0u8; PAGE_SIZE],
+        })
+    }
+
+    /// Read the 32-bit word at word index `w`.
+    #[inline]
+    pub fn word(&self, w: usize) -> u32 {
+        let o = w * WORD_SIZE;
+        u32::from_le_bytes(self.bytes[o..o + 4].try_into().unwrap())
+    }
+
+    /// Write the 32-bit word at word index `w`.
+    #[inline]
+    pub fn set_word(&mut self, w: usize, v: u32) {
+        let o = w * WORD_SIZE;
+        self.bytes[o..o + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl Deref for PageBuf {
+    type Target = [u8; PAGE_SIZE];
+    #[inline]
+    fn deref(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+}
+
+impl DerefMut for PageBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.bytes
+    }
+}
+
+impl std::fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nonzero = self.bytes.iter().filter(|&&b| b != 0).count();
+        write!(f, "PageBuf({nonzero} nonzero bytes)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing() {
+        assert_eq!(page_of(0), 0);
+        assert_eq!(page_of(4095), 0);
+        assert_eq!(page_of(4096), 1);
+        assert_eq!(offset_in_page(4097), 1);
+        assert_eq!(page_base(3), 12288);
+    }
+
+    #[test]
+    fn span() {
+        assert_eq!(pages_spanned(0, 0), 0..0);
+        assert_eq!(pages_spanned(0, 1), 0..1);
+        assert_eq!(pages_spanned(0, 4096), 0..1);
+        assert_eq!(pages_spanned(0, 4097), 0..2);
+        assert_eq!(pages_spanned(4000, 200), 0..2);
+        assert_eq!(pages_spanned(8192, 8192), 2..4);
+    }
+
+    #[test]
+    fn zeroed_and_words() {
+        let mut p = PageBuf::zeroed();
+        assert!(p.iter().all(|&b| b == 0));
+        p.set_word(0, 0xdead_beef);
+        p.set_word(PAGE_WORDS - 1, 7);
+        assert_eq!(p.word(0), 0xdead_beef);
+        assert_eq!(p.word(PAGE_WORDS - 1), 7);
+        assert_eq!(p[0], 0xef);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = PageBuf::zeroed();
+        a.set_word(5, 1);
+        let b = a.clone();
+        a.set_word(5, 2);
+        assert_eq!(b.word(5), 1);
+        assert_eq!(a.word(5), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Vector timestamps over process intervals, used by the LRC and VC
+//! protocols to track which intervals of which processes a node has seen.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector timestamp: `vt[p]` is the number of intervals of process `p`
+/// whose modifications this node has (transitively) learned about.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VTime(Vec<u32>);
+
+impl VTime {
+    /// The zero timestamp for `n` processes.
+    pub fn zero(n: usize) -> VTime {
+        VTime(vec![0; n])
+    }
+
+    /// Number of process slots.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Component for process `p`.
+    #[inline]
+    pub fn get(&self, p: usize) -> u32 {
+        self.0[p]
+    }
+
+    /// Set component for process `p`.
+    pub fn set(&mut self, p: usize, v: u32) {
+        self.0[p] = v;
+    }
+
+    /// Increment component `p`, returning the new value.
+    pub fn bump(&mut self, p: usize) -> u32 {
+        self.0[p] += 1;
+        self.0[p]
+    }
+
+    /// `self[i] >= other[i]` for all `i`: this node has seen everything
+    /// `other` describes.
+    pub fn dominates(&self, other: &VTime) -> bool {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// Component-wise maximum (the join of the timestamp lattice).
+    pub fn join(&self, other: &VTime) -> VTime {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        VTime(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+        )
+    }
+
+    /// In-place join.
+    pub fn join_from(&mut self, other: &VTime) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Partial order on timestamps: `Some(Less)` iff strictly dominated.
+    pub fn partial_order(&self, other: &VTime) -> Option<Ordering> {
+        let d1 = self.dominates(other);
+        let d2 = other.dominates(self);
+        match (d1, d2) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Greater),
+            (false, true) => Some(Ordering::Less),
+            (false, false) => None,
+        }
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        4 * self.0.len()
+    }
+}
+
+impl fmt::Debug for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VT{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(v: &[u32]) -> VTime {
+        VTime(v.to_vec())
+    }
+
+    #[test]
+    fn zero_dominated_by_all() {
+        let z = VTime::zero(3);
+        assert!(vt(&[0, 1, 0]).dominates(&z));
+        assert!(z.dominates(&z));
+        assert!(!z.dominates(&vt(&[0, 1, 0])));
+    }
+
+    #[test]
+    fn bump_and_get() {
+        let mut a = VTime::zero(2);
+        assert_eq!(a.bump(1), 1);
+        assert_eq!(a.bump(1), 2);
+        assert_eq!(a.get(0), 0);
+        assert_eq!(a.get(1), 2);
+    }
+
+    #[test]
+    fn join_is_lub() {
+        let a = vt(&[3, 0, 5]);
+        let b = vt(&[1, 4, 5]);
+        let j = a.join(&b);
+        assert_eq!(j, vt(&[3, 4, 5]));
+        assert!(j.dominates(&a) && j.dominates(&b));
+    }
+
+    #[test]
+    fn partial_order_cases() {
+        assert_eq!(
+            vt(&[1, 2]).partial_order(&vt(&[1, 2])),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            vt(&[2, 2]).partial_order(&vt(&[1, 2])),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            vt(&[0, 2]).partial_order(&vt(&[1, 2])),
+            Some(Ordering::Less)
+        );
+        assert_eq!(vt(&[0, 2]).partial_order(&vt(&[1, 0])), None);
+    }
+
+    #[test]
+    fn join_from_matches_join() {
+        let a = vt(&[9, 0]);
+        let b = vt(&[3, 7]);
+        let mut c = a.clone();
+        c.join_from(&b);
+        assert_eq!(c, a.join(&b));
+    }
+}

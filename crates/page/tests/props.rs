@@ -1,0 +1,202 @@
+//! Property-based tests of the memory substrate invariants.
+
+use proptest::prelude::*;
+use vopp_page::{
+    pages_spanned, Diff, NodeMemory, PageBuf, SharedHeap, VTime, PAGE_SIZE, PAGE_WORDS,
+};
+
+/// A small set of sparse word writes, representable as (index, value).
+fn writes_strategy() -> impl Strategy<Value = Vec<(usize, u32)>> {
+    prop::collection::vec((0..PAGE_WORDS, any::<u32>()), 0..64)
+}
+
+fn page_from(writes: &[(usize, u32)]) -> Box<PageBuf> {
+    let mut p = PageBuf::zeroed();
+    for &(w, v) in writes {
+        p.set_word(w, v);
+    }
+    p
+}
+
+proptest! {
+    /// diff(twin, cur) applied to twin reconstructs cur exactly.
+    #[test]
+    fn diff_roundtrip(tw in writes_strategy(), cw in writes_strategy()) {
+        let twin = page_from(&tw);
+        let cur = page_from(&cw);
+        let d = Diff::create(&twin, &cur);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        prop_assert_eq!(&*rebuilt, &*cur);
+    }
+
+    /// Diff runs are sorted, non-overlapping, non-adjacent and in bounds.
+    #[test]
+    fn diff_runs_canonical(tw in writes_strategy(), cw in writes_strategy()) {
+        let d = Diff::create(&page_from(&tw), &page_from(&cw));
+        let mut prev_end: Option<u32> = None;
+        for r in d.runs() {
+            prop_assert!(!r.words.is_empty());
+            let end = r.word_off + r.words.len() as u32;
+            prop_assert!(end as usize <= PAGE_WORDS);
+            if let Some(pe) = prev_end {
+                // A gap of at least one unchanged word between runs.
+                prop_assert!(r.word_off > pe);
+            }
+            prev_end = Some(end);
+        }
+    }
+
+    /// Merging two diffs equals applying them in sequence (last writer wins).
+    #[test]
+    fn diff_merge_equals_sequential(
+        aw in writes_strategy(),
+        bw in writes_strategy(),
+        base in writes_strategy(),
+    ) {
+        let zero = PageBuf::zeroed();
+        let a = Diff::create(&zero, &page_from(&aw));
+        let b = Diff::create(&zero, &page_from(&bw));
+        let mut seq = page_from(&base);
+        a.apply(&mut seq);
+        b.apply(&mut seq);
+        let mut merged = page_from(&base);
+        a.merge(&b).apply(&mut merged);
+        prop_assert_eq!(&*seq, &*merged);
+    }
+
+    /// Merge is associative in effect: (a+b)+c == a+(b+c) as page transforms.
+    #[test]
+    fn diff_merge_associative(
+        aw in writes_strategy(),
+        bw in writes_strategy(),
+        cw in writes_strategy(),
+    ) {
+        let zero = PageBuf::zeroed();
+        let a = Diff::create(&zero, &page_from(&aw));
+        let b = Diff::create(&zero, &page_from(&bw));
+        let c = Diff::create(&zero, &page_from(&cw));
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Integrated diff never exceeds one full page of payload.
+    #[test]
+    fn diff_merge_bounded(aw in writes_strategy(), bw in writes_strategy()) {
+        let zero = PageBuf::zeroed();
+        let a = Diff::create(&zero, &page_from(&aw));
+        let b = Diff::create(&zero, &page_from(&bw));
+        let m = a.merge(&b);
+        prop_assert!(m.word_count() <= PAGE_WORDS);
+        prop_assert!(m.word_count() <= a.word_count() + b.word_count());
+    }
+
+    /// Wire-size accounting matches the encoding exactly: header + one
+    /// header-plus-payload block per run.
+    #[test]
+    fn diff_wire_bytes_exact(tw in writes_strategy(), cw in writes_strategy()) {
+        use vopp_page::{DIFF_HEADER_BYTES, RUN_HEADER_BYTES, WORD_SIZE};
+        let d = Diff::create(&page_from(&tw), &page_from(&cw));
+        let expect = DIFF_HEADER_BYTES
+            + d.runs().len() * RUN_HEADER_BYTES
+            + d.word_count() * WORD_SIZE;
+        prop_assert_eq!(d.wire_bytes(), expect);
+    }
+
+    /// Vector time join is the least upper bound.
+    #[test]
+    fn vtime_join_is_lub(
+        a in prop::collection::vec(0u32..1000, 8),
+        b in prop::collection::vec(0u32..1000, 8),
+    ) {
+        let mut va = VTime::zero(8);
+        let mut vb = VTime::zero(8);
+        for i in 0..8 {
+            va.set(i, a[i]);
+            vb.set(i, b[i]);
+        }
+        let j = va.join(&vb);
+        prop_assert!(j.dominates(&va));
+        prop_assert!(j.dominates(&vb));
+        // Minimality: any upper bound dominates the join.
+        let mut ub = VTime::zero(8);
+        for i in 0..8 {
+            ub.set(i, a[i].max(b[i]));
+        }
+        prop_assert!(ub.dominates(&j) && j.dominates(&ub));
+    }
+
+    /// Domination is a partial order: reflexive and antisymmetric; join
+    /// commutes.
+    #[test]
+    fn vtime_partial_order_laws(
+        a in prop::collection::vec(0u32..50, 4),
+        b in prop::collection::vec(0u32..50, 4),
+    ) {
+        let mut va = VTime::zero(4);
+        let mut vb = VTime::zero(4);
+        for i in 0..4 {
+            va.set(i, a[i]);
+            vb.set(i, b[i]);
+        }
+        prop_assert!(va.dominates(&va));
+        if va.dominates(&vb) && vb.dominates(&va) {
+            prop_assert_eq!(va.clone(), vb.clone());
+        }
+        prop_assert_eq!(va.join(&vb), vb.join(&va));
+    }
+
+    /// Heap allocations never overlap and respect alignment.
+    #[test]
+    fn heap_no_overlap(reqs in prop::collection::vec((1usize..10_000, 0u32..6), 1..40)) {
+        let mut h = SharedHeap::new();
+        let mut got: Vec<(usize, usize)> = Vec::new();
+        for (len, align_pow) in reqs {
+            let align = 1usize << align_pow;
+            let a = h.alloc(len, align);
+            prop_assert_eq!(a % align, 0);
+            for &(b, blen) in &got {
+                prop_assert!(a + len <= b || b + blen <= a, "overlap");
+            }
+            got.push((a, len));
+        }
+    }
+
+    /// pages_spanned covers exactly the bytes of the range.
+    #[test]
+    fn pages_spanned_covers(addr in 0usize..100_000, len in 0usize..20_000) {
+        let r = pages_spanned(addr, len);
+        if len == 0 {
+            prop_assert!(r.is_empty());
+        } else {
+            prop_assert_eq!(r.start, addr / PAGE_SIZE);
+            prop_assert_eq!(r.end, (addr + len - 1) / PAGE_SIZE + 1);
+        }
+    }
+
+    /// NodeMemory interval extraction: applying the extracted diffs to a copy
+    /// of the pre-interval state reproduces the post-interval state.
+    #[test]
+    fn node_memory_interval_roundtrip(ws in prop::collection::vec((0usize..4, 0..PAGE_WORDS, any::<u32>()), 1..50)) {
+        let mut m = NodeMemory::new(4);
+        // Pre-state: some baseline writes in a first interval.
+        m.note_write(0);
+        m.page_mut(0).set_word(0, 7);
+        let _ = m.end_interval();
+        let pre: Vec<Box<PageBuf>> = (0..4).map(|p| Box::new(m.page(p).clone())).collect();
+
+        for &(p, w, v) in &ws {
+            m.note_write(p);
+            m.page_mut(p).set_word(w, v);
+        }
+        let diffs = m.end_interval();
+        let mut rebuilt = pre;
+        for (p, d) in &diffs {
+            d.apply(&mut rebuilt[*p]);
+        }
+        for (p, page) in rebuilt.iter().enumerate() {
+            prop_assert_eq!(&**page, m.page(p));
+        }
+    }
+}

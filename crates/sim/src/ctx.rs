@@ -1,0 +1,193 @@
+//! Process-side and handler-side views of the kernel.
+
+use std::any::Any;
+
+use crate::kernel::{Event, Phase, Shared};
+use crate::packet::{DeliveryClass, Packet};
+use crate::time::{SimDuration, SimTime};
+use crate::ProcId;
+
+/// The kernel interface available to a process body (application thread).
+///
+/// All methods are blocking in *virtual* time only; the underlying OS thread
+/// parks while other processes are scheduled.
+#[derive(Clone, Copy)]
+pub struct AppCtx<'a> {
+    shared: &'a Shared,
+    me: ProcId,
+    nprocs: usize,
+}
+
+impl<'a> AppCtx<'a> {
+    pub(crate) fn new(shared: &'a Shared, me: ProcId, nprocs: usize) -> AppCtx<'a> {
+        AppCtx { shared, me, nprocs }
+    }
+
+    /// This process's id.
+    #[inline]
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Number of processes in the simulation.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current virtual time on this process's clock.
+    pub fn now(&self) -> SimTime {
+        self.shared.sched.lock().procs[self.me].clock
+    }
+
+    /// Spend `d` of virtual CPU time. Service packets arriving during the
+    /// span are handled at their arrival times (interrupt semantics).
+    pub fn compute(&self, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        let mut s = self.shared.sched.lock();
+        let at = s.procs[self.me].clock + d;
+        s.push_event(at, Event::Resume(self.me));
+        s.procs[self.me].phase = Phase::BlockedResume;
+        self.shared.yield_and_wait(self.me, &mut s);
+    }
+
+    /// Alias of [`AppCtx::compute`] for idle waits.
+    pub fn sleep(&self, d: SimDuration) {
+        self.compute(d);
+    }
+
+    /// Send a datagram. Non-blocking; delivery time and loss are decided by
+    /// the network model. `wire_bytes` must include protocol headers.
+    pub fn send(
+        &self,
+        dst: ProcId,
+        wire_bytes: usize,
+        class: DeliveryClass,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+    ) {
+        let mut s = self.shared.sched.lock();
+        let now = s.procs[self.me].clock;
+        let pkt = Packet::new(self.me, wire_bytes, class, tag, payload);
+        s.submit_send(now, dst, pkt);
+    }
+
+    /// Receive the next mailbox packet, blocking until one arrives.
+    pub fn recv(&self) -> Packet {
+        self.recv_filter(|_| true)
+    }
+
+    /// Receive the first mailbox packet satisfying `want`, blocking until one
+    /// arrives. Non-matching packets stay queued in arrival order.
+    pub fn recv_filter(&self, want: impl Fn(&Packet) -> bool) -> Packet {
+        let mut s = self.shared.sched.lock();
+        loop {
+            if let Some(pos) = s.procs[self.me].mailbox.iter().position(&want) {
+                return s.procs[self.me].mailbox.remove(pos).unwrap();
+            }
+            s.procs[self.me].phase = Phase::WaitRecv { deadline: None };
+            self.shared.yield_and_wait(self.me, &mut s);
+        }
+    }
+
+    /// Like [`AppCtx::recv_filter`] with a timeout. Returns `None` if the
+    /// deadline passes first.
+    pub fn recv_filter_timeout(
+        &self,
+        d: SimDuration,
+        want: impl Fn(&Packet) -> bool,
+    ) -> Option<Packet> {
+        let mut s = self.shared.sched.lock();
+        let deadline = s.procs[self.me].clock + d;
+        let token = s.procs[self.me].next_token;
+        s.procs[self.me].next_token += 1;
+        let mut timer_armed = false;
+        loop {
+            if let Some(pos) = s.procs[self.me].mailbox.iter().position(&want) {
+                return Some(s.procs[self.me].mailbox.remove(pos).unwrap());
+            }
+            if !timer_armed {
+                s.push_event(deadline, Event::Timer { dst: self.me, token });
+                timer_armed = true;
+            }
+            s.procs[self.me].timed_out = false;
+            s.procs[self.me].phase = Phase::WaitRecv { deadline: Some(token) };
+            self.shared.yield_and_wait(self.me, &mut s);
+            if s.procs[self.me].timed_out {
+                return None;
+            }
+        }
+    }
+
+    /// Receive any packet with a timeout.
+    pub fn recv_timeout(&self, d: SimDuration) -> Option<Packet> {
+        self.recv_filter_timeout(d, |_| true)
+    }
+
+    /// Number of packets currently queued in this process's mailbox.
+    pub fn mailbox_len(&self) -> usize {
+        self.shared.sched.lock().procs[self.me].mailbox.len()
+    }
+
+    /// Remove every queued packet matching `unwanted`, returning how many
+    /// were discarded. Used to drop stale duplicate replies after a
+    /// retransmitted request was answered twice.
+    pub fn purge_filter(&self, unwanted: impl Fn(&Packet) -> bool) -> usize {
+        let mut s = self.shared.sched.lock();
+        let mb = &mut s.procs[self.me].mailbox;
+        let before = mb.len();
+        mb.retain(|p| !unwanted(p));
+        before - mb.len()
+    }
+}
+
+/// The kernel interface available to a service handler.
+///
+/// Handlers run logically instantaneously at the packet arrival time; any
+/// processing cost should be modelled in the network configuration's
+/// service overhead.
+pub struct SvcCtx<'a> {
+    shared: &'a Shared,
+    me: ProcId,
+    now: SimTime,
+}
+
+impl<'a> SvcCtx<'a> {
+    pub(crate) fn new(shared: &'a Shared, me: ProcId, now: SimTime) -> SvcCtx<'a> {
+        SvcCtx { shared, me, now }
+    }
+
+    /// The process this handler serves.
+    #[inline]
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Number of processes in the simulation.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.shared.nprocs
+    }
+
+    /// Arrival time of the packet being handled.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Send a datagram from this process at the current handler time.
+    pub fn send(
+        &mut self,
+        dst: ProcId,
+        wire_bytes: usize,
+        class: DeliveryClass,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+    ) {
+        let mut s = self.shared.sched.lock();
+        let pkt = Packet::new(self.me, wire_bytes, class, tag, payload);
+        s.submit_send(self.now, dst, pkt);
+    }
+}

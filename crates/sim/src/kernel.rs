@@ -1,0 +1,440 @@
+//! The sequential discrete-event scheduler.
+//!
+//! Every simulated process is backed by an OS thread, but **exactly one
+//! thread runs at any instant**: the controller (the thread that called
+//! [`Sim::run`]) pops events in `(time, seq)` order and hands control to the
+//! corresponding process thread, then waits for it to block again. This gives
+//! straight-line imperative process code (no hand-written state machines)
+//! while keeping execution fully deterministic.
+//!
+//! Service-class packets are dispatched to a per-process handler *at their
+//! arrival time*, even while the destination's application thread is in the
+//! middle of a `compute` span — modelling the interrupt-driven request
+//! handlers (SIGIO) of real page-based DSM systems such as TreadMarks.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::ctx::{AppCtx, SvcCtx};
+use crate::net::{NetModel, RouteRequest};
+use crate::packet::{DeliveryClass, Packet};
+use crate::time::{SimDuration, SimTime};
+use crate::ProcId;
+
+/// A service-request handler: invoked by the kernel when a [`DeliveryClass::Svc`]
+/// packet arrives at the process it is registered for.
+pub type Handler = Box<dyn FnMut(&mut SvcCtx<'_>, Packet) + Send + 'static>;
+
+pub(crate) enum Event {
+    Resume(ProcId),
+    Deliver { dst: ProcId, pkt: Packet },
+    Timer { dst: ProcId, token: u64 },
+}
+
+struct QEntry {
+    at: SimTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    // Reversed: BinaryHeap is a max-heap and we want the earliest event first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Thread spawned, waiting for its first resume.
+    Startup,
+    /// This process's thread is the one running.
+    Running,
+    /// Blocked until its scheduled `Resume` event fires (compute/sleep).
+    BlockedResume,
+    /// Blocked in `recv`; `deadline` is the live timeout token, if any.
+    WaitRecv { deadline: Option<u64> },
+    /// Process body returned.
+    Finished,
+}
+
+pub(crate) struct ProcInfo {
+    pub(crate) phase: Phase,
+    pub(crate) clock: SimTime,
+    pub(crate) mailbox: VecDeque<Packet>,
+    pub(crate) next_token: u64,
+    pub(crate) timed_out: bool,
+    pub(crate) pending_deliver: usize,
+    pub(crate) pending_bytes: usize,
+}
+
+impl ProcInfo {
+    fn new() -> ProcInfo {
+        ProcInfo {
+            phase: Phase::Startup,
+            clock: SimTime::ZERO,
+            mailbox: VecDeque::new(),
+            next_token: 0,
+            timed_out: false,
+            pending_deliver: 0,
+            pending_bytes: 0,
+        }
+    }
+}
+
+pub(crate) struct Sched {
+    pub(crate) now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QEntry>,
+    pub(crate) procs: Vec<ProcInfo>,
+    pub(crate) running: Option<ProcId>,
+    live: usize,
+    pub(crate) shutdown: bool,
+    panicked: bool,
+    pub(crate) net: Box<dyn NetModel>,
+}
+
+impl Sched {
+    pub(crate) fn push_event(&mut self, at: SimTime, ev: Event) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QEntry { at, seq, ev });
+    }
+
+    /// Route a packet through the network model and schedule its delivery.
+    pub(crate) fn submit_send(&mut self, now: SimTime, dst: ProcId, pkt: Packet) {
+        let req = RouteRequest {
+            now,
+            src: pkt.src,
+            dst,
+            wire_bytes: pkt.wire_bytes,
+            pending_at_dst: self.procs[dst].pending_deliver,
+            pending_bytes_at_dst: self.procs[dst].pending_bytes,
+        };
+        if let Some(at) = self.net.route(req) {
+            self.procs[dst].pending_deliver += 1;
+            self.procs[dst].pending_bytes += pkt.wire_bytes;
+            self.push_event(at.max(now), Event::Deliver { dst, pkt });
+        }
+    }
+}
+
+/// Shared kernel state: the scheduler under one mutex plus the condition
+/// variables used for the controller/process handoff.
+pub(crate) struct Shared {
+    pub(crate) sched: Mutex<Sched>,
+    pub(crate) proc_cv: Vec<Condvar>,
+    pub(crate) ctl_cv: Condvar,
+    pub(crate) nprocs: usize,
+}
+
+impl Shared {
+    /// Called from a process thread: give control back to the controller and
+    /// wait until the controller hands it back. The caller must already have
+    /// set its own phase to the blocked state it wants.
+    pub(crate) fn yield_and_wait(&self, me: ProcId, s: &mut parking_lot::MutexGuard<'_, Sched>) {
+        debug_assert_eq!(s.running, Some(me));
+        s.running = None;
+        self.ctl_cv.notify_one();
+        while s.running != Some(me) {
+            if s.shutdown {
+                // Unblock so the controller can report the real error.
+                panic!("simulation shut down while proc {me} was blocked");
+            }
+            self.proc_cv[me].wait(s);
+        }
+        debug_assert_eq!(s.procs[me].phase, Phase::Running);
+    }
+}
+
+/// One complete simulated run.
+pub struct RunOutcome<R> {
+    /// Per-process return values of the body closure, indexed by `ProcId`.
+    pub results: Vec<R>,
+    /// Virtual time at which the last process finished.
+    pub end_time: SimTime,
+    /// Virtual finish time of each process.
+    pub proc_end: Vec<SimTime>,
+    /// The network model, returned so callers can read its statistics.
+    pub net: Box<dyn NetModel>,
+}
+
+/// A configured simulation, ready to run.
+///
+/// ```
+/// use vopp_sim::{Sim, PerfectNet, SimDuration, DeliveryClass};
+///
+/// let sim = Sim::new(2, Box::new(PerfectNet::default()));
+/// let out = sim.run(|ctx| {
+///     if ctx.me() == 0 {
+///         ctx.send(1, 100, DeliveryClass::App, 0, Box::new(123u32));
+///         0
+///     } else {
+///         ctx.recv().expect::<u32>()
+///     }
+/// });
+/// assert_eq!(out.results, vec![0, 123]);
+/// ```
+pub struct Sim {
+    nprocs: usize,
+    net: Box<dyn NetModel>,
+    handlers: Vec<Option<Handler>>,
+}
+
+impl Sim {
+    /// A simulation with `nprocs` processes over the given network model.
+    pub fn new(nprocs: usize, net: Box<dyn NetModel>) -> Sim {
+        assert!(nprocs > 0, "need at least one process");
+        Sim {
+            nprocs,
+            net,
+            handlers: (0..nprocs).map(|_| None).collect(),
+        }
+    }
+
+    /// Register the service handler for process `p` (at most one each).
+    pub fn set_handler(&mut self, p: ProcId, h: Handler) {
+        assert!(self.handlers[p].is_none(), "handler already set for {p}");
+        self.handlers[p] = Some(h);
+    }
+
+    /// Execute the simulation to completion. `body` is invoked once per
+    /// process on its own thread; the return values are collected in
+    /// [`RunOutcome::results`].
+    ///
+    /// Panics if the simulation deadlocks (all processes blocked with no
+    /// pending events) or if any process panics.
+    pub fn run<R, F>(self, body: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(AppCtx<'_>) -> R + Send + Sync,
+    {
+        let nprocs = self.nprocs;
+        let mut handlers = self.handlers;
+        let shared = Shared {
+            sched: Mutex::new(Sched {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                procs: (0..nprocs).map(|_| ProcInfo::new()).collect(),
+                running: None,
+                live: nprocs,
+                shutdown: false,
+                panicked: false,
+                net: self.net,
+            }),
+            proc_cv: (0..nprocs).map(|_| Condvar::new()).collect(),
+            ctl_cv: Condvar::new(),
+            nprocs,
+        };
+        {
+            let mut s = shared.sched.lock();
+            for p in 0..nprocs {
+                s.push_event(SimTime::ZERO, Event::Resume(p));
+            }
+        }
+
+        let shared = &shared;
+        let body = &body;
+        let mut results: Vec<Option<R>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..nprocs)
+                .map(|p| {
+                    scope.spawn(move || {
+                        // Wait for the first resume.
+                        {
+                            let mut s = shared.sched.lock();
+                            while s.running != Some(p) {
+                                if s.shutdown {
+                                    return None;
+                                }
+                                shared.proc_cv[p].wait(&mut s);
+                            }
+                        }
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            body(AppCtx::new(shared, p, nprocs))
+                        }));
+                        let mut s = shared.sched.lock();
+                        // Only the *first* panic is the real error; panics
+                        // raised to unblock threads during shutdown are noise.
+                        let first_panic = r.is_err() && !s.shutdown && !s.panicked;
+                        if first_panic {
+                            s.panicked = true;
+                        }
+                        s.procs[p].phase = Phase::Finished;
+                        s.live -= 1;
+                        if s.running == Some(p) {
+                            s.running = None;
+                        }
+                        shared.ctl_cv.notify_one();
+                        drop(s);
+                        match r {
+                            Ok(v) => Some(v),
+                            Err(e) if first_panic => std::panic::resume_unwind(e),
+                            Err(_) => None,
+                        }
+                    })
+                })
+                .collect();
+
+            let handler_panic = Self::controller(shared, &mut handlers);
+
+            let results: Vec<Option<R>> = joins
+                .into_iter()
+                .enumerate()
+                .map(|(p, j)| match j.join() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        // Re-panic on the controller thread with the
+                        // process's payload.
+                        let _ = p;
+                        std::panic::resume_unwind(e)
+                    }
+                })
+                .collect();
+            if let Some(e) = handler_panic {
+                std::panic::resume_unwind(e);
+            }
+            results
+        });
+
+        let mut s = shared.sched.lock();
+        if s.shutdown {
+            panic!("simulation deadlocked: all processes blocked with no pending events");
+        }
+        let proc_end: Vec<SimTime> = s.procs.iter().map(|pi| pi.clock).collect();
+        let end_time = proc_end.iter().copied().max().unwrap_or(SimTime::ZERO);
+        let net = std::mem::replace(&mut s.net, Box::new(crate::net::PerfectNet::default()));
+        drop(s);
+        RunOutcome {
+            results: results.iter_mut().map(|r| r.take().expect("result")).collect(),
+            end_time,
+            proc_end,
+            net,
+        }
+    }
+
+    /// Event loop: runs on the caller's thread until every process finished,
+    /// a process panicked, or a deadlock is detected. Returns a panic
+    /// payload if a service handler panicked.
+    fn controller(
+        shared: &Shared,
+        handlers: &mut [Option<Handler>],
+    ) -> Option<Box<dyn std::any::Any + Send>> {
+        loop {
+            let mut s = shared.sched.lock();
+            if s.panicked {
+                Self::shutdown_all(shared, &mut s);
+                return None;
+            }
+            if s.live == 0 {
+                return None;
+            }
+            let Some(entry) = s.queue.pop() else {
+                s.shutdown = true;
+                Self::shutdown_all(shared, &mut s);
+                return None;
+            };
+            debug_assert!(entry.at >= s.now, "event queue went backwards");
+            s.now = entry.at;
+            match entry.ev {
+                Event::Resume(p) => match s.procs[p].phase {
+                    Phase::Startup | Phase::BlockedResume => {
+                        Self::wake(shared, &mut s, p, entry.at);
+                    }
+                    Phase::Finished => {}
+                    ref ph => unreachable!("resume for proc {p} in phase {ph:?}"),
+                },
+                Event::Deliver { dst, mut pkt } => {
+                    s.procs[dst].pending_deliver -= 1;
+                    s.procs[dst].pending_bytes -= pkt.wire_bytes;
+                    pkt.arrived = entry.at;
+                    match pkt.class {
+                        DeliveryClass::Svc => {
+                            drop(s);
+                            let h = handlers[dst]
+                                .as_mut()
+                                .unwrap_or_else(|| panic!("no Svc handler on proc {dst}"));
+                            let mut ctx = SvcCtx::new(shared, dst, entry.at);
+                            // A handler panic must not strand the blocked
+                            // process threads: release them, then re-panic.
+                            if let Err(e) = catch_unwind(AssertUnwindSafe(|| h(&mut ctx, pkt))) {
+                                let mut s = shared.sched.lock();
+                                Self::shutdown_all(shared, &mut s);
+                                drop(s);
+                                return Some(e);
+                            }
+                        }
+                        DeliveryClass::App => {
+                            s.procs[dst].mailbox.push_back(pkt);
+                            if matches!(s.procs[dst].phase, Phase::WaitRecv { .. }) {
+                                Self::wake(shared, &mut s, dst, entry.at);
+                            }
+                        }
+                    }
+                }
+                Event::Timer { dst, token } => {
+                    if s.procs[dst].phase == (Phase::WaitRecv { deadline: Some(token) }) {
+                        s.procs[dst].timed_out = true;
+                        Self::wake(shared, &mut s, dst, entry.at);
+                    }
+                    // Otherwise the timer is stale (the wait already ended).
+                }
+            }
+        }
+    }
+
+    /// Hand control to process `p` at virtual time `t` and block until it
+    /// yields again. Must be called with the scheduler locked.
+    fn wake(
+        shared: &Shared,
+        s: &mut parking_lot::MutexGuard<'_, Sched>,
+        p: ProcId,
+        t: SimTime,
+    ) {
+        debug_assert!(s.running.is_none());
+        let pi = &mut s.procs[p];
+        pi.clock = pi.clock.max(t);
+        pi.phase = Phase::Running;
+        s.running = Some(p);
+        shared.proc_cv[p].notify_one();
+        while s.running.is_some() && !s.panicked {
+            shared.ctl_cv.wait(s);
+        }
+    }
+
+    /// Release every blocked process thread so the scope can join them.
+    fn shutdown_all(shared: &Shared, s: &mut parking_lot::MutexGuard<'_, Sched>) {
+        s.shutdown = true;
+        for cv in &shared.proc_cv {
+            cv.notify_all();
+        }
+    }
+}
+
+/// Convenience wrapper: run `nprocs` copies of `body` on a perfect network
+/// with the given latency. Used heavily by unit tests.
+pub fn run_simple<R, F>(nprocs: usize, latency: SimDuration, body: F) -> RunOutcome<R>
+where
+    R: Send,
+    F: Fn(AppCtx<'_>) -> R + Send + Sync,
+{
+    Sim::new(nprocs, Box::new(crate::net::PerfectNet::new(latency))).run(body)
+}

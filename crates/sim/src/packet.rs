@@ -1,0 +1,141 @@
+//! Packets exchanged between simulated processes.
+//!
+//! The payload is an in-process `Box<dyn Any>`: the simulation transfers Rust
+//! values directly instead of serializing them, while the *wire size* used for
+//! network timing and traffic statistics is declared explicitly by the sender.
+//! This keeps the simulator fast and lets protocol layers account for the
+//! exact number of bytes the real system would have put on the wire.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::time::SimTime;
+use crate::ProcId;
+
+/// How a packet is consumed at the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryClass {
+    /// Delivered to the destination process's mailbox; consumed by a blocking
+    /// `recv` on the application thread (replies, grants, app messages).
+    App,
+    /// Dispatched to the destination's registered service handler the moment
+    /// it arrives, even while the application thread is computing — the
+    /// simulation equivalent of a SIGIO/SIGSEGV-driven DSM request handler.
+    Svc,
+}
+
+/// A message in flight (or in a mailbox) between two simulated processes.
+pub struct Packet {
+    /// Sending process.
+    pub src: ProcId,
+    /// Wire size in bytes this packet would occupy on a real network,
+    /// including protocol headers. Used for link occupancy and statistics.
+    pub wire_bytes: usize,
+    /// Mailbox vs service-handler delivery.
+    pub class: DeliveryClass,
+    /// Free-form tag usable by protocols to demultiplex replies.
+    pub tag: u64,
+    /// Virtual time at which the packet arrived at the destination.
+    /// Filled in by the kernel on delivery; zero while in flight.
+    pub arrived: SimTime,
+    /// The transferred value.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl Packet {
+    /// Build a packet. `arrived` is stamped by the kernel.
+    pub fn new(
+        src: ProcId,
+        wire_bytes: usize,
+        class: DeliveryClass,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+    ) -> Packet {
+        Packet {
+            src,
+            wire_bytes,
+            class,
+            tag,
+            arrived: SimTime::ZERO,
+            payload,
+        }
+    }
+
+    /// Downcast the payload to a concrete message type, consuming the packet.
+    ///
+    /// Panics if the payload is of a different type: a type confusion here is
+    /// always a protocol bug, never a recoverable condition.
+    pub fn expect<T: 'static>(self) -> T {
+        match self.payload.downcast::<T>() {
+            Ok(b) => *b,
+            Err(_) => panic!(
+                "packet from proc {} (tag {}) had unexpected payload type; wanted {}",
+                self.src,
+                self.tag,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Try to downcast the payload, returning the packet back on mismatch.
+    pub fn try_expect<T: 'static>(self) -> Result<T, Packet> {
+        let Packet {
+            src,
+            wire_bytes,
+            class,
+            tag,
+            arrived,
+            payload,
+        } = self;
+        match payload.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(payload) => Err(Packet {
+                src,
+                wire_bytes,
+                class,
+                tag,
+                arrived,
+                payload,
+            }),
+        }
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("src", &self.src)
+            .field("wire_bytes", &self.wire_bytes)
+            .field("class", &self.class)
+            .field("tag", &self.tag)
+            .field("arrived", &self.arrived)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expect_roundtrip() {
+        let p = Packet::new(3, 100, DeliveryClass::App, 7, Box::new(42u32));
+        assert_eq!(p.src, 3);
+        assert_eq!(p.expect::<u32>(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected payload type")]
+    fn expect_wrong_type_panics() {
+        let p = Packet::new(0, 0, DeliveryClass::App, 0, Box::new("hi"));
+        let _ = p.expect::<u64>();
+    }
+
+    #[test]
+    fn try_expect_returns_packet_on_mismatch() {
+        let p = Packet::new(1, 10, DeliveryClass::Svc, 9, Box::new(5i64));
+        let p = p.try_expect::<String>().unwrap_err();
+        assert_eq!(p.tag, 9);
+        assert_eq!(p.try_expect::<i64>().unwrap(), 5);
+    }
+}

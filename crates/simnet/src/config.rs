@@ -1,0 +1,88 @@
+//! Network configuration, calibrated to the paper's testbed.
+//!
+//! Godzilla: 32 PCs (350 MHz, Linux 2.4) on a switched 100 Mbps Ethernet,
+//! DSM messaging over UDP with ~1 s retransmission timeouts.
+
+use vopp_sim::SimDuration;
+
+/// Fixed per-datagram wire overhead: Ethernet (14+4) + IP (20) + UDP (8) +
+/// DSM protocol header (12) bytes.
+pub const HEADER_BYTES: usize = 58;
+
+/// Parameters of the switched-Ethernet model.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Link bandwidth in bits per second (both directions, full duplex).
+    pub bandwidth_bps: f64,
+    /// Fixed one-way delay: propagation + store-and-forward switch +
+    /// interrupt/UDP-stack software overhead on both hosts.
+    pub latency: SimDuration,
+    /// Delivery delay for messages a node sends to itself (no wire).
+    pub loopback_latency: SimDuration,
+    /// Probability that any datagram is lost for reasons unrelated to load
+    /// (bit errors, kernel buffer pressure).
+    pub base_drop_prob: f64,
+    /// Receive-buffer occupancy (bytes of queued, undelivered datagrams)
+    /// above which overload losses begin — models the era's small kernel
+    /// socket buffers overflowing under bursts at one node.
+    pub overflow_threshold_bytes: usize,
+    /// Additional drop probability per KB of occupancy beyond the threshold.
+    pub overflow_slope_per_kb: f64,
+    /// Upper bound on the overload drop probability.
+    pub overflow_cap: f64,
+    /// Seed for the loss RNG (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            bandwidth_bps: 100e6,
+            latency: SimDuration::from_micros(45),
+            loopback_latency: SimDuration::from_micros(2),
+            base_drop_prob: 2e-6,
+            overflow_threshold_bytes: 48 * 1024,
+            overflow_slope_per_kb: 0.004,
+            overflow_cap: 0.6,
+            seed: 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A lossless variant (used by tests and the MPI baseline sanity runs).
+    pub fn lossless() -> NetConfig {
+        NetConfig {
+            base_drop_prob: 0.0,
+            overflow_slope_per_kb: 0.0,
+            ..NetConfig::default()
+        }
+    }
+
+    /// Transmission time of `bytes` on one link.
+    pub fn tx_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_100mbps() {
+        let c = NetConfig::default();
+        // 1250 bytes = 10_000 bits = 100us at 100 Mbps.
+        assert_eq!(c.tx_time(1250), SimDuration::from_micros(100));
+        // A 4 KB page + headers is a little over 330us.
+        let t = c.tx_time(4096 + HEADER_BYTES);
+        assert!(t > SimDuration::from_micros(330) && t < SimDuration::from_micros(340));
+    }
+
+    #[test]
+    fn lossless_has_no_drops() {
+        let c = NetConfig::lossless();
+        assert_eq!(c.base_drop_prob, 0.0);
+        assert_eq!(c.overflow_slope_per_kb, 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # vopp-simnet — the cluster network substrate
+//!
+//! Models the paper's testbed network: a 100 Mbps switched Ethernet carrying
+//! UDP datagrams, with timeout-based retransmission on top.
+//!
+//! * [`NetConfig`] — bandwidth/latency/loss parameters (defaults calibrated
+//!   to the paper's Godzilla cluster).
+//! * [`EthernetModel`] — per-link serialization, store-and-forward switch,
+//!   receiver-overflow losses; plugs into the `vopp-sim` kernel.
+//! * [`RpcClient`] — blocking request/reply with ~1 s retransmission
+//!   timeouts; source of the `Rexmit` statistic in the paper's tables.
+
+mod config;
+mod model;
+mod transport;
+
+pub use config::{NetConfig, HEADER_BYTES};
+pub use model::{EthernetModel, NetStats};
+pub use transport::{reply, RpcClient, RPC_TAG_BIT};

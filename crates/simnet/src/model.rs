@@ -1,0 +1,253 @@
+//! The switched-Ethernet [`NetModel`].
+//!
+//! Each node has a full-duplex link into one store-and-forward switch.
+//! A datagram serializes on the sender's uplink, crosses the switch after a
+//! fixed latency, then serializes on the receiver's downlink; both links are
+//! modelled as busy-until timestamps, so concurrent traffic to one node
+//! queues behind earlier traffic (the effect that makes centralized barrier
+//! managers a bottleneck in the paper).
+//!
+//! Losses have two sources, matching the paper's observations about message
+//! retransmission: a tiny base rate, and receiver-queue overflow when many
+//! nodes burst at a single destination (LRC barriers, diff-request storms).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vopp_sim::{NetModel, RouteRequest, SimTime};
+
+use crate::config::NetConfig;
+
+/// Aggregate traffic counters, shared out of the model via [`Arc`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    /// Datagrams put on the wire (including ones later dropped).
+    pub msgs: u64,
+    /// Wire bytes put on the network (including headers and drops).
+    pub bytes: u64,
+    /// Datagrams lost.
+    pub drops: u64,
+    /// Self-deliveries (not counted in `msgs`/`bytes`).
+    pub loopback_msgs: u64,
+}
+
+/// SplitMix64: a tiny, high-quality deterministic PRNG for loss decisions.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The switched-Ethernet network model.
+pub struct EthernetModel {
+    cfg: NetConfig,
+    tx_free: Vec<SimTime>,
+    rx_free: Vec<SimTime>,
+    rng: SplitMix64,
+    stats: Arc<Mutex<NetStats>>,
+}
+
+impl EthernetModel {
+    /// A model for `nprocs` nodes.
+    pub fn new(nprocs: usize, cfg: NetConfig) -> EthernetModel {
+        EthernetModel {
+            rng: SplitMix64(cfg.seed),
+            cfg,
+            tx_free: vec![SimTime::ZERO; nprocs],
+            rx_free: vec![SimTime::ZERO; nprocs],
+            stats: Arc::new(Mutex::new(NetStats::default())),
+        }
+    }
+
+    /// Handle to the live statistics (clone before moving the model into
+    /// the simulation).
+    pub fn stats_handle(&self) -> Arc<Mutex<NetStats>> {
+        self.stats.clone()
+    }
+
+    fn drop_probability(&self, pending_bytes_at_dst: usize) -> f64 {
+        let over = pending_bytes_at_dst.saturating_sub(self.cfg.overflow_threshold_bytes);
+        let p = self.cfg.base_drop_prob + over as f64 / 1024.0 * self.cfg.overflow_slope_per_kb;
+        p.min(self.cfg.overflow_cap)
+    }
+}
+
+impl NetModel for EthernetModel {
+    fn route(&mut self, req: RouteRequest) -> Option<SimTime> {
+        if req.src == req.dst {
+            self.stats.lock().loopback_msgs += 1;
+            return Some(req.now + self.cfg.loopback_latency);
+        }
+        {
+            let mut s = self.stats.lock();
+            s.msgs += 1;
+            s.bytes += req.wire_bytes as u64;
+        }
+        // Loss decision consumes exactly one RNG draw per wire datagram,
+        // keeping the random stream aligned across protocol variations.
+        let p = self.drop_probability(req.pending_bytes_at_dst);
+        if p > 0.0 && self.rng.next_f64() < p {
+            self.stats.lock().drops += 1;
+            if std::env::var_os("VOPP_NET_DEBUG").is_some() {
+                eprintln!(
+                    "[net] drop at {}: {} -> {} ({} B, {} B pending at dst, p={p:.3})",
+                    req.now, req.src, req.dst, req.wire_bytes, req.pending_bytes_at_dst
+                );
+            }
+            return None;
+        }
+        let tx = self.cfg.tx_time(req.wire_bytes);
+        // Sender uplink serialization.
+        let tx_start = req.now.max(self.tx_free[req.src]);
+        let tx_end = tx_start + tx;
+        self.tx_free[req.src] = tx_end;
+        // Switch + software latency, then receiver downlink serialization.
+        let at_switch = tx_end + self.cfg.latency;
+        let rx_start = at_switch.max(self.rx_free[req.dst]);
+        let rx_end = rx_start + tx;
+        self.rx_free[req.dst] = rx_end;
+        Some(rx_end)
+    }
+
+    fn sent_count(&self) -> u64 {
+        self.stats.lock().msgs
+    }
+
+    fn sent_bytes(&self) -> u64 {
+        self.stats.lock().bytes
+    }
+
+    fn dropped_count(&self) -> u64 {
+        self.stats.lock().drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vopp_sim::SimDuration;
+
+    fn req(now: u64, src: usize, dst: usize, bytes: usize, pending_bytes: usize) -> RouteRequest {
+        RouteRequest {
+            now: SimTime(now),
+            src,
+            dst,
+            wire_bytes: bytes,
+            pending_at_dst: 0,
+            pending_bytes_at_dst: pending_bytes,
+        }
+    }
+
+    #[test]
+    fn single_packet_time() {
+        let mut m = EthernetModel::new(2, NetConfig::lossless());
+        // 1250 bytes: 100us tx on each of the two links + 45us latency.
+        let at = m.route(req(0, 0, 1, 1250, 0)).unwrap();
+        assert_eq!(at, SimTime(100_000 + 45_000 + 100_000));
+    }
+
+    #[test]
+    fn sender_link_serializes_back_to_back() {
+        let mut m = EthernetModel::new(3, NetConfig::lossless());
+        let a = m.route(req(0, 0, 1, 1250, 0)).unwrap();
+        // Second packet to a *different* dst still waits for the uplink.
+        let b = m.route(req(0, 0, 2, 1250, 0)).unwrap();
+        assert_eq!(b.nanos() - a.nanos(), 100_000);
+    }
+
+    #[test]
+    fn receiver_link_is_a_bottleneck() {
+        let mut m = EthernetModel::new(3, NetConfig::lossless());
+        // Two senders converge on node 2 at the same time: the second
+        // delivery queues behind the first on node 2's downlink.
+        let a = m.route(req(0, 0, 2, 1250, 0)).unwrap();
+        let b = m.route(req(0, 1, 2, 1250, 0)).unwrap();
+        assert_eq!(a, SimTime(245_000));
+        assert_eq!(b, SimTime(345_000));
+    }
+
+    #[test]
+    fn loopback_short_circuit() {
+        let mut m = EthernetModel::new(2, NetConfig::lossless());
+        let at = m.route(req(1_000, 1, 1, 50_000, 0)).unwrap();
+        assert_eq!(at, SimTime(1_000) + SimDuration::from_micros(2));
+        assert_eq!(m.sent_count(), 0);
+        assert_eq!(m.stats.lock().loopback_msgs, 1);
+    }
+
+    #[test]
+    fn overflow_drops_under_burst() {
+        let cfg = NetConfig {
+            base_drop_prob: 0.0,
+            overflow_threshold_bytes: 4096,
+            overflow_slope_per_kb: 1.0, // certain drop 1KB beyond threshold
+            overflow_cap: 1.0,
+            ..NetConfig::default()
+        };
+        let mut m = EthernetModel::new(2, cfg);
+        assert!(m.route(req(0, 0, 1, 100, 4096)).is_some());
+        assert!(m.route(req(0, 0, 1, 100, 8192)).is_none());
+        assert_eq!(m.dropped_count(), 1);
+    }
+
+    #[test]
+    fn base_drop_rate_statistical() {
+        let cfg = NetConfig {
+            base_drop_prob: 0.01,
+            ..NetConfig::default()
+        };
+        let mut m = EthernetModel::new(2, cfg);
+        let mut drops = 0;
+        for i in 0..100_000 {
+            if m.route(req(i, 0, 1, 100, 0)).is_none() {
+                drops += 1;
+            }
+        }
+        // ~1000 expected; allow wide tolerance.
+        assert!((600..1500).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let cfg = NetConfig {
+                base_drop_prob: 0.05,
+                seed,
+                ..NetConfig::default()
+            };
+            let mut m = EthernetModel::new(2, cfg);
+            (0..1000)
+                .map(|i| m.route(req(i, 0, 1, 64, 0)).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn stats_count_drops_as_sent() {
+        let cfg = NetConfig {
+            base_drop_prob: 1.0,
+            overflow_cap: 1.0,
+            ..NetConfig::default()
+        };
+        let mut m = EthernetModel::new(2, cfg);
+        assert!(m.route(req(0, 0, 1, 500, 0)).is_none());
+        // The datagram hit the wire before being lost.
+        assert_eq!(m.sent_count(), 1);
+        assert_eq!(m.sent_bytes(), 500);
+        assert_eq!(m.dropped_count(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Reliable request/reply transport over the lossy datagram network.
+//!
+//! The paper's DSM implementations run over UDP with timeout-based
+//! retransmission; they observe that "one message retransmission results in
+//! about 1 second waiting time", and that bursty centralized traffic (LRC
+//! barriers) loses more messages. This module reproduces that machinery:
+//! a blocking RPC with a ~1 s timeout, idempotent re-sends, and a
+//! retransmission counter that feeds the `Rexmit` row of the statistics
+//! tables.
+//!
+//! Requirements on responders (service handlers):
+//! * every request must eventually produce a reply to `(src, tag)` — replies
+//!   may be deferred (lock/view/barrier grants);
+//! * handlers must be idempotent: a duplicate request re-sends the current
+//!   answer (or updates the stored pending-reply tag).
+
+use std::any::Any;
+
+use vopp_sim::{AppCtx, DeliveryClass, Packet, ProcId, SimDuration, SvcCtx};
+
+/// High bit marking RPC-reply tags, so replies never collide with other
+/// protocol messages in the mailbox.
+pub const RPC_TAG_BIT: u64 = 1 << 63;
+
+/// Per-process reliable RPC endpoint.
+///
+/// Not shared between threads: each simulated process owns one.
+pub struct RpcClient {
+    next_tag: u64,
+    /// Retransmissions performed so far (the paper's `Rexmit` statistic).
+    pub rexmits: u64,
+    /// Timeout before a retransmission.
+    pub timeout: SimDuration,
+    /// Retransmissions before giving up (a real system would declare the
+    /// peer dead; in the simulation running out is always a protocol bug).
+    pub max_retries: u32,
+}
+
+impl Default for RpcClient {
+    fn default() -> Self {
+        RpcClient {
+            next_tag: 0,
+            rexmits: 0,
+            timeout: SimDuration::from_secs(1),
+            max_retries: 60,
+        }
+    }
+}
+
+impl RpcClient {
+    /// An endpoint with the default 1 s retransmission timeout.
+    pub fn new() -> RpcClient {
+        RpcClient::default()
+    }
+
+    /// Send `msg` to the service handler of `dst` and block until the reply
+    /// arrives, retransmitting on timeout. `wire_bytes` is the request's
+    /// on-wire size including headers.
+    ///
+    /// The request value must be `Clone` so it can be retransmitted.
+    pub fn call<M>(&mut self, ctx: &AppCtx<'_>, dst: ProcId, wire_bytes: usize, msg: M) -> Packet
+    where
+        M: Clone + Send + 'static,
+    {
+        let tag = RPC_TAG_BIT | self.next_tag;
+        self.next_tag += 1;
+        // Discard stale duplicate replies from earlier calls.
+        ctx.purge_filter(|p| p.tag & RPC_TAG_BIT != 0 && p.tag < tag);
+        let mut tries = 0;
+        loop {
+            ctx.send(dst, wire_bytes, DeliveryClass::Svc, tag, Box::new(msg.clone()));
+            match ctx.recv_filter_timeout(self.timeout, |p| p.tag == tag) {
+                Some(pkt) => return pkt,
+                None => {
+                    tries += 1;
+                    self.rexmits += 1;
+                    assert!(
+                        tries <= self.max_retries,
+                        "rpc to {dst} got no reply after {tries} retransmissions"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Issue several requests concurrently and block until every reply has
+    /// arrived (the DSM fault path fetches diffs from all writers of a page
+    /// in parallel, like TreadMarks). Replies are returned in call order;
+    /// each call retransmits independently on timeout.
+    pub fn call_all<M>(&mut self, ctx: &AppCtx<'_>, calls: &[(ProcId, usize, M)]) -> Vec<Packet>
+    where
+        M: Clone + Send + 'static,
+    {
+        if calls.is_empty() {
+            return Vec::new();
+        }
+        let base = self.next_tag;
+        self.next_tag += calls.len() as u64;
+        let tag_of = |i: usize| RPC_TAG_BIT | (base + i as u64);
+        ctx.purge_filter(|p| p.tag & RPC_TAG_BIT != 0 && p.tag < tag_of(0));
+        for (i, (dst, bytes, msg)) in calls.iter().enumerate() {
+            ctx.send(*dst, *bytes, DeliveryClass::Svc, tag_of(i), Box::new(msg.clone()));
+        }
+        let mut out = Vec::with_capacity(calls.len());
+        for (i, (dst, bytes, msg)) in calls.iter().enumerate() {
+            let tag = tag_of(i);
+            let mut tries = 0;
+            loop {
+                match ctx.recv_filter_timeout(self.timeout, |p| p.tag == tag) {
+                    Some(pkt) => {
+                        out.push(pkt);
+                        break;
+                    }
+                    None => {
+                        tries += 1;
+                        self.rexmits += 1;
+                        assert!(
+                            tries <= self.max_retries,
+                            "rpc to {dst} got no reply after {tries} retransmissions"
+                        );
+                        ctx.send(*dst, *bytes, DeliveryClass::Svc, tag, Box::new(msg.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`RpcClient::call`] with a custom timeout (barrier waits use a
+    /// longer one, since the reply is legitimately deferred until every
+    /// process arrives).
+    pub fn call_with_timeout<M>(
+        &mut self,
+        ctx: &AppCtx<'_>,
+        dst: ProcId,
+        wire_bytes: usize,
+        msg: M,
+        timeout: SimDuration,
+    ) -> Packet
+    where
+        M: Clone + Send + 'static,
+    {
+        let saved = self.timeout;
+        self.timeout = timeout;
+        let r = self.call(ctx, dst, wire_bytes, msg);
+        self.timeout = saved;
+        r
+    }
+}
+
+/// Reply to a request previously received by a service handler: echoes the
+/// request tag so the blocked caller's filter matches.
+pub fn reply(
+    svc: &mut SvcCtx<'_>,
+    dst: ProcId,
+    wire_bytes: usize,
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+) {
+    debug_assert!(tag & RPC_TAG_BIT != 0, "replying to a non-rpc tag");
+    svc.send(dst, wire_bytes, DeliveryClass::App, tag, payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use crate::model::EthernetModel;
+    use vopp_sim::Sim;
+
+    /// Echo service: replies with the request value + 1.
+    fn echo_sim(cfg: NetConfig, calls: u32) -> (Vec<u64>, u64) {
+        let mut sim = Sim::new(2, Box::new(EthernetModel::new(2, cfg)));
+        sim.set_handler(
+            1,
+            Box::new(|svc, pkt| {
+                let tag = pkt.tag;
+                let src = pkt.src;
+                let v = pkt.expect::<u64>();
+                reply(svc, src, 64, tag, Box::new(v + 1));
+            }),
+        );
+        let out = sim.run(move |ctx| {
+            if ctx.me() == 0 {
+                let mut rpc = RpcClient::new();
+                let mut got = Vec::new();
+                for i in 0..calls as u64 {
+                    got.push(rpc.call(&ctx, 1, 64, i).expect::<u64>());
+                }
+                (got, rpc.rexmits)
+            } else {
+                (Vec::new(), 0)
+            }
+        });
+        out.results.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn rpc_over_lossless_net() {
+        let (got, rexmits) = echo_sim(NetConfig::lossless(), 50);
+        assert_eq!(got, (1..=50).collect::<Vec<_>>());
+        assert_eq!(rexmits, 0);
+    }
+
+    #[test]
+    fn rpc_survives_heavy_loss() {
+        let cfg = NetConfig {
+            base_drop_prob: 0.3,
+            ..NetConfig::default()
+        };
+        let (got, rexmits) = echo_sim(cfg, 50);
+        assert_eq!(got, (1..=50).collect::<Vec<_>>());
+        // With 30% loss each way, retransmissions are certain over 50 calls.
+        assert!(rexmits > 0, "expected retransmissions");
+    }
+
+    #[test]
+    fn duplicate_replies_are_purged() {
+        // A request whose reply is slow enough to force a retransmission
+        // produces two replies; the duplicate must not confuse later calls.
+        let cfg = NetConfig {
+            base_drop_prob: 0.0,
+            latency: vopp_sim::SimDuration::from_millis(700), // rtt 1.4s > 1s timeout
+            ..NetConfig::lossless()
+        };
+        let (got, rexmits) = echo_sim(cfg, 5);
+        assert_eq!(got, (1..=5).collect::<Vec<_>>());
+        assert!(rexmits >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reply")]
+    fn rpc_gives_up_eventually() {
+        let mut sim = Sim::new(
+            2,
+            Box::new(EthernetModel::new(
+                2,
+                NetConfig {
+                    base_drop_prob: 1.0,
+                    overflow_cap: 1.0,
+                    ..NetConfig::default()
+                },
+            )),
+        );
+        sim.set_handler(1, Box::new(|_, _| {}));
+        sim.run(|ctx| {
+            if ctx.me() == 0 {
+                let mut rpc = RpcClient::new();
+                rpc.max_retries = 3;
+                rpc.call(&ctx, 1, 64, 0u64);
+            } else {
+                // Idle long enough for proc 0's retries to play out, then
+                // finish so only the panic (not a deadlock) can end the run.
+                ctx.sleep(SimDuration::from_secs(30));
+            }
+        });
+    }
+}

@@ -1,0 +1,69 @@
+//! Heat diffusion on a simulated DSM cluster: the SOR pattern of the paper
+//! (§3.3) — local grid blocks, border views for the halo exchange, and a
+//! comparison of all three DSM systems on the same computation.
+//!
+//! ```text
+//! cargo run --release --example heat_diffusion
+//! ```
+
+use vopp_repro::apps::sor::{run_sor, sor_reference, SorParams, SorVariant};
+use vopp_repro::prelude::*;
+
+fn main() {
+    let p = SorParams {
+        rows: 512,
+        cols: 256,
+        iters: 30,
+        seed: 7,
+    };
+    let nprocs = 8;
+    println!(
+        "relaxing a {}x{} grid for {} iterations on {} simulated nodes\n",
+        p.rows, p.cols, p.iters, nprocs
+    );
+
+    let expect = sor_reference(&p);
+
+    // Traditional program on LRC_d: whole grid in shared memory.
+    let tr = run_sor(
+        &ClusterConfig::new(nprocs, Protocol::LrcD),
+        &p,
+        SorVariant::Traditional,
+    );
+    assert_eq!(tr.value, expect, "traditional result must match");
+
+    // VOPP program on both VC systems: local blocks + border views.
+    let vcd = run_sor(
+        &ClusterConfig::new(nprocs, Protocol::VcD),
+        &p,
+        SorVariant::Vopp,
+    );
+    let vcsd = run_sor(
+        &ClusterConfig::new(nprocs, Protocol::VcSd),
+        &p,
+        SorVariant::Vopp,
+    );
+    assert_eq!(vcd.value, expect);
+    assert_eq!(vcsd.value, expect);
+
+    println!("{:<28}{:>10}{:>10}{:>10}", "", "LRC_d", "VC_d", "VC_sd");
+    let row = |label: &str, f: &dyn Fn(&RunStats) -> String| {
+        println!(
+            "{label:<28}{:>10}{:>10}{:>10}",
+            f(&tr.stats),
+            f(&vcd.stats),
+            f(&vcsd.stats)
+        );
+    };
+    row("virtual time (s)", &|s| format!("{:.3}", s.time_secs()));
+    row("data on wire (MB)", &|s| format!("{:.2}", s.data_mbytes()));
+    row("messages", &|s| s.num_msgs().to_string());
+    row("diff requests", &|s| s.diff_requests().to_string());
+    row("avg barrier (us)", &|s| {
+        format!("{:.0}", s.barrier_time_usec())
+    });
+    println!(
+        "\nall three systems computed the identical grid (checksum {expect:.6});\n\
+         the VOPP versions move only border rows instead of whole falsely-shared pages."
+    );
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: sequential-consistency litmus patterns on
+//! all three DSM systems (the paper proves VC guarantees SC for VOPP
+//! programs; LRC guarantees it for data-race-free programs).
+
+use vopp_repro::core::prelude::*;
+use vopp_repro::core::VoppExt;
+
+/// Message passing litmus: writer publishes data then flag; reader who sees
+/// the flag must see the data. Under VOPP both live in one view, so view
+/// exclusivity orders them.
+#[test]
+fn vopp_message_passing_litmus() {
+    for proto in [Protocol::VcD, Protocol::VcSd] {
+        let mut world = WorldBuilder::new();
+        let v = world.view_u32(2);
+        let out = run_cluster(&ClusterConfig::lossless(2, proto), world.build(), |ctx| {
+            if ctx.me() == 0 {
+                ctx.with_view(&v, |r| {
+                    r.set(ctx, 0, 42); // data
+                    r.set(ctx, 1, 1); // flag
+                });
+                0
+            } else {
+                // Spin on the flag through repeated read-view acquisitions.
+                loop {
+                    let (flag, data) =
+                        ctx.with_rview(&v, |r| (r.get(ctx, 1), r.get(ctx, 0)));
+                    if flag == 1 {
+                        return data;
+                    }
+                    ctx.compute_ns(100_000.0);
+                }
+            }
+        });
+        assert_eq!(out.results[1], 42, "{proto}: stale data behind flag");
+    }
+}
+
+/// Store buffering litmus under locks on LRC: both critical sections are
+/// totally ordered by the lock, so at least one thread sees the other's
+/// write.
+#[test]
+fn lrc_store_buffering_with_locks() {
+    let mut world = WorldBuilder::new();
+    let x = world.alloc_u32(1);
+    let y = world.alloc_u32(1);
+    let out = run_cluster(
+        &ClusterConfig::lossless(2, Protocol::LrcD),
+        world.build(),
+        move |ctx| {
+            ctx.lock_acquire(9);
+            let seen = if ctx.me() == 0 {
+                x.set(ctx, 0, 1);
+                y.get(ctx, 0)
+            } else {
+                y.set(ctx, 0, 1);
+                x.get(ctx, 0)
+            };
+            ctx.lock_release(9);
+            seen
+        },
+    );
+    assert!(
+        out.results[0] == 1 || out.results[1] == 1,
+        "lock-ordered critical sections: someone must see the other's write"
+    );
+}
+
+/// Coherence: a single location modified in view order is seen to only move
+/// forward by every reader.
+#[test]
+fn vopp_single_location_coherence() {
+    let mut world = WorldBuilder::new();
+    let v = world.view_u32(1);
+    let out = run_cluster(
+        &ClusterConfig::lossless(4, Protocol::VcSd),
+        world.build(),
+        |ctx| {
+            let mut last = 0;
+            for _ in 0..20 {
+                if ctx.me() % 2 == 0 {
+                    ctx.with_view(&v, |r| r.update(ctx, 0, |x| x + 1));
+                } else {
+                    let now = ctx.with_rview(&v, |r| r.get(ctx, 0));
+                    assert!(now >= last, "value went backwards: {now} < {last}");
+                    last = now;
+                }
+            }
+            ctx.barrier();
+            ctx.with_rview(&v, |r| r.get(ctx, 0))
+        },
+    );
+    // Two writers, 20 increments each.
+    assert!(out.results.iter().all(|&r| r == 40));
+}
+
+/// Barrier-phased writes are visible across all protocols and all nodes.
+#[test]
+fn barrier_phase_visibility_all_protocols() {
+    // Traditional on LRC.
+    {
+        let mut world = WorldBuilder::new();
+        let arr = world.alloc_u32(64);
+        let out = run_cluster(
+            &ClusterConfig::lossless(8, Protocol::LrcD),
+            world.build(),
+            move |ctx| {
+                for phase in 0..4u32 {
+                    for i in 0..8 {
+                        if i == ctx.me() {
+                            arr.set(ctx, ctx.me() * 8 + phase as usize, phase + 1);
+                        }
+                    }
+                    ctx.barrier();
+                    // Everyone verifies everyone's phase write.
+                    for q in 0..8 {
+                        assert_eq!(arr.get(ctx, q * 8 + phase as usize), phase + 1);
+                    }
+                    ctx.barrier();
+                }
+                true
+            },
+        );
+        assert!(out.results.iter().all(|&r| r));
+    }
+    // VOPP on both VC systems.
+    for proto in [Protocol::VcD, Protocol::VcSd] {
+        let mut world = WorldBuilder::new();
+        let views: Vec<_> = (0..8).map(|q| world.view_u32_at(4, q)).collect();
+        let out = run_cluster(&ClusterConfig::lossless(8, proto), world.build(), |ctx| {
+            for phase in 0..4u32 {
+                ctx.with_view(&views[ctx.me()], |r| r.set(ctx, phase as usize, phase + 1));
+                ctx.barrier();
+                for view in views.iter() {
+                    let got = ctx.with_rview(view, |r| r.get(ctx, phase as usize));
+                    assert_eq!(got, phase + 1);
+                }
+                ctx.barrier();
+            }
+            true
+        });
+        assert!(out.results.iter().all(|&r| r));
+    }
+}
+
+/// Transitivity: A -> B -> C through two different views.
+#[test]
+fn vopp_transitive_visibility() {
+    let mut world = WorldBuilder::new();
+    let va = world.view_u32(1);
+    let vb = world.view_u32(1);
+    let out = run_cluster(
+        &ClusterConfig::lossless(3, Protocol::VcSd),
+        world.build(),
+        |ctx| match ctx.me() {
+            0 => {
+                ctx.with_view(&va, |r| r.set(ctx, 0, 7));
+                ctx.barrier();
+                ctx.barrier();
+                0
+            }
+            1 => {
+                ctx.barrier();
+                let a = ctx.with_rview(&va, |r| r.get(ctx, 0));
+                ctx.with_view(&vb, |r| r.set(ctx, 0, a * 2));
+                ctx.barrier();
+                a
+            }
+            _ => {
+                ctx.barrier();
+                ctx.barrier();
+                ctx.with_rview(&vb, |r| r.get(ctx, 0))
+            }
+        },
+    );
+    assert_eq!(out.results, vec![0, 7, 14]);
+}
