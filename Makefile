@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain cargo underneath.
+
+TRACE_DIR ?= target/trace-demo
+
+.PHONY: all check fmt clippy test tables tables-quick bench trace-demo clean
+
+all: check test
+
+check: fmt clippy
+
+fmt:
+	cargo fmt --all --check
+
+clippy:
+	cargo clippy --workspace --all-targets
+
+test:
+	cargo build --release
+	cargo test -q
+
+tables:
+	cargo run -p vopp-bench --release --bin tables -- all
+
+tables-quick:
+	cargo run -p vopp-bench --release --bin tables -- all --quick
+
+bench:
+	cargo bench --workspace
+
+# A Perfetto-ready trace of IS on 4 nodes (quick scale): load the
+# *.perfetto.json files from $(TRACE_DIR) in https://ui.perfetto.dev
+trace-demo:
+	cargo run -p vopp-bench --release --bin tables -- table1 --quick --trace $(TRACE_DIR)
+	@echo "Perfetto files in $(TRACE_DIR):"
+	@ls $(TRACE_DIR)
+
+clean:
+	cargo clean

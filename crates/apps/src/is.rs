@@ -153,7 +153,10 @@ pub fn is_reference(p: &IsParams, np: usize, lb: bool) -> u64 {
 pub fn run_is(cfg: &ClusterConfig, p: &IsParams, variant: IsVariant) -> AppOutcome<u64> {
     match variant {
         IsVariant::Traditional => {
-            assert!(cfg.protocol.is_lrc_family(), "traditional IS runs on LRC_d/HLRC_d");
+            assert!(
+                cfg.protocol.is_lrc_family(),
+                "traditional IS runs on LRC_d/HLRC_d"
+            );
             run_is_traditional(cfg, p)
         }
         IsVariant::Vopp | IsVariant::VoppLb => {
@@ -224,10 +227,7 @@ fn run_is_traditional(cfg: &ClusterConfig, p: &IsParams) -> AppOutcome<u64> {
         cks
     });
     AppOutcome {
-        value: out
-            .results
-            .iter()
-            .fold(0u64, |a, b| a.wrapping_add(*b)),
+        value: out.results.iter().fold(0u64, |a, b| a.wrapping_add(*b)),
         stats: out.stats,
     }
 }
@@ -322,10 +322,7 @@ fn run_is_vopp(cfg: &ClusterConfig, p: &IsParams, lb: bool) -> AppOutcome<u64> {
         cks
     });
     AppOutcome {
-        value: out
-            .results
-            .iter()
-            .fold(0u64, |a, b| a.wrapping_add(*b)),
+        value: out.results.iter().fold(0u64, |a, b| a.wrapping_add(*b)),
         stats: out.stats,
     }
 }
@@ -380,7 +377,10 @@ mod tests {
         let lb = run_is(&cfg, &p, IsVariant::VoppLb);
         assert_eq!(std.stats.barriers(), 2 * p.reps as u64 + 1);
         assert_eq!(lb.stats.barriers(), 1);
-        assert!(lb.stats.time < std.stats.time, "hoisting the barrier must not slow IS down");
+        assert!(
+            lb.stats.time < std.stats.time,
+            "hoisting the barrier must not slow IS down"
+        );
     }
 
     #[test]
@@ -390,7 +390,10 @@ mod tests {
         let cfg = ClusterConfig::lossless(4, Protocol::LrcD);
         let out = run_is(&cfg, &p, IsVariant::Traditional);
         assert_eq!(out.stats.acquires(), 0);
-        assert!(out.stats.diff_requests() > 0, "false sharing must cause diff requests");
+        assert!(
+            out.stats.diff_requests() > 0,
+            "false sharing must cause diff requests"
+        );
     }
 
     #[test]
@@ -411,7 +414,11 @@ mod tests {
     #[test]
     fn single_proc_runs() {
         let p = IsParams::quick();
-        let out = run_is(&ClusterConfig::lossless(1, Protocol::VcSd), &p, IsVariant::Vopp);
+        let out = run_is(
+            &ClusterConfig::lossless(1, Protocol::VcSd),
+            &p,
+            IsVariant::Vopp,
+        );
         assert_eq!(out.value, is_reference(&p, 1, false));
     }
 }

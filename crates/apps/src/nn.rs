@@ -442,7 +442,10 @@ mod tests {
     #[test]
     fn reference_loss_decreases() {
         let p = NnParams::quick();
-        let short = NnParams { epochs: 1, ..p.clone() };
+        let short = NnParams {
+            epochs: 1,
+            ..p.clone()
+        };
         let long = NnParams { epochs: 8, ..p };
         assert!(nn_reference(&long, 1) < nn_reference(&short, 1));
     }

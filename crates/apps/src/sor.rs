@@ -233,10 +233,8 @@ fn run_sor_vopp(cfg: &ClusterConfig, p: &SorParams) -> AppOutcome<f64> {
     let c = p.cols;
     let mut world = WorldBuilder::new();
     // Border views: [parity][proc] for top and bottom edge rows.
-    let top: Vec<Vec<ViewRegion<f64>>> =
-        (0..2).map(|_| world.views_f64(np, c)).collect();
-    let bot: Vec<Vec<ViewRegion<f64>>> =
-        (0..2).map(|_| world.views_f64(np, c)).collect();
+    let top: Vec<Vec<ViewRegion<f64>>> = (0..2).map(|_| world.views_f64(np, c)).collect();
+    let bot: Vec<Vec<ViewRegion<f64>>> = (0..2).map(|_| world.views_f64(np, c)).collect();
     // Result views for the final gather.
     let result: Vec<ViewRegion<f64>> = (0..np)
         .map(|q| {
@@ -275,7 +273,9 @@ fn run_sor_vopp(cfg: &ClusterConfig, p: &SorParams) -> AppOutcome<f64> {
             // Publish my new edges for the next iteration's parity.
             let np_par = (it + 1) % 2;
             ctx.with_view(&top[np_par][me], |r| r.write_all(ctx, &blk[..c]));
-            ctx.with_view(&bot[np_par][me], |r| r.write_all(ctx, &blk[(rows - 1) * c..]));
+            ctx.with_view(&bot[np_par][me], |r| {
+                r.write_all(ctx, &blk[(rows - 1) * c..])
+            });
             ctx.barrier();
         }
         // Publish the final block; proc 0 gathers and checksums.

@@ -6,8 +6,7 @@
 /// SplitMix64 hash of a (seed, index) pair — the basis of all generators.
 #[inline]
 pub fn mix64(seed: u64, index: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
@@ -83,10 +82,12 @@ mod tests {
 
     #[test]
     fn share_sizes_balanced() {
-        let sizes: Vec<usize> = (0..5).map(|w| {
-            let (s, e) = share(13, w, 5);
-            e - s
-        }).collect();
+        let sizes: Vec<usize> = (0..5)
+            .map(|w| {
+                let (s, e) = share(13, w, 5);
+                e - s
+            })
+            .collect();
         assert_eq!(sizes.iter().sum::<usize>(), 13);
         assert!(sizes.iter().all(|&s| s == 2 || s == 3));
     }

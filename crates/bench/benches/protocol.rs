@@ -2,75 +2,63 @@
 //! DSM systems end to end on small kernels (the simulator's own throughput,
 //! complementing the virtual-time results of the `tables` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vopp_bench::harness::Runner;
 use vopp_core::prelude::*;
 
-fn bench_view_pingpong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("view_pingpong");
-    g.sample_size(10);
+fn bench_view_pingpong(r: &mut Runner) {
     for proto in [Protocol::VcD, Protocol::VcSd] {
-        g.bench_with_input(BenchmarkId::from_parameter(proto), &proto, |b, &proto| {
-            b.iter(|| {
-                let mut world = WorldBuilder::new();
-                let v = world.view_u32(64);
-                let cfg = ClusterConfig::lossless(2, proto);
-                run_cluster(&cfg, world.build(), move |ctx| {
-                    for _ in 0..50 {
-                        ctx.with_view(&v, |r| r.update(ctx, 0, |x| x + 1));
-                    }
-                    ctx.barrier();
-                })
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_barrier(c: &mut Criterion) {
-    let mut g = c.benchmark_group("barrier_100x");
-    g.sample_size(10);
-    for proto in [Protocol::LrcD, Protocol::VcSd] {
-        g.bench_with_input(BenchmarkId::from_parameter(proto), &proto, |b, &proto| {
-            b.iter(|| {
-                let world = WorldBuilder::new();
-                let cfg = ClusterConfig::lossless(8, proto);
-                run_cluster(&cfg, world.build(), |ctx| {
-                    for _ in 0..100 {
-                        ctx.barrier();
-                    }
-                })
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_fault_path(c: &mut Criterion) {
-    // LRC producer/consumer: measures twin + diff + fault + fetch machinery.
-    c.bench_function("lrc_fault_fetch_64pages", |b| {
-        b.iter(|| {
+        r.bench(&format!("view_pingpong/{proto}"), || {
             let mut world = WorldBuilder::new();
-            let arr = world.alloc_u32(64 * 1024); // 64 pages
-            let cfg = ClusterConfig::lossless(2, Protocol::LrcD);
+            let v = world.view_u32(64);
+            let cfg = ClusterConfig::lossless(2, proto);
             run_cluster(&cfg, world.build(), move |ctx| {
-                if ctx.me() == 0 {
-                    let data = vec![7u32; 64 * 1024];
-                    arr.write_all(ctx, &data);
-                }
-                ctx.barrier();
-                if ctx.me() == 1 {
-                    let mut buf = vec![0u32; 64 * 1024];
-                    arr.read_into(ctx, 0, &mut buf);
+                for _ in 0..50 {
+                    ctx.with_view(&v, |r| r.update(ctx, 0, |x| x + 1));
                 }
                 ctx.barrier();
             })
+        });
+    }
+}
+
+fn bench_barrier(r: &mut Runner) {
+    for proto in [Protocol::LrcD, Protocol::VcSd] {
+        r.bench(&format!("barrier_100x/{proto}"), || {
+            let world = WorldBuilder::new();
+            let cfg = ClusterConfig::lossless(8, proto);
+            run_cluster(&cfg, world.build(), |ctx| {
+                for _ in 0..100 {
+                    ctx.barrier();
+                }
+            })
+        });
+    }
+}
+
+fn bench_fault_path(r: &mut Runner) {
+    // LRC producer/consumer: measures twin + diff + fault + fetch machinery.
+    r.bench("lrc_fault_fetch_64pages", || {
+        let mut world = WorldBuilder::new();
+        let arr = world.alloc_u32(64 * 1024); // 64 pages
+        let cfg = ClusterConfig::lossless(2, Protocol::LrcD);
+        run_cluster(&cfg, world.build(), move |ctx| {
+            if ctx.me() == 0 {
+                let data = vec![7u32; 64 * 1024];
+                arr.write_all(ctx, &data);
+            }
+            ctx.barrier();
+            if ctx.me() == 1 {
+                let mut buf = vec![0u32; 64 * 1024];
+                arr.read_into(ctx, 0, &mut buf);
+            }
+            ctx.barrier();
         })
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_view_pingpong, bench_barrier, bench_fault_path
+fn main() {
+    let mut r = Runner::from_args();
+    bench_view_pingpong(&mut r);
+    bench_barrier(&mut r);
+    bench_fault_path(&mut r);
 }
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Micro-benchmarks of the memory and network substrates.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vopp_bench::harness::{black_box, Runner};
 use vopp_page::{Diff, PageBuf, SharedHeap, VTime, PAGE_WORDS};
 use vopp_sim::{NetModel, RouteRequest, SimTime};
 use vopp_simnet::{EthernetModel, NetConfig};
 
-fn bench_diff(c: &mut Criterion) {
+fn bench_diff(r: &mut Runner) {
     let twin = PageBuf::zeroed();
     // Sparse page: every 8th word modified.
     let mut sparse = PageBuf::zeroed();
@@ -17,67 +17,64 @@ fn bench_diff(c: &mut Criterion) {
     for w in 0..PAGE_WORDS {
         dense.set_word(w, w as u32 + 1);
     }
-    c.bench_function("diff_create_sparse", |b| {
-        b.iter(|| Diff::create(black_box(&twin), black_box(&sparse)))
+    r.bench("diff_create_sparse", || {
+        Diff::create(black_box(&twin), black_box(&sparse))
     });
-    c.bench_function("diff_create_dense", |b| {
-        b.iter(|| Diff::create(black_box(&twin), black_box(&dense)))
+    r.bench("diff_create_dense", || {
+        Diff::create(black_box(&twin), black_box(&dense))
     });
     let d_sparse = Diff::create(&twin, &sparse);
     let d_dense = Diff::create(&twin, &dense);
-    c.bench_function("diff_apply_sparse", |b| {
-        let mut page = PageBuf::zeroed();
-        b.iter(|| d_sparse.apply(black_box(&mut page)))
-    });
-    c.bench_function("diff_merge_integration", |b| {
-        b.iter(|| black_box(&d_sparse).merge(black_box(&d_dense)))
+    let mut page = PageBuf::zeroed();
+    r.bench("diff_apply_sparse", || d_sparse.apply(black_box(&mut page)));
+    r.bench("diff_merge_integration", || {
+        black_box(&d_sparse).merge(black_box(&d_dense))
     });
 }
 
-fn bench_vtime(c: &mut Criterion) {
+fn bench_vtime(r: &mut Runner) {
     let mut a = VTime::zero(32);
     let mut bvt = VTime::zero(32);
     for i in 0..32 {
         a.set(i, (i * 7 % 13) as u32);
         bvt.set(i, (i * 5 % 11) as u32);
     }
-    c.bench_function("vtime_join_32", |b| {
-        b.iter(|| black_box(&a).join(black_box(&bvt)))
-    });
-    c.bench_function("vtime_dominates_32", |b| {
-        b.iter(|| black_box(&a).dominates(black_box(&bvt)))
+    r.bench("vtime_join_32", || black_box(&a).join(black_box(&bvt)));
+    r.bench("vtime_dominates_32", || {
+        black_box(&a).dominates(black_box(&bvt))
     });
 }
 
-fn bench_heap(c: &mut Criterion) {
-    c.bench_function("heap_alloc_1000", |b| {
-        b.iter(|| {
-            let mut h = SharedHeap::new();
-            for i in 0..1000 {
-                black_box(h.alloc(64 + (i % 100), 8));
-            }
-            h.pages_needed()
+fn bench_heap(r: &mut Runner) {
+    r.bench("heap_alloc_1000", || {
+        let mut h = SharedHeap::new();
+        for i in 0..1000 {
+            black_box(h.alloc(64 + (i % 100), 8));
+        }
+        h.pages_needed()
+    });
+}
+
+fn bench_net(r: &mut Runner) {
+    let mut m = EthernetModel::new(32, NetConfig::default());
+    let mut t = 0u64;
+    r.bench("ethernet_route", || {
+        t += 1000;
+        m.route(RouteRequest {
+            now: SimTime(t),
+            src: (t % 31) as usize,
+            dst: ((t + 7) % 32) as usize,
+            wire_bytes: 512,
+            pending_at_dst: 2,
+            pending_bytes_at_dst: 1024,
         })
     });
 }
 
-fn bench_net(c: &mut Criterion) {
-    c.bench_function("ethernet_route", |b| {
-        let mut m = EthernetModel::new(32, NetConfig::default());
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 1000;
-            m.route(RouteRequest {
-                now: SimTime(t),
-                src: (t % 31) as usize,
-                dst: ((t + 7) % 32) as usize,
-                wire_bytes: 512,
-                pending_at_dst: 2,
-                pending_bytes_at_dst: 1024,
-            })
-        })
-    });
+fn main() {
+    let mut r = Runner::from_args();
+    bench_diff(&mut r);
+    bench_vtime(&mut r);
+    bench_heap(&mut r);
+    bench_net(&mut r);
 }
-
-criterion_group!(benches, bench_diff, bench_vtime, bench_heap, bench_net);
-criterion_main!(benches);

@@ -5,28 +5,51 @@
 //! cargo run -p vopp-bench --release --bin tables -- table1 table3
 //! cargo run -p vopp-bench --release --bin tables -- all --quick
 //! cargo run -p vopp-bench --release --bin tables -- all --json > tables.json
+//! cargo run -p vopp-bench --release --bin tables -- table1 --trace /tmp/t
 //! ```
+//!
+//! `--trace <dir>` records a structured event trace of every cluster run,
+//! writes `<app>_<variant>_<protocol>_<N>p.{events.json,perfetto.json,report.txt}`
+//! into `<dir>` (the Perfetto file loads in <https://ui.perfetto.dev>), and
+//! asserts the protocol conformance invariants on each trace.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use vopp_bench::tables;
 use vopp_bench::{Scale, Table};
+use vopp_trace::json::Value;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| match args.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => PathBuf::from(dir),
+            _ => {
+                eprintln!("--trace requires a directory argument");
+                std::process::exit(2);
+            }
+        });
     let wanted: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
+        .enumerate()
+        .filter(|(i, a)| {
+            // Skip flags and the --trace operand.
+            !a.starts_with("--")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--trace")
+        })
+        .map(|(_, s)| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: tables [--quick] [--json] (all | table1 .. table9 | ext)+");
+        eprintln!("usage: tables [--quick] [--json] [--trace DIR] (all | table1 .. table9 | ext)+");
         std::process::exit(2);
     }
-    let scale = Scale { quick };
-    type TableFn = fn(Scale) -> Table;
+    let scale = Scale { quick, trace_dir };
+    type TableFn = fn(&Scale) -> Table;
     let jobs: Vec<(&str, TableFn)> = vec![
         ("table1", tables::table1),
         ("table2", tables::table2),
@@ -45,7 +68,7 @@ fn main() {
         let in_all = run_all && name != "ext"; // `ext` is opt-in
         if in_all || wanted.contains(&name) {
             let t0 = Instant::now();
-            let table = f(scale);
+            let table = f(&scale);
             eprintln!("[{name} generated in {:.1?}]", t0.elapsed());
             if json {
                 produced.push(table);
@@ -55,6 +78,7 @@ fn main() {
         }
     }
     if json {
-        println!("{}", serde_json::to_string_pretty(&produced).expect("serialize tables"));
+        let v = Value::Arr(produced.iter().map(Table::to_value).collect());
+        println!("{}", v.to_json_pretty());
     }
 }

@@ -1,0 +1,120 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! A dependency-free stand-in for an external bench framework: each target
+//! under `benches/` builds a [`Runner`], registers measurements with
+//! [`Runner::bench`], and prints one line per result. `cargo bench` drives
+//! the targets (they are `harness = false`); a positional argument filters
+//! benchmarks by substring, like the standard harness.
+//!
+//! Timing is auto-calibrated: fast closures are batched until a batch
+//! takes about a millisecond, then the median per-iteration time over a
+//! few batches is reported. The benches assert *directions* (which choice
+//! wins), not absolute numbers, so the harness only needs to be stable
+//! enough to rank.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed batches per benchmark (the median is reported).
+const SAMPLES: usize = 5;
+
+/// Target duration of one timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(1);
+
+/// One benchmark suite run.
+pub struct Runner {
+    filter: Option<String>,
+    /// `(name, per-iteration median)` of every benchmark that ran.
+    pub results: Vec<(String, Duration)>,
+}
+
+impl Runner {
+    /// Build a runner from the process arguments (`cargo bench -- FILTER`).
+    pub fn from_args() -> Runner {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Runner {
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f` and report the median per-iteration duration, or `None`
+    /// when the name does not match the command-line filter.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Option<Duration> {
+        if let Some(fl) = &self.filter {
+            if !name.contains(fl.as_str()) {
+                return None;
+            }
+        }
+        // Calibrate the batch size on the live function (this doubles as
+        // warmup): grow until one batch reaches the target duration.
+        let mut inner: u32 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                black_box(f());
+            }
+            if t0.elapsed() >= BATCH_TARGET || inner >= 1 << 20 {
+                break;
+            }
+            inner *= 8;
+        }
+        let mut samples: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..inner {
+                    black_box(f());
+                }
+                t0.elapsed() / inner
+            })
+            .collect();
+        samples.sort();
+        let med = samples[SAMPLES / 2];
+        println!(
+            "{name:<44} {:>14}/iter   (min {}, {inner} iter/batch)",
+            fmt(med),
+            fmt(samples[0]),
+        );
+        self.results.push((name.to_string(), med));
+        Some(med)
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut r = Runner {
+            filter: None,
+            results: Vec::new(),
+        };
+        let med = r.bench("spin", || black_box(17u64).wrapping_mul(31));
+        assert!(med.is_some());
+        assert_eq!(r.results.len(), 1);
+        assert_eq!(r.results[0].0, "spin");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut r = Runner {
+            filter: Some("only_this".into()),
+            results: Vec::new(),
+        };
+        assert!(r.bench("something_else", || ()).is_none());
+        assert!(r.results.is_empty());
+    }
+}

@@ -3,11 +3,12 @@
 //! # vopp-bench — the evaluation harness
 //!
 //! [`tables`] regenerates every table of the paper's §5 (see the `tables`
-//! binary: `cargo run -p vopp-bench --release --bin tables -- all`);
-//! the Criterion benches under `benches/` measure the substrates (diffing,
-//! network model, protocol operations) and the ablations called out in
-//! DESIGN.md.
+//! binary: `cargo run -p vopp-bench --release --bin tables -- all`, and
+//! `--trace DIR` for per-run structured traces and conformance checks);
+//! the benches under `benches/` measure the substrates (diffing, network
+//! model, protocol operations) and the ablations called out in DESIGN.md.
 
+pub mod harness;
 pub mod table;
 pub mod tables;
 

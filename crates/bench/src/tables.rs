@@ -4,23 +4,102 @@
 //! reference before reporting statistics — a table is only produced from
 //! verified executions.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use vopp_apps::gauss::{gauss_reference, run_gauss, GaussParams, GaussVariant};
 use vopp_apps::is::{is_reference, run_is, IsParams, IsVariant};
 use vopp_apps::nn::{nn_reference, run_nn, NnParams, NnVariant};
 use vopp_apps::sor::{run_sor, sor_reference, SorParams, SorVariant};
 use vopp_core::{ClusterConfig, Protocol, RunStats};
+use vopp_trace::{check, report, to_chrome_json, CheckConfig, Tracer};
 
 use crate::table::Table;
 
 /// Problem scaling: `quick` shrinks every instance for smoke tests; the
 /// full scale is the calibrated reproduction reported in EXPERIMENTS.md.
-#[derive(Debug, Clone, Copy)]
+/// When `trace_dir` is set, every cluster run records a structured event
+/// trace, exports it (raw JSON, Chrome/Perfetto JSON, text report) into
+/// that directory and asserts the protocol conformance invariants.
+#[derive(Debug, Clone, Default)]
 pub struct Scale {
     /// Use miniature problem instances and fewer processor counts.
     pub quick: bool,
+    /// Where per-run trace artifacts go; `None` disables tracing.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Scale {
+    /// Quick (smoke-test) scale without tracing.
+    pub fn quick() -> Scale {
+        Scale {
+            quick: true,
+            trace_dir: None,
+        }
+    }
+
+    /// Full paper scale without tracing.
+    pub fn full() -> Scale {
+        Scale {
+            quick: false,
+            trace_dir: None,
+        }
+    }
+
+    /// Install a fresh tracer on `config` when tracing is requested.
+    fn attach_tracer(&self, config: &mut ClusterConfig) -> Option<Arc<Tracer>> {
+        let dir = self.trace_dir.as_ref()?;
+        std::fs::create_dir_all(dir).expect("failed to create trace directory");
+        let tracer = Arc::new(Tracer::default());
+        config.tracer = Some(tracer.clone());
+        Some(tracer)
+    }
+
+    /// Drain a run's tracer: write the raw event stream, the Chrome-trace
+    /// JSON and the wait report under `trace_dir`, then run the protocol
+    /// conformance checker and panic on any violation (a complete,
+    /// non-truncated trace of a correct run must be violation-free).
+    fn finish_trace(
+        &self,
+        tracer: Option<Arc<Tracer>>,
+        app: &str,
+        variant: &str,
+        proto: Protocol,
+        np: usize,
+    ) {
+        let Some(tr) = tracer else { return };
+        let dir = self.trace_dir.as_ref().expect("tracer implies trace_dir");
+        let trace = tr.take();
+        let stem = format!("{app}_{variant}_{}_{np}p", proto.label().to_lowercase());
+        let w = |suffix: &str, content: String| {
+            let path = dir.join(format!("{stem}.{suffix}"));
+            std::fs::write(&path, content)
+                .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        };
+        w("events.json", trace.to_json());
+        w("perfetto.json", to_chrome_json(&trace));
+        w("report.txt", report(&trace, 10));
+        if trace.evicted == 0 {
+            let violations = check(&trace, &check_config_for(proto));
+            assert!(
+                violations.is_empty(),
+                "{stem}: {} conformance violation(s):\n{}",
+                violations.len(),
+                violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        } else {
+            // A wrapped ring lost its prefix; interval-pairing invariants
+            // cannot be judged on a truncated stream.
+            eprintln!(
+                "[trace] {stem}: ring evicted {} events, checker skipped",
+                trace.evicted
+            );
+        }
+    }
     /// Processor count of the statistics tables (paper: 16).
     pub fn stats_procs(&self) -> usize {
         if self.quick {
@@ -76,6 +155,27 @@ fn cfg(np: usize, proto: Protocol) -> ClusterConfig {
     ClusterConfig::new(np, proto)
 }
 
+/// The conformance-invariant set a protocol's traces must satisfy.
+///
+/// * `VC_sd` ships integrated diffs on grants, so its runs must emit zero
+///   diff requests (the paper's headline protocol property).
+/// * Both VC protocols scope consistency to views, so their barrier
+///   releases must carry no write notices (paper §3.2).
+/// * All protocols run over the reliable transport with the default 1 s
+///   timeout, far above the simulated network round trip, so every
+///   retransmission outside a synchronization wait must be covered by a
+///   preceding datagram drop (queue overflow under bursts, or a background
+///   bit error); during barrier/lock/view waits the reply is legitimately
+///   deferred past the timeout.
+pub fn check_config_for(proto: Protocol) -> CheckConfig {
+    CheckConfig {
+        expect_zero_diff_requests: proto == Protocol::VcSd,
+        expect_no_barrier_notices: proto.is_vc(),
+        check_rexmit_overflow: true,
+        check_non_nested: true,
+    }
+}
+
 /// The statistics rows shared by Tables 1, 2, 4, 6 and 8.
 fn stats_rows(t: &mut Table, runs: &[RunStats], with_acquire_time: bool) {
     t.row(
@@ -126,21 +226,35 @@ fn stats_rows(t: &mut Table, runs: &[RunStats], with_acquire_time: bool) {
 // IS (Tables 1-3)
 // -------------------------------------------------------------------
 
-fn is_run(np: usize, proto: Protocol, p: &IsParams, variant: IsVariant) -> RunStats {
-    let out = run_is(&cfg(np, proto), p, variant);
+fn is_run(scale: &Scale, np: usize, proto: Protocol, p: &IsParams, variant: IsVariant) -> RunStats {
+    let mut config = cfg(np, proto);
+    let tracer = scale.attach_tracer(&mut config);
+    let out = run_is(&config, p, variant);
     let lb = variant == IsVariant::VoppLb;
     assert_eq!(out.value, is_reference(p, np, lb), "IS result mismatch");
+    scale.finish_trace(tracer, "is", variant_label(variant), proto, np);
     out.stats
 }
 
+fn variant_label<V: std::fmt::Debug>(v: V) -> &'static str {
+    // The three app-variant enums share the same labels; Mpi only on NN.
+    match format!("{v:?}").as_str() {
+        "Traditional" => "trad",
+        "Vopp" => "vopp",
+        "VoppLb" => "vopp_lb",
+        "Mpi" => "mpi",
+        other => panic!("unlabelled variant {other}"),
+    }
+}
+
 /// Table 1: Statistics of IS on the stats processor count.
-pub fn table1(scale: Scale) -> Table {
+pub fn table1(scale: &Scale) -> Table {
     let p = scale.is();
     let np = scale.stats_procs();
     let runs = vec![
-        is_run(np, Protocol::LrcD, &p, IsVariant::Traditional),
-        is_run(np, Protocol::VcD, &p, IsVariant::Vopp),
-        is_run(np, Protocol::VcSd, &p, IsVariant::Vopp),
+        is_run(scale, np, Protocol::LrcD, &p, IsVariant::Traditional),
+        is_run(scale, np, Protocol::VcD, &p, IsVariant::Vopp),
+        is_run(scale, np, Protocol::VcSd, &p, IsVariant::Vopp),
     ];
     let mut t = Table::new(
         format!("Table 1: Statistics of IS on {np} processors"),
@@ -151,12 +265,12 @@ pub fn table1(scale: Scale) -> Table {
 }
 
 /// Table 2: Statistics of IS with fewer barriers (barrier hoisted, §3.2).
-pub fn table2(scale: Scale) -> Table {
+pub fn table2(scale: &Scale) -> Table {
     let p = scale.is();
     let np = scale.stats_procs();
     let runs = vec![
-        is_run(np, Protocol::VcD, &p, IsVariant::VoppLb),
-        is_run(np, Protocol::VcSd, &p, IsVariant::VoppLb),
+        is_run(scale, np, Protocol::VcD, &p, IsVariant::VoppLb),
+        is_run(scale, np, Protocol::VcSd, &p, IsVariant::VoppLb),
     ];
     let mut t = Table::new(
         format!("Table 2: Statistics of IS with fewer barriers on {np} processors"),
@@ -168,15 +282,15 @@ pub fn table2(scale: Scale) -> Table {
 
 /// Table 3: Speedup of IS on LRC_d and VC_sd (plus the hoisted-barrier
 /// VOPP variant, the paper's `VC_sd lb` row).
-pub fn table3(scale: Scale) -> Table {
+pub fn table3(scale: &Scale) -> Table {
     let p = scale.is();
     let procs = scale.speedup_procs();
     // Base: the traditional program on one processor.
-    let base = is_run(1, Protocol::LrcD, &p, IsVariant::Traditional)
+    let base = is_run(scale, 1, Protocol::LrcD, &p, IsVariant::Traditional)
         .time
         .as_secs_f64();
     let speedup = |np: usize, proto: Protocol, variant: IsVariant| {
-        let s = is_run(np, proto, &p, variant);
+        let s = is_run(scale, np, proto, &p, variant);
         Table::f(base / s.time_secs(), 2)
     };
     let mut t = Table::new(
@@ -211,20 +325,29 @@ pub fn table3(scale: Scale) -> Table {
 // Gauss (Tables 4-5)
 // -------------------------------------------------------------------
 
-fn gauss_run(np: usize, proto: Protocol, p: &GaussParams, variant: GaussVariant) -> RunStats {
-    let out = run_gauss(&cfg(np, proto), p, variant);
+fn gauss_run(
+    scale: &Scale,
+    np: usize,
+    proto: Protocol,
+    p: &GaussParams,
+    variant: GaussVariant,
+) -> RunStats {
+    let mut config = cfg(np, proto);
+    let tracer = scale.attach_tracer(&mut config);
+    let out = run_gauss(&config, p, variant);
     assert_eq!(out.value, gauss_reference(p, np), "Gauss result mismatch");
+    scale.finish_trace(tracer, "gauss", variant_label(variant), proto, np);
     out.stats
 }
 
 /// Table 4: Statistics of Gauss.
-pub fn table4(scale: Scale) -> Table {
+pub fn table4(scale: &Scale) -> Table {
     let p = scale.gauss();
     let np = scale.stats_procs();
     let runs = vec![
-        gauss_run(np, Protocol::LrcD, &p, GaussVariant::Traditional),
-        gauss_run(np, Protocol::VcD, &p, GaussVariant::Vopp),
-        gauss_run(np, Protocol::VcSd, &p, GaussVariant::Vopp),
+        gauss_run(scale, np, Protocol::LrcD, &p, GaussVariant::Traditional),
+        gauss_run(scale, np, Protocol::VcD, &p, GaussVariant::Vopp),
+        gauss_run(scale, np, Protocol::VcSd, &p, GaussVariant::Vopp),
     ];
     let mut t = Table::new(
         format!("Table 4: Statistics of Gauss on {np} processors"),
@@ -235,10 +358,10 @@ pub fn table4(scale: Scale) -> Table {
 }
 
 /// Table 5: Speedup of Gauss on LRC_d and VC_sd.
-pub fn table5(scale: Scale) -> Table {
+pub fn table5(scale: &Scale) -> Table {
     let p = scale.gauss();
     let procs = scale.speedup_procs();
-    let base = gauss_run(1, Protocol::LrcD, &p, GaussVariant::Traditional)
+    let base = gauss_run(scale, 1, Protocol::LrcD, &p, GaussVariant::Traditional)
         .time
         .as_secs_f64();
     let mut t = Table::new(
@@ -250,7 +373,7 @@ pub fn table5(scale: Scale) -> Table {
         procs
             .iter()
             .map(|&np| {
-                let s = gauss_run(np, Protocol::LrcD, &p, GaussVariant::Traditional);
+                let s = gauss_run(scale, np, Protocol::LrcD, &p, GaussVariant::Traditional);
                 Table::f(base / s.time_secs(), 2)
             })
             .collect(),
@@ -260,7 +383,7 @@ pub fn table5(scale: Scale) -> Table {
         procs
             .iter()
             .map(|&np| {
-                let s = gauss_run(np, Protocol::VcSd, &p, GaussVariant::Vopp);
+                let s = gauss_run(scale, np, Protocol::VcSd, &p, GaussVariant::Vopp);
                 Table::f(base / s.time_secs(), 2)
             })
             .collect(),
@@ -272,20 +395,29 @@ pub fn table5(scale: Scale) -> Table {
 // SOR (Tables 6-7)
 // -------------------------------------------------------------------
 
-fn sor_run(np: usize, proto: Protocol, p: &SorParams, variant: SorVariant) -> RunStats {
-    let out = run_sor(&cfg(np, proto), p, variant);
+fn sor_run(
+    scale: &Scale,
+    np: usize,
+    proto: Protocol,
+    p: &SorParams,
+    variant: SorVariant,
+) -> RunStats {
+    let mut config = cfg(np, proto);
+    let tracer = scale.attach_tracer(&mut config);
+    let out = run_sor(&config, p, variant);
     assert_eq!(out.value, sor_reference(p), "SOR result mismatch");
+    scale.finish_trace(tracer, "sor", variant_label(variant), proto, np);
     out.stats
 }
 
 /// Table 6: Statistics of SOR.
-pub fn table6(scale: Scale) -> Table {
+pub fn table6(scale: &Scale) -> Table {
     let p = scale.sor();
     let np = scale.stats_procs();
     let runs = vec![
-        sor_run(np, Protocol::LrcD, &p, SorVariant::Traditional),
-        sor_run(np, Protocol::VcD, &p, SorVariant::Vopp),
-        sor_run(np, Protocol::VcSd, &p, SorVariant::Vopp),
+        sor_run(scale, np, Protocol::LrcD, &p, SorVariant::Traditional),
+        sor_run(scale, np, Protocol::VcD, &p, SorVariant::Vopp),
+        sor_run(scale, np, Protocol::VcSd, &p, SorVariant::Vopp),
     ];
     let mut t = Table::new(
         format!("Table 6: Statistics of SOR on {np} processors"),
@@ -296,10 +428,10 @@ pub fn table6(scale: Scale) -> Table {
 }
 
 /// Table 7: Speedup of SOR on LRC_d and VC_sd.
-pub fn table7(scale: Scale) -> Table {
+pub fn table7(scale: &Scale) -> Table {
     let p = scale.sor();
     let procs = scale.speedup_procs();
-    let base = sor_run(1, Protocol::LrcD, &p, SorVariant::Traditional)
+    let base = sor_run(scale, 1, Protocol::LrcD, &p, SorVariant::Traditional)
         .time
         .as_secs_f64();
     let mut t = Table::new(
@@ -311,7 +443,7 @@ pub fn table7(scale: Scale) -> Table {
         procs
             .iter()
             .map(|&np| {
-                let s = sor_run(np, Protocol::LrcD, &p, SorVariant::Traditional);
+                let s = sor_run(scale, np, Protocol::LrcD, &p, SorVariant::Traditional);
                 Table::f(base / s.time_secs(), 2)
             })
             .collect(),
@@ -321,7 +453,7 @@ pub fn table7(scale: Scale) -> Table {
         procs
             .iter()
             .map(|&np| {
-                let s = sor_run(np, Protocol::VcSd, &p, SorVariant::Vopp);
+                let s = sor_run(scale, np, Protocol::VcSd, &p, SorVariant::Vopp);
                 Table::f(base / s.time_secs(), 2)
             })
             .collect(),
@@ -333,20 +465,23 @@ pub fn table7(scale: Scale) -> Table {
 // NN (Tables 8-9)
 // -------------------------------------------------------------------
 
-fn nn_run(np: usize, proto: Protocol, p: &NnParams, variant: NnVariant) -> RunStats {
-    let out = run_nn(&cfg(np, proto), p, variant);
+fn nn_run(scale: &Scale, np: usize, proto: Protocol, p: &NnParams, variant: NnVariant) -> RunStats {
+    let mut config = cfg(np, proto);
+    let tracer = scale.attach_tracer(&mut config);
+    let out = run_nn(&config, p, variant);
     assert_eq!(out.value, nn_reference(p, np), "NN result mismatch");
+    scale.finish_trace(tracer, "nn", variant_label(variant), proto, np);
     out.stats
 }
 
 /// Table 8: Statistics of NN (includes the Acquire Time row).
-pub fn table8(scale: Scale) -> Table {
+pub fn table8(scale: &Scale) -> Table {
     let p = scale.nn();
     let np = scale.stats_procs();
     let runs = vec![
-        nn_run(np, Protocol::LrcD, &p, NnVariant::Traditional),
-        nn_run(np, Protocol::VcD, &p, NnVariant::Vopp),
-        nn_run(np, Protocol::VcSd, &p, NnVariant::Vopp),
+        nn_run(scale, np, Protocol::LrcD, &p, NnVariant::Traditional),
+        nn_run(scale, np, Protocol::VcD, &p, NnVariant::Vopp),
+        nn_run(scale, np, Protocol::VcSd, &p, NnVariant::Vopp),
     ];
     let mut t = Table::new(
         format!("Table 8: Statistics of NN on {np} processors"),
@@ -357,10 +492,10 @@ pub fn table8(scale: Scale) -> Table {
 }
 
 /// Table 9: Speedup of NN on LRC_d, VC_sd and MPI.
-pub fn table9(scale: Scale) -> Table {
+pub fn table9(scale: &Scale) -> Table {
     let p = scale.nn();
     let procs = scale.speedup_procs();
-    let base = nn_run(1, Protocol::LrcD, &p, NnVariant::Traditional)
+    let base = nn_run(scale, 1, Protocol::LrcD, &p, NnVariant::Traditional)
         .time
         .as_secs_f64();
     let mut t = Table::new(
@@ -372,7 +507,7 @@ pub fn table9(scale: Scale) -> Table {
         procs
             .iter()
             .map(|&np| {
-                let s = nn_run(np, Protocol::LrcD, &p, NnVariant::Traditional);
+                let s = nn_run(scale, np, Protocol::LrcD, &p, NnVariant::Traditional);
                 Table::f(base / s.time_secs(), 2)
             })
             .collect(),
@@ -382,7 +517,7 @@ pub fn table9(scale: Scale) -> Table {
         procs
             .iter()
             .map(|&np| {
-                let s = nn_run(np, Protocol::VcSd, &p, NnVariant::Vopp);
+                let s = nn_run(scale, np, Protocol::VcSd, &p, NnVariant::Vopp);
                 Table::f(base / s.time_secs(), 2)
             })
             .collect(),
@@ -392,7 +527,7 @@ pub fn table9(scale: Scale) -> Table {
         procs
             .iter()
             .map(|&np| {
-                let s = nn_run(np, Protocol::VcSd, &p, NnVariant::Mpi);
+                let s = nn_run(scale, np, Protocol::VcSd, &p, NnVariant::Mpi);
                 Table::f(base / s.time_secs(), 2)
             })
             .collect(),
@@ -403,7 +538,7 @@ pub fn table9(scale: Scale) -> Table {
 /// Extension table (not in the paper): the four traditional applications
 /// on homeless vs. home-based LRC at the stats processor count — the
 /// trade-off studied in the authors' companion work.
-pub fn table_ext(scale: Scale) -> Table {
+pub fn table_ext(scale: &Scale) -> Table {
     let np = scale.stats_procs();
     let is = scale.is();
     let gauss = scale.gauss();
@@ -423,14 +558,14 @@ pub fn table_ext(scale: Scale) -> Table {
         ],
     );
     let runs = [
-        is_run(np, Protocol::LrcD, &is, IsVariant::Traditional),
-        is_run(np, Protocol::Hlrc, &is, IsVariant::Traditional),
-        gauss_run(np, Protocol::LrcD, &gauss, GaussVariant::Traditional),
-        gauss_run(np, Protocol::Hlrc, &gauss, GaussVariant::Traditional),
-        sor_run(np, Protocol::LrcD, &sor, SorVariant::Traditional),
-        sor_run(np, Protocol::Hlrc, &sor, SorVariant::Traditional),
-        nn_run(np, Protocol::LrcD, &nn, NnVariant::Traditional),
-        nn_run(np, Protocol::Hlrc, &nn, NnVariant::Traditional),
+        is_run(scale, np, Protocol::LrcD, &is, IsVariant::Traditional),
+        is_run(scale, np, Protocol::Hlrc, &is, IsVariant::Traditional),
+        gauss_run(scale, np, Protocol::LrcD, &gauss, GaussVariant::Traditional),
+        gauss_run(scale, np, Protocol::Hlrc, &gauss, GaussVariant::Traditional),
+        sor_run(scale, np, Protocol::LrcD, &sor, SorVariant::Traditional),
+        sor_run(scale, np, Protocol::Hlrc, &sor, SorVariant::Traditional),
+        nn_run(scale, np, Protocol::LrcD, &nn, NnVariant::Traditional),
+        nn_run(scale, np, Protocol::Hlrc, &nn, NnVariant::Traditional),
     ];
     t.row(
         "Time (Sec.)",
@@ -452,7 +587,7 @@ pub fn table_ext(scale: Scale) -> Table {
 }
 
 /// All tables in paper order.
-pub fn all_tables(scale: Scale) -> Vec<Table> {
+pub fn all_tables(scale: &Scale) -> Vec<Table> {
     vec![
         table1(scale),
         table2(scale),

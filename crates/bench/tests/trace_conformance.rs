@@ -1,0 +1,121 @@
+//! Every protocol's traces must satisfy its conformance-invariant set —
+//! including the two protocols (HLRC_d, ScC_d) that the paper's statistics
+//! tables never exercise. Each run here uses the default (lossy) network,
+//! so the rexmit-covered invariant is checked under realistic conditions.
+
+use std::sync::Arc;
+
+use vopp_bench::tables::check_config_for;
+use vopp_core::prelude::*;
+use vopp_core::VoppExt;
+use vopp_trace::{check, EventKind, Tracer};
+
+const NPROCS: usize = 4;
+const ROUNDS: u32 = 3;
+
+/// Run `body` under `proto` with a tracer attached; return the drained trace.
+fn traced_run<F>(proto: Protocol, layout: Arc<vopp_core::Layout>, body: F) -> vopp_trace::Trace
+where
+    F: Fn(&DsmCtx<'_>) + Send + Sync,
+{
+    let mut cfg = ClusterConfig::new(NPROCS, proto);
+    let tracer = Arc::new(Tracer::default());
+    cfg.tracer = Some(tracer.clone());
+    run_cluster(&cfg, layout, body);
+    tracer.take()
+}
+
+/// Traditional lock + barrier workload (the LRC family's API).
+fn lrc_family_trace(proto: Protocol) -> vopp_trace::Trace {
+    let mut w = WorldBuilder::new();
+    let arr = w.alloc_u32(1024);
+    traced_run(proto, w.build(), move |ctx| {
+        for _ in 0..ROUNDS {
+            ctx.lock_acquire(0);
+            arr.update(ctx, 0, |x| x + 1);
+            ctx.lock_release(0);
+            ctx.barrier();
+            let _ = arr.get(ctx, 0);
+            ctx.barrier();
+        }
+    })
+}
+
+/// View bracket + barrier workload (the VOPP API).
+fn vc_trace(proto: Protocol) -> vopp_trace::Trace {
+    let mut w = WorldBuilder::new();
+    let v = w.view_u32(64);
+    traced_run(proto, w.build(), move |ctx| {
+        for _ in 0..ROUNDS {
+            ctx.with_view(&v, |r| r.update(ctx, 0, |x| x + 1));
+            ctx.barrier();
+            let first = ctx.with_rview(&v, |r| r.get(ctx, 0));
+            assert!(first > 0);
+            ctx.barrier();
+        }
+    })
+}
+
+fn assert_conformant(proto: Protocol, trace: &vopp_trace::Trace) {
+    assert_eq!(trace.evicted, 0, "{proto}: ring must not wrap at this size");
+    assert!(!trace.events.is_empty(), "{proto}: empty trace");
+    let violations = check(trace, &check_config_for(proto));
+    assert!(
+        violations.is_empty(),
+        "{proto}: {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn all_five_protocols_pass_conformance() {
+    for proto in [Protocol::LrcD, Protocol::Hlrc, Protocol::ScC] {
+        let trace = lrc_family_trace(proto);
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::LockAcquireStart { .. })),
+            "{proto}: no lock events recorded"
+        );
+        assert_conformant(proto, &trace);
+    }
+    for proto in [Protocol::VcD, Protocol::VcSd] {
+        let trace = vc_trace(proto);
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::AcquireStart { .. })),
+            "{proto}: no view events recorded"
+        );
+        assert_conformant(proto, &trace);
+    }
+}
+
+/// The checker must reject hand-mutated streams — exercised per invariant
+/// in `vopp_trace::check`'s unit tests; here we spot-check on a real trace:
+/// duplicating a write notice breaks vector-time causality.
+#[test]
+fn mutated_real_trace_is_rejected() {
+    let mut trace = lrc_family_trace(Protocol::LrcD);
+    let idx = trace
+        .events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::WriteNoticeApply { .. }))
+        .expect("LRC_d trace carries write notices");
+    let dup = trace.events[idx].clone();
+    trace.events.push(dup);
+    let violations = check(&trace, &check_config_for(Protocol::LrcD));
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == "vector-time-causality"),
+        "duplicated notice must violate causality, got: {violations:?}"
+    );
+}

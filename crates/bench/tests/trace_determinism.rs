@@ -1,0 +1,42 @@
+//! Determinism guard: the simulator is seeded and virtual-time ordered, so
+//! two identical table runs must record byte-identical traces. Any
+//! divergence means wall-clock state leaked into the simulation.
+
+use std::path::Path;
+
+use vopp_bench::Scale;
+
+fn run_table1_traced(dir: &Path) {
+    let scale = Scale {
+        quick: true,
+        trace_dir: Some(dir.to_path_buf()),
+    };
+    let t = vopp_bench::tables::table1(&scale);
+    assert!(t.title.starts_with("Table 1"));
+}
+
+#[test]
+fn same_seed_table1_traces_are_byte_identical() {
+    let base = std::env::temp_dir().join(format!("vopp-trace-det-{}", std::process::id()));
+    let (a, b) = (base.join("a"), base.join("b"));
+    run_table1_traced(&a);
+    run_table1_traced(&b);
+
+    let mut compared = 0;
+    for entry in std::fs::read_dir(&a).expect("first run produced no trace dir") {
+        let name = entry.unwrap().file_name();
+        let lhs = std::fs::read(a.join(&name)).unwrap();
+        let rhs = std::fs::read(b.join(&name))
+            .unwrap_or_else(|e| panic!("second run missing {}: {e}", name.to_string_lossy()));
+        assert_eq!(
+            lhs,
+            rhs,
+            "trace artifact {} differs between identical runs",
+            name.to_string_lossy()
+        );
+        compared += 1;
+    }
+    // Table 1 is three runs x three artifacts.
+    assert_eq!(compared, 9, "expected 9 artifacts to compare");
+    std::fs::remove_dir_all(&base).ok();
+}

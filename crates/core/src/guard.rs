@@ -5,6 +5,7 @@
 //! calls identical.
 
 use vopp_dsm::{DsmCtx, ViewId};
+use vopp_trace::EventKind;
 
 use crate::region::{Region, ViewRegion};
 
@@ -56,12 +57,42 @@ impl<'a> VoppExt<'a> for DsmCtx<'a> {
     }
 
     fn with_view<T, R>(&self, vr: &ViewRegion<T>, f: impl FnOnce(&Region<T>) -> R) -> R {
-        let _g = self.view(vr.view);
-        f(&vr.region)
+        let span = Span::open(self, "with_view", vr.view);
+        let g = self.view(vr.view);
+        let r = f(&vr.region);
+        drop(g);
+        span.close(self);
+        r
     }
 
     fn with_rview<T, R>(&self, vr: &ViewRegion<T>, f: impl FnOnce(&Region<T>) -> R) -> R {
-        let _g = self.rview(vr.view);
-        f(&vr.region)
+        let span = Span::open(self, "with_rview", vr.view);
+        let g = self.rview(vr.view);
+        let r = f(&vr.region);
+        drop(g);
+        span.close(self);
+        r
+    }
+}
+
+/// An application-level trace span bracketing a whole view bracket
+/// (acquire, body, release). Nothing is allocated or recorded unless the
+/// run has an enabled tracer installed.
+struct Span(Option<String>);
+
+impl Span {
+    fn open(ctx: &DsmCtx<'_>, what: &str, view: ViewId) -> Span {
+        if !ctx.tracing() {
+            return Span(None);
+        }
+        let name = format!("{what} v{view}");
+        ctx.trace(EventKind::SpanBegin { name: name.clone() });
+        Span(Some(name))
+    }
+
+    fn close(self, ctx: &DsmCtx<'_>) {
+        if let Some(name) = self.0 {
+            ctx.trace(EventKind::SpanEnd { name });
+        }
     }
 }

@@ -14,11 +14,11 @@
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vopp_page::{
     offset_in_page, page_of, pages_spanned, Addr, IntervalId, PageId, PageState, VTime, PAGE_SIZE,
 };
-use vopp_sim::{AppCtx, ProcId, SimDuration, SimTime};
+use vopp_sim::sync::Mutex;
+use vopp_sim::{AppCtx, EventKind, ProcId, SimDuration, SimTime};
 use vopp_simnet::RpcClient;
 
 use crate::cost::{CostModel, CpuDebt};
@@ -88,6 +88,19 @@ impl<'a> DsmCtx<'a> {
     pub fn now(&self) -> SimTime {
         self.debt.flush(&self.sim);
         self.sim.now()
+    }
+
+    /// Whether an enabled tracer is installed on this run. Gate any work
+    /// done purely to build an event (string formatting, collection) on
+    /// this so disabled runs pay nothing.
+    pub fn tracing(&self) -> bool {
+        self.sim.tracing()
+    }
+
+    /// Record a structured trace event at this node's current virtual time.
+    /// A no-op (one pointer test) unless a tracer is installed and enabled.
+    pub fn trace(&self, kind: EventKind) {
+        self.sim.trace(kind);
     }
 
     // ---------------------------------------------------------------
@@ -190,7 +203,15 @@ impl<'a> DsmCtx<'a> {
             );
             (Vec::new(), VTime::zero(0))
         };
-        let req = Req::BarrierArrive { episode, records, vt };
+        self.trace(EventKind::BarrierEnter {
+            id: 0,
+            epoch: episode as u64,
+        });
+        let req = Req::BarrierArrive {
+            episode,
+            records,
+            vt,
+        };
         let bytes = req.wire_bytes();
         let resp = self
             .rpc
@@ -198,19 +219,62 @@ impl<'a> DsmCtx<'a> {
             .call_with_timeout(&self.sim, 0, bytes, req, self.barrier_timeout)
             .expect::<Resp>();
         match resp {
-            Resp::BarrierRelease { records, vt, lamport } => {
-                let mut n = self.node.lock();
-                if self.protocol.is_lrc_family() {
-                    n.absorb_lrc_grant(&records, &vt, lamport);
-                    let lv = vt.clone();
-                    n.note_home_knows(0, &lv);
-                } else {
-                    n.lamport_sync(lamport);
+            Resp::BarrierRelease {
+                records,
+                vt,
+                lamport,
+            } => {
+                let notices = records.len() as u64;
+                let fresh = self.fresh_lrc_notices(&records);
+                {
+                    let mut n = self.node.lock();
+                    if self.protocol.is_lrc_family() {
+                        n.absorb_lrc_grant(&records, &vt, lamport);
+                        let lv = vt.clone();
+                        n.note_home_knows(0, &lv);
+                    } else {
+                        n.lamport_sync(lamport);
+                    }
+                    n.stats.barriers += 1;
+                    n.stats.barrier_wait_ns += (self.sim.now() - t0).nanos();
                 }
-                n.stats.barriers += 1;
-                n.stats.barrier_wait_ns += (self.sim.now() - t0).nanos();
+                self.emit_notices(fresh, 0);
+                self.trace(EventKind::BarrierExit {
+                    id: 0,
+                    epoch: episode as u64,
+                    notices,
+                });
             }
             other => panic!("barrier got unexpected reply {other:?}"),
+        }
+    }
+
+    /// The subset of grant `records` this node has not yet logged, as
+    /// `(owner, seq, pages)` triples for [`EventKind::WriteNoticeApply`]
+    /// events. Empty when tracing is off. Filtering against the pre-merge
+    /// log keeps each `(scope, owner)` notice series strictly increasing
+    /// even when a duplicate grant re-sends known records.
+    fn fresh_lrc_notices(&self, records: &[vopp_page::IntervalRecord]) -> Vec<(ProcId, u64, u64)> {
+        if !self.tracing() || records.is_empty() {
+            return Vec::new();
+        }
+        let n = self.node.lock();
+        records
+            .iter()
+            .filter(|r| r.id.seq > n.logged_vt.get(r.id.owner))
+            .map(|r| (r.id.owner, r.id.seq as u64, r.pages.len() as u64))
+            .collect()
+    }
+
+    /// Emit one [`EventKind::WriteNoticeApply`] per freshly absorbed record.
+    fn emit_notices(&self, fresh: Vec<(ProcId, u64, u64)>, scope: u64) {
+        for (owner, seq, pages) in fresh {
+            self.trace(EventKind::WriteNoticeApply {
+                owner,
+                seq,
+                scope,
+                pages,
+            });
         }
     }
 
@@ -233,6 +297,7 @@ impl<'a> DsmCtx<'a> {
         }
         self.flush();
         let t0 = self.sim.now();
+        self.trace(EventKind::LockAcquireStart { lock: lock as u64 });
         let ndiffs = self.close_interval();
         if ndiffs > 0 {
             self.debt.add(self.cost.diff_create * ndiffs as u64);
@@ -244,15 +309,28 @@ impl<'a> DsmCtx<'a> {
         };
         let req = Req::LockAcquire { lock, vt };
         let bytes = req.wire_bytes();
-        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        let resp = self
+            .rpc
+            .borrow_mut()
+            .call(&self.sim, home, bytes, req)
+            .expect::<Resp>();
         match resp {
-            Resp::LockGrant { records, vt, lamport } => {
-                let mut n = self.node.lock();
-                n.absorb_lrc_grant(&records, &vt, lamport);
-                let lv = vt.clone();
-                n.note_home_knows(home, &lv);
-                n.stats.acquires += 1;
-                n.stats.acquire_wait_ns += (self.sim.now() - t0).nanos();
+            Resp::LockGrant {
+                records,
+                vt,
+                lamport,
+            } => {
+                let fresh = self.fresh_lrc_notices(&records);
+                {
+                    let mut n = self.node.lock();
+                    n.absorb_lrc_grant(&records, &vt, lamport);
+                    let lv = vt.clone();
+                    n.note_home_knows(home, &lv);
+                    n.stats.acquires += 1;
+                    n.stats.acquire_wait_ns += (self.sim.now() - t0).nanos();
+                }
+                self.emit_notices(fresh, 0);
+                self.trace(EventKind::LockAcquireEnd { lock: lock as u64 });
             }
             other => panic!("lock_acquire got unexpected reply {other:?}"),
         }
@@ -279,8 +357,13 @@ impl<'a> DsmCtx<'a> {
         };
         let req = Req::LockRelease { lock, records };
         let bytes = req.wire_bytes();
-        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        let resp = self
+            .rpc
+            .borrow_mut()
+            .call(&self.sim, home, bytes, req)
+            .expect::<Resp>();
         assert!(matches!(resp, Resp::Ack), "lock_release expects Ack");
+        self.trace(EventKind::LockRelease { lock: lock as u64 });
     }
 
     // ---------------------------------------------------------------
@@ -294,6 +377,7 @@ impl<'a> DsmCtx<'a> {
     fn scc_lock_acquire(&self, lock: u32) {
         self.flush();
         let t0 = self.sim.now();
+        self.trace(EventKind::LockAcquireStart { lock: lock as u64 });
         let ndiffs = self.close_interval();
         if ndiffs > 0 {
             self.debt.add(self.cost.diff_create * ndiffs as u64);
@@ -312,15 +396,38 @@ impl<'a> DsmCtx<'a> {
             have,
         };
         let bytes = req.wire_bytes();
-        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        let resp = self
+            .rpc
+            .borrow_mut()
+            .call(&self.sim, home, bytes, req)
+            .expect::<Resp>();
         match resp {
-            Resp::ViewGrant { records, version, lamport, .. } => {
-                let mut n = self.node.lock();
-                n.scc_absorb(&records, lamport);
-                let la = n.lock_applied.entry(lock).or_insert(0);
-                *la = (*la).max(version);
-                n.stats.acquires += 1;
-                n.stats.acquire_wait_ns += (self.sim.now() - t0).nanos();
+            Resp::ViewGrant {
+                records,
+                version,
+                lamport,
+                ..
+            } => {
+                let fresh: Vec<(ProcId, u64, u64)> = if self.tracing() {
+                    let n = self.node.lock();
+                    records
+                        .iter()
+                        .filter(|r| r.id.owner != n.me && !n.scoped_applied.contains(&r.id))
+                        .map(|r| (r.id.owner, r.id.seq as u64, r.pages.len() as u64))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                {
+                    let mut n = self.node.lock();
+                    n.scc_absorb(&records, lamport);
+                    let la = n.lock_applied.entry(lock).or_insert(0);
+                    *la = (*la).max(version);
+                    n.stats.acquires += 1;
+                    n.stats.acquire_wait_ns += (self.sim.now() - t0).nanos();
+                }
+                self.emit_notices(fresh, lock as u64 + 1);
+                self.trace(EventKind::LockAcquireEnd { lock: lock as u64 });
             }
             other => panic!("scc lock_acquire got unexpected reply {other:?}"),
         }
@@ -356,7 +463,11 @@ impl<'a> DsmCtx<'a> {
             diffs: Vec::new(),
         };
         let bytes = req.wire_bytes();
-        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        let resp = self
+            .rpc
+            .borrow_mut()
+            .call(&self.sim, home, bytes, req)
+            .expect::<Resp>();
         match resp {
             Resp::ReleaseAck { version } => {
                 let mut n = self.node.lock();
@@ -365,6 +476,7 @@ impl<'a> DsmCtx<'a> {
             }
             other => panic!("scc lock_release got unexpected reply {other:?}"),
         }
+        self.trace(EventKind::LockRelease { lock: lock as u64 });
     }
 
     // ---------------------------------------------------------------
@@ -398,6 +510,10 @@ impl<'a> DsmCtx<'a> {
         );
         self.flush();
         let t0 = self.sim.now();
+        self.trace(EventKind::AcquireStart {
+            view: v as u64,
+            write: mode == AccessMode::Write,
+        });
         let (home, have) = {
             let n = self.node.lock();
             if mode == AccessMode::Write {
@@ -416,17 +532,38 @@ impl<'a> DsmCtx<'a> {
             );
             (n.view_home(v), n.view_applied[v as usize])
         };
-        let req = Req::ViewAcquire { view: v, mode, have };
+        let req = Req::ViewAcquire {
+            view: v,
+            mode,
+            have,
+        };
         let bytes = req.wire_bytes();
-        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        let resp = self
+            .rpc
+            .borrow_mut()
+            .call(&self.sim, home, bytes, req)
+            .expect::<Resp>();
         match resp {
-            Resp::ViewGrant { records, diffs, version, lamport } => {
+            Resp::ViewGrant {
+                records,
+                diffs,
+                version,
+                lamport,
+            } => {
                 let napplied = diffs.len();
                 let grant_bytes: u64 = diffs
                     .iter()
                     .map(|(_, d)| d.wire_bytes() as u64)
                     .sum::<u64>()
                     + records.iter().map(|r| r.wire_bytes() as u64).sum::<u64>();
+                let fresh: Vec<(ProcId, u64, u64)> = if self.tracing() {
+                    records
+                        .iter()
+                        .map(|r| (r.id.owner, r.id.seq as u64, r.pages.len() as u64))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 let mut n = self.node.lock();
                 n.vc_absorb_grant(v, &records, &diffs, version, lamport);
                 match mode {
@@ -446,6 +583,21 @@ impl<'a> DsmCtx<'a> {
                 if napplied > 0 {
                     self.debt.add(self.cost.diff_apply * napplied as u64);
                 }
+                self.emit_notices(fresh, v as u64 + 1);
+                if self.tracing() {
+                    for (p, d) in &diffs {
+                        self.trace(EventKind::DiffApply {
+                            page: *p as u64,
+                            bytes: d.wire_bytes() as u64,
+                        });
+                    }
+                }
+                self.trace(EventKind::AcquireEnd {
+                    view: v as u64,
+                    write: mode == AccessMode::Write,
+                    version: version as u64,
+                    bytes: grant_bytes,
+                });
             }
             other => panic!("acquire_view got unexpected reply {other:?}"),
         }
@@ -480,7 +632,11 @@ impl<'a> DsmCtx<'a> {
             let home = n.view_home(v);
             match closed {
                 Some((id, lamport, pages, diffs)) => {
-                    let sd = if self.protocol == Protocol::VcSd { diffs } else { Vec::new() };
+                    let sd = if self.protocol == Protocol::VcSd {
+                        diffs
+                    } else {
+                        Vec::new()
+                    };
                     (home, Some(id), lamport, pages, sd, ndiffs)
                 }
                 None => (home, None, n.lamport, Vec::new(), Vec::new(), 0),
@@ -499,7 +655,11 @@ impl<'a> DsmCtx<'a> {
             diffs,
         };
         let bytes = req.wire_bytes();
-        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        let resp = self
+            .rpc
+            .borrow_mut()
+            .call(&self.sim, home, bytes, req)
+            .expect::<Resp>();
         match resp {
             Resp::ReleaseAck { version } => {
                 let mut n = self.node.lock();
@@ -512,6 +672,10 @@ impl<'a> DsmCtx<'a> {
             }
             other => panic!("release_view got unexpected reply {other:?}"),
         }
+        self.trace(EventKind::ReleaseDone {
+            view: v as u64,
+            write: true,
+        });
     }
 
     /// `release_Rview` (paper §2).
@@ -543,8 +707,16 @@ impl<'a> DsmCtx<'a> {
             diffs: Vec::new(),
         };
         let bytes = req.wire_bytes();
-        let resp = self.rpc.borrow_mut().call(&self.sim, home, bytes, req).expect::<Resp>();
+        let resp = self
+            .rpc
+            .borrow_mut()
+            .call(&self.sim, home, bytes, req)
+            .expect::<Resp>();
         assert!(matches!(resp, Resp::Ack));
+        self.trace(EventKind::ReleaseDone {
+            view: v as u64,
+            write: false,
+        });
     }
 
     /// `merge_views` (paper §3.5): bring every view up to date on this node.
@@ -660,7 +832,11 @@ impl<'a> DsmCtx<'a> {
              view primitives must bracket every access (paper §2)",
             n.me,
             if write { "write to" } else { "read of" },
-            if write { "acquire_view-ing" } else { "acquiring" },
+            if write {
+                "acquire_view-ing"
+            } else {
+                "acquiring"
+            },
             n.held_write
         );
     }
@@ -668,9 +844,13 @@ impl<'a> DsmCtx<'a> {
     /// Resolve a fault on `p`: fetch the missing diffs from their writers
     /// (in parallel, grouped per writer) and apply them in happens-before
     /// order. The invalidate-protocol hot path of LRC_d and VC_d.
-    fn fault(&self, p: PageId) {
+    fn fault(&self, p: PageId, write: bool) {
         self.debt.add(self.cost.page_fault);
         self.flush();
+        self.trace(EventKind::PageFault {
+            page: p as u64,
+            write,
+        });
         let fetches = {
             let mut n = self.node.lock();
             n.stats.page_faults += 1;
@@ -707,14 +887,25 @@ impl<'a> DsmCtx<'a> {
                 let mut n = self.node.lock();
                 n.stats.diff_requests += 1;
             }
+            self.trace(EventKind::DiffRequest {
+                page: p as u64,
+                to: home,
+            });
             let pkt = self.rpc.borrow_mut().call(&self.sim, home, bytes, req);
             match pkt.expect::<Resp>() {
-                Resp::PageResp { content: Some(content) } => {
+                Resp::PageResp {
+                    content: Some(content),
+                } => {
                     let mut n = self.node.lock();
                     *n.mem.page_mut(p) = *content;
                     n.mem.validate(p);
                     n.stats.diffs_applied += 1;
                     self.debt.add(self.cost.diff_apply);
+                    drop(n);
+                    self.trace(EventKind::DiffApply {
+                        page: p as u64,
+                        bytes: PAGE_SIZE as u64,
+                    });
                     return;
                 }
                 other => panic!("HLRC home fetch got unexpected reply {other:?}"),
@@ -730,14 +921,28 @@ impl<'a> DsmCtx<'a> {
                 let mut n = self.node.lock();
                 n.stats.diff_requests += 1;
             }
-            let pkt = self.rpc.borrow_mut().call(&self.sim, last.id.owner, bytes, req);
+            self.trace(EventKind::DiffRequest {
+                page: p as u64,
+                to: last.id.owner,
+            });
+            let pkt = self
+                .rpc
+                .borrow_mut()
+                .call(&self.sim, last.id.owner, bytes, req);
             match pkt.expect::<Resp>() {
-                Resp::PageResp { content: Some(content) } => {
+                Resp::PageResp {
+                    content: Some(content),
+                } => {
                     let mut n = self.node.lock();
                     *n.mem.page_mut(p) = *content;
                     n.mem.validate(p);
                     n.stats.diffs_applied += 1;
                     self.debt.add(self.cost.diff_apply);
+                    drop(n);
+                    self.trace(EventKind::DiffApply {
+                        page: p as u64,
+                        bytes: PAGE_SIZE as u64,
+                    });
                     return;
                 }
                 Resp::PageResp { content: None } => {
@@ -771,6 +976,14 @@ impl<'a> DsmCtx<'a> {
             let mut n = self.node.lock();
             n.stats.diff_requests += calls.len() as u64;
         }
+        if self.tracing() {
+            for (owner, _, _) in &calls {
+                self.trace(EventKind::DiffRequest {
+                    page: p as u64,
+                    to: *owner,
+                });
+            }
+        }
         let replies = self.rpc.borrow_mut().call_all(&self.sim, &calls);
         let mut items = Vec::new();
         for pkt in replies {
@@ -787,6 +1000,14 @@ impl<'a> DsmCtx<'a> {
         }
         n.mem.validate(p);
         drop(n);
+        if self.tracing() {
+            for (_, _, diff) in &items {
+                self.trace(EventKind::DiffApply {
+                    page: p as u64,
+                    bytes: diff.wire_bytes() as u64,
+                });
+            }
+        }
         self.debt.add(self.cost.diff_apply * items.len() as u64);
     }
 
@@ -798,7 +1019,7 @@ impl<'a> DsmCtx<'a> {
                 PageState::Valid | PageState::Dirty => return,
                 PageState::Invalid => {
                     drop(n);
-                    self.fault(p);
+                    self.fault(p, false);
                 }
             }
         }
@@ -818,7 +1039,7 @@ impl<'a> DsmCtx<'a> {
                 }
                 PageState::Invalid => {
                     drop(n);
-                    self.fault(p);
+                    self.fault(p, true);
                 }
             }
         }
@@ -1004,7 +1225,9 @@ impl<'a> DsmCtx<'a> {
             let mut n = self.node.lock();
             for (i, v) in data.iter().enumerate() {
                 let a = addr + i * 4;
-                n.mem.page_mut(page_of(a)).set_word(offset_in_page(a) / 4, *v);
+                n.mem
+                    .page_mut(page_of(a))
+                    .set_word(offset_in_page(a) / 4, *v);
             }
         }
         self.auto_release(auto);

@@ -9,8 +9,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vopp_page::{Diff, PageId, VTime};
+use vopp_sim::sync::Mutex;
 use vopp_sim::{Handler, ProcId, SvcCtx};
 use vopp_simnet::reply;
 
@@ -93,13 +93,17 @@ fn trace_req(now: vopp_sim::SimTime, me: ProcId, src: ProcId, req: &Req) {
         Req::LockRelease { lock, records } => {
             format!("lock-release {lock} (+{} records)", records.len())
         }
-        Req::BarrierArrive { episode, records, .. } => {
+        Req::BarrierArrive {
+            episode, records, ..
+        } => {
             format!("barrier-arrive #{episode} (+{} records)", records.len())
         }
         Req::ViewAcquire { view, mode, have } => {
             format!("view-acquire {view} {mode:?} have={have}")
         }
-        Req::ViewRelease { view, mode, pages, .. } => {
+        Req::ViewRelease {
+            view, mode, pages, ..
+        } => {
             format!("view-release {view} {mode:?} ({} pages)", pages.len())
         }
         Req::DiffReq { page, intervals } => {
@@ -163,7 +167,11 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
             reply(svc, src, ack.wire_bytes(), tag, Box::new(ack));
         }
 
-        Req::BarrierArrive { episode, records, vt } => {
+        Req::BarrierArrive {
+            episode,
+            records,
+            vt,
+        } => {
             if let Some(maxl) = records.iter().map(|r| r.lamport).max() {
                 n.lamport_sync(maxl);
             }
@@ -197,16 +205,21 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
                 AccessMode::Read => h.writer.is_none() && h.queue.is_empty(),
             };
             if already {
-                send_view_grant(n, &h, svc, src, tag, have);
+                send_view_grant(n, &h, svc, view, src, tag, have);
             } else if can {
                 admit(&mut h, src, mode);
-                send_view_grant(n, &h, svc, src, tag, have);
+                send_view_grant(n, &h, svc, view, src, tag, have);
             } else if let Some(w) = h.queue.iter_mut().find(|w| w.proc == src) {
                 w.tag = tag;
                 w.have = have;
                 w.mode = mode;
             } else {
-                h.queue.push_back(ViewWaiter { proc: src, tag, mode, have });
+                h.queue.push_back(ViewWaiter {
+                    proc: src,
+                    tag,
+                    mode,
+                    have,
+                });
             }
             n.views.insert(view, h);
         }
@@ -244,7 +257,7 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
                 h.last_write_release.insert(src, version);
                 let ack = Resp::ReleaseAck { version };
                 reply(svc, src, ack.wire_bytes(), tag, Box::new(ack));
-                grant_next(n, &mut h, svc);
+                grant_next(n, &mut h, svc, view);
             } else {
                 // Duplicate release after the original was processed.
                 let version = h.last_write_release.get(&src).copied().unwrap_or(h.version);
@@ -264,7 +277,7 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
             let ack = Resp::Ack;
             reply(svc, src, ack.wire_bytes(), tag, Box::new(ack));
             if h.readers.is_empty() && h.writer.is_none() {
-                grant_next(n, &mut h, svc);
+                grant_next(n, &mut h, svc, view);
             }
             n.views.insert(view, h);
         }
@@ -319,7 +332,7 @@ fn admit(h: &mut ViewHome, proc: ProcId, mode: AccessMode) {
 
 /// Admit as many queued requests as compatibility allows: one writer, or a
 /// maximal batch of consecutive readers.
-fn grant_next(n: &NodeState, h: &mut ViewHome, svc: &mut SvcCtx<'_>) {
+fn grant_next(n: &NodeState, h: &mut ViewHome, svc: &mut SvcCtx<'_>, view: crate::layout::ViewId) {
     while let Some(front) = h.queue.front() {
         let ok = match front.mode {
             AccessMode::Write => h.writer.is_none() && h.readers.is_empty(),
@@ -330,7 +343,7 @@ fn grant_next(n: &NodeState, h: &mut ViewHome, svc: &mut SvcCtx<'_>) {
         }
         let w = h.queue.pop_front().unwrap();
         admit(h, w.proc, w.mode);
-        send_view_grant(n, h, svc, w.proc, w.tag, w.have);
+        send_view_grant(n, h, svc, view, w.proc, w.tag, w.have);
         if w.mode == AccessMode::Write {
             break;
         }
@@ -338,7 +351,10 @@ fn grant_next(n: &NodeState, h: &mut ViewHome, svc: &mut SvcCtx<'_>) {
 }
 
 fn send_lock_grant(n: &NodeState, svc: &mut SvcCtx<'_>, dst: ProcId, tag: u64, req_vt: &VTime) {
-    debug_assert!(n.protocol.is_lrc_family(), "locks are a traditional-API feature");
+    debug_assert!(
+        n.protocol.is_lrc_family(),
+        "locks are a traditional-API feature"
+    );
     let records = n.delta_since(req_vt);
     let resp = Resp::LockGrant {
         records,
@@ -348,7 +364,13 @@ fn send_lock_grant(n: &NodeState, svc: &mut SvcCtx<'_>, dst: ProcId, tag: u64, r
     reply(svc, dst, resp.wire_bytes(), tag, Box::new(resp));
 }
 
-fn send_barrier_release(n: &NodeState, svc: &mut SvcCtx<'_>, dst: ProcId, tag: u64, req_vt: &VTime) {
+fn send_barrier_release(
+    n: &NodeState,
+    svc: &mut SvcCtx<'_>,
+    dst: ProcId,
+    tag: u64,
+    req_vt: &VTime,
+) {
     let resp = if n.protocol.is_vc() {
         // VC barriers synchronize only: no consistency payload (paper §3.2).
         Resp::BarrierRelease {
@@ -370,6 +392,7 @@ fn send_view_grant(
     n: &NodeState,
     h: &ViewHome,
     svc: &mut SvcCtx<'_>,
+    view: crate::layout::ViewId,
     dst: ProcId,
     tag: u64,
     have: u32,
@@ -411,5 +434,12 @@ fn send_view_grant(
         version: h.version,
         lamport: n.lamport,
     };
-    reply(svc, dst, resp.wire_bytes(), tag, Box::new(resp));
+    let bytes = resp.wire_bytes();
+    svc.trace(vopp_sim::EventKind::ViewGrantSent {
+        view: view as u64,
+        to: dst,
+        version: h.version as u64,
+        bytes: bytes as u64,
+    });
+    reply(svc, dst, bytes, tag, Box::new(resp));
 }

@@ -134,15 +134,13 @@ impl Req {
                 }
                 Req::ViewAcquire { .. } => 9,
                 Req::ViewRelease { pages, diffs, .. } => {
-                    21 + 4 * pages.len()
-                        + diffs.iter().map(|(_, d)| d.wire_bytes()).sum::<usize>()
+                    21 + 4 * pages.len() + diffs.iter().map(|(_, d)| d.wire_bytes()).sum::<usize>()
                 }
                 Req::DiffReq { intervals, .. } => 4 + 8 * intervals.len(),
                 Req::PageReq { .. } => 4,
-                Req::HomeFlush { items } => items
-                    .iter()
-                    .map(|(_, d)| 4 + d.wire_bytes())
-                    .sum::<usize>(),
+                Req::HomeFlush { items } => {
+                    items.iter().map(|(_, d)| 4 + d.wire_bytes()).sum::<usize>()
+                }
             }
     }
 }
@@ -210,8 +208,7 @@ impl Resp {
         HEADER_BYTES
             + match self {
                 Resp::Ack => 0,
-                Resp::LockGrant { records, vt, .. }
-                | Resp::BarrierRelease { records, vt, .. } => {
+                Resp::LockGrant { records, vt, .. } | Resp::BarrierRelease { records, vt, .. } => {
                     8 + vt.wire_bytes() + records.iter().map(|r| r.wire_bytes()).sum::<usize>()
                 }
                 Resp::ViewGrant { records, diffs, .. } => {
@@ -244,12 +241,21 @@ mod tests {
     fn sizes_are_header_plus_payload() {
         let vt = VTime::zero(16);
         assert_eq!(
-            Req::LockAcquire { lock: 3, vt: vt.clone() }.wire_bytes(),
+            Req::LockAcquire {
+                lock: 3,
+                vt: vt.clone()
+            }
+            .wire_bytes(),
             HEADER_BYTES + 4 + 64
         );
         assert_eq!(Resp::Ack.wire_bytes(), HEADER_BYTES);
         assert_eq!(
-            Req::ViewAcquire { view: 1, mode: AccessMode::Read, have: 0 }.wire_bytes(),
+            Req::ViewAcquire {
+                view: 1,
+                mode: AccessMode::Read,
+                have: 0
+            }
+            .wire_bytes(),
             HEADER_BYTES + 9
         );
     }

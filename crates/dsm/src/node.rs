@@ -223,9 +223,7 @@ impl NodeState {
     /// Like [`NodeState::end_interval`] but also hands back the diffs, for
     /// protocols that ship them eagerly (HLRC home flushes).
     #[allow(clippy::type_complexity)]
-    pub fn end_interval_with_diffs(
-        &mut self,
-    ) -> (Option<IntervalRecord>, Vec<(PageId, Diff)>) {
+    pub fn end_interval_with_diffs(&mut self) -> (Option<IntervalRecord>, Vec<(PageId, Diff)>) {
         let diffs = self.mem.end_interval();
         if diffs.is_empty() {
             return (None, Vec::new());
@@ -234,7 +232,10 @@ impl NodeState {
         let seq = self.logged_vt.bump(self.me);
         self.applied_vt.set(self.me, seq);
         self.lamport += 1;
-        let id = IntervalId { owner: self.me, seq };
+        let id = IntervalId {
+            owner: self.me,
+            seq,
+        };
         let pages: Vec<PageId> = diffs.iter().map(|(p, _)| *p).collect();
         for (p, diff) in &diffs {
             self.diff_store.entry(*p).or_default().push(StoredDiff {
@@ -264,7 +265,10 @@ impl NodeState {
     #[allow(clippy::type_complexity)]
     pub fn end_interval_vc(
         &mut self,
-    ) -> (Option<(IntervalId, u64, Vec<PageId>, Vec<(PageId, Diff)>)>, usize) {
+    ) -> (
+        Option<(IntervalId, u64, Vec<PageId>, Vec<(PageId, Diff)>)>,
+        usize,
+    ) {
         let diffs = self.mem.end_interval();
         if diffs.is_empty() {
             return (None, 0);
@@ -273,7 +277,10 @@ impl NodeState {
         let seq = self.logged_vt.bump(self.me);
         self.applied_vt.set(self.me, seq);
         self.lamport += 1;
-        let id = IntervalId { owner: self.me, seq };
+        let id = IntervalId {
+            owner: self.me,
+            seq,
+        };
         let pages: Vec<PageId> = diffs.iter().map(|(p, _)| *p).collect();
         for (p, diff) in &diffs {
             self.diff_store.entry(*p).or_default().push(StoredDiff {
@@ -450,7 +457,11 @@ impl NodeState {
 
     /// Serve a diff request: look up the stored diffs of `page` for the
     /// requested intervals. Idempotent (pure read).
-    pub fn serve_diffs(&self, page: PageId, intervals: &[IntervalId]) -> Vec<(IntervalId, u64, Diff)> {
+    pub fn serve_diffs(
+        &self,
+        page: PageId,
+        intervals: &[IntervalId],
+    ) -> Vec<(IntervalId, u64, Diff)> {
         let Some(store) = self.diff_store.get(&page) else {
             panic!("node {} has no diffs for page {page}", self.me)
         };

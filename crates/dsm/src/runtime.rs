@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use vopp_sim::{Sim, SimDuration};
+use vopp_sim::sync::Mutex;
+use vopp_sim::{Sim, SimDuration, Tracer};
 use vopp_simnet::{EthernetModel, NetConfig};
 
 use crate::api::DsmCtx;
@@ -28,6 +28,10 @@ pub struct ClusterConfig {
     /// Retransmission timeout for barrier waits (longer than the default
     /// RPC timeout: the reply is legitimately deferred until all arrive).
     pub barrier_timeout: SimDuration,
+    /// Structured event tracer shared by every layer of the run (kernel,
+    /// network, protocol). `None` (the default) records nothing and adds
+    /// no per-event work beyond a pointer test.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl ClusterConfig {
@@ -39,6 +43,7 @@ impl ClusterConfig {
             net: NetConfig::default(),
             cost: CostModel::default(),
             barrier_timeout: SimDuration::from_secs(2),
+            tracer: None,
         }
     }
 
@@ -90,9 +95,15 @@ where
 {
     let n = cfg.nprocs;
     assert!(n > 0);
-    let model = EthernetModel::new(n, cfg.net.clone());
+    let mut model = EthernetModel::new(n, cfg.net.clone());
+    if let Some(tr) = &cfg.tracer {
+        model.set_tracer(tr.clone());
+    }
     let net_stats = model.stats_handle();
     let mut sim = Sim::new(n, Box::new(model));
+    if let Some(tr) = &cfg.tracer {
+        sim.set_tracer(tr.clone());
+    }
 
     let nodes: Vec<Arc<Mutex<NodeState>>> = (0..n)
         .map(|p| {

@@ -8,18 +8,26 @@ use vopp_dsm::{run_cluster, ClusterConfig, Layout, Protocol};
 fn views_rejected_on_lrc() {
     let mut l = Layout::new();
     let (v, _) = l.add_view(8);
-    run_cluster(&ClusterConfig::lossless(1, Protocol::LrcD), l.freeze(), move |ctx| {
-        ctx.acquire_view(v);
-    });
+    run_cluster(
+        &ClusterConfig::lossless(1, Protocol::LrcD),
+        l.freeze(),
+        move |ctx| {
+            ctx.acquire_view(v);
+        },
+    );
 }
 
 #[test]
 #[should_panic(expected = "locks belong to the traditional API")]
 fn locks_rejected_on_vc() {
     let l = Layout::new();
-    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), |ctx| {
-        ctx.lock_acquire(0);
-    });
+    run_cluster(
+        &ClusterConfig::lossless(1, Protocol::VcSd),
+        l.freeze(),
+        |ctx| {
+            ctx.lock_acquire(0);
+        },
+    );
 }
 
 #[test]
@@ -27,9 +35,13 @@ fn locks_rejected_on_vc() {
 fn release_unheld_view_rejected() {
     let mut l = Layout::new();
     let (v, _) = l.add_view(8);
-    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
-        ctx.release_view(v);
-    });
+    run_cluster(
+        &ClusterConfig::lossless(1, Protocol::VcSd),
+        l.freeze(),
+        move |ctx| {
+            ctx.release_view(v);
+        },
+    );
 }
 
 #[test]
@@ -37,9 +49,13 @@ fn release_unheld_view_rejected() {
 fn release_unheld_rview_rejected() {
     let mut l = Layout::new();
     let (v, _) = l.add_view(8);
-    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
-        ctx.release_rview(v);
-    });
+    run_cluster(
+        &ClusterConfig::lossless(1, Protocol::VcSd),
+        l.freeze(),
+        move |ctx| {
+            ctx.release_rview(v);
+        },
+    );
 }
 
 #[test]
@@ -47,10 +63,14 @@ fn release_unheld_rview_rejected() {
 fn write_upgrade_of_read_view_rejected() {
     let mut l = Layout::new();
     let (v, _) = l.add_view(8);
-    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
-        ctx.acquire_rview(v);
-        ctx.acquire_view(v); // upgrade would deadlock at the home
-    });
+    run_cluster(
+        &ClusterConfig::lossless(1, Protocol::VcSd),
+        l.freeze(),
+        move |ctx| {
+            ctx.acquire_rview(v);
+            ctx.acquire_view(v); // upgrade would deadlock at the home
+        },
+    );
 }
 
 #[test]
@@ -61,12 +81,16 @@ fn cross_view_write_rejected_at_release() {
     let mut l = Layout::new();
     let (va, _) = l.add_view(8);
     let (_vb, addr_b) = l.add_view(8);
-    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
-        ctx.acquire_view(va);
-        ctx.write_u32(addr_b, 1); // page belongs to view B
+    run_cluster(
+        &ClusterConfig::lossless(1, Protocol::VcSd),
+        l.freeze(),
+        move |ctx| {
+            ctx.acquire_view(va);
+            ctx.write_u32(addr_b, 1); // page belongs to view B
 
-        ctx.release_view(va);
-    });
+            ctx.release_view(va);
+        },
+    );
 }
 
 #[test]
@@ -74,16 +98,27 @@ fn auto_views_off_by_default() {
     let mut l = Layout::new();
     let (_, addr) = l.add_view(8);
     let r = std::panic::catch_unwind(move || {
-        run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
-            let _ = ctx.read_u32(addr);
-        })
+        run_cluster(
+            &ClusterConfig::lossless(1, Protocol::VcSd),
+            l.freeze(),
+            move |ctx| {
+                let _ = ctx.read_u32(addr);
+            },
+        )
     });
-    assert!(r.is_err(), "unbracketed access must panic when auto mode is off");
+    assert!(
+        r.is_err(),
+        "unbracketed access must panic when auto mode is off"
+    );
 }
 
 #[test]
 #[should_panic(expected = "n > 0")]
 fn zero_proc_cluster_rejected() {
     let l = Layout::new();
-    run_cluster(&ClusterConfig::lossless(0, Protocol::VcSd), l.freeze(), |_| {});
+    run_cluster(
+        &ClusterConfig::lossless(0, Protocol::VcSd),
+        l.freeze(),
+        |_| {},
+    );
 }

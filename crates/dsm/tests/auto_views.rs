@@ -27,25 +27,33 @@ fn auto_views_cost_more_acquires_than_manual() {
     let manual = {
         let mut l = Layout::new();
         let (v, addr) = l.add_view(256);
-        run_cluster(&ClusterConfig::lossless(2, Protocol::VcSd), l.freeze(), move |ctx| {
-            ctx.acquire_view(v);
-            for i in 0..32 {
-                ctx.write_u32(addr + 4 * i, i as u32);
-            }
-            ctx.release_view(v);
-            ctx.barrier();
-        })
+        run_cluster(
+            &ClusterConfig::lossless(2, Protocol::VcSd),
+            l.freeze(),
+            move |ctx| {
+                ctx.acquire_view(v);
+                for i in 0..32 {
+                    ctx.write_u32(addr + 4 * i, i as u32);
+                }
+                ctx.release_view(v);
+                ctx.barrier();
+            },
+        )
     };
     let auto = {
         let mut l = Layout::new();
         let (_, addr) = l.add_view(256);
-        run_cluster(&ClusterConfig::lossless(2, Protocol::VcSd), l.freeze(), move |ctx| {
-            ctx.set_auto_views(true);
-            for i in 0..32 {
-                ctx.write_u32(addr + 4 * i, i as u32);
-            }
-            ctx.barrier();
-        })
+        run_cluster(
+            &ClusterConfig::lossless(2, Protocol::VcSd),
+            l.freeze(),
+            move |ctx| {
+                ctx.set_auto_views(true);
+                for i in 0..32 {
+                    ctx.write_u32(addr + 4 * i, i as u32);
+                }
+                ctx.barrier();
+            },
+        )
     };
     assert_eq!(manual.stats.acquires(), 2, "one acquire per processor");
     assert_eq!(auto.stats.acquires(), 64, "one acquire per access");
@@ -58,15 +66,19 @@ fn auto_views_defer_to_held_views() {
     // Inside an explicit view, auto mode inserts nothing.
     let mut l = Layout::new();
     let (v, addr) = l.add_view(16);
-    let out = run_cluster(&ClusterConfig::lossless(2, Protocol::VcSd), l.freeze(), move |ctx| {
-        ctx.set_auto_views(true);
-        ctx.acquire_view(v);
-        ctx.write_u32(addr, 1);
-        ctx.write_u32(addr + 4, 2);
-        ctx.release_view(v);
-        ctx.barrier();
-        ctx.read_u32(addr) + ctx.read_u32(addr + 4)
-    });
+    let out = run_cluster(
+        &ClusterConfig::lossless(2, Protocol::VcSd),
+        l.freeze(),
+        move |ctx| {
+            ctx.set_auto_views(true);
+            ctx.acquire_view(v);
+            ctx.write_u32(addr, 1);
+            ctx.write_u32(addr + 4, 2);
+            ctx.release_view(v);
+            ctx.barrier();
+            ctx.read_u32(addr) + ctx.read_u32(addr + 4)
+        },
+    );
     assert!(out.results.iter().all(|&r| r == 3));
     // 2 explicit writes + 2x2 auto read acquires.
     assert_eq!(out.stats.acquires(), 2 + 4);
@@ -77,19 +89,23 @@ fn auto_reads_use_read_views() {
     // Concurrent auto-readers must not serialize (they get read views).
     let mut l = Layout::new();
     let (v, addr) = l.add_view(8);
-    let out = run_cluster(&ClusterConfig::lossless(6, Protocol::VcSd), l.freeze(), move |ctx| {
-        if ctx.me() == 0 {
-            ctx.acquire_view(v);
-            ctx.write_u32(addr, 9);
-            ctx.release_view(v);
-        }
-        ctx.barrier();
-        ctx.set_auto_views(true);
-        let t0 = ctx.now();
-        let val = ctx.read_u32(addr); // auto read view
-        ctx.compute_ns(20_000_000.0); // hold nothing: already released
-        (val, (ctx.now() - t0).nanos())
-    });
+    let out = run_cluster(
+        &ClusterConfig::lossless(6, Protocol::VcSd),
+        l.freeze(),
+        move |ctx| {
+            if ctx.me() == 0 {
+                ctx.acquire_view(v);
+                ctx.write_u32(addr, 9);
+                ctx.release_view(v);
+            }
+            ctx.barrier();
+            ctx.set_auto_views(true);
+            let t0 = ctx.now();
+            let val = ctx.read_u32(addr); // auto read view
+            ctx.compute_ns(20_000_000.0); // hold nothing: already released
+            (val, (ctx.now() - t0).nanos())
+        },
+    );
     for (val, _) in &out.results {
         assert_eq!(*val, 9);
     }
@@ -102,8 +118,12 @@ fn auto_views_still_reject_unviewed_memory() {
     let mut l = Layout::new();
     let plain = l.alloc(8, 4);
     let (_, _) = l.add_view(8);
-    run_cluster(&ClusterConfig::lossless(1, Protocol::VcSd), l.freeze(), move |ctx| {
-        ctx.set_auto_views(true);
-        let _ = ctx.read_u32(plain);
-    });
+    run_cluster(
+        &ClusterConfig::lossless(1, Protocol::VcSd),
+        l.freeze(),
+        move |ctx| {
+            ctx.set_auto_views(true);
+            let _ = ctx.read_u32(plain);
+        },
+    );
 }

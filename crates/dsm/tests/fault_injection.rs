@@ -48,7 +48,10 @@ fn loss_sweep_preserves_results() {
                 (out.results, out.stats.rexmits())
             };
             // All nodes converge on the same value...
-            assert!(results.windows(2).all(|w| w[0] == w[1]), "{proto} rate={rate}");
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "{proto} rate={rate}"
+            );
             // ...and the value is independent of the loss pattern.
             match &reference {
                 None => reference = Some(results),
@@ -68,26 +71,30 @@ fn view_queue_is_fifo_and_starvation_free() {
     let mut l = Layout::new();
     let (v, addr) = l.add_view(4 * 64);
     let np = 8;
-    let out = run_cluster(&ClusterConfig::lossless(np, Protocol::VcSd), l.freeze(), move |ctx| {
-        // Everyone stamps the next free slot with its id, 8 times. FIFO
-        // grant order bounds how long anyone can wait.
-        for _ in 0..8 {
-            ctx.acquire_view(v);
-            let n = ctx.read_u32(addr);
-            ctx.write_u32(addr + 4 + 4 * n as usize, ctx.me() as u32);
-            ctx.write_u32(addr, n + 1);
-            ctx.release_view(v);
-        }
-        ctx.barrier();
-        ctx.acquire_rview(v);
-        let total = ctx.read_u32(addr);
-        let mut counts = vec![0u32; np];
-        for i in 0..total as usize {
-            counts[ctx.read_u32(addr + 4 + 4 * i) as usize] += 1;
-        }
-        ctx.release_rview(v);
-        (total, counts)
-    });
+    let out = run_cluster(
+        &ClusterConfig::lossless(np, Protocol::VcSd),
+        l.freeze(),
+        move |ctx| {
+            // Everyone stamps the next free slot with its id, 8 times. FIFO
+            // grant order bounds how long anyone can wait.
+            for _ in 0..8 {
+                ctx.acquire_view(v);
+                let n = ctx.read_u32(addr);
+                ctx.write_u32(addr + 4 + 4 * n as usize, ctx.me() as u32);
+                ctx.write_u32(addr, n + 1);
+                ctx.release_view(v);
+            }
+            ctx.barrier();
+            ctx.acquire_rview(v);
+            let total = ctx.read_u32(addr);
+            let mut counts = vec![0u32; np];
+            for i in 0..total as usize {
+                counts[ctx.read_u32(addr + 4 + 4 * i) as usize] += 1;
+            }
+            ctx.release_rview(v);
+            (total, counts)
+        },
+    );
     for (total, counts) in &out.results {
         assert_eq!(*total, 64);
         // Every proc got exactly its 8 slots: nobody starved or duplicated.
@@ -208,6 +215,10 @@ fn single_node_degenerate_cluster() {
             })
         };
         assert_eq!(outcome.results, vec![5], "{proto}");
-        assert_eq!(outcome.stats.num_msgs(), 0, "{proto}: 1-node runs stay off the wire");
+        assert_eq!(
+            outcome.stats.num_msgs(),
+            0,
+            "{proto}: 1-node runs stay off the wire"
+        );
     }
 }

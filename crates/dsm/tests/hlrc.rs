@@ -53,7 +53,9 @@ fn false_sharing_multiple_writers_converge() {
     let out = run_cluster(&hlrc(4), l.freeze(), move |ctx| {
         ctx.write_u32(base + 4 * ctx.me(), 100 + ctx.me() as u32);
         ctx.barrier();
-        (0..4).map(|i| ctx.read_u32(base + 4 * i)).collect::<Vec<_>>()
+        (0..4)
+            .map(|i| ctx.read_u32(base + 4 * i))
+            .collect::<Vec<_>>()
     });
     for r in &out.results {
         assert_eq!(r, &vec![100, 101, 102, 103]);
@@ -86,18 +88,24 @@ fn single_fetch_per_fault() {
     let run = |proto: Protocol| {
         let mut l = Layout::new();
         let base = l.alloc(4 * writers, 4); // one page, many writers
-        run_cluster(&ClusterConfig::lossless(writers + 1, proto), l.freeze(), move |ctx| {
-            if ctx.me() < writers {
-                ctx.write_u32(base + 4 * ctx.me(), ctx.me() as u32);
-            }
-            ctx.barrier();
-            if ctx.me() == writers {
-                // The reader faults once on the shared page.
-                (0..writers).map(|i| ctx.read_u32(base + 4 * i)).sum::<u32>()
-            } else {
-                0
-            }
-        })
+        run_cluster(
+            &ClusterConfig::lossless(writers + 1, proto),
+            l.freeze(),
+            move |ctx| {
+                if ctx.me() < writers {
+                    ctx.write_u32(base + 4 * ctx.me(), ctx.me() as u32);
+                }
+                ctx.barrier();
+                if ctx.me() == writers {
+                    // The reader faults once on the shared page.
+                    (0..writers)
+                        .map(|i| ctx.read_u32(base + 4 * i))
+                        .sum::<u32>()
+                } else {
+                    0
+                }
+            },
+        )
     };
     let homeless = run(Protocol::LrcD);
     let home = run(Protocol::Hlrc);

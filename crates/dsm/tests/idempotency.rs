@@ -4,10 +4,10 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vopp_dsm::homes::make_handler;
 use vopp_dsm::{AccessMode, CostModel, Layout, NodeState, Protocol, Req, Resp};
 use vopp_page::VTime;
+use vopp_sim::sync::Mutex;
 use vopp_sim::{DeliveryClass, PerfectNet, Sim, SimDuration};
 use vopp_simnet::RPC_TAG_BIT;
 
@@ -47,7 +47,8 @@ fn send_req(ctx: &vopp_sim::AppCtx<'_>, tag: u64, req: Req) {
 }
 
 fn recv_resp(ctx: &vopp_sim::AppCtx<'_>, tag: u64) -> Resp {
-    ctx.recv_filter(|p| p.tag == (RPC_TAG_BIT | tag)).expect::<Resp>()
+    ctx.recv_filter(|p| p.tag == (RPC_TAG_BIT | tag))
+        .expect::<Resp>()
 }
 
 #[test]
@@ -70,10 +71,9 @@ fn duplicate_view_acquire_regrants() {
             send_req(ctx, 2, req);
             let g2 = recv_resp(ctx, 2);
             match (g1, g2) {
-                (
-                    Resp::ViewGrant { version: v1, .. },
-                    Resp::ViewGrant { version: v2, .. },
-                ) => assert_eq!(v1, v2, "duplicate acquire must re-grant, not queue"),
+                (Resp::ViewGrant { version: v1, .. }, Resp::ViewGrant { version: v2, .. }) => {
+                    assert_eq!(v1, v2, "duplicate acquire must re-grant, not queue")
+                }
                 other => panic!("expected two grants, got {other:?}"),
             }
         },

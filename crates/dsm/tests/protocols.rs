@@ -40,7 +40,10 @@ fn lrc_lock_passes_value() {
         }
     });
     assert_eq!(out.results[1], 42);
-    assert!(out.stats.diff_requests() >= 1, "consumer must fault and fetch");
+    assert!(
+        out.stats.diff_requests() >= 1,
+        "consumer must fault and fetch"
+    );
 }
 
 #[test]
@@ -64,7 +67,9 @@ fn lrc_false_sharing_multiple_writers_converge() {
     let out = run_cluster(&lrc(4), l.freeze(), |ctx| {
         ctx.write_u32(base + 4 * ctx.me(), 100 + ctx.me() as u32);
         ctx.barrier();
-        (0..4).map(|i| ctx.read_u32(base + 4 * i)).collect::<Vec<_>>()
+        (0..4)
+            .map(|i| ctx.read_u32(base + 4 * i))
+            .collect::<Vec<_>>()
     });
     for r in &out.results {
         assert_eq!(r, &vec![100, 101, 102, 103]);
@@ -165,14 +170,20 @@ fn vopp_producer_consumer(cfg: &ClusterConfig) -> (u32, u64) {
 fn vcd_view_passes_value_with_diff_requests() {
     let (v, dr) = vopp_producer_consumer(&vcd(2));
     assert_eq!(v, 42);
-    assert!(dr >= 1, "VC_d is an invalidate protocol: faults fetch diffs");
+    assert!(
+        dr >= 1,
+        "VC_d is an invalidate protocol: faults fetch diffs"
+    );
 }
 
 #[test]
 fn vcsd_view_passes_value_without_diff_requests() {
     let (v, dr) = vopp_producer_consumer(&vcsd(2));
     assert_eq!(v, 42);
-    assert_eq!(dr, 0, "VC_sd piggy-backs integrated diffs: zero diff requests");
+    assert_eq!(
+        dr, 0,
+        "VC_sd piggy-backs integrated diffs: zero diff requests"
+    );
 }
 
 #[test]
@@ -268,34 +279,32 @@ fn vcsd_integrated_diff_carries_latest_value() {
     let cfg = vcsd(3);
     let mut l = Layout::new();
     let (v, addr) = l.add_view(8);
-    let out = run_cluster(&cfg, l.freeze(), move |ctx| {
-        match ctx.me() {
-            0 => {
-                ctx.acquire_view(v);
-                ctx.write_u32(addr, 1);
-                ctx.write_u32(addr + 4, 7);
-                ctx.release_view(v);
-                ctx.barrier();
-                ctx.barrier();
-                0
-            }
-            1 => {
-                ctx.barrier();
-                ctx.acquire_view(v);
-                ctx.update_u32(addr, |x| x + 10);
-                ctx.release_view(v);
-                ctx.barrier();
-                0
-            }
-            _ => {
-                ctx.barrier();
-                ctx.barrier();
-                ctx.acquire_rview(v);
-                let a = ctx.read_u32(addr);
-                let b = ctx.read_u32(addr + 4);
-                ctx.release_rview(v);
-                a + b
-            }
+    let out = run_cluster(&cfg, l.freeze(), move |ctx| match ctx.me() {
+        0 => {
+            ctx.acquire_view(v);
+            ctx.write_u32(addr, 1);
+            ctx.write_u32(addr + 4, 7);
+            ctx.release_view(v);
+            ctx.barrier();
+            ctx.barrier();
+            0
+        }
+        1 => {
+            ctx.barrier();
+            ctx.acquire_view(v);
+            ctx.update_u32(addr, |x| x + 10);
+            ctx.release_view(v);
+            ctx.barrier();
+            0
+        }
+        _ => {
+            ctx.barrier();
+            ctx.barrier();
+            ctx.acquire_rview(v);
+            let a = ctx.read_u32(addr);
+            let b = ctx.read_u32(addr + 4);
+            ctx.release_rview(v);
+            a + b
         }
     });
     assert_eq!(out.results[2], 18); // (1+10) + 7
@@ -529,7 +538,10 @@ fn lossy_network_still_correct() {
         for r in &out.results {
             assert_eq!(*r, 32, "{proto}");
         }
-        assert!(out.stats.rexmits() > 0, "5% loss must cause retransmissions");
+        assert!(
+            out.stats.rexmits() > 0,
+            "5% loss must cause retransmissions"
+        );
     }
 }
 

@@ -95,19 +95,23 @@ fn scoped_grants_are_smaller_than_lrc() {
     let run = |proto: Protocol| {
         let mut l = Layout::new();
         let base = l.alloc(4096 * np, 8);
-        run_cluster(&ClusterConfig::lossless(np, proto), l.freeze(), move |ctx| {
-            let me = ctx.me();
-            let lock = (me as u32) * np as u32; // all locks home on node 0
-            let mine = base + 4096 * me;
-            for round in 0..20u32 {
-                ctx.lock_acquire(lock);
-                ctx.write_u32(mine, round + 1);
-                ctx.write_u32(mine + 2048, round + 2);
-                ctx.lock_release(lock);
-            }
-            ctx.barrier();
-            ctx.read_u32(mine) + ctx.read_u32(mine + 2048)
-        })
+        run_cluster(
+            &ClusterConfig::lossless(np, proto),
+            l.freeze(),
+            move |ctx| {
+                let me = ctx.me();
+                let lock = (me as u32) * np as u32; // all locks home on node 0
+                let mine = base + 4096 * me;
+                for round in 0..20u32 {
+                    ctx.lock_acquire(lock);
+                    ctx.write_u32(mine, round + 1);
+                    ctx.write_u32(mine + 2048, round + 2);
+                    ctx.lock_release(lock);
+                }
+                ctx.barrier();
+                ctx.read_u32(mine) + ctx.read_u32(mine + 2048)
+            },
+        )
     };
     let lrc = run(Protocol::LrcD);
     let scc = run(Protocol::ScC);

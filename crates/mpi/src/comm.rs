@@ -3,8 +3,8 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vopp_dsm::{CostModel, CpuDebt};
+use vopp_sim::sync::Mutex;
 use vopp_sim::{AppCtx, ProcId, Sim, SimTime};
 use vopp_simnet::{EthernetModel, NetConfig, RpcClient};
 
@@ -186,7 +186,11 @@ impl<'a> MpiCtx<'a> {
                 }
             } else {
                 let dst_rel = rel & !mask;
-                self.send(abs(dst_rel), TAG_REDUCE, MpiPayload::F64s(Arc::new(acc.clone())));
+                self.send(
+                    abs(dst_rel),
+                    TAG_REDUCE,
+                    MpiPayload::F64s(Arc::new(acc.clone())),
+                );
                 break;
             }
             mask <<= 1;
@@ -227,7 +231,11 @@ where
     let net_stats = model.stats_handle();
     let mut sim = Sim::new(n, Box::new(model));
     let states: Vec<Arc<Mutex<MpiNode>>> = (0..n)
-        .map(|_| Arc::new(Mutex::new(MpiNode { expected_in: vec![0; n] })))
+        .map(|_| {
+            Arc::new(Mutex::new(MpiNode {
+                expected_in: vec![0; n],
+            }))
+        })
         .collect();
     for (p, st) in states.iter().enumerate() {
         sim.set_handler(p, make_handler(st.clone()));

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use vopp_sim::sync::Mutex;
 use vopp_sim::{DeliveryClass, Handler, ProcId};
 use vopp_simnet::{reply, HEADER_BYTES};
 

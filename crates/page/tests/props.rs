@@ -1,14 +1,43 @@
 //! Property-based tests of the memory substrate invariants.
+//!
+//! Exercised over seeded pseudo-random inputs (SplitMix64) instead of a
+//! property-testing framework so the suite runs without external
+//! dependencies; failures print the seed for replay.
 
-use proptest::prelude::*;
 use vopp_page::{
     pages_spanned, Diff, NodeMemory, PageBuf, SharedHeap, VTime, PAGE_SIZE, PAGE_WORDS,
 };
 
-/// A small set of sparse word writes, representable as (index, value).
-fn writes_strategy() -> impl Strategy<Value = Vec<(usize, u32)>> {
-    prop::collection::vec((0..PAGE_WORDS, any::<u32>()), 0..64)
+/// SplitMix64: tiny deterministic PRNG, seeded per case.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Uniform in [lo, hi).
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// A small set of sparse word writes as (index, value) pairs.
+    fn writes(&mut self) -> Vec<(usize, u32)> {
+        (0..self.range(0, 64))
+            .map(|_| (self.range(0, PAGE_WORDS), self.next_u32()))
+            .collect()
+    }
 }
+
+const CASES: u64 = 64;
 
 fn page_from(writes: &[(usize, u32)]) -> Box<PageBuf> {
     let mut p = PageBuf::zeroed();
@@ -18,98 +47,111 @@ fn page_from(writes: &[(usize, u32)]) -> Box<PageBuf> {
     p
 }
 
-proptest! {
-    /// diff(twin, cur) applied to twin reconstructs cur exactly.
-    #[test]
-    fn diff_roundtrip(tw in writes_strategy(), cw in writes_strategy()) {
-        let twin = page_from(&tw);
-        let cur = page_from(&cw);
+/// diff(twin, cur) applied to twin reconstructs cur exactly.
+#[test]
+fn diff_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let twin = page_from(&rng.writes());
+        let cur = page_from(&rng.writes());
         let d = Diff::create(&twin, &cur);
         let mut rebuilt = twin.clone();
         d.apply(&mut rebuilt);
-        prop_assert_eq!(&*rebuilt, &*cur);
+        assert_eq!(&*rebuilt, &*cur, "seed {seed}");
     }
+}
 
-    /// Diff runs are sorted, non-overlapping, non-adjacent and in bounds.
-    #[test]
-    fn diff_runs_canonical(tw in writes_strategy(), cw in writes_strategy()) {
-        let d = Diff::create(&page_from(&tw), &page_from(&cw));
+/// Diff runs are sorted, non-overlapping, non-adjacent and in bounds.
+#[test]
+fn diff_runs_canonical() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let d = Diff::create(&page_from(&rng.writes()), &page_from(&rng.writes()));
         let mut prev_end: Option<u32> = None;
         for r in d.runs() {
-            prop_assert!(!r.words.is_empty());
+            assert!(!r.words.is_empty(), "seed {seed}");
             let end = r.word_off + r.words.len() as u32;
-            prop_assert!(end as usize <= PAGE_WORDS);
+            assert!(end as usize <= PAGE_WORDS, "seed {seed}");
             if let Some(pe) = prev_end {
                 // A gap of at least one unchanged word between runs.
-                prop_assert!(r.word_off > pe);
+                assert!(r.word_off > pe, "seed {seed}");
             }
             prev_end = Some(end);
         }
     }
+}
 
-    /// Merging two diffs equals applying them in sequence (last writer wins).
-    #[test]
-    fn diff_merge_equals_sequential(
-        aw in writes_strategy(),
-        bw in writes_strategy(),
-        base in writes_strategy(),
-    ) {
+/// Merging two diffs equals applying them in sequence (last writer wins).
+#[test]
+fn diff_merge_equals_sequential() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
         let zero = PageBuf::zeroed();
-        let a = Diff::create(&zero, &page_from(&aw));
-        let b = Diff::create(&zero, &page_from(&bw));
+        let a = Diff::create(&zero, &page_from(&rng.writes()));
+        let b = Diff::create(&zero, &page_from(&rng.writes()));
+        let base = rng.writes();
         let mut seq = page_from(&base);
         a.apply(&mut seq);
         b.apply(&mut seq);
         let mut merged = page_from(&base);
         a.merge(&b).apply(&mut merged);
-        prop_assert_eq!(&*seq, &*merged);
+        assert_eq!(&*seq, &*merged, "seed {seed}");
     }
+}
 
-    /// Merge is associative in effect: (a+b)+c == a+(b+c) as page transforms.
-    #[test]
-    fn diff_merge_associative(
-        aw in writes_strategy(),
-        bw in writes_strategy(),
-        cw in writes_strategy(),
-    ) {
+/// Merge is associative in effect: (a+b)+c == a+(b+c) as page transforms.
+#[test]
+fn diff_merge_associative() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
         let zero = PageBuf::zeroed();
-        let a = Diff::create(&zero, &page_from(&aw));
-        let b = Diff::create(&zero, &page_from(&bw));
-        let c = Diff::create(&zero, &page_from(&cw));
+        let a = Diff::create(&zero, &page_from(&rng.writes()));
+        let b = Diff::create(&zero, &page_from(&rng.writes()));
+        let c = Diff::create(&zero, &page_from(&rng.writes()));
         let left = a.merge(&b).merge(&c);
         let right = a.merge(&b.merge(&c));
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right, "seed {seed}");
     }
+}
 
-    /// Integrated diff never exceeds one full page of payload.
-    #[test]
-    fn diff_merge_bounded(aw in writes_strategy(), bw in writes_strategy()) {
+/// Integrated diff never exceeds one full page of payload.
+#[test]
+fn diff_merge_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
         let zero = PageBuf::zeroed();
-        let a = Diff::create(&zero, &page_from(&aw));
-        let b = Diff::create(&zero, &page_from(&bw));
+        let a = Diff::create(&zero, &page_from(&rng.writes()));
+        let b = Diff::create(&zero, &page_from(&rng.writes()));
         let m = a.merge(&b);
-        prop_assert!(m.word_count() <= PAGE_WORDS);
-        prop_assert!(m.word_count() <= a.word_count() + b.word_count());
+        assert!(m.word_count() <= PAGE_WORDS, "seed {seed}");
+        assert!(
+            m.word_count() <= a.word_count() + b.word_count(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Wire-size accounting matches the encoding exactly: header + one
-    /// header-plus-payload block per run.
-    #[test]
-    fn diff_wire_bytes_exact(tw in writes_strategy(), cw in writes_strategy()) {
-        use vopp_page::{DIFF_HEADER_BYTES, RUN_HEADER_BYTES, WORD_SIZE};
-        let d = Diff::create(&page_from(&tw), &page_from(&cw));
-        let expect = DIFF_HEADER_BYTES
-            + d.runs().len() * RUN_HEADER_BYTES
-            + d.word_count() * WORD_SIZE;
-        prop_assert_eq!(d.wire_bytes(), expect);
+/// Wire-size accounting matches the encoding exactly: header + one
+/// header-plus-payload block per run.
+#[test]
+fn diff_wire_bytes_exact() {
+    use vopp_page::{DIFF_HEADER_BYTES, RUN_HEADER_BYTES, WORD_SIZE};
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let d = Diff::create(&page_from(&rng.writes()), &page_from(&rng.writes()));
+        let expect =
+            DIFF_HEADER_BYTES + d.runs().len() * RUN_HEADER_BYTES + d.word_count() * WORD_SIZE;
+        assert_eq!(d.wire_bytes(), expect, "seed {seed}");
     }
+}
 
-    /// Vector time join is the least upper bound.
-    #[test]
-    fn vtime_join_is_lub(
-        a in prop::collection::vec(0u32..1000, 8),
-        b in prop::collection::vec(0u32..1000, 8),
-    ) {
+/// Vector time join is the least upper bound.
+#[test]
+fn vtime_join_is_lub() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let a: Vec<u32> = (0..8).map(|_| rng.range(0, 1000) as u32).collect();
+        let b: Vec<u32> = (0..8).map(|_| rng.range(0, 1000) as u32).collect();
         let mut va = VTime::zero(8);
         let mut vb = VTime::zero(8);
         for i in 0..8 {
@@ -117,68 +159,87 @@ proptest! {
             vb.set(i, b[i]);
         }
         let j = va.join(&vb);
-        prop_assert!(j.dominates(&va));
-        prop_assert!(j.dominates(&vb));
+        assert!(j.dominates(&va), "seed {seed}");
+        assert!(j.dominates(&vb), "seed {seed}");
         // Minimality: any upper bound dominates the join.
         let mut ub = VTime::zero(8);
         for i in 0..8 {
             ub.set(i, a[i].max(b[i]));
         }
-        prop_assert!(ub.dominates(&j) && j.dominates(&ub));
+        assert!(ub.dominates(&j) && j.dominates(&ub), "seed {seed}");
     }
+}
 
-    /// Domination is a partial order: reflexive and antisymmetric; join
-    /// commutes.
-    #[test]
-    fn vtime_partial_order_laws(
-        a in prop::collection::vec(0u32..50, 4),
-        b in prop::collection::vec(0u32..50, 4),
-    ) {
+/// Domination is a partial order: reflexive and antisymmetric; join
+/// commutes.
+#[test]
+fn vtime_partial_order_laws() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let a: Vec<u32> = (0..4).map(|_| rng.range(0, 50) as u32).collect();
+        let b: Vec<u32> = (0..4).map(|_| rng.range(0, 50) as u32).collect();
         let mut va = VTime::zero(4);
         let mut vb = VTime::zero(4);
         for i in 0..4 {
             va.set(i, a[i]);
             vb.set(i, b[i]);
         }
-        prop_assert!(va.dominates(&va));
+        assert!(va.dominates(&va), "seed {seed}");
         if va.dominates(&vb) && vb.dominates(&va) {
-            prop_assert_eq!(va.clone(), vb.clone());
+            assert_eq!(va.clone(), vb.clone(), "seed {seed}");
         }
-        prop_assert_eq!(va.join(&vb), vb.join(&va));
+        assert_eq!(va.join(&vb), vb.join(&va), "seed {seed}");
     }
+}
 
-    /// Heap allocations never overlap and respect alignment.
-    #[test]
-    fn heap_no_overlap(reqs in prop::collection::vec((1usize..10_000, 0u32..6), 1..40)) {
+/// Heap allocations never overlap and respect alignment.
+#[test]
+fn heap_no_overlap() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let reqs: Vec<(usize, u32)> = (0..rng.range(1, 40))
+            .map(|_| (rng.range(1, 10_000), rng.range(0, 6) as u32))
+            .collect();
         let mut h = SharedHeap::new();
         let mut got: Vec<(usize, usize)> = Vec::new();
         for (len, align_pow) in reqs {
             let align = 1usize << align_pow;
             let a = h.alloc(len, align);
-            prop_assert_eq!(a % align, 0);
+            assert_eq!(a % align, 0, "seed {seed}");
             for &(b, blen) in &got {
-                prop_assert!(a + len <= b || b + blen <= a, "overlap");
+                assert!(a + len <= b || b + blen <= a, "seed {seed}: overlap");
             }
             got.push((a, len));
         }
     }
+}
 
-    /// pages_spanned covers exactly the bytes of the range.
-    #[test]
-    fn pages_spanned_covers(addr in 0usize..100_000, len in 0usize..20_000) {
+/// pages_spanned covers exactly the bytes of the range.
+#[test]
+fn pages_spanned_covers() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let addr = rng.range(0, 100_000);
+        let len = rng.range(0, 20_000);
         let r = pages_spanned(addr, len);
         if len == 0 {
-            prop_assert!(r.is_empty());
+            assert!(r.is_empty(), "seed {seed}");
         } else {
-            prop_assert_eq!(r.start, addr / PAGE_SIZE);
-            prop_assert_eq!(r.end, (addr + len - 1) / PAGE_SIZE + 1);
+            assert_eq!(r.start, addr / PAGE_SIZE, "seed {seed}");
+            assert_eq!(r.end, (addr + len - 1) / PAGE_SIZE + 1, "seed {seed}");
         }
     }
+}
 
-    /// NodeMemory interval extraction: applying the extracted diffs to a copy
-    /// of the pre-interval state reproduces the post-interval state.
-    #[test]
-    fn node_memory_interval_roundtrip(ws in prop::collection::vec((0usize..4, 0..PAGE_WORDS, any::<u32>()), 1..50)) {
+/// NodeMemory interval extraction: applying the extracted diffs to a copy
+/// of the pre-interval state reproduces the post-interval state.
+#[test]
+fn node_memory_interval_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let ws: Vec<(usize, usize, u32)> = (0..rng.range(1, 50))
+            .map(|_| (rng.range(0, 4), rng.range(0, PAGE_WORDS), rng.next_u32()))
+            .collect();
         let mut m = NodeMemory::new(4);
         // Pre-state: some baseline writes in a first interval.
         m.note_write(0);
@@ -196,7 +257,7 @@ proptest! {
             d.apply(&mut rebuilt[*p]);
         }
         for (p, page) in rebuilt.iter().enumerate() {
-            prop_assert_eq!(&**page, m.page(p));
+            assert_eq!(&**page, m.page(p), "seed {seed}");
         }
     }
 }

@@ -109,11 +109,19 @@ impl<'a> AppCtx<'a> {
                 return Some(s.procs[self.me].mailbox.remove(pos).unwrap());
             }
             if !timer_armed {
-                s.push_event(deadline, Event::Timer { dst: self.me, token });
+                s.push_event(
+                    deadline,
+                    Event::Timer {
+                        dst: self.me,
+                        token,
+                    },
+                );
                 timer_armed = true;
             }
             s.procs[self.me].timed_out = false;
-            s.procs[self.me].phase = Phase::WaitRecv { deadline: Some(token) };
+            s.procs[self.me].phase = Phase::WaitRecv {
+                deadline: Some(token),
+            };
             self.shared.yield_and_wait(self.me, &mut s);
             if s.procs[self.me].timed_out {
                 return None;
@@ -140,6 +148,24 @@ impl<'a> AppCtx<'a> {
         let before = mb.len();
         mb.retain(|p| !unwanted(p));
         before - mb.len()
+    }
+
+    /// Whether an enabled tracer is installed. Layers that need to compute
+    /// anything to build an event should gate on this first.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        matches!(&self.shared.tracer, Some(t) if t.is_enabled())
+    }
+
+    /// Record a trace event at this process's current virtual time.
+    /// A no-op (one pointer test) when no tracer is installed.
+    pub fn trace(&self, kind: vopp_trace::EventKind) {
+        if let Some(tr) = &self.shared.tracer {
+            if tr.is_enabled() {
+                let now = self.shared.sched.lock().procs[self.me].clock;
+                tr.record(now.0, self.me, kind);
+            }
+        }
     }
 }
 
@@ -189,5 +215,13 @@ impl<'a> SvcCtx<'a> {
         let mut s = self.shared.sched.lock();
         let pkt = Packet::new(self.me, wire_bytes, class, tag, payload);
         s.submit_send(self.now, dst, pkt);
+    }
+
+    /// Record a trace event at the handled packet's arrival time.
+    /// A no-op (one pointer test) when no tracer is installed.
+    pub fn trace(&self, kind: vopp_trace::EventKind) {
+        if let Some(tr) = &self.shared.tracer {
+            tr.record(self.now.0, self.me, kind);
+        }
     }
 }

@@ -14,12 +14,14 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use vopp_trace::{EventKind, Tracer};
 
 use crate::ctx::{AppCtx, SvcCtx};
 use crate::net::{NetModel, RouteRequest};
 use crate::packet::{DeliveryClass, Packet};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use crate::time::{SimDuration, SimTime};
 use crate::ProcId;
 
@@ -105,6 +107,7 @@ pub(crate) struct Sched {
     pub(crate) shutdown: bool,
     panicked: bool,
     pub(crate) net: Box<dyn NetModel>,
+    pub(crate) tracer: Option<Arc<Tracer>>,
 }
 
 impl Sched {
@@ -121,6 +124,18 @@ impl Sched {
 
     /// Route a packet through the network model and schedule its delivery.
     pub(crate) fn submit_send(&mut self, now: SimTime, dst: ProcId, pkt: Packet) {
+        if let Some(tr) = &self.tracer {
+            tr.record(
+                now.0,
+                pkt.src,
+                EventKind::NetSend {
+                    dst,
+                    wire_bytes: pkt.wire_bytes as u64,
+                    tag: pkt.tag,
+                    svc: pkt.class == DeliveryClass::Svc,
+                },
+            );
+        }
         let req = RouteRequest {
             now,
             src: pkt.src,
@@ -144,13 +159,16 @@ pub(crate) struct Shared {
     pub(crate) proc_cv: Vec<Condvar>,
     pub(crate) ctl_cv: Condvar,
     pub(crate) nprocs: usize,
+    /// Same tracer as `Sched::tracer`, duplicated outside the mutex so the
+    /// disabled path is a pointer test without taking the scheduler lock.
+    pub(crate) tracer: Option<Arc<Tracer>>,
 }
 
 impl Shared {
     /// Called from a process thread: give control back to the controller and
     /// wait until the controller hands it back. The caller must already have
     /// set its own phase to the blocked state it wants.
-    pub(crate) fn yield_and_wait(&self, me: ProcId, s: &mut parking_lot::MutexGuard<'_, Sched>) {
+    pub(crate) fn yield_and_wait(&self, me: ProcId, s: &mut MutexGuard<'_, Sched>) {
         debug_assert_eq!(s.running, Some(me));
         s.running = None;
         self.ctl_cv.notify_one();
@@ -197,6 +215,7 @@ pub struct Sim {
     nprocs: usize,
     net: Box<dyn NetModel>,
     handlers: Vec<Option<Handler>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Sim {
@@ -207,7 +226,16 @@ impl Sim {
             nprocs,
             net,
             handlers: (0..nprocs).map(|_| None).collect(),
+            tracer: None,
         }
+    }
+
+    /// Install an event tracer. Kernel-level send/receive and process
+    /// lifecycle events are recorded into it; the same tracer is exposed to
+    /// process bodies and service handlers via [`AppCtx::trace`] /
+    /// [`SvcCtx::trace`] so higher layers share one event stream.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// Register the service handler for process `p` (at most one each).
@@ -240,10 +268,12 @@ impl Sim {
                 shutdown: false,
                 panicked: false,
                 net: self.net,
+                tracer: self.tracer.clone(),
             }),
             proc_cv: (0..nprocs).map(|_| Condvar::new()).collect(),
             ctl_cv: Condvar::new(),
             nprocs,
+            tracer: self.tracer,
         };
         {
             let mut s = shared.sched.lock();
@@ -268,15 +298,17 @@ impl Sim {
                                 shared.proc_cv[p].wait(&mut s);
                             }
                         }
-                        let r = catch_unwind(AssertUnwindSafe(|| {
-                            body(AppCtx::new(shared, p, nprocs))
-                        }));
+                        let r =
+                            catch_unwind(AssertUnwindSafe(|| body(AppCtx::new(shared, p, nprocs))));
                         let mut s = shared.sched.lock();
                         // Only the *first* panic is the real error; panics
                         // raised to unblock threads during shutdown are noise.
                         let first_panic = r.is_err() && !s.shutdown && !s.panicked;
                         if first_panic {
                             s.panicked = true;
+                        }
+                        if let Some(tr) = &s.tracer {
+                            tr.record(s.procs[p].clock.0, p, EventKind::ProcExit);
                         }
                         s.procs[p].phase = Phase::Finished;
                         s.live -= 1;
@@ -324,7 +356,10 @@ impl Sim {
         let net = std::mem::replace(&mut s.net, Box::new(crate::net::PerfectNet::default()));
         drop(s);
         RunOutcome {
-            results: results.iter_mut().map(|r| r.take().expect("result")).collect(),
+            results: results
+                .iter_mut()
+                .map(|r| r.take().expect("result"))
+                .collect(),
             end_time,
             proc_end,
             net,
@@ -366,6 +401,17 @@ impl Sim {
                     s.procs[dst].pending_deliver -= 1;
                     s.procs[dst].pending_bytes -= pkt.wire_bytes;
                     pkt.arrived = entry.at;
+                    if let Some(tr) = &s.tracer {
+                        tr.record(
+                            entry.at.0,
+                            dst,
+                            EventKind::NetRecv {
+                                src: pkt.src,
+                                wire_bytes: pkt.wire_bytes as u64,
+                                tag: pkt.tag,
+                            },
+                        );
+                    }
                     match pkt.class {
                         DeliveryClass::Svc => {
                             drop(s);
@@ -391,7 +437,11 @@ impl Sim {
                     }
                 }
                 Event::Timer { dst, token } => {
-                    if s.procs[dst].phase == (Phase::WaitRecv { deadline: Some(token) }) {
+                    if s.procs[dst].phase
+                        == (Phase::WaitRecv {
+                            deadline: Some(token),
+                        })
+                    {
                         s.procs[dst].timed_out = true;
                         Self::wake(shared, &mut s, dst, entry.at);
                     }
@@ -403,13 +453,13 @@ impl Sim {
 
     /// Hand control to process `p` at virtual time `t` and block until it
     /// yields again. Must be called with the scheduler locked.
-    fn wake(
-        shared: &Shared,
-        s: &mut parking_lot::MutexGuard<'_, Sched>,
-        p: ProcId,
-        t: SimTime,
-    ) {
+    fn wake(shared: &Shared, s: &mut MutexGuard<'_, Sched>, p: ProcId, t: SimTime) {
         debug_assert!(s.running.is_none());
+        if s.procs[p].phase == Phase::Startup {
+            if let Some(tr) = &s.tracer {
+                tr.record(t.0, p, EventKind::ProcStart);
+            }
+        }
         let pi = &mut s.procs[p];
         pi.clock = pi.clock.max(t);
         pi.phase = Phase::Running;
@@ -421,7 +471,7 @@ impl Sim {
     }
 
     /// Release every blocked process thread so the scope can join them.
-    fn shutdown_all(shared: &Shared, s: &mut parking_lot::MutexGuard<'_, Sched>) {
+    fn shutdown_all(shared: &Shared, s: &mut MutexGuard<'_, Sched>) {
         s.shutdown = true;
         for cv in &shared.proc_cv {
             cv.notify_all();

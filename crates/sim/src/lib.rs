@@ -19,6 +19,7 @@ mod ctx;
 mod kernel;
 mod net;
 mod packet;
+pub mod sync;
 mod time;
 
 /// Identifier of a simulated process (0-based, dense).
@@ -29,3 +30,4 @@ pub use kernel::{run_simple, Handler, RunOutcome, Sim};
 pub use net::{NetModel, PerfectNet, RouteRequest};
 pub use packet::{DeliveryClass, Packet};
 pub use time::{SimDuration, SimTime};
+pub use vopp_trace::{EventKind, Tracer};

@@ -4,9 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use vopp_sim::{
-    run_simple, DeliveryClass, PerfectNet, Sim, SimDuration, SimTime,
-};
+use vopp_sim::{run_simple, DeliveryClass, PerfectNet, Sim, SimDuration, SimTime};
 
 const LAT: SimDuration = SimDuration(50_000); // 50us
 

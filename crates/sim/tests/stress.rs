@@ -80,7 +80,13 @@ fn deterministic_pseudo_random_program() {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(round);
                 let dst = (state % 6) as usize;
                 if dst != me {
-                    ctx.send(dst, (state % 512) as usize + 16, DeliveryClass::App, round, Box::new(state));
+                    ctx.send(
+                        dst,
+                        (state % 512) as usize + 16,
+                        DeliveryClass::App,
+                        round,
+                        Box::new(state),
+                    );
                 }
                 // Opportunistically drain anything that has arrived.
                 while let Some(pkt) = ctx.recv_timeout(SimDuration::from_micros(1)) {

@@ -13,8 +13,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use vopp_sim::{NetModel, RouteRequest, SimTime};
+use vopp_sim::sync::Mutex;
+use vopp_sim::{EventKind, NetModel, RouteRequest, SimTime, Tracer};
 
 use crate::config::NetConfig;
 
@@ -57,6 +57,7 @@ pub struct EthernetModel {
     rx_free: Vec<SimTime>,
     rng: SplitMix64,
     stats: Arc<Mutex<NetStats>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl EthernetModel {
@@ -68,6 +69,7 @@ impl EthernetModel {
             tx_free: vec![SimTime::ZERO; nprocs],
             rx_free: vec![SimTime::ZERO; nprocs],
             stats: Arc::new(Mutex::new(NetStats::default())),
+            tracer: None,
         }
     }
 
@@ -75,6 +77,13 @@ impl EthernetModel {
     /// the simulation).
     pub fn stats_handle(&self) -> Arc<Mutex<NetStats>> {
         self.stats.clone()
+    }
+
+    /// Record drop events (with overflow classification — only the model
+    /// knows whether a loss was congestion or background bit error) into
+    /// `tracer`. Use the same tracer as the owning `Sim`.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     fn drop_probability(&self, pending_bytes_at_dst: usize) -> f64 {
@@ -100,6 +109,17 @@ impl NetModel for EthernetModel {
         let p = self.drop_probability(req.pending_bytes_at_dst);
         if p > 0.0 && self.rng.next_f64() < p {
             self.stats.lock().drops += 1;
+            if let Some(tr) = &self.tracer {
+                tr.record(
+                    req.now.nanos(),
+                    req.src,
+                    EventKind::NetDrop {
+                        dst: req.dst,
+                        wire_bytes: req.wire_bytes as u64,
+                        overflow: req.pending_bytes_at_dst > self.cfg.overflow_threshold_bytes,
+                    },
+                );
+            }
             if std::env::var_os("VOPP_NET_DEBUG").is_some() {
                 eprintln!(
                     "[net] drop at {}: {} -> {} ({} B, {} B pending at dst, p={p:.3})",

@@ -68,12 +68,19 @@ impl RpcClient {
         ctx.purge_filter(|p| p.tag & RPC_TAG_BIT != 0 && p.tag < tag);
         let mut tries = 0;
         loop {
-            ctx.send(dst, wire_bytes, DeliveryClass::Svc, tag, Box::new(msg.clone()));
+            ctx.send(
+                dst,
+                wire_bytes,
+                DeliveryClass::Svc,
+                tag,
+                Box::new(msg.clone()),
+            );
             match ctx.recv_filter_timeout(self.timeout, |p| p.tag == tag) {
                 Some(pkt) => return pkt,
                 None => {
                     tries += 1;
                     self.rexmits += 1;
+                    ctx.trace(vopp_sim::EventKind::Rexmit { dst, tag });
                     assert!(
                         tries <= self.max_retries,
                         "rpc to {dst} got no reply after {tries} retransmissions"
@@ -99,7 +106,13 @@ impl RpcClient {
         let tag_of = |i: usize| RPC_TAG_BIT | (base + i as u64);
         ctx.purge_filter(|p| p.tag & RPC_TAG_BIT != 0 && p.tag < tag_of(0));
         for (i, (dst, bytes, msg)) in calls.iter().enumerate() {
-            ctx.send(*dst, *bytes, DeliveryClass::Svc, tag_of(i), Box::new(msg.clone()));
+            ctx.send(
+                *dst,
+                *bytes,
+                DeliveryClass::Svc,
+                tag_of(i),
+                Box::new(msg.clone()),
+            );
         }
         let mut out = Vec::with_capacity(calls.len());
         for (i, (dst, bytes, msg)) in calls.iter().enumerate() {
@@ -114,6 +127,7 @@ impl RpcClient {
                     None => {
                         tries += 1;
                         self.rexmits += 1;
+                        ctx.trace(vopp_sim::EventKind::Rexmit { dst: *dst, tag });
                         assert!(
                             tries <= self.max_retries,
                             "rpc to {dst} got no reply after {tries} retransmissions"
@@ -220,7 +234,7 @@ mod tests {
         // produces two replies; the duplicate must not confuse later calls.
         let cfg = NetConfig {
             base_drop_prob: 0.0,
-            latency: vopp_sim::SimDuration::from_millis(700), // rtt 1.4s > 1s timeout
+            latency: SimDuration::from_millis(700), // rtt 1.4s > 1s timeout
             ..NetConfig::lossless()
         };
         let (got, rexmits) = echo_sim(cfg, 5);

@@ -1,0 +1,419 @@
+//! Chrome-trace JSON export, loadable in [Perfetto](https://ui.perfetto.dev)
+//! (or `chrome://tracing`).
+//!
+//! Layout: one Perfetto *process* per simulated node, a single "protocol"
+//! track each. Waits become complete slices (`ph:"X"`): view-acquire waits,
+//! view holds, barrier waits, lock waits, and application `with_view`
+//! bracket spans. Page faults, diff requests, drops and retransmissions
+//! become instant events. Each view-grant → acquire-completion pair is tied
+//! together with a flow arrow (`ph:"s"` / `ph:"f"`) from the home node's
+//! grant slice to the requester's acquire slice. Timestamps are **virtual**
+//! microseconds — wall time never appears, so exports are deterministic.
+
+use std::collections::HashMap;
+
+use crate::event::{EventKind, NodeId};
+use crate::json::{self, Value};
+use crate::tracer::Trace;
+
+/// Convert nanoseconds of virtual time to the microsecond floats Chrome
+/// trace events use. Sub-microsecond precision is preserved as fractions.
+fn us(t_ns: u64) -> Value {
+    Value::Num(t_ns as f64 / 1000.0)
+}
+
+fn mode(write: bool) -> &'static str {
+    if write {
+        "W"
+    } else {
+        "R"
+    }
+}
+
+struct Emitter {
+    out: Vec<Value>,
+}
+
+impl Emitter {
+    fn meta(&mut self, pid: NodeId, name: &str, value: Value) {
+        self.out.push(json::obj(vec![
+            ("ph", json::str("M")),
+            ("pid", json::num(pid as u64)),
+            ("tid", json::num(0)),
+            ("name", json::str(name)),
+            ("args", json::obj(vec![("name", value)])),
+        ]));
+    }
+
+    fn slice(
+        &mut self,
+        pid: NodeId,
+        cat: &str,
+        name: &str,
+        start_ns: u64,
+        end_ns: u64,
+        args: Vec<(&str, Value)>,
+    ) {
+        self.out.push(json::obj(vec![
+            ("ph", json::str("X")),
+            ("pid", json::num(pid as u64)),
+            ("tid", json::num(0)),
+            ("cat", json::str(cat)),
+            ("name", json::str(name)),
+            ("ts", us(start_ns)),
+            ("dur", us(end_ns.saturating_sub(start_ns))),
+            ("args", json::obj(args)),
+        ]));
+    }
+
+    fn instant(&mut self, pid: NodeId, cat: &str, name: &str, t_ns: u64, args: Vec<(&str, Value)>) {
+        self.out.push(json::obj(vec![
+            ("ph", json::str("i")),
+            ("s", json::str("t")),
+            ("pid", json::num(pid as u64)),
+            ("tid", json::num(0)),
+            ("cat", json::str(cat)),
+            ("name", json::str(name)),
+            ("ts", us(t_ns)),
+            ("args", json::obj(args)),
+        ]));
+    }
+
+    fn flow(&mut self, ph: &str, pid: NodeId, id: u64, t_ns: u64) {
+        let mut pairs = vec![
+            ("ph", json::str(ph)),
+            ("pid", json::num(pid as u64)),
+            ("tid", json::num(0)),
+            ("cat", json::str("grant-flow")),
+            ("name", json::str("view grant")),
+            ("id", json::num(id)),
+            ("ts", us(t_ns)),
+        ];
+        if ph == "f" {
+            // Bind the arrow head to the enclosing (acquire) slice.
+            pairs.push(("bp", json::str("e")));
+        }
+        self.out.push(json::obj(pairs));
+    }
+}
+
+/// Render a trace as a Chrome-trace JSON document.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut em = Emitter { out: Vec::new() };
+
+    for node in 0..trace.node_count() {
+        em.meta(node, "process_name", json::str(&format!("node {node}")));
+        em.meta(node, "process_sort_index", json::num(node as u64));
+        em.meta(node, "thread_name", json::str("protocol"));
+    }
+
+    // Open-interval state, keyed so that pops always match the most recent
+    // push for that key on that node. Maps are only written/popped, never
+    // iterated, so emission order stays deterministic (scan order).
+    // (start time, grant version, grant bytes) of an open view hold.
+    type Hold = (u64, u64, u64);
+    let mut acquires: HashMap<(NodeId, u64, bool), Vec<u64>> = HashMap::new();
+    let mut holds: HashMap<(NodeId, u64, bool), Vec<Hold>> = HashMap::new();
+    let mut barriers: HashMap<(NodeId, u64), Vec<(u64, u64)>> = HashMap::new();
+    let mut locks: HashMap<(NodeId, u64), Vec<u64>> = HashMap::new();
+    let mut spans: HashMap<(NodeId, String), Vec<u64>> = HashMap::new();
+    // Grants not yet matched to the requester's acquire completion:
+    // (view, version, requester) → flow ids, in grant order.
+    let mut pending_grants: HashMap<(u64, u64, NodeId), Vec<u64>> = HashMap::new();
+    let mut next_flow_id: u64 = 1;
+
+    for ev in &trace.events {
+        let n = ev.node;
+        match &ev.kind {
+            EventKind::AcquireStart { view, write } => {
+                acquires.entry((n, *view, *write)).or_default().push(ev.t);
+            }
+            EventKind::AcquireEnd {
+                view,
+                write,
+                version,
+                bytes,
+            } => {
+                if let Some(start) = acquires.entry((n, *view, *write)).or_default().pop() {
+                    em.slice(
+                        n,
+                        "acquire",
+                        &format!("acquire v{view} ({})", mode(*write)),
+                        start,
+                        ev.t,
+                        vec![
+                            ("view", json::num(*view)),
+                            ("version", json::num(*version)),
+                            ("grant_bytes", json::num(*bytes)),
+                        ],
+                    );
+                    if let Some(flow_id) = pending_grants
+                        .get_mut(&(*view, *version, n))
+                        .and_then(|ids| (!ids.is_empty()).then(|| ids.remove(0)))
+                    {
+                        em.flow("f", n, flow_id, ev.t);
+                    }
+                }
+                holds
+                    .entry((n, *view, *write))
+                    .or_default()
+                    .push((ev.t, *version, *bytes));
+            }
+            EventKind::ReleaseDone { view, write } => {
+                if let Some((start, version, bytes)) =
+                    holds.entry((n, *view, *write)).or_default().pop()
+                {
+                    em.slice(
+                        n,
+                        "view",
+                        &format!("hold v{view} ({})", mode(*write)),
+                        start,
+                        ev.t,
+                        vec![
+                            ("view", json::num(*view)),
+                            ("version", json::num(version)),
+                            ("grant_bytes", json::num(bytes)),
+                        ],
+                    );
+                }
+            }
+            EventKind::ViewGrantSent {
+                view,
+                to,
+                version,
+                bytes,
+            } => {
+                let flow_id = next_flow_id;
+                next_flow_id += 1;
+                pending_grants
+                    .entry((*view, *version, *to))
+                    .or_default()
+                    .push(flow_id);
+                // A short slice so the flow arrow has a visible anchor at
+                // the home node; virtual grant processing is instantaneous.
+                em.slice(
+                    n,
+                    "grant",
+                    &format!("grant v{view}→{to}"),
+                    ev.t,
+                    ev.t + 1_000,
+                    vec![
+                        ("view", json::num(*view)),
+                        ("version", json::num(*version)),
+                        ("bytes", json::num(*bytes)),
+                    ],
+                );
+                em.flow("s", n, flow_id, ev.t);
+            }
+            EventKind::BarrierEnter { id, epoch } => {
+                barriers.entry((n, *id)).or_default().push((ev.t, *epoch));
+            }
+            EventKind::BarrierExit { id, epoch, notices } => {
+                if let Some((start, _)) = barriers.entry((n, *id)).or_default().pop() {
+                    em.slice(
+                        n,
+                        "barrier",
+                        &format!("barrier {id}"),
+                        start,
+                        ev.t,
+                        vec![
+                            ("epoch", json::num(*epoch)),
+                            ("notices", json::num(*notices)),
+                        ],
+                    );
+                }
+            }
+            EventKind::LockAcquireStart { lock } => {
+                locks.entry((n, *lock)).or_default().push(ev.t);
+            }
+            EventKind::LockAcquireEnd { lock } => {
+                if let Some(start) = locks.entry((n, *lock)).or_default().pop() {
+                    em.slice(
+                        n,
+                        "lock",
+                        &format!("lock {lock}"),
+                        start,
+                        ev.t,
+                        vec![("lock", json::num(*lock))],
+                    );
+                }
+            }
+            EventKind::SpanBegin { name } => {
+                spans.entry((n, name.clone())).or_default().push(ev.t);
+            }
+            EventKind::SpanEnd { name } => {
+                if let Some(start) = spans.entry((n, name.clone())).or_default().pop() {
+                    em.slice(n, "app", name, start, ev.t, vec![]);
+                }
+            }
+            EventKind::PageFault { page, write } => {
+                em.instant(
+                    n,
+                    "fault",
+                    &format!("fault p{page} ({})", mode(*write)),
+                    ev.t,
+                    vec![("page", json::num(*page))],
+                );
+            }
+            EventKind::DiffRequest { page, to } => {
+                em.instant(
+                    n,
+                    "diff",
+                    &format!("diff req p{page}"),
+                    ev.t,
+                    vec![("page", json::num(*page)), ("to", json::num(*to as u64))],
+                );
+            }
+            EventKind::NetDrop {
+                dst,
+                wire_bytes,
+                overflow,
+            } => {
+                em.instant(
+                    n,
+                    "net",
+                    if *overflow { "drop (overflow)" } else { "drop" },
+                    ev.t,
+                    vec![
+                        ("dst", json::num(*dst as u64)),
+                        ("wire_bytes", json::num(*wire_bytes)),
+                    ],
+                );
+            }
+            EventKind::Rexmit { dst, tag } => {
+                em.instant(
+                    n,
+                    "net",
+                    "rexmit",
+                    ev.t,
+                    vec![("dst", json::num(*dst as u64)), ("tag", json::num(*tag))],
+                );
+            }
+            // High-volume or structural events are available in the raw
+            // trace JSON; they would only clutter the timeline here.
+            EventKind::ProcStart
+            | EventKind::ProcExit
+            | EventKind::NetSend { .. }
+            | EventKind::NetRecv { .. }
+            | EventKind::DiffApply { .. }
+            | EventKind::WriteNoticeApply { .. }
+            | EventKind::LockRelease { .. } => {}
+        }
+    }
+
+    json::obj(vec![
+        ("displayTimeUnit", json::str("ns")),
+        ("traceEvents", Value::Arr(em.out)),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn e(t: u64, node: NodeId, kind: EventKind) -> Event {
+        Event { t, node, kind }
+    }
+
+    #[test]
+    fn exports_spans_flows_and_metadata() {
+        let trace = Trace {
+            events: vec![
+                e(
+                    1_000,
+                    1,
+                    EventKind::AcquireStart {
+                        view: 3,
+                        write: true,
+                    },
+                ),
+                e(
+                    2_000,
+                    0,
+                    EventKind::ViewGrantSent {
+                        view: 3,
+                        to: 1,
+                        version: 7,
+                        bytes: 128,
+                    },
+                ),
+                e(
+                    5_000,
+                    1,
+                    EventKind::AcquireEnd {
+                        view: 3,
+                        write: true,
+                        version: 7,
+                        bytes: 128,
+                    },
+                ),
+                e(
+                    9_000,
+                    1,
+                    EventKind::ReleaseDone {
+                        view: 3,
+                        write: true,
+                    },
+                ),
+            ],
+            evicted: 0,
+        };
+        let text = to_chrome_json(&trace);
+        let doc = Value::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+
+        let phs: Vec<&str> = events
+            .iter()
+            .map(|ev| ev.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert!(phs.contains(&"M"), "process metadata present");
+        assert!(
+            phs.contains(&"s") && phs.contains(&"f"),
+            "flow pair present"
+        );
+
+        let slices: Vec<&Value> = events
+            .iter()
+            .filter(|ev| ev.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        let names: Vec<&str> = slices
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"acquire v3 (W)"));
+        assert!(names.contains(&"hold v3 (W)"));
+        assert!(names.contains(&"grant v3→1"));
+
+        // Acquire wait: 1µs → 5µs on node 1.
+        let acq = slices
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("acquire v3 (W)"))
+            .unwrap();
+        assert_eq!(acq.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(acq.get("dur").unwrap().as_f64(), Some(4.0));
+        assert_eq!(acq.get("pid").unwrap().as_u64(), Some(1));
+
+        // Flow start and finish share an id.
+        let start = events
+            .iter()
+            .find(|ev| ev.get("ph").unwrap().as_str() == Some("s"))
+            .unwrap();
+        let finish = events
+            .iter()
+            .find(|ev| ev.get("ph").unwrap().as_str() == Some("f"))
+            .unwrap();
+        assert_eq!(
+            start.get("id").unwrap().as_u64(),
+            finish.get("id").unwrap().as_u64()
+        );
+        assert_eq!(finish.get("bp").unwrap().as_str(), Some("e"));
+    }
+
+    #[test]
+    fn export_is_valid_json_for_empty_trace() {
+        let doc = Value::parse(&to_chrome_json(&Trace::default())).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

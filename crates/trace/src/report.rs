@@ -1,0 +1,233 @@
+//! Plain-text summarization of a trace: where did the time go?
+//!
+//! Complements the Perfetto export for terminal workflows: the report lists
+//! the top-N slowest view acquires, a per-view wait histogram, and barrier
+//! wait statistics — the three quantities the paper's tables aggregate away.
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+use crate::event::{EventKind, NodeId};
+use crate::tracer::Trace;
+
+/// One completed view-acquire wait reconstructed from the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcquireWait {
+    /// Waiting node.
+    pub node: NodeId,
+    /// View id.
+    pub view: u64,
+    /// Write vs read acquisition.
+    pub write: bool,
+    /// Virtual time the wait began (ns).
+    pub start: u64,
+    /// Wait duration (ns).
+    pub wait_ns: u64,
+}
+
+/// Pair every `AcquireStart` with its `AcquireEnd`.
+pub fn acquire_waits(trace: &Trace) -> Vec<AcquireWait> {
+    let mut open: HashMap<(NodeId, u64, bool), Vec<u64>> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::AcquireStart { view, write } => {
+                open.entry((ev.node, *view, *write)).or_default().push(ev.t);
+            }
+            EventKind::AcquireEnd { view, write, .. } => {
+                if let Some(start) = open.entry((ev.node, *view, *write)).or_default().pop() {
+                    out.push(AcquireWait {
+                        node: ev.node,
+                        view: *view,
+                        write: *write,
+                        start,
+                        wait_ns: ev.t.saturating_sub(start),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Decade histogram bucket index for a wait, and its label.
+const BUCKETS: [(&str, u64); 6] = [
+    ("     <10µs", 10_000),
+    ("  10-100µs", 100_000),
+    (" 100µs-1ms", 1_000_000),
+    ("   1-10ms", 10_000_000),
+    (" 10-100ms", 100_000_000),
+    ("   >100ms", u64::MAX),
+];
+
+fn bucket(wait_ns: u64) -> usize {
+    BUCKETS
+        .iter()
+        .position(|(_, lim)| wait_ns < *lim)
+        .unwrap_or(BUCKETS.len() - 1)
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1}µs", ns as f64 / 1000.0)
+}
+
+/// Render the human-readable trace report.
+pub fn report(trace: &Trace, top_n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace report: {} events across {} nodes ({} evicted)",
+        trace.events.len(),
+        trace.node_count(),
+        trace.evicted
+    );
+
+    // Event census, sorted by count descending then name for stability.
+    let mut census: HashMap<&'static str, usize> = HashMap::new();
+    for ev in &trace.events {
+        *census.entry(ev.kind.name()).or_default() += 1;
+    }
+    let mut census: Vec<(&str, usize)> = census.into_iter().collect();
+    census.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let _ = writeln!(out, "\nevent census:");
+    for (name, count) in &census {
+        let _ = writeln!(out, "  {count:>8}  {name}");
+    }
+
+    // Slowest acquires.
+    let mut waits = acquire_waits(trace);
+    waits.sort_by(|a, b| b.wait_ns.cmp(&a.wait_ns).then(a.start.cmp(&b.start)));
+    let _ = writeln!(
+        out,
+        "\ntop {} slowest view acquires:",
+        top_n.min(waits.len())
+    );
+    for w in waits.iter().take(top_n) {
+        let _ = writeln!(
+            out,
+            "  {:>12} wait  node {:<3} view {:<4} ({}) at t={}",
+            fmt_us(w.wait_ns),
+            w.node,
+            w.view,
+            if w.write { "W" } else { "R" },
+            fmt_us(w.start),
+        );
+    }
+
+    // Per-view wait histograms.
+    let mut per_view: HashMap<u64, (u64, u64, [usize; BUCKETS.len()])> = HashMap::new();
+    for w in &waits {
+        let entry = per_view.entry(w.view).or_insert((0, 0, [0; BUCKETS.len()]));
+        entry.0 += 1;
+        entry.1 += w.wait_ns;
+        entry.2[bucket(w.wait_ns)] += 1;
+    }
+    let mut views: Vec<u64> = per_view.keys().copied().collect();
+    views.sort_unstable();
+    let _ = writeln!(out, "\nper-view acquire-wait histogram:");
+    for view in views {
+        let (count, total, hist) = &per_view[&view];
+        let _ = writeln!(
+            out,
+            "  view {view}: {count} acquires, mean wait {}",
+            fmt_us(total / count)
+        );
+        for (i, (label, _)) in BUCKETS.iter().enumerate() {
+            if hist[i] > 0 {
+                let _ = writeln!(
+                    out,
+                    "    {label} {:>6}  {}",
+                    hist[i],
+                    "#".repeat(hist[i].min(60))
+                );
+            }
+        }
+    }
+
+    // Barrier waits.
+    let mut open: HashMap<(NodeId, u64), u64> = HashMap::new();
+    let mut barrier_waits: Vec<u64> = Vec::new();
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::BarrierEnter { id, .. } => {
+                open.insert((ev.node, *id), ev.t);
+            }
+            EventKind::BarrierExit { id, .. } => {
+                if let Some(start) = open.remove(&(ev.node, *id)) {
+                    barrier_waits.push(ev.t.saturating_sub(start));
+                }
+            }
+            _ => {}
+        }
+    }
+    if !barrier_waits.is_empty() {
+        let total: u64 = barrier_waits.iter().sum();
+        let max = *barrier_waits.iter().max().expect("non-empty");
+        let _ = writeln!(
+            out,
+            "\nbarrier waits: {} episodes, mean {}, max {}",
+            barrier_waits.len(),
+            fmt_us(total / barrier_waits.len() as u64),
+            fmt_us(max),
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn report_lists_slowest_acquires_and_histogram() {
+        let mut events = Vec::new();
+        for (i, wait) in [5_000u64, 50_000, 5_000_000].iter().enumerate() {
+            let start = i as u64 * 10_000_000;
+            events.push(Event {
+                t: start,
+                node: i,
+                kind: EventKind::AcquireStart {
+                    view: 2,
+                    write: true,
+                },
+            });
+            events.push(Event {
+                t: start + wait,
+                node: i,
+                kind: EventKind::AcquireEnd {
+                    view: 2,
+                    write: true,
+                    version: i as u64,
+                    bytes: 0,
+                },
+            });
+        }
+        events.push(Event {
+            t: 40_000_000,
+            node: 0,
+            kind: EventKind::BarrierEnter { id: 0, epoch: 0 },
+        });
+        events.push(Event {
+            t: 41_000_000,
+            node: 0,
+            kind: EventKind::BarrierExit {
+                id: 0,
+                epoch: 0,
+                notices: 0,
+            },
+        });
+        let trace = Trace { events, evicted: 0 };
+
+        let waits = acquire_waits(&trace);
+        assert_eq!(waits.len(), 3);
+
+        let text = report(&trace, 2);
+        assert!(text.contains("top 2 slowest view acquires"));
+        assert!(text.contains("5000.0µs"), "slowest first:\n{text}");
+        assert!(text.contains("view 2: 3 acquires"));
+        assert!(text.contains("barrier waits: 1 episodes"));
+    }
+}

@@ -63,7 +63,9 @@ fn main() {
         let me = ctx.me();
         let (rs, re) = share(N, me, nprocs);
         // The matrix block is processor-private (read in once, §3.1).
-        let rows: Vec<Vec<f64>> = (rs..re).map(|i| (0..N).map(|j| a(i, j)).collect()).collect();
+        let rows: Vec<Vec<f64>> = (rs..re)
+            .map(|i| (0..N).map(|j| a(i, j)).collect())
+            .collect();
         ctx.copy_cost(((re - rs) * N * 8) as u64);
 
         let mut x = vec![0.0; N];
@@ -106,9 +108,7 @@ fn main() {
     });
 
     let worst = out.results.iter().cloned().fold(0.0f64, f64::max);
-    println!(
-        "solved {N}x{N} system in {ITERS} Jacobi iterations on {nprocs} nodes"
-    );
+    println!("solved {N}x{N} system in {ITERS} Jacobi iterations on {nprocs} nodes");
     println!("worst residual |Ax - b| = {worst:.3e}");
     println!(
         "virtual time {:.3} s, {} view acquires, {:.2} MB exchanged",

@@ -20,7 +20,7 @@ const BUCKETS: usize = 8192;
 const REPS: usize = 10;
 const NPROCS: usize = 8;
 
-fn run_with_chunks(chunks: usize) -> vopp_repro::core::RunStats {
+fn run_with_chunks(chunks: usize) -> RunStats {
     let mut world = WorldBuilder::new();
     let views: Vec<_> = (0..chunks)
         .map(|c| {

@@ -1,9 +1,9 @@
 //! Facade crate: re-exports the whole VOPP reproduction workspace.
 pub use vopp_apps as apps;
 pub use vopp_core as core;
+pub use vopp_core::prelude;
 pub use vopp_dsm as dsm;
 pub use vopp_mpi as mpi;
 pub use vopp_page as page;
 pub use vopp_sim as sim;
 pub use vopp_simnet as simnet;
-pub use vopp_core::prelude;

@@ -12,7 +12,11 @@ use vopp_repro::core::prelude::*;
 fn is_all_systems_all_variants() {
     let p = IsParams::quick();
     for np in [2, 5, 8] {
-        let t = run_is(&ClusterConfig::lossless(np, Protocol::LrcD), &p, IsVariant::Traditional);
+        let t = run_is(
+            &ClusterConfig::lossless(np, Protocol::LrcD),
+            &p,
+            IsVariant::Traditional,
+        );
         assert_eq!(t.value, is_reference(&p, np, false), "trad np={np}");
         for proto in [Protocol::VcD, Protocol::VcSd] {
             let v = run_is(&ClusterConfig::lossless(np, proto), &p, IsVariant::Vopp);
@@ -27,7 +31,11 @@ fn is_all_systems_all_variants() {
 fn gauss_all_systems() {
     let p = GaussParams::quick();
     for np in [2, 6] {
-        let t = run_gauss(&ClusterConfig::lossless(np, Protocol::LrcD), &p, GaussVariant::Traditional);
+        let t = run_gauss(
+            &ClusterConfig::lossless(np, Protocol::LrcD),
+            &p,
+            GaussVariant::Traditional,
+        );
         assert_eq!(t.value, gauss_reference(&p, np));
         for proto in [Protocol::VcD, Protocol::VcSd] {
             let v = run_gauss(&ClusterConfig::lossless(np, proto), &p, GaussVariant::Vopp);
@@ -40,7 +48,11 @@ fn gauss_all_systems() {
 fn sor_all_systems() {
     let p = SorParams::quick();
     for np in [2, 5] {
-        let t = run_sor(&ClusterConfig::lossless(np, Protocol::LrcD), &p, SorVariant::Traditional);
+        let t = run_sor(
+            &ClusterConfig::lossless(np, Protocol::LrcD),
+            &p,
+            SorVariant::Traditional,
+        );
         assert_eq!(t.value, sor_reference(&p));
         for proto in [Protocol::VcD, Protocol::VcSd] {
             let v = run_sor(&ClusterConfig::lossless(np, proto), &p, SorVariant::Vopp);
@@ -54,13 +66,21 @@ fn nn_all_systems_bit_exact() {
     let p = NnParams::quick();
     for np in [2, 4] {
         let expect = nn_reference(&p, np);
-        let t = run_nn(&ClusterConfig::lossless(np, Protocol::LrcD), &p, NnVariant::Traditional);
+        let t = run_nn(
+            &ClusterConfig::lossless(np, Protocol::LrcD),
+            &p,
+            NnVariant::Traditional,
+        );
         assert_eq!(t.value, expect);
         for proto in [Protocol::VcD, Protocol::VcSd] {
             let v = run_nn(&ClusterConfig::lossless(np, proto), &p, NnVariant::Vopp);
             assert_eq!(v.value, expect, "{proto} np={np}");
         }
-        let m = run_nn(&ClusterConfig::lossless(np, Protocol::VcSd), &p, NnVariant::Mpi);
+        let m = run_nn(
+            &ClusterConfig::lossless(np, Protocol::VcSd),
+            &p,
+            NnVariant::Mpi,
+        );
         assert_eq!(m.value, expect);
     }
 }
@@ -70,19 +90,35 @@ fn traditional_apps_run_on_home_based_lrc() {
     // The HLRC extension must compute identical results on the paper's
     // traditional programs.
     let p = IsParams::quick();
-    let is = run_is(&ClusterConfig::lossless(4, Protocol::Hlrc), &p, IsVariant::Traditional);
+    let is = run_is(
+        &ClusterConfig::lossless(4, Protocol::Hlrc),
+        &p,
+        IsVariant::Traditional,
+    );
     assert_eq!(is.value, is_reference(&p, 4, false));
 
     let g = GaussParams::quick();
-    let gauss = run_gauss(&ClusterConfig::lossless(4, Protocol::Hlrc), &g, GaussVariant::Traditional);
+    let gauss = run_gauss(
+        &ClusterConfig::lossless(4, Protocol::Hlrc),
+        &g,
+        GaussVariant::Traditional,
+    );
     assert_eq!(gauss.value, gauss_reference(&g, 4));
 
     let s = SorParams::quick();
-    let sor = run_sor(&ClusterConfig::lossless(4, Protocol::Hlrc), &s, SorVariant::Traditional);
+    let sor = run_sor(
+        &ClusterConfig::lossless(4, Protocol::Hlrc),
+        &s,
+        SorVariant::Traditional,
+    );
     assert_eq!(sor.value, sor_reference(&s));
 
     let n = NnParams::quick();
-    let nn = run_nn(&ClusterConfig::lossless(4, Protocol::Hlrc), &n, NnVariant::Traditional);
+    let nn = run_nn(
+        &ClusterConfig::lossless(4, Protocol::Hlrc),
+        &n,
+        NnVariant::Traditional,
+    );
     assert_eq!(nn.value, nn_reference(&n, 4));
 }
 
@@ -112,16 +148,31 @@ fn applications_survive_lossy_network() {
     assert_eq!(sor.value, sor_reference(&s));
     total_rexmits += sor.stats.rexmits();
 
-    assert!(total_rexmits > 0, "2% loss must force retransmissions somewhere");
+    assert!(
+        total_rexmits > 0,
+        "2% loss must force retransmissions somewhere"
+    );
 }
 
 #[test]
 fn stats_invariants_across_apps() {
     // Cross-protocol invariants the paper's tables rely on.
     let p = IsParams::quick();
-    let lrc = run_is(&ClusterConfig::lossless(4, Protocol::LrcD), &p, IsVariant::Traditional);
-    let vcd = run_is(&ClusterConfig::lossless(4, Protocol::VcD), &p, IsVariant::Vopp);
-    let vcsd = run_is(&ClusterConfig::lossless(4, Protocol::VcSd), &p, IsVariant::Vopp);
+    let lrc = run_is(
+        &ClusterConfig::lossless(4, Protocol::LrcD),
+        &p,
+        IsVariant::Traditional,
+    );
+    let vcd = run_is(
+        &ClusterConfig::lossless(4, Protocol::VcD),
+        &p,
+        IsVariant::Vopp,
+    );
+    let vcsd = run_is(
+        &ClusterConfig::lossless(4, Protocol::VcSd),
+        &p,
+        IsVariant::Vopp,
+    );
 
     // Traditional programs acquire nothing; VOPP programs acquire a lot.
     assert_eq!(lrc.stats.acquires(), 0);
@@ -144,7 +195,12 @@ fn runs_deterministic_per_seed_across_apps() {
         cfg.net.base_drop_prob = 0.01;
         cfg.net.seed = seed;
         let out = run_sor(&cfg, &p, SorVariant::Vopp);
-        (out.value, out.stats.time, out.stats.num_msgs(), out.stats.rexmits())
+        (
+            out.value,
+            out.stats.time,
+            out.stats.num_msgs(),
+            out.stats.rexmits(),
+        )
     };
     assert_eq!(run(5), run(5));
     let (v7, t7, _, _) = run(7);

@@ -23,8 +23,7 @@ fn vopp_message_passing_litmus() {
             } else {
                 // Spin on the flag through repeated read-view acquisitions.
                 loop {
-                    let (flag, data) =
-                        ctx.with_rview(&v, |r| (r.get(ctx, 1), r.get(ctx, 0)));
+                    let (flag, data) = ctx.with_rview(&v, |r| (r.get(ctx, 1), r.get(ctx, 0)));
                     if flag == 1 {
                         return data;
                     }
