@@ -1,8 +1,11 @@
 # Convenience targets; everything is plain cargo underneath.
 
 TRACE_DIR ?= target/trace-demo
+METRICS_DIR ?= target/bench-metrics
+BASELINE_DIR ?= crates/bench/baselines
 
-.PHONY: all check fmt clippy test tables tables-quick bench trace-demo clean
+.PHONY: all check fmt clippy test tables tables-quick bench bench-micro \
+        baseline metrics-demo trace-demo clean
 
 all: check test
 
@@ -24,7 +27,24 @@ tables:
 tables-quick:
 	cargo run -p vopp-bench --release --bin tables -- all --quick
 
+# Quick tables with machine-readable metrics, then the perf-regression
+# gate against the committed baselines (>2% time drift or any count drift
+# fails the build).
 bench:
+	cargo run -p vopp-bench --release --bin tables -- all --quick --metrics $(METRICS_DIR)
+	cargo run -p vopp-bench --release --bin metrics_diff -- $(BASELINE_DIR) $(METRICS_DIR)
+
+# Refresh the committed baselines after an intentional perf change.
+baseline:
+	cargo run -p vopp-bench --release --bin tables -- all --quick --metrics $(BASELINE_DIR)
+
+# One metered table, artifacts left in target/metrics-demo for inspection.
+metrics-demo:
+	cargo run -p vopp-bench --release --bin tables -- table1 --quick --metrics target/metrics-demo
+	@echo "Metrics artifacts in target/metrics-demo:"
+	@ls target/metrics-demo
+
+bench-micro:
 	cargo bench --workspace
 
 # A Perfetto-ready trace of IS on 4 nodes (quick scale): load the

@@ -403,10 +403,14 @@ fn run_nn_mpi(cfg: &ClusterConfig, p: &NnParams) -> AppOutcome<f64> {
         loss
     });
     // Fold MPI transport stats into the common shape.
-    let nodes = vopp_dsm::NodeStats {
+    let mut nodes = vopp_dsm::NodeStats {
         rexmits: out.rexmits,
         ..Default::default()
     };
+    for bd in &out.breakdowns {
+        nodes.metrics.breakdown.absorb(bd);
+    }
+    nodes.metrics.rpc_rtt.absorb(&out.rpc_rtt);
     AppOutcome {
         value: out.results.iter().sum(),
         stats: RunStats {
@@ -414,6 +418,8 @@ fn run_nn_mpi(cfg: &ClusterConfig, p: &NnParams) -> AppOutcome<f64> {
             nprocs: np,
             nodes,
             net: vopp_simnet_stats(out.msgs, out.bytes),
+            node_breakdowns: out.breakdowns,
+            node_end: out.proc_end,
         },
     }
 }

@@ -1,0 +1,38 @@
+//! Perf-regression gate over `BENCH_<app>.json` artifacts.
+//!
+//! ```text
+//! cargo run -p vopp-bench --release --bin tables -- all --quick --metrics out/
+//! cargo run -p vopp-bench --release --bin metrics_diff -- bench/baselines out/
+//! ```
+//!
+//! Compares every `BENCH_*.json` under the baseline directory against the
+//! same-named candidate file. Exits nonzero (printing one line per
+//! violation) when a baseline cell is missing, its virtual time drifts by
+//! more than the tolerance, or any exact counter (messages, bytes,
+//! barriers, diff requests, retransmissions) changes at all. The simulator
+//! is deterministic, so a clean tree always passes and any protocol or
+//! cost-model change is caught.
+
+use std::path::PathBuf;
+
+use vopp_bench::metrics::{compare_dirs, TIME_DRIFT_PCT};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, candidate] = args.as_slice() else {
+        eprintln!("usage: metrics_diff BASELINE_DIR CANDIDATE_DIR");
+        std::process::exit(2);
+    };
+    let (compared, errors) = compare_dirs(&PathBuf::from(baseline), &PathBuf::from(candidate));
+    if errors.is_empty() {
+        println!(
+            "metrics gate OK: {compared} cells within {TIME_DRIFT_PCT}% time drift, counts exact"
+        );
+    } else {
+        for e in &errors {
+            eprintln!("FAIL {e}");
+        }
+        eprintln!("metrics gate FAILED: {} violation(s)", errors.len());
+        std::process::exit(1);
+    }
+}

@@ -6,49 +6,67 @@
 //! cargo run -p vopp-bench --release --bin tables -- all --quick
 //! cargo run -p vopp-bench --release --bin tables -- all --json > tables.json
 //! cargo run -p vopp-bench --release --bin tables -- table1 --trace /tmp/t
+//! cargo run -p vopp-bench --release --bin tables -- all --quick --metrics out/
 //! ```
 //!
 //! `--trace <dir>` records a structured event trace of every cluster run,
 //! writes `<app>_<variant>_<protocol>_<N>p.{events.json,perfetto.json,report.txt}`
 //! into `<dir>` (the Perfetto file loads in <https://ui.perfetto.dev>), and
 //! asserts the protocol conformance invariants on each trace.
+//!
+//! `--metrics <dir>` records every verified run and writes one
+//! `BENCH_<app>.json` per application into `<dir>` — the machine-readable
+//! artifacts consumed by the `metrics_diff` regression gate.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use vopp_bench::tables;
-use vopp_bench::{Scale, Table};
+use vopp_bench::{MetricsSink, Scale, Table};
 use vopp_trace::json::Value;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let trace_dir = args
-        .iter()
-        .position(|a| a == "--trace")
-        .map(|i| match args.get(i + 1) {
-            Some(dir) if !dir.starts_with("--") => PathBuf::from(dir),
-            _ => {
-                eprintln!("--trace requires a directory argument");
-                std::process::exit(2);
-            }
-        });
+    let dir_flag = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| match args.get(i + 1) {
+                Some(dir) if !dir.starts_with("--") => PathBuf::from(dir),
+                _ => {
+                    eprintln!("{flag} requires a directory argument");
+                    std::process::exit(2);
+                }
+            })
+    };
+    let trace_dir = dir_flag("--trace");
+    let metrics_dir = dir_flag("--metrics");
     let wanted: Vec<&str> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            // Skip flags and the --trace operand.
+            // Skip flags and the --trace/--metrics operands.
             !a.starts_with("--")
-                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--trace")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--trace" || prev == "--metrics")
         })
         .map(|(_, s)| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: tables [--quick] [--json] [--trace DIR] (all | table1 .. table9 | ext)+");
+        eprintln!(
+            "usage: tables [--quick] [--json] [--trace DIR] [--metrics DIR] \
+             (all | table1 .. table9 | ext)+"
+        );
         std::process::exit(2);
     }
-    let scale = Scale { quick, trace_dir };
+    let sink = metrics_dir.as_ref().map(|_| Arc::new(MetricsSink::new()));
+    let scale = Scale {
+        quick,
+        trace_dir,
+        metrics: sink.clone(),
+        net_override: None,
+    };
     type TableFn = fn(&Scale) -> Table;
     let jobs: Vec<(&str, TableFn)> = vec![
         ("table1", tables::table1),
@@ -80,5 +98,19 @@ fn main() {
     if json {
         let v = Value::Arr(produced.iter().map(Table::to_value).collect());
         println!("{}", v.to_json_pretty());
+    }
+    if let (Some(sink), Some(dir)) = (sink, metrics_dir) {
+        match sink.write_all(&dir) {
+            Ok(files) => eprintln!(
+                "[metrics: {} cells -> {} in {}]",
+                sink.len(),
+                files.join(", "),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write metrics into {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -3,14 +3,19 @@
 //! # vopp-bench — the evaluation harness
 //!
 //! [`tables`] regenerates every table of the paper's §5 (see the `tables`
-//! binary: `cargo run -p vopp-bench --release --bin tables -- all`, and
-//! `--trace DIR` for per-run structured traces and conformance checks);
+//! binary: `cargo run -p vopp-bench --release --bin tables -- all`, with
+//! `--trace DIR` for per-run structured traces and conformance checks and
+//! `--metrics DIR` for machine-readable `BENCH_<app>.json` artifacts);
+//! [`metrics`] implements those artifacts and the perf-regression gate
+//! (`metrics_diff` binary) comparing them against committed baselines;
 //! the benches under `benches/` measure the substrates (diffing, network
 //! model, protocol operations) and the ablations called out in DESIGN.md.
 
 pub mod harness;
+pub mod metrics;
 pub mod table;
 pub mod tables;
 
+pub use metrics::MetricsSink;
 pub use table::Table;
 pub use tables::{all_tables, Scale};

@@ -11,9 +11,10 @@ use vopp_apps::gauss::{gauss_reference, run_gauss, GaussParams, GaussVariant};
 use vopp_apps::is::{is_reference, run_is, IsParams, IsVariant};
 use vopp_apps::nn::{nn_reference, run_nn, NnParams, NnVariant};
 use vopp_apps::sor::{run_sor, sor_reference, SorParams, SorVariant};
-use vopp_core::{ClusterConfig, Protocol, RunStats};
+use vopp_core::{ClusterConfig, NetConfig, Phase, Protocol, RunStats};
 use vopp_trace::{check, report, to_chrome_json, CheckConfig, Tracer};
 
+use crate::metrics::MetricsSink;
 use crate::table::Table;
 
 /// Problem scaling: `quick` shrinks every instance for smoke tests; the
@@ -21,12 +22,20 @@ use crate::table::Table;
 /// When `trace_dir` is set, every cluster run records a structured event
 /// trace, exports it (raw JSON, Chrome/Perfetto JSON, text report) into
 /// that directory and asserts the protocol conformance invariants.
+/// When `metrics` is set, every verified run is recorded as a cell for the
+/// `BENCH_<app>.json` artifacts and the regression gate.
 #[derive(Debug, Clone, Default)]
 pub struct Scale {
     /// Use miniature problem instances and fewer processor counts.
     pub quick: bool,
     /// Where per-run trace artifacts go; `None` disables tracing.
     pub trace_dir: Option<PathBuf>,
+    /// Sink for machine-readable per-run metrics; `None` disables.
+    pub metrics: Option<Arc<MetricsSink>>,
+    /// Replace the default network parameters of every run (used by the
+    /// regression-gate tests to demonstrate that perturbing the cost model
+    /// fails the gate).
+    pub net_override: Option<NetConfig>,
 }
 
 impl Scale {
@@ -34,15 +43,35 @@ impl Scale {
     pub fn quick() -> Scale {
         Scale {
             quick: true,
-            trace_dir: None,
+            ..Scale::default()
         }
     }
 
     /// Full paper scale without tracing.
     pub fn full() -> Scale {
-        Scale {
-            quick: false,
-            trace_dir: None,
+        Scale::default()
+    }
+
+    /// Cluster configuration for one run, honoring the network override.
+    fn cfg(&self, np: usize, proto: Protocol) -> ClusterConfig {
+        let mut config = ClusterConfig::new(np, proto);
+        if let Some(net) = &self.net_override {
+            config.net = net.clone();
+        }
+        config
+    }
+
+    /// Label the table whose runs are recorded next (metrics sink only).
+    fn begin_table(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.begin_table(name);
+        }
+    }
+
+    /// Record one verified run in the metrics sink, if attached.
+    fn record(&self, app: &str, variant: &str, protocol: &str, np: usize, stats: &RunStats) {
+        if let Some(m) = &self.metrics {
+            m.record(app, variant, protocol, np, stats);
         }
     }
 
@@ -151,10 +180,6 @@ impl Scale {
     }
 }
 
-fn cfg(np: usize, proto: Protocol) -> ClusterConfig {
-    ClusterConfig::new(np, proto)
-}
-
 /// The conformance-invariant set a protocol's traces must satisfy.
 ///
 /// * `VC_sd` ships integrated diffs on grants, so its runs must emit zero
@@ -220,6 +245,29 @@ fn stats_rows(t: &mut Table, runs: &[RunStats], with_acquire_time: bool) {
         "Rexmit",
         runs.iter().map(|s| Table::i(s.rexmits())).collect(),
     );
+    // Execution-time breakdown (§5 discussion): where did each protocol's
+    // time go? Percentages of summed per-node virtual time; the four phase
+    // rows plus send overhead cover every nanosecond except protocol CPU
+    // counted inside "Send Overhead".
+    for (label, phase) in [
+        ("Compute (%)", Phase::Compute),
+        ("Barrier Wait (%)", Phase::BarrierWait),
+        ("Acquire Wait (%)", Phase::AcquireWait),
+        ("Diff Wait (%)", Phase::DataWait),
+    ] {
+        t.row(
+            label,
+            runs.iter()
+                .map(|s| Table::f(s.phase_pct(phase), 1))
+                .collect(),
+        );
+    }
+    t.row(
+        "Send Overhead (%)",
+        runs.iter()
+            .map(|s| Table::f(s.send_overhead_pct(), 1))
+            .collect(),
+    );
 }
 
 // -------------------------------------------------------------------
@@ -227,13 +275,24 @@ fn stats_rows(t: &mut Table, runs: &[RunStats], with_acquire_time: bool) {
 // -------------------------------------------------------------------
 
 fn is_run(scale: &Scale, np: usize, proto: Protocol, p: &IsParams, variant: IsVariant) -> RunStats {
-    let mut config = cfg(np, proto);
+    let mut config = scale.cfg(np, proto);
     let tracer = scale.attach_tracer(&mut config);
     let out = run_is(&config, p, variant);
     let lb = variant == IsVariant::VoppLb;
     assert_eq!(out.value, is_reference(p, np, lb), "IS result mismatch");
     scale.finish_trace(tracer, "is", variant_label(variant), proto, np);
+    scale.record(
+        "is",
+        variant_label(variant),
+        &proto_label(proto),
+        np,
+        &out.stats,
+    );
     out.stats
+}
+
+fn proto_label(proto: Protocol) -> String {
+    proto.label().to_lowercase()
 }
 
 fn variant_label<V: std::fmt::Debug>(v: V) -> &'static str {
@@ -249,6 +308,7 @@ fn variant_label<V: std::fmt::Debug>(v: V) -> &'static str {
 
 /// Table 1: Statistics of IS on the stats processor count.
 pub fn table1(scale: &Scale) -> Table {
+    scale.begin_table("table1");
     let p = scale.is();
     let np = scale.stats_procs();
     let runs = vec![
@@ -266,6 +326,7 @@ pub fn table1(scale: &Scale) -> Table {
 
 /// Table 2: Statistics of IS with fewer barriers (barrier hoisted, §3.2).
 pub fn table2(scale: &Scale) -> Table {
+    scale.begin_table("table2");
     let p = scale.is();
     let np = scale.stats_procs();
     let runs = vec![
@@ -283,6 +344,7 @@ pub fn table2(scale: &Scale) -> Table {
 /// Table 3: Speedup of IS on LRC_d and VC_sd (plus the hoisted-barrier
 /// VOPP variant, the paper's `VC_sd lb` row).
 pub fn table3(scale: &Scale) -> Table {
+    scale.begin_table("table3");
     let p = scale.is();
     let procs = scale.speedup_procs();
     // Base: the traditional program on one processor.
@@ -332,16 +394,24 @@ fn gauss_run(
     p: &GaussParams,
     variant: GaussVariant,
 ) -> RunStats {
-    let mut config = cfg(np, proto);
+    let mut config = scale.cfg(np, proto);
     let tracer = scale.attach_tracer(&mut config);
     let out = run_gauss(&config, p, variant);
     assert_eq!(out.value, gauss_reference(p, np), "Gauss result mismatch");
     scale.finish_trace(tracer, "gauss", variant_label(variant), proto, np);
+    scale.record(
+        "gauss",
+        variant_label(variant),
+        &proto_label(proto),
+        np,
+        &out.stats,
+    );
     out.stats
 }
 
 /// Table 4: Statistics of Gauss.
 pub fn table4(scale: &Scale) -> Table {
+    scale.begin_table("table4");
     let p = scale.gauss();
     let np = scale.stats_procs();
     let runs = vec![
@@ -359,6 +429,7 @@ pub fn table4(scale: &Scale) -> Table {
 
 /// Table 5: Speedup of Gauss on LRC_d and VC_sd.
 pub fn table5(scale: &Scale) -> Table {
+    scale.begin_table("table5");
     let p = scale.gauss();
     let procs = scale.speedup_procs();
     let base = gauss_run(scale, 1, Protocol::LrcD, &p, GaussVariant::Traditional)
@@ -402,16 +473,24 @@ fn sor_run(
     p: &SorParams,
     variant: SorVariant,
 ) -> RunStats {
-    let mut config = cfg(np, proto);
+    let mut config = scale.cfg(np, proto);
     let tracer = scale.attach_tracer(&mut config);
     let out = run_sor(&config, p, variant);
     assert_eq!(out.value, sor_reference(p), "SOR result mismatch");
     scale.finish_trace(tracer, "sor", variant_label(variant), proto, np);
+    scale.record(
+        "sor",
+        variant_label(variant),
+        &proto_label(proto),
+        np,
+        &out.stats,
+    );
     out.stats
 }
 
 /// Table 6: Statistics of SOR.
 pub fn table6(scale: &Scale) -> Table {
+    scale.begin_table("table6");
     let p = scale.sor();
     let np = scale.stats_procs();
     let runs = vec![
@@ -429,6 +508,7 @@ pub fn table6(scale: &Scale) -> Table {
 
 /// Table 7: Speedup of SOR on LRC_d and VC_sd.
 pub fn table7(scale: &Scale) -> Table {
+    scale.begin_table("table7");
     let p = scale.sor();
     let procs = scale.speedup_procs();
     let base = sor_run(scale, 1, Protocol::LrcD, &p, SorVariant::Traditional)
@@ -466,16 +546,24 @@ pub fn table7(scale: &Scale) -> Table {
 // -------------------------------------------------------------------
 
 fn nn_run(scale: &Scale, np: usize, proto: Protocol, p: &NnParams, variant: NnVariant) -> RunStats {
-    let mut config = cfg(np, proto);
+    let mut config = scale.cfg(np, proto);
     let tracer = scale.attach_tracer(&mut config);
     let out = run_nn(&config, p, variant);
     assert_eq!(out.value, nn_reference(p, np), "NN result mismatch");
     scale.finish_trace(tracer, "nn", variant_label(variant), proto, np);
+    // The MPI variant runs message passing, not a DSM protocol.
+    let plabel = if variant == NnVariant::Mpi {
+        "mpi".to_string()
+    } else {
+        proto_label(proto)
+    };
+    scale.record("nn", variant_label(variant), &plabel, np, &out.stats);
     out.stats
 }
 
 /// Table 8: Statistics of NN (includes the Acquire Time row).
 pub fn table8(scale: &Scale) -> Table {
+    scale.begin_table("table8");
     let p = scale.nn();
     let np = scale.stats_procs();
     let runs = vec![
@@ -493,6 +581,7 @@ pub fn table8(scale: &Scale) -> Table {
 
 /// Table 9: Speedup of NN on LRC_d, VC_sd and MPI.
 pub fn table9(scale: &Scale) -> Table {
+    scale.begin_table("table9");
     let p = scale.nn();
     let procs = scale.speedup_procs();
     let base = nn_run(scale, 1, Protocol::LrcD, &p, NnVariant::Traditional)
@@ -539,6 +628,7 @@ pub fn table9(scale: &Scale) -> Table {
 /// on homeless vs. home-based LRC at the stats processor count — the
 /// trade-off studied in the authors' companion work.
 pub fn table_ext(scale: &Scale) -> Table {
+    scale.begin_table("ext");
     let np = scale.stats_procs();
     let is = scale.is();
     let gauss = scale.gauss();

@@ -75,6 +75,7 @@ fn traced_quick_table1_passes_conformance() {
     let scale = Scale {
         quick: true,
         trace_dir: Some(dir.clone()),
+        ..Scale::default()
     };
     let t = vopp_bench::tables::table1(&scale);
     assert!(t.title.starts_with("Table 1"));

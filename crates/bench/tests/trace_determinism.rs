@@ -10,6 +10,7 @@ fn run_table1_traced(dir: &Path) {
     let scale = Scale {
         quick: true,
         trace_dir: Some(dir.to_path_buf()),
+        ..Scale::default()
     };
     let t = vopp_bench::tables::table1(&scale);
     assert!(t.title.starts_with("Table 1"));

@@ -42,8 +42,8 @@ pub use region::{Region, ViewRegion};
 pub use world::WorldBuilder;
 
 pub use vopp_dsm::{
-    check_views, run_cluster, ClusterConfig, ClusterOutcome, CostModel, DsmCtx, Layout, NodeStats,
-    Protocol, RunStats, ViewId, ViewStats,
+    check_views, run_cluster, Breakdown, ClusterConfig, ClusterOutcome, CostModel, DsmCtx, Layout,
+    NodeMetrics, NodeStats, Phase, Protocol, Registry, RunStats, Summary, ViewId, ViewStats,
 };
 pub use vopp_page::{Addr, PAGE_SIZE};
 pub use vopp_simnet::NetConfig;

@@ -14,6 +14,7 @@
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
+use vopp_metrics::Phase;
 use vopp_page::{
     offset_in_page, page_of, pages_spanned, Addr, IntervalId, PageId, PageState, VTime, PAGE_SIZE,
 };
@@ -86,7 +87,7 @@ impl<'a> DsmCtx<'a> {
 
     /// Current virtual time (flushes accumulated CPU debt first).
     pub fn now(&self) -> SimTime {
-        self.debt.flush(&self.sim);
+        self.flush();
         self.sim.now()
     }
 
@@ -127,8 +128,34 @@ impl<'a> DsmCtx<'a> {
         self.debt.add_ns(ns);
     }
 
+    /// Flush accumulated CPU debt into the clock and attribute the advance:
+    /// application work to [`Phase::Compute`], protocol charges to
+    /// [`Phase::ProtoCpu`].
     fn flush(&self) {
-        self.debt.flush(&self.sim);
+        let f = self.debt.flush(&self.sim);
+        if f.total_ns() != 0 {
+            let bd = &mut self.node.lock().stats.metrics.breakdown;
+            bd.charge(Phase::Compute, f.app_ns);
+            bd.charge(Phase::ProtoCpu, f.overhead_ns);
+        }
+    }
+
+    /// Attribute the virtual time elapsed since `since` (a blocked RPC wait)
+    /// to `phase`, recording it in the matching latency histogram. Every
+    /// blocking call in this file is bracketed by exactly one `charge_wait`,
+    /// which is what makes the per-node breakdown sum to the node's clock.
+    fn charge_wait(&self, phase: Phase, since: SimTime) -> u64 {
+        let waited = (self.sim.now() - since).nanos();
+        let mut n = self.node.lock();
+        let m = &mut n.stats.metrics;
+        m.breakdown.charge(phase, waited);
+        match phase {
+            Phase::AcquireWait => m.acquire_rtt.record(waited),
+            Phase::BarrierWait => m.barrier_rtt.record(waited),
+            Phase::DataWait => m.diff_rtt.record(waited),
+            _ => {}
+        }
+        waited
     }
 
     /// Close the current write interval. Under HLRC the diffs are flushed
@@ -154,7 +181,8 @@ impl<'a> DsmCtx<'a> {
             groups.remove(&me);
             if !groups.is_empty() {
                 if ndiffs > 0 {
-                    self.debt.add(self.cost.diff_create * ndiffs as u64);
+                    self.debt
+                        .add_overhead(self.cost.diff_create * ndiffs as u64);
                 }
                 self.flush();
                 let calls: Vec<(ProcId, usize, Req)> = groups
@@ -165,7 +193,9 @@ impl<'a> DsmCtx<'a> {
                         (home, bytes, req)
                     })
                     .collect();
+                let t_rpc = self.sim.now();
                 let replies = self.rpc.borrow_mut().call_all(&self.sim, &calls);
+                self.charge_wait(Phase::SendWait, t_rpc);
                 for pkt in replies {
                     assert!(matches!(pkt.expect::<Resp>(), Resp::Ack));
                 }
@@ -189,7 +219,8 @@ impl<'a> DsmCtx<'a> {
         let (records, vt) = if self.protocol.is_lrc_family() {
             let ndiffs = self.close_interval();
             if ndiffs > 0 {
-                self.debt.add(self.cost.diff_create * ndiffs as u64);
+                self.debt
+                    .add_overhead(self.cost.diff_create * ndiffs as u64);
                 self.flush();
             }
             let mut n = self.node.lock();
@@ -213,11 +244,13 @@ impl<'a> DsmCtx<'a> {
             vt,
         };
         let bytes = req.wire_bytes();
+        let t_rpc = self.sim.now();
         let resp = self
             .rpc
             .borrow_mut()
             .call_with_timeout(&self.sim, 0, bytes, req, self.barrier_timeout)
             .expect::<Resp>();
+        self.charge_wait(Phase::BarrierWait, t_rpc);
         match resp {
             Resp::BarrierRelease {
                 records,
@@ -300,7 +333,8 @@ impl<'a> DsmCtx<'a> {
         self.trace(EventKind::LockAcquireStart { lock: lock as u64 });
         let ndiffs = self.close_interval();
         if ndiffs > 0 {
-            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.debt
+                .add_overhead(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         let (home, vt) = {
@@ -309,11 +343,13 @@ impl<'a> DsmCtx<'a> {
         };
         let req = Req::LockAcquire { lock, vt };
         let bytes = req.wire_bytes();
+        let t_rpc = self.sim.now();
         let resp = self
             .rpc
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
+        self.charge_wait(Phase::AcquireWait, t_rpc);
         match resp {
             Resp::LockGrant {
                 records,
@@ -347,7 +383,8 @@ impl<'a> DsmCtx<'a> {
         self.flush();
         let ndiffs = self.close_interval();
         if ndiffs > 0 {
-            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.debt
+                .add_overhead(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         let (home, records) = {
@@ -357,11 +394,13 @@ impl<'a> DsmCtx<'a> {
         };
         let req = Req::LockRelease { lock, records };
         let bytes = req.wire_bytes();
+        let t_rpc = self.sim.now();
         let resp = self
             .rpc
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
+        self.charge_wait(Phase::SendWait, t_rpc);
         assert!(matches!(resp, Resp::Ack), "lock_release expects Ack");
         self.trace(EventKind::LockRelease { lock: lock as u64 });
     }
@@ -380,7 +419,8 @@ impl<'a> DsmCtx<'a> {
         self.trace(EventKind::LockAcquireStart { lock: lock as u64 });
         let ndiffs = self.close_interval();
         if ndiffs > 0 {
-            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.debt
+                .add_overhead(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         let (home, have) = {
@@ -396,11 +436,13 @@ impl<'a> DsmCtx<'a> {
             have,
         };
         let bytes = req.wire_bytes();
+        let t_rpc = self.sim.now();
         let resp = self
             .rpc
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
+        self.charge_wait(Phase::AcquireWait, t_rpc);
         match resp {
             Resp::ViewGrant {
                 records,
@@ -451,7 +493,8 @@ impl<'a> DsmCtx<'a> {
             }
         };
         if ndiffs > 0 {
-            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.debt
+                .add_overhead(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         let req = Req::ViewRelease {
@@ -463,11 +506,13 @@ impl<'a> DsmCtx<'a> {
             diffs: Vec::new(),
         };
         let bytes = req.wire_bytes();
+        let t_rpc = self.sim.now();
         let resp = self
             .rpc
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
+        self.charge_wait(Phase::SendWait, t_rpc);
         match resp {
             Resp::ReleaseAck { version } => {
                 let mut n = self.node.lock();
@@ -538,11 +583,14 @@ impl<'a> DsmCtx<'a> {
             have,
         };
         let bytes = req.wire_bytes();
+        // `t0` already marks the rpc start: nothing between it and the call
+        // advances the clock.
         let resp = self
             .rpc
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
+        self.charge_wait(Phase::AcquireWait, t0);
         match resp {
             Resp::ViewGrant {
                 records,
@@ -581,7 +629,8 @@ impl<'a> DsmCtx<'a> {
                 vs.grant_bytes += grant_bytes;
                 drop(n);
                 if napplied > 0 {
-                    self.debt.add(self.cost.diff_apply * napplied as u64);
+                    self.debt
+                        .add_overhead(self.cost.diff_apply * napplied as u64);
                 }
                 self.emit_notices(fresh, v as u64 + 1);
                 if self.tracing() {
@@ -643,7 +692,8 @@ impl<'a> DsmCtx<'a> {
             }
         };
         if ndiffs > 0 {
-            self.debt.add(self.cost.diff_create * ndiffs as u64);
+            self.debt
+                .add_overhead(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         let req = Req::ViewRelease {
@@ -655,11 +705,13 @@ impl<'a> DsmCtx<'a> {
             diffs,
         };
         let bytes = req.wire_bytes();
+        let t_rpc = self.sim.now();
         let resp = self
             .rpc
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
+        self.charge_wait(Phase::SendWait, t_rpc);
         match resp {
             Resp::ReleaseAck { version } => {
                 let mut n = self.node.lock();
@@ -707,11 +759,13 @@ impl<'a> DsmCtx<'a> {
             diffs: Vec::new(),
         };
         let bytes = req.wire_bytes();
+        let t_rpc = self.sim.now();
         let resp = self
             .rpc
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
+        self.charge_wait(Phase::SendWait, t_rpc);
         assert!(matches!(resp, Resp::Ack));
         self.trace(EventKind::ReleaseDone {
             view: v as u64,
@@ -845,7 +899,7 @@ impl<'a> DsmCtx<'a> {
     /// (in parallel, grouped per writer) and apply them in happens-before
     /// order. The invalidate-protocol hot path of LRC_d and VC_d.
     fn fault(&self, p: PageId, write: bool) {
-        self.debt.add(self.cost.page_fault);
+        self.debt.add_overhead(self.cost.page_fault);
         self.flush();
         self.trace(EventKind::PageFault {
             page: p as u64,
@@ -891,7 +945,9 @@ impl<'a> DsmCtx<'a> {
                 page: p as u64,
                 to: home,
             });
+            let t_rpc = self.sim.now();
             let pkt = self.rpc.borrow_mut().call(&self.sim, home, bytes, req);
+            self.charge_wait(Phase::DataWait, t_rpc);
             match pkt.expect::<Resp>() {
                 Resp::PageResp {
                     content: Some(content),
@@ -900,7 +956,7 @@ impl<'a> DsmCtx<'a> {
                     *n.mem.page_mut(p) = *content;
                     n.mem.validate(p);
                     n.stats.diffs_applied += 1;
-                    self.debt.add(self.cost.diff_apply);
+                    self.debt.add_overhead(self.cost.diff_apply);
                     drop(n);
                     self.trace(EventKind::DiffApply {
                         page: p as u64,
@@ -925,10 +981,12 @@ impl<'a> DsmCtx<'a> {
                 page: p as u64,
                 to: last.id.owner,
             });
+            let t_rpc = self.sim.now();
             let pkt = self
                 .rpc
                 .borrow_mut()
                 .call(&self.sim, last.id.owner, bytes, req);
+            self.charge_wait(Phase::DataWait, t_rpc);
             match pkt.expect::<Resp>() {
                 Resp::PageResp {
                     content: Some(content),
@@ -937,7 +995,7 @@ impl<'a> DsmCtx<'a> {
                     *n.mem.page_mut(p) = *content;
                     n.mem.validate(p);
                     n.stats.diffs_applied += 1;
-                    self.debt.add(self.cost.diff_apply);
+                    self.debt.add_overhead(self.cost.diff_apply);
                     drop(n);
                     self.trace(EventKind::DiffApply {
                         page: p as u64,
@@ -984,7 +1042,9 @@ impl<'a> DsmCtx<'a> {
                 });
             }
         }
+        let t_rpc = self.sim.now();
         let replies = self.rpc.borrow_mut().call_all(&self.sim, &calls);
+        self.charge_wait(Phase::DataWait, t_rpc);
         let mut items = Vec::new();
         for pkt in replies {
             match pkt.expect::<Resp>() {
@@ -1008,7 +1068,8 @@ impl<'a> DsmCtx<'a> {
                 });
             }
         }
-        self.debt.add(self.cost.diff_apply * items.len() as u64);
+        self.debt
+            .add_overhead(self.cost.diff_apply * items.len() as u64);
     }
 
     fn ensure_readable(&self, p: PageId) {
@@ -1034,7 +1095,7 @@ impl<'a> DsmCtx<'a> {
                 PageState::Valid => {
                     n.mem.note_write(p);
                     n.stats.twins += 1;
-                    self.debt.add(self.cost.twin);
+                    self.debt.add_overhead(self.cost.twin);
                     return;
                 }
                 PageState::Invalid => {
@@ -1233,12 +1294,14 @@ impl<'a> DsmCtx<'a> {
         self.auto_release(auto);
     }
 
-    /// Fold the transport's retransmission count into the node statistics
-    /// and flush remaining CPU debt. Called by the runtime after the body.
+    /// Fold the transport's retransmission count and round-trip histogram
+    /// into the node statistics and flush remaining CPU debt. Called by the
+    /// runtime after the body.
     pub(crate) fn finish(&self) {
         self.flush();
-        let rexmits = self.rpc.borrow().rexmits;
+        let rpc = self.rpc.borrow();
         let mut n = self.node.lock();
-        n.stats.rexmits += rexmits;
+        n.stats.rexmits += rpc.rexmits;
+        n.stats.metrics.rpc_rtt.absorb(&rpc.rtt);
     }
 }

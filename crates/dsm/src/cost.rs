@@ -45,9 +45,34 @@ impl Default for CostModel {
 }
 
 /// Locally accumulated CPU time, flushed into the simulator lazily.
+///
+/// Two accounts share one clock: `ns` is the total owed (application work
+/// plus protocol overhead) and drives the simulated clock exactly as a single
+/// accumulator would — the phase split must never perturb virtual time.
+/// `overhead_ns` tracks the protocol-charged portion so a flush can report
+/// how much of the advance was overhead.
 #[derive(Debug, Default)]
 pub struct CpuDebt {
     ns: Cell<f64>,
+    overhead_ns: Cell<f64>,
+}
+
+/// Whole nanoseconds pushed into the clock by one [`CpuDebt::flush`], split
+/// into application compute and protocol overhead. `app_ns + overhead_ns`
+/// is exactly the clock advance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushedNs {
+    /// Application work (flops, int ops, copies).
+    pub app_ns: u64,
+    /// Protocol CPU (page-fault traps, twins, diff create/apply).
+    pub overhead_ns: u64,
+}
+
+impl FlushedNs {
+    /// Total clock advance of the flush.
+    pub fn total_ns(self) -> u64 {
+        self.app_ns + self.overhead_ns
+    }
 }
 
 impl CpuDebt {
@@ -56,28 +81,49 @@ impl CpuDebt {
         CpuDebt::default()
     }
 
-    /// Add raw nanoseconds.
+    /// Add raw nanoseconds of application work.
     #[inline]
     pub fn add_ns(&self, ns: f64) {
         self.ns.set(self.ns.get() + ns);
     }
 
-    /// Add a structured duration.
+    /// Add a structured duration of application work.
     #[inline]
     pub fn add(&self, d: SimDuration) {
         self.add_ns(d.nanos() as f64);
     }
 
-    /// Nanoseconds currently owed.
+    /// Add a structured duration of protocol overhead: advances the clock
+    /// like [`CpuDebt::add`], but the time is reported as overhead by the
+    /// next flush.
+    #[inline]
+    pub fn add_overhead(&self, d: SimDuration) {
+        let ns = d.nanos() as f64;
+        self.ns.set(self.ns.get() + ns);
+        self.overhead_ns.set(self.overhead_ns.get() + ns);
+    }
+
+    /// Nanoseconds currently owed (both accounts).
     pub fn owed_ns(&self) -> f64 {
         self.ns.get()
     }
 
-    /// Push all owed time into the simulation clock.
-    pub fn flush(&self, ctx: &AppCtx<'_>) {
+    /// Push all owed time into the simulation clock, reporting the split.
+    /// Sub-nanosecond residue is dropped, exactly as before the split: the
+    /// total advance is `ns as u64` of the single legacy accumulator.
+    pub fn flush(&self, ctx: &AppCtx<'_>) -> FlushedNs {
         let ns = self.ns.replace(0.0);
+        let overhead = self.overhead_ns.replace(0.0);
         if ns >= 1.0 {
-            ctx.compute(SimDuration::from_nanos(ns as u64));
+            let total = ns as u64;
+            ctx.compute(SimDuration::from_nanos(total));
+            let overhead_ns = (overhead as u64).min(total);
+            FlushedNs {
+                app_ns: total - overhead_ns,
+                overhead_ns,
+            }
+        } else {
+            FlushedNs::default()
         }
     }
 }
@@ -99,14 +145,51 @@ mod tests {
         let out = vopp_sim::run_simple(1, SimDuration::from_micros(1), |ctx| {
             let d = CpuDebt::new();
             d.add_ns(2_500.0);
-            d.flush(&ctx);
+            let f = d.flush(&ctx);
+            assert_eq!(
+                f,
+                FlushedNs {
+                    app_ns: 2_500,
+                    overhead_ns: 0
+                }
+            );
             assert_eq!(d.owed_ns(), 0.0);
             // Sub-nanosecond residue is dropped, not re-queued.
             d.add_ns(0.4);
-            d.flush(&ctx);
+            assert_eq!(d.flush(&ctx), FlushedNs::default());
             ctx.now()
         });
         assert_eq!(out.results[0].nanos(), 2_500);
+    }
+
+    #[test]
+    fn flush_splits_app_and_overhead() {
+        let out = vopp_sim::run_simple(1, SimDuration::from_micros(1), |ctx| {
+            let d = CpuDebt::new();
+            d.add_ns(1_000.25);
+            d.add_overhead(SimDuration::from_nanos(500));
+            let f = d.flush(&ctx);
+            // Total is the truncated single accumulator (1500.25 -> 1500ns),
+            // overhead is reported out of that total.
+            assert_eq!(f.total_ns(), 1_500);
+            assert_eq!(f.overhead_ns, 500);
+            assert_eq!(f.app_ns, 1_000);
+            ctx.now()
+        });
+        assert_eq!(out.results[0].nanos(), 1_500);
+    }
+
+    #[test]
+    fn overhead_alone_advances_clock() {
+        let out = vopp_sim::run_simple(1, SimDuration::from_micros(1), |ctx| {
+            let d = CpuDebt::new();
+            d.add_overhead(SimDuration::from_micros(40));
+            let f = d.flush(&ctx);
+            assert_eq!(f.app_ns, 0);
+            assert_eq!(f.overhead_ns, 40_000);
+            ctx.now()
+        });
+        assert_eq!(out.results[0].nanos(), 40_000);
     }
 
     #[test]

@@ -36,4 +36,5 @@ pub use layout::{check_views, Layout, ViewDef, ViewId};
 pub use msg::{AccessMode, Req, Resp, ViewRecord};
 pub use node::{NodeState, PendingFetch, Protocol, StoredDiff};
 pub use runtime::{run_cluster, ClusterConfig, ClusterOutcome};
-pub use stats::{NodeStats, RunStats, ViewStats, ViewStatsMap};
+pub use stats::{NodeMetrics, NodeStats, RunStats, ViewStats, ViewStatsMap};
+pub use vopp_metrics::{Breakdown, Histogram, Phase, Registry, Summary};

@@ -130,8 +130,31 @@ where
     });
 
     let mut agg = NodeStats::default();
-    for node in &nodes {
-        agg.absorb(&node.lock().stats);
+    let mut node_breakdowns = Vec::with_capacity(n);
+    for (p, node) in nodes.iter().enumerate() {
+        let node = node.lock();
+        let bd = node.stats.metrics.breakdown;
+        // Phase accounting must classify every nanosecond of the node's
+        // virtual time, and must agree with the kernel's independent
+        // CPU-vs-blocked split. A mismatch means a blocking call or a debt
+        // charge slipped past the accounting brackets in `api.rs`.
+        debug_assert_eq!(
+            bd.total_ns(),
+            out.proc_end[p].nanos(),
+            "node {p}: phase breakdown does not sum to run time"
+        );
+        debug_assert_eq!(
+            bd.cpu_ns(),
+            out.proc_times[p].compute_ns,
+            "node {p}: compute+proto-cpu disagrees with kernel compute time"
+        );
+        debug_assert_eq!(
+            bd.blocked_ns(),
+            out.proc_times[p].blocked_ns,
+            "node {p}: wait phases disagree with kernel blocked time"
+        );
+        node_breakdowns.push(bd);
+        agg.absorb(&node.stats);
     }
     let net = *net_stats.lock();
     ClusterOutcome {
@@ -141,6 +164,8 @@ where
             nprocs: n,
             nodes: agg,
             net,
+            node_breakdowns,
+            node_end: out.proc_end.clone(),
         },
     }
 }

@@ -6,6 +6,7 @@
 
 use std::collections::BTreeMap;
 
+use vopp_metrics::{Breakdown, Histogram, Phase, Registry, Summary};
 use vopp_sim::SimTime;
 use vopp_simnet::NetStats;
 
@@ -26,6 +27,35 @@ pub struct ViewStats {
 
 /// Map of view id to its counters.
 pub type ViewStatsMap = BTreeMap<u32, ViewStats>;
+
+/// Phase-accounting breakdown and latency histograms collected on one node
+/// (or aggregated across nodes).
+#[derive(Debug, Clone, Default)]
+pub struct NodeMetrics {
+    /// Where every nanosecond of this node's virtual time went.
+    pub breakdown: Breakdown,
+    /// Round-trip latency of view/lock acquire requests.
+    pub acquire_rtt: Histogram,
+    /// Round-trip latency of barrier crossings (rpc only, excluding the
+    /// local interval-close work before entering).
+    pub barrier_rtt: Histogram,
+    /// Round-trip latency of fault-time page/diff fetches.
+    pub diff_rtt: Histogram,
+    /// Round-trip latency of every reliable-transport call (superset of the
+    /// above plus release/flush traffic), from `RpcClient::rtt`.
+    pub rpc_rtt: Histogram,
+}
+
+impl NodeMetrics {
+    /// Merge another node's metrics into an aggregate.
+    pub fn absorb(&mut self, o: &NodeMetrics) {
+        self.breakdown.absorb(&o.breakdown);
+        self.acquire_rtt.absorb(&o.acquire_rtt);
+        self.barrier_rtt.absorb(&o.barrier_rtt);
+        self.diff_rtt.absorb(&o.diff_rtt);
+        self.rpc_rtt.absorb(&o.rpc_rtt);
+    }
+}
 
 /// Counters collected on one node during a run.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +82,8 @@ pub struct NodeStats {
     pub diffs_applied: u64,
     /// Per-view breakdown of acquire traffic.
     pub views: ViewStatsMap,
+    /// Phase breakdown and latency histograms.
+    pub metrics: NodeMetrics,
 }
 
 impl NodeStats {
@@ -79,11 +111,12 @@ impl NodeStats {
             e.wait_ns += vs.wait_ns;
             e.grant_bytes += vs.grant_bytes;
         }
+        self.metrics.absorb(&o.metrics);
     }
 }
 
 /// Whole-run statistics: the paper's table rows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Wall-clock (virtual) execution time.
     pub time: SimTime,
@@ -93,6 +126,11 @@ pub struct RunStats {
     pub nodes: NodeStats,
     /// Network totals (messages, bytes, drops).
     pub net: NetStats,
+    /// Per-node phase breakdowns, indexed by node id. Each sums exactly to
+    /// the matching entry of [`RunStats::node_end`].
+    pub node_breakdowns: Vec<Breakdown>,
+    /// Per-node virtual finish times, indexed by node id.
+    pub node_end: Vec<SimTime>,
 }
 
 impl RunStats {
@@ -152,6 +190,81 @@ impl RunStats {
     pub fn rexmits(&self) -> u64 {
         self.nodes.rexmits
     }
+
+    /// Aggregate phase breakdown across all nodes.
+    pub fn breakdown(&self) -> &Breakdown {
+        &self.nodes.metrics.breakdown
+    }
+
+    /// Percentage of aggregate node time spent in `phase` (0.0 when empty).
+    pub fn phase_pct(&self, phase: Phase) -> f64 {
+        self.breakdown().pct(phase)
+    }
+
+    /// The paper-style "send overhead" percentage: protocol CPU plus
+    /// release/flush waits, as a share of aggregate node time.
+    pub fn send_overhead_pct(&self) -> f64 {
+        let b = self.breakdown();
+        let total = b.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            b.send_overhead_ns() as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Acquire round-trip latency summary (p50/p95/max) across all nodes.
+    pub fn acquire_latency(&self) -> Summary {
+        self.nodes.metrics.acquire_rtt.summary()
+    }
+
+    /// Barrier round-trip latency summary across all nodes.
+    pub fn barrier_latency(&self) -> Summary {
+        self.nodes.metrics.barrier_rtt.summary()
+    }
+
+    /// Fault-time page/diff fetch latency summary across all nodes.
+    pub fn diff_latency(&self) -> Summary {
+        self.nodes.metrics.diff_rtt.summary()
+    }
+
+    /// The §3.6 hot-view ranking: views ordered by total blocked acquire
+    /// time (descending, view id as tiebreak), truncated to `top_n`.
+    pub fn hot_views(&self, top_n: usize) -> Vec<(u32, ViewStats)> {
+        let mut views: Vec<(u32, ViewStats)> =
+            self.nodes.views.iter().map(|(v, s)| (*v, *s)).collect();
+        views.sort_by(|a, b| b.1.wait_ns.cmp(&a.1.wait_ns).then(a.0.cmp(&b.0)));
+        views.truncate(top_n);
+        views
+    }
+
+    /// Flatten everything into a name-keyed [`Registry`]: exact counters
+    /// (counts, message/byte totals, `time_ns`), derived gauges, and the
+    /// latency histograms. This is the stable export surface consumed by the
+    /// `BENCH_<app>.json` artifacts and the regression gate.
+    pub fn registry(&self) -> Registry {
+        let mut r = Registry::default();
+        r.inc_counter("time_ns", self.time.nanos());
+        r.inc_counter("barriers", self.nodes.barriers);
+        r.inc_counter("acquires", self.nodes.acquires);
+        r.inc_counter("diff_requests", self.nodes.diff_requests);
+        r.inc_counter("page_faults", self.nodes.page_faults);
+        r.inc_counter("rexmits", self.nodes.rexmits);
+        r.inc_counter("twins", self.nodes.twins);
+        r.inc_counter("diffs_created", self.nodes.diffs_created);
+        r.inc_counter("diffs_applied", self.nodes.diffs_applied);
+        r.inc_counter("net_msgs", self.net.msgs);
+        r.inc_counter("net_bytes", self.net.bytes);
+        r.inc_counter("net_drops", self.net.drops);
+        r.set_gauge("time_secs", self.time_secs());
+        r.set_gauge("data_mbytes", self.data_mbytes());
+        r.set_gauge("nprocs", self.nprocs as f64);
+        r.absorb_hist("acquire_rtt", &self.nodes.metrics.acquire_rtt);
+        r.absorb_hist("barrier_rtt", &self.nodes.metrics.barrier_rtt);
+        r.absorb_hist("diff_rtt", &self.nodes.metrics.diff_rtt);
+        r.absorb_hist("rpc_rtt", &self.nodes.metrics.rpc_rtt);
+        r
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +294,60 @@ mod tests {
     }
 
     #[test]
+    fn absorb_merges_disjoint_and_overlapping_views_fieldwise() {
+        let mut a = NodeStats::default();
+        *a.stats_view(1) = ViewStats {
+            acquires: 2,
+            versions: 1,
+            wait_ns: 100,
+            grant_bytes: 4096,
+        };
+        let mut b = NodeStats::default();
+        *b.stats_view(1) = ViewStats {
+            acquires: 3,
+            versions: 2,
+            wait_ns: 50,
+            grant_bytes: 1024,
+        };
+        *b.stats_view(7) = ViewStats {
+            acquires: 1,
+            versions: 0,
+            wait_ns: 9,
+            grant_bytes: 8,
+        };
+        a.absorb(&b);
+        // Overlapping view: every field sums.
+        let v1 = &a.views[&1];
+        assert_eq!(
+            (v1.acquires, v1.versions, v1.wait_ns, v1.grant_bytes),
+            (5, 3, 150, 5120)
+        );
+        // Disjoint view: copied whole.
+        let v7 = &a.views[&7];
+        assert_eq!(
+            (v7.acquires, v7.versions, v7.wait_ns, v7.grant_bytes),
+            (1, 0, 9, 8)
+        );
+        assert_eq!(a.views.len(), 2);
+    }
+
+    #[test]
+    fn absorb_merges_metrics() {
+        let mut a = NodeStats::default();
+        a.metrics.breakdown.charge(Phase::Compute, 10);
+        a.metrics.acquire_rtt.record(1_000);
+        let mut b = NodeStats::default();
+        b.metrics.breakdown.charge(Phase::BarrierWait, 5);
+        b.metrics.acquire_rtt.record(3_000);
+        b.metrics.diff_rtt.record(7_000);
+        a.absorb(&b);
+        assert_eq!(a.metrics.breakdown.total_ns(), 15);
+        assert_eq!(a.metrics.breakdown.get(Phase::BarrierWait), 5);
+        assert_eq!(a.metrics.acquire_rtt.count(), 2);
+        assert_eq!(a.metrics.diff_rtt.max_ns(), 7_000);
+    }
+
+    #[test]
     fn derived_rows() {
         let s = RunStats {
             time: SimTime(2_000_000_000),
@@ -198,6 +365,7 @@ mod tests {
                 bytes: 3_000_000,
                 ..Default::default()
             },
+            ..Default::default()
         };
         assert_eq!(s.time_secs(), 2.0);
         assert_eq!(s.barriers(), 10);
@@ -214,10 +382,87 @@ mod tests {
         let s = RunStats {
             time: SimTime::ZERO,
             nprocs: 1,
-            nodes: NodeStats::default(),
-            net: NetStats::default(),
+            ..Default::default()
         };
         assert_eq!(s.barrier_time_usec(), 0.0);
         assert_eq!(s.acquire_time_usec(), 0.0);
+        assert_eq!(s.phase_pct(Phase::Compute), 0.0);
+        assert_eq!(s.send_overhead_pct(), 0.0);
+        assert_eq!(s.acquire_latency().p95_ns, 0);
+    }
+
+    #[test]
+    fn nprocs_zero_yields_zero_not_panic() {
+        let s = RunStats {
+            nodes: NodeStats {
+                barriers: 12,
+                barrier_wait_ns: 1_000,
+                ..Default::default()
+            },
+            // nprocs defaults to 0: an empty/aggregated-away run.
+            ..Default::default()
+        };
+        assert_eq!(s.nprocs, 0);
+        assert_eq!(s.barriers(), 0);
+        // Per-barrier means still well-defined (barriers counter nonzero).
+        assert!(s.barrier_time_usec() > 0.0);
+    }
+
+    #[test]
+    fn hot_views_ranked_by_wait_time() {
+        let mut s = RunStats::default();
+        *s.nodes.stats_view(2) = ViewStats {
+            acquires: 4,
+            versions: 1,
+            wait_ns: 500,
+            grant_bytes: 10,
+        };
+        *s.nodes.stats_view(5) = ViewStats {
+            acquires: 1,
+            versions: 1,
+            wait_ns: 9_000,
+            grant_bytes: 99,
+        };
+        *s.nodes.stats_view(9) = ViewStats {
+            acquires: 7,
+            versions: 2,
+            wait_ns: 500,
+            grant_bytes: 1,
+        };
+        let hot = s.hot_views(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, 5);
+        // Equal waits tie-break on view id.
+        assert_eq!(hot[1].0, 2);
+        assert_eq!(s.hot_views(10).len(), 3);
+    }
+
+    #[test]
+    fn registry_exports_counters_gauges_hists() {
+        let mut s = RunStats {
+            time: SimTime(1_000_000_000),
+            nprocs: 2,
+            nodes: NodeStats {
+                barriers: 4,
+                diff_requests: 7,
+                ..Default::default()
+            },
+            net: NetStats {
+                msgs: 55,
+                bytes: 2_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        s.nodes.metrics.barrier_rtt.record(80_000);
+        let r = s.registry();
+        assert_eq!(r.counter("time_ns"), Some(1_000_000_000));
+        assert_eq!(r.counter("diff_requests"), Some(7));
+        assert_eq!(r.counter("net_msgs"), Some(55));
+        assert_eq!(r.gauge("nprocs"), Some(2.0));
+        assert_eq!(r.hist("barrier_rtt").unwrap().count(), 1);
+        // JSON export is well-formed and re-parsable.
+        let text = r.to_value().to_json();
+        assert!(vopp_trace::json::Value::parse(&text).is_ok());
     }
 }

@@ -1,0 +1,245 @@
+//! Fixed-bucket latency histogram.
+//!
+//! Bucket bounds follow a 1-2-5 ladder from 1µs to 1s (plus an overflow
+//! bucket), which brackets every round-trip the simulator produces: the
+//! fastest RPC is bounded below by the network latency (µs scale) and the
+//! retransmission timeout caps single waits near 1s. Quantiles are resolved
+//! to the bucket upper bound — exact enough for the 2% regression gate while
+//! keeping `record()` a couple of integer compares.
+
+use vopp_trace::json::{num, obj, Value};
+
+/// Upper bounds (inclusive), in nanoseconds, of the value buckets. A final
+/// implicit overflow bucket catches everything above 1s.
+pub const BOUNDS: [u64; 19] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+];
+
+const NBUCKETS: usize = BOUNDS.len() + 1;
+
+/// A fixed-bucket histogram of nanosecond durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; NBUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; NBUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn record(&mut self, ns: u64) {
+        let idx = BOUNDS.partition_point(|&b| b < ns);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += ns;
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations (ns).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded duration (ns), exact.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean duration (ns); 0.0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile `q` in `[0, 1]`, resolved to the containing bucket's upper
+    /// bound and clamped to the exact maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let bound = BOUNDS.get(i).copied().unwrap_or(u64::MAX);
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Condensed summary (count, sum, p50, p95, max).
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            sum_ns: self.sum,
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            max_ns: self.max,
+        }
+    }
+
+    /// JSON form of [`Histogram::summary`].
+    pub fn to_value(&self) -> Value {
+        self.summary().to_value()
+    }
+}
+
+/// Condensed histogram statistics for table cells and JSON artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples (ns).
+    pub sum_ns: u64,
+    /// Median, at bucket resolution (ns).
+    pub p50_ns: u64,
+    /// 95th percentile, at bucket resolution (ns).
+    pub p95_ns: u64,
+    /// Exact maximum (ns).
+    pub max_ns: u64,
+}
+
+impl Summary {
+    /// Stable JSON object.
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("count", num(self.count)),
+            ("sum_ns", num(self.sum_ns)),
+            ("p50_ns", num(self.p50_ns)),
+            ("p95_ns", num(self.p95_ns)),
+            ("max_ns", num(self.max_ns)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        let s = h.summary();
+        assert_eq!((s.count, s.p50_ns, s.p95_ns, s.max_ns), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn record_tracks_exact_count_sum_max() {
+        let mut h = Histogram::default();
+        for ns in [500, 1_500, 3_000, 70_000, 2_000_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 2_000_075_000);
+        assert_eq!(h.max_ns(), 2_000_000_000);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let mut h = Histogram::default();
+        // 90 fast samples in the <=1µs bucket, 10 slow at ~40ms.
+        for _ in 0..90 {
+            h.record(800);
+        }
+        for _ in 0..10 {
+            h.record(40_000_000);
+        }
+        assert_eq!(h.quantile(0.50), 1_000);
+        // p95 lands in the 20-50ms bucket; clamped to the exact max.
+        assert_eq!(h.quantile(0.95), 40_000_000);
+        assert_eq!(h.max_ns(), 40_000_000);
+    }
+
+    #[test]
+    fn single_sample_quantiles_clamp_to_max() {
+        let mut h = Histogram::default();
+        h.record(1_234);
+        // Bucket bound is 2_000 but the exact max is smaller.
+        assert_eq!(h.quantile(0.5), 1_234);
+        assert_eq!(h.quantile(0.95), 1_234);
+    }
+
+    #[test]
+    fn overflow_bucket_uses_exact_max() {
+        let mut h = Histogram::default();
+        h.record(5_000_000_000);
+        assert_eq!(h.quantile(0.5), 5_000_000_000);
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_max() {
+        let mut a = Histogram::default();
+        a.record(100);
+        let mut b = Histogram::default();
+        b.record(10_000);
+        b.record(99);
+        a.absorb(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ns(), 10_000);
+        assert_eq!(a.sum_ns(), 10_199);
+    }
+
+    #[test]
+    fn json_summary_shape() {
+        let mut h = Histogram::default();
+        h.record(1_000);
+        let s = h.to_value().to_json();
+        assert_eq!(
+            s,
+            "{\"count\":1,\"sum_ns\":1000,\"p50_ns\":1000,\"p95_ns\":1000,\"max_ns\":1000}"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Phase accounting: classify every nanosecond of a node's virtual time.
+
+use vopp_trace::json::{num, obj, Value};
+
+/// The six mutually exclusive states a simulated processor's virtual time is
+/// attributed to.
+///
+/// The first two are CPU time (the kernel's compute advances), the last four
+/// are blocked time (the kernel's receive waits):
+///
+/// * [`Phase::Compute`] — application work: flops, integer ops, memory copies.
+/// * [`Phase::ProtoCpu`] — protocol CPU: page-fault handling, twin creation,
+///   diff creation/application.
+/// * [`Phase::BarrierWait`] — blocked in the barrier round-trip.
+/// * [`Phase::AcquireWait`] — blocked acquiring a view or lock.
+/// * [`Phase::DataWait`] — blocked fetching pages or diffs at a page fault.
+/// * [`Phase::SendWait`] — blocked publishing state: release/flush round-trips
+///   (DSM) or awaiting the delivery ack of an eager send (MPI).
+///
+/// The paper-style five-way split {compute, barrier, acquire, page-fault/diff,
+/// send overhead} folds `ProtoCpu + SendWait` into "send overhead"; see
+/// [`Breakdown::send_overhead_ns`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Application compute (flops, int ops, copies).
+    Compute,
+    /// Protocol CPU overhead (faults, twins, diff create/apply).
+    ProtoCpu,
+    /// Blocked in a barrier.
+    BarrierWait,
+    /// Blocked acquiring a view or lock.
+    AcquireWait,
+    /// Blocked fetching pages/diffs on a fault.
+    DataWait,
+    /// Blocked in release/flush/send-ack round-trips.
+    SendWait,
+}
+
+impl Phase {
+    /// All phases, in canonical (JSON) order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Compute,
+        Phase::ProtoCpu,
+        Phase::BarrierWait,
+        Phase::AcquireWait,
+        Phase::DataWait,
+        Phase::SendWait,
+    ];
+
+    /// Stable snake_case key used in JSON artifacts.
+    pub fn key(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute_ns",
+            Phase::ProtoCpu => "proto_cpu_ns",
+            Phase::BarrierWait => "barrier_wait_ns",
+            Phase::AcquireWait => "acquire_wait_ns",
+            Phase::DataWait => "data_wait_ns",
+            Phase::SendWait => "send_wait_ns",
+        }
+    }
+
+    /// Short human label for table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::ProtoCpu => "proto cpu",
+            Phase::BarrierWait => "barrier wait",
+            Phase::AcquireWait => "acquire wait",
+            Phase::DataWait => "data wait",
+            Phase::SendWait => "send wait",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Compute => 0,
+            Phase::ProtoCpu => 1,
+            Phase::BarrierWait => 2,
+            Phase::AcquireWait => 3,
+            Phase::DataWait => 4,
+            Phase::SendWait => 5,
+        }
+    }
+}
+
+/// Per-node (or aggregated) virtual-time breakdown, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    ns: [u64; 6],
+}
+
+impl Breakdown {
+    /// Attribute `ns` nanoseconds of virtual time to `phase`.
+    pub fn charge(&mut self, phase: Phase, ns: u64) {
+        self.ns[phase.index()] += ns;
+    }
+
+    /// Nanoseconds attributed to `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.ns[phase.index()]
+    }
+
+    /// Total attributed nanoseconds. Equals the node's final virtual clock
+    /// when the accounting invariant holds.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// CPU time: `Compute + ProtoCpu` (must equal the kernel's compute time).
+    pub fn cpu_ns(&self) -> u64 {
+        self.get(Phase::Compute) + self.get(Phase::ProtoCpu)
+    }
+
+    /// Blocked time: the four wait phases (must equal the kernel's blocked time).
+    pub fn blocked_ns(&self) -> u64 {
+        self.get(Phase::BarrierWait)
+            + self.get(Phase::AcquireWait)
+            + self.get(Phase::DataWait)
+            + self.get(Phase::SendWait)
+    }
+
+    /// The paper's "send overhead" category: protocol CPU plus publish waits.
+    pub fn send_overhead_ns(&self) -> u64 {
+        self.get(Phase::ProtoCpu) + self.get(Phase::SendWait)
+    }
+
+    /// Percentage of total time spent in `phase` (0.0 when nothing recorded).
+    pub fn pct(&self, phase: Phase) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(phase) as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Fold another breakdown into this one.
+    pub fn absorb(&mut self, other: &Breakdown) {
+        for (a, b) in self.ns.iter_mut().zip(other.ns.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Stable JSON object: one key per phase (canonical order) plus `total_ns`.
+    pub fn to_value(&self) -> Value {
+        let mut o: Vec<(&str, Value)> = Vec::with_capacity(7);
+        for p in Phase::ALL {
+            o.push((p.key(), num(self.get(p))));
+        }
+        o.push(("total_ns", num(self.total_ns())));
+        obj(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_total_and_groups() {
+        let mut b = Breakdown::default();
+        b.charge(Phase::Compute, 60);
+        b.charge(Phase::ProtoCpu, 10);
+        b.charge(Phase::BarrierWait, 15);
+        b.charge(Phase::AcquireWait, 5);
+        b.charge(Phase::DataWait, 7);
+        b.charge(Phase::SendWait, 3);
+        assert_eq!(b.total_ns(), 100);
+        assert_eq!(b.cpu_ns(), 70);
+        assert_eq!(b.blocked_ns(), 30);
+        assert_eq!(b.send_overhead_ns(), 13);
+        assert!((b.pct(Phase::Compute) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_of_empty_is_zero() {
+        let b = Breakdown::default();
+        assert_eq!(b.pct(Phase::Compute), 0.0);
+        assert_eq!(b.total_ns(), 0);
+    }
+
+    #[test]
+    fn absorb_adds_per_phase() {
+        let mut a = Breakdown::default();
+        a.charge(Phase::Compute, 1);
+        let mut b = Breakdown::default();
+        b.charge(Phase::Compute, 2);
+        b.charge(Phase::SendWait, 4);
+        a.absorb(&b);
+        assert_eq!(a.get(Phase::Compute), 3);
+        assert_eq!(a.get(Phase::SendWait), 4);
+        assert_eq!(a.total_ns(), 7);
+    }
+
+    #[test]
+    fn json_has_canonical_keys_and_total() {
+        let mut b = Breakdown::default();
+        b.charge(Phase::DataWait, 42);
+        let s = b.to_value().to_json();
+        assert_eq!(
+            s,
+            "{\"compute_ns\":0,\"proto_cpu_ns\":0,\"barrier_wait_ns\":0,\
+             \"acquire_wait_ns\":0,\"data_wait_ns\":42,\"send_wait_ns\":0,\"total_ns\":42}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! String-keyed export registry: counters, gauges, histogram summaries.
+//!
+//! The registry is the flattening layer between typed runtime statistics
+//! (`RunStats`, `NodeStats`) and the machine-readable `BENCH_<app>.json`
+//! artifacts: producers register values under stable names, consumers (the
+//! regression gate, dashboards) look them up without knowing the Rust types.
+//! Keys iterate in sorted order so the JSON form is byte-stable regardless of
+//! registration order.
+
+use std::collections::BTreeMap;
+
+use vopp_trace::json::{num, Value};
+
+use crate::hist::Histogram;
+
+/// A sorted collection of named counters (monotone `u64`), gauges (`f64`
+/// point-in-time readings) and latency histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Add `v` to the counter `name` (creating it at zero).
+    pub fn inc_counter(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Set the gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record one duration into the histogram `name`.
+    pub fn observe(&mut self, name: &str, ns: u64) {
+        self.hists.entry(name.to_string()).or_default().record(ns);
+    }
+
+    /// Merge a whole histogram into the histogram `name`.
+    pub fn absorb_hist(&mut self, name: &str, h: &Histogram) {
+        self.hists.entry(name.to_string()).or_default().absorb(h);
+    }
+
+    /// Current counter value, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current gauge value, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Registered histogram, if any.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Fold another registry into this one: counters add, gauges take the
+    /// other's value, histograms merge.
+    pub fn absorb(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            self.inc_counter(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.set_gauge(k, *v);
+        }
+        for (k, h) in &other.hists {
+            self.absorb_hist(k, h);
+        }
+    }
+
+    /// Stable JSON: `{"counters": {...}, "gauges": {...}, "histograms": {...}}`
+    /// with keys in sorted order and histograms as p50/p95/max summaries.
+    pub fn to_value(&self) -> Value {
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), num(*v)))
+                .collect(),
+        );
+        let gauges = Value::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                .collect(),
+        );
+        let hists = Value::Obj(
+            self.hists
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_value()))
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), hists),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = Registry::default();
+        r.inc_counter("msgs", 3);
+        r.inc_counter("msgs", 4);
+        r.set_gauge("time_secs", 1.0);
+        r.set_gauge("time_secs", 2.5);
+        assert_eq!(r.counter("msgs"), Some(7));
+        assert_eq!(r.gauge("time_secs"), Some(2.5));
+        assert_eq!(r.counter("missing"), None);
+    }
+
+    #[test]
+    fn absorb_merges_all_kinds() {
+        let mut a = Registry::default();
+        a.inc_counter("msgs", 1);
+        a.observe("rtt", 1_000);
+        let mut b = Registry::default();
+        b.inc_counter("msgs", 2);
+        b.inc_counter("drops", 5);
+        b.observe("rtt", 9_000);
+        b.set_gauge("g", 7.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("msgs"), Some(3));
+        assert_eq!(a.counter("drops"), Some(5));
+        assert_eq!(a.gauge("g"), Some(7.0));
+        assert_eq!(a.hist("rtt").unwrap().count(), 2);
+        assert_eq!(a.hist("rtt").unwrap().max_ns(), 9_000);
+    }
+
+    #[test]
+    fn json_is_sorted_regardless_of_insertion_order() {
+        let mut r = Registry::default();
+        r.inc_counter("zebra", 1);
+        r.inc_counter("alpha", 2);
+        let mut r2 = Registry::default();
+        r2.inc_counter("alpha", 2);
+        r2.inc_counter("zebra", 1);
+        assert_eq!(r.to_value().to_json(), r2.to_value().to_json());
+        assert!(r
+            .to_value()
+            .to_json()
+            .starts_with("{\"counters\":{\"alpha\":2,\"zebra\":1}"));
+    }
+}

@@ -1,9 +1,10 @@
 //! The communicator: point-to-point API, collectives, and the runner.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use vopp_dsm::{CostModel, CpuDebt};
+use vopp_metrics::{Breakdown, Histogram, Phase};
 use vopp_sim::sync::Mutex;
 use vopp_sim::{AppCtx, ProcId, Sim, SimTime};
 use vopp_simnet::{EthernetModel, NetConfig, RpcClient};
@@ -52,6 +53,14 @@ pub struct MpiOutcome<R> {
     pub bytes: u64,
     /// Retransmissions.
     pub rexmits: u64,
+    /// Per-rank phase breakdown of virtual time (same classification as the
+    /// DSM runtime, so MPI and DSM runs are directly comparable).
+    pub breakdowns: Vec<Breakdown>,
+    /// Per-rank finish times.
+    pub proc_end: Vec<SimTime>,
+    /// Round-trip latencies of every reliable send (DATA -> ACK), merged
+    /// across ranks.
+    pub rpc_rtt: Histogram,
 }
 
 /// The per-rank communicator handle.
@@ -61,6 +70,11 @@ pub struct MpiCtx<'a> {
     seq_out: RefCell<Vec<u64>>,
     debt: CpuDebt,
     cost: CostModel,
+    breakdown: RefCell<Breakdown>,
+    /// When set, blocking waits are charged to this phase instead of the
+    /// default (send -> SendWait, recv -> DataWait). `barrier` uses it so
+    /// its constituent sends/receives all count as barrier wait.
+    wait_phase: Cell<Option<Phase>>,
 }
 
 impl<'a> MpiCtx<'a> {
@@ -76,8 +90,25 @@ impl<'a> MpiCtx<'a> {
 
     /// Current virtual time (flushes CPU debt).
     pub fn now(&self) -> SimTime {
-        self.debt.flush(&self.sim);
+        self.flush();
         self.sim.now()
+    }
+
+    /// Flush CPU debt into the clock, classifying the advance.
+    fn flush(&self) {
+        let f = self.debt.flush(&self.sim);
+        if f.total_ns() != 0 {
+            let mut bd = self.breakdown.borrow_mut();
+            bd.charge(Phase::Compute, f.app_ns);
+            bd.charge(Phase::ProtoCpu, f.overhead_ns);
+        }
+    }
+
+    /// Charge the time since `since` to `phase` (or the barrier override).
+    fn charge_wait(&self, phase: Phase, since: SimTime) {
+        let waited = (self.sim.now() - since).nanos();
+        let phase = self.wait_phase.get().unwrap_or(phase);
+        self.breakdown.borrow_mut().charge(phase, waited);
     }
 
     /// Charge floating-point work.
@@ -97,7 +128,7 @@ impl<'a> MpiCtx<'a> {
 
     /// Blocking reliable send to `dst` with message tag `tag`.
     pub fn send(&self, dst: ProcId, tag: u32, payload: MpiPayload) {
-        self.debt.flush(&self.sim);
+        self.flush();
         let seq = {
             let mut s = self.seq_out.borrow_mut();
             let v = s[dst];
@@ -107,14 +138,18 @@ impl<'a> MpiCtx<'a> {
         let data = MpiData { tag, seq, payload };
         let bytes = data.wire_bytes();
         // The ack is the rpc reply; retransmission handled by the transport.
+        let t0 = self.sim.now();
         let _ = self.rpc.borrow_mut().call(&self.sim, dst, bytes, data);
+        self.charge_wait(Phase::SendWait, t0);
     }
 
     /// Blocking receive of the next in-order message from `src` with `tag`.
     pub fn recv(&self, src: ProcId, tag: u32) -> MpiPayload {
-        self.debt.flush(&self.sim);
+        self.flush();
         let want = deliver_tag(src, tag);
+        let t0 = self.sim.now();
         let pkt = self.sim.recv_filter(|p| p.tag == want);
+        self.charge_wait(Phase::DataWait, t0);
         pkt.expect::<Delivered>().payload
     }
 
@@ -124,6 +159,7 @@ impl<'a> MpiCtx<'a> {
         if n == 1 {
             return;
         }
+        self.wait_phase.set(Some(Phase::BarrierWait));
         if self.me() == 0 {
             for src in 1..n {
                 let _ = self.recv(src, TAG_BARRIER);
@@ -135,6 +171,7 @@ impl<'a> MpiCtx<'a> {
             self.send(0, TAG_BARRIER, MpiPayload::Unit);
             let _ = self.recv(0, TAG_BARRIER);
         }
+        self.wait_phase.set(None);
     }
 
     /// Binomial-tree broadcast from `root`. Non-root ranks pass `None`.
@@ -210,9 +247,10 @@ impl<'a> MpiCtx<'a> {
         out.into_f64s().as_ref().clone()
     }
 
-    fn finish(&self) -> u64 {
-        self.debt.flush(&self.sim);
-        self.rpc.borrow().rexmits
+    fn finish(&self) -> (u64, Breakdown, Histogram) {
+        self.flush();
+        let rpc = self.rpc.borrow();
+        (rpc.rexmits, *self.breakdown.borrow(), rpc.rtt.clone())
     }
 }
 
@@ -242,27 +280,59 @@ where
     }
     let cost = cfg.cost.clone();
     let rexmits = Mutex::new(0u64);
+    let breakdowns = Mutex::new(vec![Breakdown::default(); n]);
+    let rpc_rtt = Mutex::new(Histogram::default());
     let out = sim.run(|ctx| {
         let n = ctx.nprocs();
+        let me = ctx.me();
         let mctx = MpiCtx {
             sim: ctx,
             rpc: RefCell::new(RpcClient::new()),
             seq_out: RefCell::new(vec![0; n]),
             debt: CpuDebt::new(),
             cost: cost.clone(),
+            breakdown: RefCell::new(Breakdown::default()),
+            wait_phase: Cell::new(None),
         };
         let r = body(&mctx);
-        *rexmits.lock() += mctx.finish();
+        let (rex, bd, rtt) = mctx.finish();
+        *rexmits.lock() += rex;
+        breakdowns.lock()[me] = bd;
+        rpc_rtt.lock().absorb(&rtt);
         r
     });
     let ns = *net_stats.lock();
     let rexmits = *rexmits.lock();
+    let breakdowns = breakdowns.lock().clone();
+    let rpc_rtt = rpc_rtt.lock().clone();
+    for (p, bd) in breakdowns.iter().enumerate() {
+        // Same cross-checks as the DSM runtime: the phase accounting must
+        // classify every nanosecond and agree with the kernel's own split.
+        debug_assert_eq!(
+            bd.total_ns(),
+            out.proc_end[p].nanos(),
+            "rank {p}: phase breakdown does not sum to run time"
+        );
+        debug_assert_eq!(
+            bd.cpu_ns(),
+            out.proc_times[p].compute_ns,
+            "rank {p}: compute disagrees with kernel compute time"
+        );
+        debug_assert_eq!(
+            bd.blocked_ns(),
+            out.proc_times[p].blocked_ns,
+            "rank {p}: wait phases disagree with kernel blocked time"
+        );
+    }
     MpiOutcome {
         results: out.results,
         time: out.end_time,
         msgs: ns.msgs,
         bytes: ns.bytes,
         rexmits,
+        breakdowns,
+        proc_end: out.proc_end,
+        rpc_rtt,
     }
 }
 

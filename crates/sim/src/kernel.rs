@@ -81,6 +81,7 @@ pub(crate) struct ProcInfo {
     pub(crate) timed_out: bool,
     pub(crate) pending_deliver: usize,
     pub(crate) pending_bytes: usize,
+    pub(crate) times: ProcTimes,
 }
 
 impl ProcInfo {
@@ -93,8 +94,22 @@ impl ProcInfo {
             timed_out: false,
             pending_deliver: 0,
             pending_bytes: 0,
+            times: ProcTimes::default(),
         }
     }
+}
+
+/// Kernel-level classification of one process's virtual time: every clock
+/// advance happens in `Sim::wake`, and the phase the process was blocked in
+/// says which kind of time just elapsed. `compute_ns + blocked_ns` equals the
+/// process's final clock, by construction — higher layers (DSM, MPI) check
+/// their finer-grained phase breakdowns against these two totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcTimes {
+    /// Time spent advancing through `compute`/`sleep` spans (CPU time).
+    pub compute_ns: u64,
+    /// Time spent blocked in `recv` waiting for a packet or timeout.
+    pub blocked_ns: u64,
 }
 
 pub(crate) struct Sched {
@@ -191,6 +206,8 @@ pub struct RunOutcome<R> {
     pub end_time: SimTime,
     /// Virtual finish time of each process.
     pub proc_end: Vec<SimTime>,
+    /// Kernel compute/blocked time classification of each process.
+    pub proc_times: Vec<ProcTimes>,
     /// The network model, returned so callers can read its statistics.
     pub net: Box<dyn NetModel>,
 }
@@ -352,6 +369,7 @@ impl Sim {
             panic!("simulation deadlocked: all processes blocked with no pending events");
         }
         let proc_end: Vec<SimTime> = s.procs.iter().map(|pi| pi.clock).collect();
+        let proc_times: Vec<ProcTimes> = s.procs.iter().map(|pi| pi.times).collect();
         let end_time = proc_end.iter().copied().max().unwrap_or(SimTime::ZERO);
         let net = std::mem::replace(&mut s.net, Box::new(crate::net::PerfectNet::default()));
         drop(s);
@@ -362,6 +380,7 @@ impl Sim {
                 .collect(),
             end_time,
             proc_end,
+            proc_times,
             net,
         }
     }
@@ -461,6 +480,12 @@ impl Sim {
             }
         }
         let pi = &mut s.procs[p];
+        let adv = t.0.saturating_sub(pi.clock.0);
+        match pi.phase {
+            Phase::BlockedResume => pi.times.compute_ns += adv,
+            Phase::WaitRecv { .. } => pi.times.blocked_ns += adv,
+            Phase::Startup | Phase::Running | Phase::Finished => {}
+        }
         pi.clock = pi.clock.max(t);
         pi.phase = Phase::Running;
         s.running = Some(p);

@@ -26,7 +26,7 @@ mod time;
 pub type ProcId = usize;
 
 pub use ctx::{AppCtx, SvcCtx};
-pub use kernel::{run_simple, Handler, RunOutcome, Sim};
+pub use kernel::{run_simple, Handler, ProcTimes, RunOutcome, Sim};
 pub use net::{NetModel, PerfectNet, RouteRequest};
 pub use packet::{DeliveryClass, Packet};
 pub use time::{SimDuration, SimTime};

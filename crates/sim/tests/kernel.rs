@@ -334,3 +334,32 @@ fn many_procs_ring() {
     // 3 laps * 32 hops * 50us each.
     assert_eq!(out.end_time, SimTime(3 * 32 * 50_000));
 }
+
+#[test]
+fn proc_times_classify_every_nanosecond() {
+    // Proc 0 computes then waits for a late message; proc 1 only computes
+    // before sending. For both, compute + blocked must equal the final clock.
+    let out = run_simple(2, LAT, |ctx| {
+        if ctx.me() == 0 {
+            ctx.compute(SimDuration::from_micros(100));
+            ctx.recv().expect::<u8>()
+        } else {
+            ctx.compute(SimDuration::from_millis(2));
+            ctx.send(0, 16, DeliveryClass::App, 0, Box::new(9u8));
+            0
+        }
+    });
+    for (p, (end, pt)) in out.proc_end.iter().zip(out.proc_times.iter()).enumerate() {
+        assert_eq!(
+            pt.compute_ns + pt.blocked_ns,
+            end.0,
+            "proc {p}: kernel time classification must cover the clock"
+        );
+    }
+    // Proc 0: 100us compute, then blocked from 100us until arrival at 2ms+50us.
+    assert_eq!(out.proc_times[0].compute_ns, 100_000);
+    assert_eq!(out.proc_times[0].blocked_ns, 2_050_000 - 100_000);
+    // Proc 1 never blocks.
+    assert_eq!(out.proc_times[1].compute_ns, 2_000_000);
+    assert_eq!(out.proc_times[1].blocked_ns, 0);
+}

@@ -16,6 +16,7 @@
 
 use std::any::Any;
 
+use vopp_metrics::Histogram;
 use vopp_sim::{AppCtx, DeliveryClass, Packet, ProcId, SimDuration, SvcCtx};
 
 /// High bit marking RPC-reply tags, so replies never collide with other
@@ -29,6 +30,10 @@ pub struct RpcClient {
     next_tag: u64,
     /// Retransmissions performed so far (the paper's `Rexmit` statistic).
     pub rexmits: u64,
+    /// Round-trip latency of every completed request, including any
+    /// retransmission waits. For `call_all` bursts, each request's trip is
+    /// measured from the burst send to its own reply.
+    pub rtt: Histogram,
     /// Timeout before a retransmission.
     pub timeout: SimDuration,
     /// Retransmissions before giving up (a real system would declare the
@@ -41,6 +46,7 @@ impl Default for RpcClient {
         RpcClient {
             next_tag: 0,
             rexmits: 0,
+            rtt: Histogram::default(),
             timeout: SimDuration::from_secs(1),
             max_retries: 60,
         }
@@ -66,6 +72,7 @@ impl RpcClient {
         self.next_tag += 1;
         // Discard stale duplicate replies from earlier calls.
         ctx.purge_filter(|p| p.tag & RPC_TAG_BIT != 0 && p.tag < tag);
+        let started = ctx.now();
         let mut tries = 0;
         loop {
             ctx.send(
@@ -76,7 +83,10 @@ impl RpcClient {
                 Box::new(msg.clone()),
             );
             match ctx.recv_filter_timeout(self.timeout, |p| p.tag == tag) {
-                Some(pkt) => return pkt,
+                Some(pkt) => {
+                    self.rtt.record((ctx.now() - started).nanos());
+                    return pkt;
+                }
                 None => {
                     tries += 1;
                     self.rexmits += 1;
@@ -105,6 +115,7 @@ impl RpcClient {
         self.next_tag += calls.len() as u64;
         let tag_of = |i: usize| RPC_TAG_BIT | (base + i as u64);
         ctx.purge_filter(|p| p.tag & RPC_TAG_BIT != 0 && p.tag < tag_of(0));
+        let started = ctx.now();
         for (i, (dst, bytes, msg)) in calls.iter().enumerate() {
             ctx.send(
                 *dst,
@@ -121,6 +132,7 @@ impl RpcClient {
             loop {
                 match ctx.recv_filter_timeout(self.timeout, |p| p.tag == tag) {
                     Some(pkt) => {
+                        self.rtt.record((ctx.now() - started).nanos());
                         out.push(pkt);
                         break;
                     }
@@ -240,6 +252,35 @@ mod tests {
         let (got, rexmits) = echo_sim(cfg, 5);
         assert_eq!(got, (1..=5).collect::<Vec<_>>());
         assert!(rexmits >= 5);
+    }
+
+    #[test]
+    fn rtt_histogram_records_every_call() {
+        let mut sim = Sim::new(2, Box::new(EthernetModel::new(2, NetConfig::lossless())));
+        sim.set_handler(
+            1,
+            Box::new(|svc, pkt| {
+                let (tag, src) = (pkt.tag, pkt.src);
+                let v = pkt.expect::<u64>();
+                reply(svc, src, 64, tag, Box::new(v));
+            }),
+        );
+        let out = sim.run(|ctx| {
+            if ctx.me() == 0 {
+                let mut rpc = RpcClient::new();
+                for i in 0..10u64 {
+                    rpc.call(&ctx, 1, 64, i);
+                }
+                let s = rpc.rtt.summary();
+                (s.count, s.p50_ns, s.max_ns)
+            } else {
+                (0, 0, 0)
+            }
+        });
+        let (count, p50, max) = out.results[0];
+        assert_eq!(count, 10);
+        assert!(p50 > 0 && max > 0, "round trips must take virtual time");
+        assert!(max >= p50);
     }
 
     #[test]

@@ -51,6 +51,48 @@ pub fn acquire_waits(trace: &Trace) -> Vec<AcquireWait> {
     out
 }
 
+/// Aggregate acquire statistics of one view, for hot-view ranking (§3.6:
+/// frequently-acquired views serialize the computation and dominate the
+/// acquire-wait column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotView {
+    /// View id.
+    pub view: u64,
+    /// Completed acquires (write and read).
+    pub acquires: u64,
+    /// Total time nodes spent waiting to acquire this view (ns).
+    pub wait_ns: u64,
+    /// Total bytes carried by the view grants (diffs/pages piggy-backed on
+    /// the grant message).
+    pub grant_bytes: u64,
+}
+
+/// Rank views by total acquire-wait time, hottest first (ties broken by
+/// view id), truncated to `top_n`.
+pub fn hot_views(trace: &Trace, top_n: usize) -> Vec<HotView> {
+    let mut per: HashMap<u64, HotView> = HashMap::new();
+    let blank = |view| HotView {
+        view,
+        acquires: 0,
+        wait_ns: 0,
+        grant_bytes: 0,
+    };
+    for w in acquire_waits(trace) {
+        per.entry(w.view).or_insert_with(|| blank(w.view)).wait_ns += w.wait_ns;
+    }
+    for ev in &trace.events {
+        if let EventKind::AcquireEnd { view, bytes, .. } = &ev.kind {
+            let e = per.entry(*view).or_insert_with(|| blank(*view));
+            e.acquires += 1;
+            e.grant_bytes += bytes;
+        }
+    }
+    let mut out: Vec<HotView> = per.into_values().collect();
+    out.sort_by(|a, b| b.wait_ns.cmp(&a.wait_ns).then(a.view.cmp(&b.view)));
+    out.truncate(top_n);
+    out
+}
+
 /// Decade histogram bucket index for a wait, and its label.
 const BUCKETS: [(&str, u64); 6] = [
     ("     <10µs", 10_000),
@@ -113,6 +155,22 @@ pub fn report(trace: &Trace, top_n: usize) -> String {
             if w.write { "W" } else { "R" },
             fmt_us(w.start),
         );
+    }
+
+    // Hottest views by total acquire-wait time.
+    let hot = hot_views(trace, top_n);
+    if !hot.is_empty() {
+        let _ = writeln!(out, "\nhottest views (by total acquire wait):");
+        for h in &hot {
+            let _ = writeln!(
+                out,
+                "  view {:<4} {:>12} total wait  {:>6} acquires  {:>10} grant bytes",
+                h.view,
+                fmt_us(h.wait_ns),
+                h.acquires,
+                h.grant_bytes,
+            );
+        }
     }
 
     // Per-view wait histograms.
@@ -229,5 +287,54 @@ mod tests {
         assert!(text.contains("5000.0µs"), "slowest first:\n{text}");
         assert!(text.contains("view 2: 3 acquires"));
         assert!(text.contains("barrier waits: 1 episodes"));
+        assert!(text.contains("hottest views"), "{text}");
+    }
+
+    #[test]
+    fn hot_views_ranked_by_total_wait() {
+        // View 7: one long wait, big grants. View 3: two short waits.
+        let mut events = Vec::new();
+        let mut acq = |node: usize, view: u64, start: u64, wait: u64, bytes: u64| {
+            events.push(Event {
+                t: start,
+                node,
+                kind: EventKind::AcquireStart { view, write: true },
+            });
+            events.push(Event {
+                t: start + wait,
+                node,
+                kind: EventKind::AcquireEnd {
+                    view,
+                    write: true,
+                    version: 0,
+                    bytes,
+                },
+            });
+        };
+        acq(0, 7, 0, 900_000, 4096);
+        acq(1, 3, 10_000, 100_000, 64);
+        acq(2, 3, 20_000, 200_000, 64);
+        let trace = Trace { events, evicted: 0 };
+
+        let hot = hot_views(&trace, 10);
+        assert_eq!(
+            hot,
+            vec![
+                HotView {
+                    view: 7,
+                    acquires: 1,
+                    wait_ns: 900_000,
+                    grant_bytes: 4096,
+                },
+                HotView {
+                    view: 3,
+                    acquires: 2,
+                    wait_ns: 300_000,
+                    grant_bytes: 128,
+                },
+            ]
+        );
+        // Truncation respects the ranking.
+        assert_eq!(hot_views(&trace, 1)[0].view, 7);
     }
 }
