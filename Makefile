@@ -5,7 +5,7 @@ METRICS_DIR ?= target/bench-metrics
 BASELINE_DIR ?= crates/bench/baselines
 
 .PHONY: all check fmt clippy test tables tables-quick bench bench-micro \
-        baseline metrics-demo trace-demo clean
+        bench-wallclock baseline metrics-demo trace-demo clean
 
 all: check test
 
@@ -34,9 +34,18 @@ bench:
 	cargo run -p vopp-bench --release --bin tables -- all --quick --metrics $(METRICS_DIR)
 	cargo run -p vopp-bench --release --bin metrics_diff -- $(BASELINE_DIR) $(METRICS_DIR)
 
-# Refresh the committed baselines after an intentional perf change.
+# Full quick sweep on every core, reporting real time per cell. Wall-clock
+# is machine-dependent and never gated; see docs/PERFORMANCE.md.
+bench-wallclock:
+	cargo run -p vopp-bench --release --bin tables -- all --quick --metrics $(METRICS_DIR)
+	@echo "Wall-clock artifact:"
+	@cat $(METRICS_DIR)/BENCH_wallclock.json
+
+# Refresh the committed baselines after an intentional perf change. The
+# machine-dependent wall-clock artifact is never committed as a baseline.
 baseline:
 	cargo run -p vopp-bench --release --bin tables -- all --quick --metrics $(BASELINE_DIR)
+	rm -f $(BASELINE_DIR)/BENCH_wallclock.json
 
 # One metered table, artifacts left in target/metrics-demo for inspection.
 metrics-demo:

@@ -1,34 +1,112 @@
 //! Micro-benchmarks of the memory and network substrates.
 
 use vopp_bench::harness::{black_box, Runner};
-use vopp_page::{Diff, PageBuf, SharedHeap, VTime, PAGE_WORDS};
+use vopp_page::{Diff, DiffRun, PageBuf, PagePool, SharedHeap, VTime, PAGE_WORDS};
 use vopp_sim::{NetModel, RouteRequest, SimTime};
 use vopp_simnet::{EthernetModel, NetConfig};
 
+/// The pre-chunking `Diff::create`, replicated verbatim from the seed: a
+/// word-by-word scan growing each run's vector by push. Kept as the
+/// measured reference the chunked kernel is compared against (run-for-run
+/// equivalence itself is asserted by the randomized suite in `vopp-page`).
+fn scalar_create_runs(twin: &PageBuf, current: &PageBuf) -> Vec<DiffRun> {
+    let mut runs = Vec::new();
+    let mut w = 0;
+    while w < PAGE_WORDS {
+        if twin.word(w) != current.word(w) {
+            let start = w;
+            let mut words = Vec::new();
+            while w < PAGE_WORDS && twin.word(w) != current.word(w) {
+                words.push(current.word(w));
+                w += 1;
+            }
+            runs.push(DiffRun {
+                word_off: start as u32,
+                words,
+            });
+        } else {
+            w += 1;
+        }
+    }
+    runs
+}
+
+/// Diff kernels on the canonical dirtiness patterns: sparse (one small
+/// contiguous write — the common DSM case of a node touching a few adjacent
+/// array elements in a page), scattered (eight isolated stores across the
+/// page), dense (every 8th word), and full-page (every word modified).
 fn bench_diff(r: &mut Runner) {
     let twin = PageBuf::zeroed();
-    // Sparse page: every 8th word modified.
+    let mut pages = Vec::new();
     let mut sparse = PageBuf::zeroed();
-    for w in (0..PAGE_WORDS).step_by(8) {
+    for w in 256..264 {
         sparse.set_word(w, w as u32 + 1);
     }
-    // Dense page: everything modified.
-    let mut dense = PageBuf::zeroed();
-    for w in 0..PAGE_WORDS {
-        dense.set_word(w, w as u32 + 1);
+    pages.push(("sparse", sparse));
+    for (label, step) in [("scattered", 128), ("dense", 8), ("full", 1)] {
+        let mut cur = PageBuf::zeroed();
+        for w in (0..PAGE_WORDS).step_by(step) {
+            cur.set_word(w, w as u32 + 1);
+        }
+        pages.push((label, cur));
     }
-    r.bench("diff_create_sparse", || {
-        Diff::create(black_box(&twin), black_box(&sparse))
+    for (label, cur) in &pages {
+        let chunked = r.bench(&format!("diff_create_{label}"), || {
+            Diff::create(black_box(&twin), black_box(cur))
+        });
+        let scalar = r.bench(&format!("diff_create_{label}_scalar_ref"), || {
+            scalar_create_runs(black_box(&twin), black_box(cur))
+        });
+        if let (Some(c), Some(s)) = (chunked, scalar) {
+            println!(
+                "    -> chunked create is {:.1}x the scalar reference ({label})",
+                s.as_nanos() as f64 / c.as_nanos().max(1) as f64
+            );
+        }
+    }
+    for (label, cur) in &pages {
+        let d = Diff::create(&twin, cur);
+        let mut page = PageBuf::zeroed();
+        r.bench(&format!("diff_apply_{label}"), || {
+            d.apply(black_box(&mut page))
+        });
+    }
+    // Merge (diff integration): newer overlapping runs shadow older ones.
+    let d_sparse = Diff::create(&twin, &pages[1].1); // scattered
+    let d_dense = Diff::create(&twin, &pages[2].1);
+    let d_full = Diff::create(&twin, &pages[3].1);
+    r.bench("diff_merge_sparse_into_dense", || {
+        black_box(&d_dense).merge(black_box(&d_sparse))
     });
-    r.bench("diff_create_dense", || {
-        Diff::create(black_box(&twin), black_box(&dense))
-    });
-    let d_sparse = Diff::create(&twin, &sparse);
-    let d_dense = Diff::create(&twin, &dense);
-    let mut page = PageBuf::zeroed();
-    r.bench("diff_apply_sparse", || d_sparse.apply(black_box(&mut page)));
     r.bench("diff_merge_integration", || {
         black_box(&d_sparse).merge(black_box(&d_dense))
+    });
+    r.bench("diff_merge_full_page", || {
+        black_box(&d_dense).merge(black_box(&d_full))
+    });
+}
+
+/// Page recycling vs. fresh heap allocation per twin.
+fn bench_pool(r: &mut Runner) {
+    let src = {
+        let mut p = PageBuf::zeroed();
+        for w in (0..PAGE_WORDS).step_by(8) {
+            p.set_word(w, w as u32 + 1);
+        }
+        p
+    };
+    let mut pool = PagePool::default();
+    r.bench("pool_acquire_release_zeroed", || {
+        let b = pool.acquire_zeroed();
+        pool.release(black_box(b));
+    });
+    r.bench("pool_acquire_release_copy", || {
+        let b = pool.acquire_copy(black_box(&src));
+        pool.release(black_box(b));
+    });
+    r.bench("pool_miss_fresh_alloc", || {
+        // The un-pooled baseline: allocate and drop a page per twin.
+        black_box(Box::new(src.clone()))
     });
 }
 
@@ -74,6 +152,7 @@ fn bench_net(r: &mut Runner) {
 fn main() {
     let mut r = Runner::from_args();
     bench_diff(&mut r);
+    bench_pool(&mut r);
     bench_vtime(&mut r);
     bench_heap(&mut r);
     bench_net(&mut r);

@@ -7,6 +7,7 @@
 //! cargo run -p vopp-bench --release --bin tables -- all --json > tables.json
 //! cargo run -p vopp-bench --release --bin tables -- table1 --trace /tmp/t
 //! cargo run -p vopp-bench --release --bin tables -- all --quick --metrics out/
+//! cargo run -p vopp-bench --release --bin tables -- all --jobs 4
 //! ```
 //!
 //! `--trace <dir>` records a structured event trace of every cluster run,
@@ -16,20 +17,51 @@
 //!
 //! `--metrics <dir>` records every verified run and writes one
 //! `BENCH_<app>.json` per application into `<dir>` — the machine-readable
-//! artifacts consumed by the `metrics_diff` regression gate.
+//! artifacts consumed by the `metrics_diff` regression gate — plus
+//! `BENCH_wallclock.json` (real time per cell; reported, never gated).
+//!
+//! `--jobs N` (or `VOPP_JOBS=N`; default: available parallelism) sizes the
+//! worker pool that precomputes the sweep's cells. Every artifact is
+//! byte-identical for any worker count — cells are independent
+//! deterministic simulations consumed in sequential order.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
+use vopp_bench::sweep::{cells_for, dedup_cells, run_sweep, write_wallclock};
 use vopp_bench::tables;
 use vopp_bench::{MetricsSink, Scale, Table};
 use vopp_trace::json::Value;
+
+fn jobs_from(args: &[String]) -> usize {
+    let parse = |s: &str, what: &str| match s.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("{what} must be a positive integer, got {s:?}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        match args.get(i + 1) {
+            Some(n) if !n.starts_with("--") => return parse(n, "--jobs"),
+            _ => {
+                eprintln!("--jobs requires a positive integer argument");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Ok(n) = std::env::var("VOPP_JOBS") {
+        return parse(&n, "VOPP_JOBS");
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let jobs = jobs_from(&args);
     let dir_flag = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -47,28 +79,30 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            // Skip flags and the --trace/--metrics operands.
+            // Skip flags and the --trace/--metrics/--jobs operands.
             !a.starts_with("--")
-                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--trace" || prev == "--metrics")
+                && !matches!(args.get(i.wrapping_sub(1)),
+                    Some(prev) if prev == "--trace" || prev == "--metrics" || prev == "--jobs")
         })
         .map(|(_, s)| s.as_str())
         .collect();
     if wanted.is_empty() {
         eprintln!(
-            "usage: tables [--quick] [--json] [--trace DIR] [--metrics DIR] \
+            "usage: tables [--quick] [--json] [--jobs N] [--trace DIR] [--metrics DIR] \
              (all | table1 .. table9 | ext)+"
         );
         std::process::exit(2);
     }
     let sink = metrics_dir.as_ref().map(|_| Arc::new(MetricsSink::new()));
-    let scale = Scale {
+    let mut scale = Scale {
         quick,
         trace_dir,
         metrics: sink.clone(),
         net_override: None,
+        cache: None,
     };
     type TableFn = fn(&Scale) -> Table;
-    let jobs: Vec<(&str, TableFn)> = vec![
+    let table_fns: Vec<(&str, TableFn)> = vec![
         ("table1", tables::table1),
         ("table2", tables::table2),
         ("table3", tables::table3),
@@ -81,18 +115,44 @@ fn main() {
         ("ext", tables::table_ext),
     ];
     let run_all = wanted.contains(&"all");
+    let selected: Vec<(&str, TableFn)> = table_fns
+        .into_iter()
+        .filter(|(name, _)| (run_all && *name != "ext") || wanted.contains(name))
+        .collect();
+
+    // Precompute every selected cell on the worker pool; the table
+    // functions below consume the cache in their original sequential
+    // order, so all artifacts stay byte-identical for any --jobs value.
+    let specs = dedup_cells(
+        &selected
+            .iter()
+            .flat_map(|(name, _)| cells_for(name, &scale))
+            .collect::<Vec<_>>(),
+    );
+    let cache = Arc::new(run_sweep(&scale, &specs, jobs));
+    eprintln!(
+        "[sweep: {} cells on {} worker(s) in {:.1?}]",
+        cache.len(),
+        cache.jobs,
+        std::time::Duration::from_nanos(cache.total_wall_ns)
+    );
+    if let Some(dir) = &metrics_dir {
+        if let Err(e) = write_wallclock(&cache, dir) {
+            eprintln!("failed to write BENCH_wallclock.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    scale.cache = Some(cache);
+
     let mut produced = Vec::new();
-    for (name, f) in jobs {
-        let in_all = run_all && name != "ext"; // `ext` is opt-in
-        if in_all || wanted.contains(&name) {
-            let t0 = Instant::now();
-            let table = f(&scale);
-            eprintln!("[{name} generated in {:.1?}]", t0.elapsed());
-            if json {
-                produced.push(table);
-            } else {
-                println!("{table}");
-            }
+    for (name, f) in selected {
+        let t0 = Instant::now();
+        let table = f(&scale);
+        eprintln!("[{name} generated in {:.1?}]", t0.elapsed());
+        if json {
+            produced.push(table);
+        } else {
+            println!("{table}");
         }
     }
     if json {

@@ -13,9 +13,11 @@
 
 pub mod harness;
 pub mod metrics;
+pub mod sweep;
 pub mod table;
 pub mod tables;
 
 pub use metrics::MetricsSink;
+pub use sweep::{cells_for, dedup_cells, run_sweep, CellSpec, RunCache};
 pub use table::Table;
 pub use tables::{all_tables, Scale};

@@ -1,0 +1,409 @@
+//! Parallel deterministic sweep runner.
+//!
+//! Every (application, variant, protocol, node-count) table cell is an
+//! independent deterministic simulation, so the full sweep parallelizes
+//! trivially: [`cells_for`] enumerates the exact cells a table renders,
+//! [`run_sweep`] executes the de-duplicated cell list on a std-only
+//! scoped-thread worker pool, and the resulting [`RunCache`] is attached to
+//! [`Scale`] so the table functions consume precomputed results *in their
+//! original sequential order*. Tables, `BENCH_<app>.json` metrics and trace
+//! artifacts therefore come out byte-identical for any worker count — only
+//! wall-clock changes.
+//!
+//! Wall-clock itself is reported (never gated): each cell is timed with
+//! [`std::time::Instant`] outside the virtual-time world and
+//! [`write_wallclock`] emits a `BENCH_wallclock.json` artifact
+//! (schema [`WALLCLOCK_SCHEMA`]) with per-cell and total wall-clock plus the
+//! estimated speedup over a sequential (`--jobs 1`) run.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use vopp_core::{Protocol, RunStats};
+use vopp_trace::json::{num, obj, str, Value};
+
+use crate::tables::{self, Scale};
+
+/// Schema tag of the `BENCH_wallclock.json` artifact.
+pub const WALLCLOCK_SCHEMA: &str = "vopp-bench-wallclock/1";
+
+/// Application of a sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellApp {
+    /// Integer Sort.
+    Is,
+    /// Gaussian elimination.
+    Gauss,
+    /// Successive over-relaxation.
+    Sor,
+    /// Neural network training.
+    Nn,
+}
+
+impl CellApp {
+    /// Artifact label (`is`, `gauss`, `sor`, `nn`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CellApp::Is => "is",
+            CellApp::Gauss => "gauss",
+            CellApp::Sor => "sor",
+            CellApp::Nn => "nn",
+        }
+    }
+}
+
+/// Program variant of a sweep cell (union of the per-app variant enums).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellVariant {
+    /// Lock/barrier program on a traditional DSM API.
+    Traditional,
+    /// View-oriented program.
+    Vopp,
+    /// View-oriented program with hoisted barriers (load-balanced).
+    VoppLb,
+    /// Message-passing reference (NN only).
+    Mpi,
+}
+
+impl CellVariant {
+    /// Artifact label (`trad`, `vopp`, `vopp_lb`, `mpi`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CellVariant::Traditional => "trad",
+            CellVariant::Vopp => "vopp",
+            CellVariant::VoppLb => "vopp_lb",
+            CellVariant::Mpi => "mpi",
+        }
+    }
+}
+
+/// One sweep cell: a single deterministic cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Application to run.
+    pub app: CellApp,
+    /// Program variant.
+    pub variant: CellVariant,
+    /// DSM protocol (the NN MPI variant still carries the protocol its
+    /// table passes, matching the trace-file naming convention).
+    pub proto: Protocol,
+    /// Processor count.
+    pub np: usize,
+}
+
+impl CellSpec {
+    /// Cache/artifact key, matching the trace-file stem convention:
+    /// `{app}_{variant}_{proto}_{np}p`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}_{}_{}_{}p",
+            self.app.label(),
+            self.variant.label(),
+            self.proto.label().to_lowercase(),
+            self.np
+        )
+    }
+}
+
+/// One precomputed run: verified statistics plus the real time it took.
+#[derive(Debug, Clone)]
+pub struct CachedRun {
+    /// The run's verified statistics (virtual time, counters).
+    pub stats: RunStats,
+    /// Real wall-clock spent simulating the cell, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Precomputed sweep results, keyed by [`CellSpec::key`]. Attached to
+/// [`Scale::cache`]; table functions consume hits in their original
+/// sequential order so every artifact stays byte-identical.
+#[derive(Debug, Default)]
+pub struct RunCache {
+    runs: BTreeMap<String, CachedRun>,
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Real wall-clock of the whole sweep, in nanoseconds.
+    pub total_wall_ns: u64,
+}
+
+impl RunCache {
+    /// Look up a precomputed run.
+    pub fn get(&self, key: &str) -> Option<&CachedRun> {
+        self.runs.get(key)
+    }
+
+    /// Number of precomputed cells.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when the sweep produced no cells.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Sum of per-cell wall-clock — the estimated `--jobs 1` sweep time.
+    pub fn cells_wall_ns(&self) -> u64 {
+        self.runs.values().map(|r| r.wall_ns).sum()
+    }
+}
+
+fn cell(app: CellApp, variant: CellVariant, proto: Protocol, np: usize) -> CellSpec {
+    CellSpec {
+        app,
+        variant,
+        proto,
+        np,
+    }
+}
+
+/// The cells one table renders, in its sequential run order. Mirrors the
+/// table functions in [`crate::tables`] exactly (cell-equivalence is
+/// asserted by `tests/parallel_sweep.rs` byte-comparing artifacts).
+pub fn cells_for(table: &str, scale: &Scale) -> Vec<CellSpec> {
+    use CellApp::{Gauss, Is, Nn, Sor};
+    use CellVariant::{Mpi, Traditional, Vopp, VoppLb};
+    use Protocol::{Hlrc, LrcD, VcD, VcSd};
+    let np = scale.stats_procs();
+    let speedup = scale.speedup_procs();
+    let mut cells = Vec::new();
+    match table {
+        "table1" => {
+            cells.push(cell(Is, Traditional, LrcD, np));
+            cells.push(cell(Is, Vopp, VcD, np));
+            cells.push(cell(Is, Vopp, VcSd, np));
+        }
+        "table2" => {
+            cells.push(cell(Is, VoppLb, VcD, np));
+            cells.push(cell(Is, VoppLb, VcSd, np));
+        }
+        "table3" => {
+            cells.push(cell(Is, Traditional, LrcD, 1));
+            for &n in &speedup {
+                cells.push(cell(Is, Traditional, LrcD, n));
+            }
+            for &n in &speedup {
+                cells.push(cell(Is, Vopp, VcSd, n));
+            }
+            for &n in &speedup {
+                cells.push(cell(Is, VoppLb, VcSd, n));
+            }
+        }
+        "table4" => {
+            cells.push(cell(Gauss, Traditional, LrcD, np));
+            cells.push(cell(Gauss, Vopp, VcD, np));
+            cells.push(cell(Gauss, Vopp, VcSd, np));
+        }
+        "table5" => {
+            cells.push(cell(Gauss, Traditional, LrcD, 1));
+            for &n in &speedup {
+                cells.push(cell(Gauss, Traditional, LrcD, n));
+            }
+            for &n in &speedup {
+                cells.push(cell(Gauss, Vopp, VcSd, n));
+            }
+        }
+        "table6" => {
+            cells.push(cell(Sor, Traditional, LrcD, np));
+            cells.push(cell(Sor, Vopp, VcD, np));
+            cells.push(cell(Sor, Vopp, VcSd, np));
+        }
+        "table7" => {
+            cells.push(cell(Sor, Traditional, LrcD, 1));
+            for &n in &speedup {
+                cells.push(cell(Sor, Traditional, LrcD, n));
+            }
+            for &n in &speedup {
+                cells.push(cell(Sor, Vopp, VcSd, n));
+            }
+        }
+        "table8" => {
+            cells.push(cell(Nn, Traditional, LrcD, np));
+            cells.push(cell(Nn, Vopp, VcD, np));
+            cells.push(cell(Nn, Vopp, VcSd, np));
+        }
+        "table9" => {
+            cells.push(cell(Nn, Traditional, LrcD, 1));
+            for &n in &speedup {
+                cells.push(cell(Nn, Traditional, LrcD, n));
+            }
+            for &n in &speedup {
+                cells.push(cell(Nn, Vopp, VcSd, n));
+            }
+            for &n in &speedup {
+                cells.push(cell(Nn, Mpi, VcSd, n));
+            }
+        }
+        "ext" => {
+            for app in [Is, Gauss, Sor, Nn] {
+                cells.push(cell(app, Traditional, LrcD, np));
+                cells.push(cell(app, Traditional, Hlrc, np));
+            }
+        }
+        other => panic!("unknown table {other:?}"),
+    }
+    cells
+}
+
+/// De-duplicate a cell list by key, keeping first-occurrence order (the
+/// same cell can appear in several tables; one simulation serves all).
+pub fn dedup_cells(specs: &[CellSpec]) -> Vec<CellSpec> {
+    let mut seen = std::collections::BTreeSet::new();
+    specs
+        .iter()
+        .filter(|s| seen.insert(s.key()))
+        .copied()
+        .collect()
+}
+
+/// Run every cell on a scoped-thread worker pool with `jobs` workers and
+/// return the populated [`RunCache`]. Each worker claims the next
+/// unclaimed cell (atomic work index), simulates it through the same
+/// verified path the tables use (including trace artifacts and conformance
+/// checks when `scale.trace_dir` is set), and times it with a real
+/// [`Instant`]. Results land keyed by cell, so worker scheduling cannot
+/// influence any downstream artifact.
+pub fn run_sweep(scale: &Scale, specs: &[CellSpec], jobs: usize) -> RunCache {
+    let t0 = Instant::now();
+    let jobs = jobs.clamp(1, specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CachedRun>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let c0 = Instant::now();
+                let stats = tables::execute_cell(scale, spec);
+                let wall_ns = c0.elapsed().as_nanos() as u64;
+                *slots[i].lock().expect("sweep slot lock") = Some(CachedRun { stats, wall_ns });
+            });
+        }
+    });
+    let mut runs = BTreeMap::new();
+    for (spec, slot) in specs.iter().zip(slots) {
+        let run = slot
+            .into_inner()
+            .expect("sweep slot lock")
+            .expect("worker pool completed every cell");
+        runs.insert(spec.key(), run);
+    }
+    RunCache {
+        runs,
+        jobs,
+        total_wall_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+/// The `BENCH_wallclock.json` document for a finished sweep. Wall-clock is
+/// machine-dependent by nature: this artifact is reported and uploaded,
+/// never byte-compared by the regression gate (which `metrics_diff`
+/// enforces by skipping it).
+pub fn wallclock_document(cache: &RunCache) -> Value {
+    let cells_ns = cache.cells_wall_ns();
+    let speedup = if cache.total_wall_ns > 0 {
+        Value::Num(cells_ns as f64 / cache.total_wall_ns as f64)
+    } else {
+        Value::Null
+    };
+    obj(vec![
+        ("schema", str(WALLCLOCK_SCHEMA)),
+        ("jobs", num(cache.jobs as u64)),
+        (
+            "cells",
+            Value::Arr(
+                cache
+                    .runs
+                    .iter()
+                    .map(|(key, run)| {
+                        obj(vec![
+                            ("cell", str(key)),
+                            ("wall_ns", num(run.wall_ns)),
+                            ("wall_ms", Value::Num(run.wall_ns as f64 / 1e6)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "total",
+            obj(vec![
+                ("wall_ns", num(cache.total_wall_ns)),
+                ("wall_secs", Value::Num(cache.total_wall_ns as f64 / 1e9)),
+                // Estimated sequential sweep time: the sum of per-cell
+                // wall-clock (what `--jobs 1` would spend simulating).
+                ("cells_wall_ns", num(cells_ns)),
+                ("speedup_vs_jobs1", speedup),
+            ]),
+        ),
+    ])
+}
+
+/// Write `BENCH_wallclock.json` into `dir` (created if needed).
+pub fn write_wallclock(cache: &RunCache, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join("BENCH_wallclock.json"),
+        wallclock_document(cache).to_json_pretty(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_match_trace_stems() {
+        let spec = cell(CellApp::Nn, CellVariant::Mpi, Protocol::VcSd, 4);
+        assert_eq!(spec.key(), "nn_mpi_vc_sd_4p");
+        let spec = cell(CellApp::Is, CellVariant::Traditional, Protocol::LrcD, 16);
+        assert_eq!(spec.key(), "is_trad_lrc_d_16p");
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence_order() {
+        let a = cell(CellApp::Is, CellVariant::Traditional, Protocol::LrcD, 4);
+        let b = cell(CellApp::Is, CellVariant::Vopp, Protocol::VcSd, 4);
+        let out = dedup_cells(&[a, b, a, b, a]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].key(), a.key());
+        assert_eq!(out[1].key(), b.key());
+    }
+
+    #[test]
+    fn quick_table_enumeration_covers_every_run() {
+        // table1 at quick scale: 3 stats cells.
+        let scale = Scale::quick();
+        assert_eq!(cells_for("table1", &scale).len(), 3);
+        // table3: 1p base + 3 rows x 2 speedup counts.
+        assert_eq!(cells_for("table3", &scale).len(), 7);
+        // table9: 1p base + 3 rows x 2 speedup counts.
+        assert_eq!(cells_for("table9", &scale).len(), 7);
+        assert_eq!(cells_for("ext", &scale).len(), 8);
+    }
+
+    #[test]
+    fn sweep_runs_cells_and_times_them() {
+        let scale = Scale::quick();
+        let specs = dedup_cells(&cells_for("table1", &scale));
+        let cache = run_sweep(&scale, &specs, 2);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.total_wall_ns > 0);
+        for spec in &specs {
+            let run = cache.get(&spec.key()).expect("cell precomputed");
+            assert!(run.stats.time.nanos() > 0);
+        }
+        let doc = wallclock_document(&cache);
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some(WALLCLOCK_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("cells").and_then(Value::as_arr).map(<[_]>::len),
+            Some(3)
+        );
+    }
+}

@@ -15,6 +15,7 @@ use vopp_core::{ClusterConfig, NetConfig, Phase, Protocol, RunStats};
 use vopp_trace::{check, report, to_chrome_json, CheckConfig, Tracer};
 
 use crate::metrics::MetricsSink;
+use crate::sweep::{CellApp, CellSpec, CellVariant, RunCache};
 use crate::table::Table;
 
 /// Problem scaling: `quick` shrinks every instance for smoke tests; the
@@ -24,6 +25,11 @@ use crate::table::Table;
 /// that directory and asserts the protocol conformance invariants.
 /// When `metrics` is set, every verified run is recorded as a cell for the
 /// `BENCH_<app>.json` artifacts and the regression gate.
+/// When `cache` is set (a [`RunCache`] populated by
+/// [`crate::sweep::run_sweep`]), the run helpers consume precomputed
+/// results instead of simulating inline — trace artifacts were already
+/// written by the sweep workers, while metrics are still recorded here, at
+/// consumption time, so cell order matches the sequential run exactly.
 #[derive(Debug, Clone, Default)]
 pub struct Scale {
     /// Use miniature problem instances and fewer processor counts.
@@ -36,6 +42,8 @@ pub struct Scale {
     /// regression-gate tests to demonstrate that perturbing the cost model
     /// fails the gate).
     pub net_override: Option<NetConfig>,
+    /// Precomputed sweep results; `None` simulates every cell inline.
+    pub cache: Option<Arc<RunCache>>,
 }
 
 impl Scale {
@@ -73,6 +81,26 @@ impl Scale {
         if let Some(m) = &self.metrics {
             m.record(app, variant, protocol, np, stats);
         }
+    }
+
+    /// Precomputed statistics for a cell, when a sweep cache is attached.
+    fn cached(
+        &self,
+        app: CellApp,
+        variant: CellVariant,
+        proto: Protocol,
+        np: usize,
+    ) -> Option<RunStats> {
+        let spec = CellSpec {
+            app,
+            variant,
+            proto,
+            np,
+        };
+        self.cache
+            .as_ref()
+            .and_then(|c| c.get(&spec.key()))
+            .map(|r| r.stats.clone())
     }
 
     /// Install a fresh tracer on `config` when tracing is requested.
@@ -274,25 +302,120 @@ fn stats_rows(t: &mut Table, runs: &[RunStats], with_acquire_time: bool) {
 // IS (Tables 1-3)
 // -------------------------------------------------------------------
 
-fn is_run(scale: &Scale, np: usize, proto: Protocol, p: &IsParams, variant: IsVariant) -> RunStats {
+fn is_exec(
+    scale: &Scale,
+    np: usize,
+    proto: Protocol,
+    p: &IsParams,
+    variant: IsVariant,
+) -> RunStats {
     let mut config = scale.cfg(np, proto);
     let tracer = scale.attach_tracer(&mut config);
     let out = run_is(&config, p, variant);
     let lb = variant == IsVariant::VoppLb;
     assert_eq!(out.value, is_reference(p, np, lb), "IS result mismatch");
     scale.finish_trace(tracer, "is", variant_label(variant), proto, np);
+    out.stats
+}
+
+fn is_run(scale: &Scale, np: usize, proto: Protocol, p: &IsParams, variant: IsVariant) -> RunStats {
+    let stats = scale
+        .cached(CellApp::Is, variant.into(), proto, np)
+        .unwrap_or_else(|| is_exec(scale, np, proto, p, variant));
     scale.record(
         "is",
         variant_label(variant),
         &proto_label(proto),
         np,
-        &out.stats,
+        &stats,
     );
-    out.stats
+    stats
 }
 
 fn proto_label(proto: Protocol) -> String {
     proto.label().to_lowercase()
+}
+
+impl From<IsVariant> for CellVariant {
+    fn from(v: IsVariant) -> CellVariant {
+        match v {
+            IsVariant::Traditional => CellVariant::Traditional,
+            IsVariant::Vopp => CellVariant::Vopp,
+            IsVariant::VoppLb => CellVariant::VoppLb,
+        }
+    }
+}
+
+impl From<GaussVariant> for CellVariant {
+    fn from(v: GaussVariant) -> CellVariant {
+        match v {
+            GaussVariant::Traditional => CellVariant::Traditional,
+            GaussVariant::Vopp => CellVariant::Vopp,
+        }
+    }
+}
+
+impl From<SorVariant> for CellVariant {
+    fn from(v: SorVariant) -> CellVariant {
+        match v {
+            SorVariant::Traditional => CellVariant::Traditional,
+            SorVariant::Vopp => CellVariant::Vopp,
+        }
+    }
+}
+
+impl From<NnVariant> for CellVariant {
+    fn from(v: NnVariant) -> CellVariant {
+        match v {
+            NnVariant::Traditional => CellVariant::Traditional,
+            NnVariant::Vopp => CellVariant::Vopp,
+            NnVariant::Mpi => CellVariant::Mpi,
+        }
+    }
+}
+
+/// Simulate one sweep cell through the same verified path the tables use
+/// (reference check, trace artifacts, conformance assertions) and return
+/// its statistics. Called by the sweep workers; does *not* record metrics —
+/// that happens at consumption time so cell order stays sequential.
+pub(crate) fn execute_cell(scale: &Scale, spec: &CellSpec) -> RunStats {
+    let (np, proto) = (spec.np, spec.proto);
+    match spec.app {
+        CellApp::Is => {
+            let v = match spec.variant {
+                CellVariant::Traditional => IsVariant::Traditional,
+                CellVariant::Vopp => IsVariant::Vopp,
+                CellVariant::VoppLb => IsVariant::VoppLb,
+                CellVariant::Mpi => panic!("IS has no MPI variant"),
+            };
+            is_exec(scale, np, proto, &scale.is(), v)
+        }
+        CellApp::Gauss => {
+            let v = match spec.variant {
+                CellVariant::Traditional => GaussVariant::Traditional,
+                CellVariant::Vopp => GaussVariant::Vopp,
+                other => panic!("Gauss has no {other:?} variant"),
+            };
+            gauss_exec(scale, np, proto, &scale.gauss(), v)
+        }
+        CellApp::Sor => {
+            let v = match spec.variant {
+                CellVariant::Traditional => SorVariant::Traditional,
+                CellVariant::Vopp => SorVariant::Vopp,
+                other => panic!("SOR has no {other:?} variant"),
+            };
+            sor_exec(scale, np, proto, &scale.sor(), v)
+        }
+        CellApp::Nn => {
+            let v = match spec.variant {
+                CellVariant::Traditional => NnVariant::Traditional,
+                CellVariant::Vopp => NnVariant::Vopp,
+                CellVariant::Mpi => NnVariant::Mpi,
+                CellVariant::VoppLb => panic!("NN has no VoppLb variant"),
+            };
+            nn_exec(scale, np, proto, &scale.nn(), v)
+        }
+    }
 }
 
 fn variant_label<V: std::fmt::Debug>(v: V) -> &'static str {
@@ -387,7 +510,7 @@ pub fn table3(scale: &Scale) -> Table {
 // Gauss (Tables 4-5)
 // -------------------------------------------------------------------
 
-fn gauss_run(
+fn gauss_exec(
     scale: &Scale,
     np: usize,
     proto: Protocol,
@@ -399,14 +522,27 @@ fn gauss_run(
     let out = run_gauss(&config, p, variant);
     assert_eq!(out.value, gauss_reference(p, np), "Gauss result mismatch");
     scale.finish_trace(tracer, "gauss", variant_label(variant), proto, np);
+    out.stats
+}
+
+fn gauss_run(
+    scale: &Scale,
+    np: usize,
+    proto: Protocol,
+    p: &GaussParams,
+    variant: GaussVariant,
+) -> RunStats {
+    let stats = scale
+        .cached(CellApp::Gauss, variant.into(), proto, np)
+        .unwrap_or_else(|| gauss_exec(scale, np, proto, p, variant));
     scale.record(
         "gauss",
         variant_label(variant),
         &proto_label(proto),
         np,
-        &out.stats,
+        &stats,
     );
-    out.stats
+    stats
 }
 
 /// Table 4: Statistics of Gauss.
@@ -466,7 +602,7 @@ pub fn table5(scale: &Scale) -> Table {
 // SOR (Tables 6-7)
 // -------------------------------------------------------------------
 
-fn sor_run(
+fn sor_exec(
     scale: &Scale,
     np: usize,
     proto: Protocol,
@@ -478,14 +614,27 @@ fn sor_run(
     let out = run_sor(&config, p, variant);
     assert_eq!(out.value, sor_reference(p), "SOR result mismatch");
     scale.finish_trace(tracer, "sor", variant_label(variant), proto, np);
+    out.stats
+}
+
+fn sor_run(
+    scale: &Scale,
+    np: usize,
+    proto: Protocol,
+    p: &SorParams,
+    variant: SorVariant,
+) -> RunStats {
+    let stats = scale
+        .cached(CellApp::Sor, variant.into(), proto, np)
+        .unwrap_or_else(|| sor_exec(scale, np, proto, p, variant));
     scale.record(
         "sor",
         variant_label(variant),
         &proto_label(proto),
         np,
-        &out.stats,
+        &stats,
     );
-    out.stats
+    stats
 }
 
 /// Table 6: Statistics of SOR.
@@ -545,20 +694,33 @@ pub fn table7(scale: &Scale) -> Table {
 // NN (Tables 8-9)
 // -------------------------------------------------------------------
 
-fn nn_run(scale: &Scale, np: usize, proto: Protocol, p: &NnParams, variant: NnVariant) -> RunStats {
+fn nn_exec(
+    scale: &Scale,
+    np: usize,
+    proto: Protocol,
+    p: &NnParams,
+    variant: NnVariant,
+) -> RunStats {
     let mut config = scale.cfg(np, proto);
     let tracer = scale.attach_tracer(&mut config);
     let out = run_nn(&config, p, variant);
     assert_eq!(out.value, nn_reference(p, np), "NN result mismatch");
     scale.finish_trace(tracer, "nn", variant_label(variant), proto, np);
+    out.stats
+}
+
+fn nn_run(scale: &Scale, np: usize, proto: Protocol, p: &NnParams, variant: NnVariant) -> RunStats {
+    let stats = scale
+        .cached(CellApp::Nn, variant.into(), proto, np)
+        .unwrap_or_else(|| nn_exec(scale, np, proto, p, variant));
     // The MPI variant runs message passing, not a DSM protocol.
     let plabel = if variant == NnVariant::Mpi {
         "mpi".to_string()
     } else {
         proto_label(proto)
     };
-    scale.record("nn", variant_label(variant), &plabel, np, &out.stats);
-    out.stats
+    scale.record("nn", variant_label(variant), &plabel, np, &stats);
+    stats
 }
 
 /// Table 8: Statistics of NN (includes the Acquire Time row).

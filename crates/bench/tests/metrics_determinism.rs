@@ -78,7 +78,7 @@ fn traced_and_metered_quick_table_smoke() {
         quick: true,
         trace_dir: Some(traces.clone()),
         metrics: Some(sink.clone()),
-        net_override: None,
+        ..Scale::default()
     };
     let t = vopp_bench::tables::table1(&scale);
     assert!(t.title.starts_with("Table 1"));

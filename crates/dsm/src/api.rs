@@ -287,7 +287,10 @@ impl<'a> DsmCtx<'a> {
     /// events. Empty when tracing is off. Filtering against the pre-merge
     /// log keeps each `(scope, owner)` notice series strictly increasing
     /// even when a duplicate grant re-sends known records.
-    fn fresh_lrc_notices(&self, records: &[vopp_page::IntervalRecord]) -> Vec<(ProcId, u64, u64)> {
+    fn fresh_lrc_notices(
+        &self,
+        records: &[Arc<vopp_page::IntervalRecord>],
+    ) -> Vec<(ProcId, u64, u64)> {
         if !self.tracing() || records.is_empty() {
             return Vec::new();
         }
@@ -487,7 +490,7 @@ impl<'a> DsmCtx<'a> {
                 Some(r) => {
                     // This node's own release is already enforced locally.
                     n.scoped_applied.insert(r.id);
-                    (home, Some(r.id), r.lamport, r.pages, ndiffs)
+                    (home, Some(r.id), r.lamport, r.pages.clone(), ndiffs)
                 }
                 None => (home, None, n.lamport, Vec::new(), 0),
             }
@@ -953,7 +956,8 @@ impl<'a> DsmCtx<'a> {
                     content: Some(content),
                 } => {
                     let mut n = self.node.lock();
-                    *n.mem.page_mut(p) = *content;
+                    n.mem.install_page(p, &content);
+                    n.mem.release_page(content);
                     n.mem.validate(p);
                     n.stats.diffs_applied += 1;
                     self.debt.add_overhead(self.cost.diff_apply);
@@ -992,7 +996,8 @@ impl<'a> DsmCtx<'a> {
                     content: Some(content),
                 } => {
                     let mut n = self.node.lock();
-                    *n.mem.page_mut(p) = *content;
+                    n.mem.install_page(p, &content);
+                    n.mem.release_page(content);
                     n.mem.validate(p);
                     n.stats.diffs_applied += 1;
                     self.debt.add_overhead(self.cost.diff_apply);
@@ -1055,7 +1060,7 @@ impl<'a> DsmCtx<'a> {
         items.sort_by_key(|(id, lam, _)| (*lam, id.owner, id.seq));
         let mut n = self.node.lock();
         for (_, _, diff) in &items {
-            n.mem.apply_diff(p, diff);
+            n.mem.apply_diff(p, diff.as_ref());
             n.stats.diffs_applied += 1;
         }
         n.mem.validate(p);

@@ -71,12 +71,13 @@ pub struct ViewHome {
     /// Number of write releases so far (the view's version).
     pub version: u32,
     /// Release history (`VC_d` grants send the slice a requester missed).
-    pub records: Vec<ViewRecord>,
-    /// `VC_sd`: per page, the version-tagged diffs of each release. At
-    /// grant time the diffs a requester is missing are merged into a single
-    /// integrated diff per page (the CCGrid'05 "single diff" piggy-backed
-    /// on the grant).
-    pub integrated: BTreeMap<PageId, Vec<(u32, Diff)>>,
+    /// Records are immutable once appended and `Arc`-shared with grants.
+    pub records: Vec<Arc<ViewRecord>>,
+    /// `VC_sd`: per page, the version-tagged diffs of each release, shared
+    /// with the releaser's diff store. At grant time the diffs a requester
+    /// is missing are merged into a single integrated diff per page (the
+    /// CCGrid'05 "single diff" piggy-backed on the grant).
+    pub integrated: BTreeMap<PageId, Vec<(u32, Arc<Diff>)>>,
     /// Last version assigned to each releaser (idempotent release acks).
     pub last_write_release: BTreeMap<ProcId, u32>,
 }
@@ -241,12 +242,12 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
                 } else {
                     h.version += 1;
                     let v = h.version;
-                    h.records.push(ViewRecord {
+                    h.records.push(Arc::new(ViewRecord {
                         version: v,
                         id: interval.expect("write release with pages but no interval id"),
                         lamport,
                         pages,
-                    });
+                    }));
                     if n.protocol == Protocol::VcSd {
                         for (p, d) in diffs {
                             h.integrated.entry(p).or_default().push((v, d));
@@ -297,7 +298,7 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
             debug_assert_eq!(n.protocol, Protocol::Hlrc);
             for (page, diff) in items {
                 debug_assert_eq!(n.page_home(page), n.me, "flush sent to wrong home");
-                n.mem.apply_diff_with_twin(page, &diff);
+                n.mem.apply_diff_with_twin(page, diff.as_ref());
                 n.stats.diffs_applied += 1;
             }
             let ack = Resp::Ack;
@@ -313,7 +314,7 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
             let content = if n.mem.state(page) == vopp_page::PageState::Invalid {
                 None
             } else {
-                Some(Box::new(n.mem.page(page).clone()))
+                Some(n.mem.clone_page(page))
             };
             let resp = Resp::PageResp { content };
             reply(svc, src, resp.wire_bytes(), tag, Box::new(resp));
@@ -416,11 +417,21 @@ fn send_view_grant(
                 .map(|(p, vs)| {
                     // Diff integration: merge every release the requester
                     // missed into one diff, newest last (last writer wins).
-                    let mut merged = Diff::empty();
-                    for (_, d) in vs.iter().filter(|(v, _)| *v > have) {
-                        merged.merge_from(d);
+                    // A single missed release is shared as-is — the common
+                    // case pays no copy at all.
+                    let mut missed = vs.iter().filter(|(v, _)| *v > have).map(|(_, d)| d);
+                    let first = missed.next().expect("filter guarantees a missed release");
+                    match missed.next() {
+                        None => (*p, Arc::clone(first)),
+                        Some(second) => {
+                            let mut merged = first.as_ref().clone();
+                            merged.merge_from(second);
+                            for d in missed {
+                                merged.merge_from(d);
+                            }
+                            (*p, Arc::new(merged))
+                        }
                     }
-                    (*p, merged)
                 })
                 .collect(),
         ),

@@ -4,6 +4,8 @@
 //! the exact size it would occupy on the wire so the `Data` and `Num. Msg`
 //! statistics match what a real implementation would produce.
 
+use std::sync::Arc;
+
 use vopp_page::{Diff, IntervalId, IntervalRecord, PageBuf, PageId, VTime, NOTICE_WIRE_BYTES};
 use vopp_simnet::HEADER_BYTES;
 
@@ -52,12 +54,13 @@ pub enum Req {
         vt: VTime,
     },
     /// Traditional API: release a lock, pushing interval records the home
-    /// may not have seen.
+    /// may not have seen. Records are immutable once logged, so they are
+    /// shared by `Arc` rather than deep-copied per message.
     LockRelease {
         /// Lock id.
         lock: u32,
         /// Interval records the home may be missing.
-        records: Vec<IntervalRecord>,
+        records: Vec<Arc<IntervalRecord>>,
     },
     /// Arrive at barrier `episode`, pushing this node's new interval records
     /// (empty under VC: barriers synchronize only).
@@ -65,7 +68,7 @@ pub enum Req {
         /// 0-based barrier episode.
         episode: u32,
         /// New interval records (empty under VC).
-        records: Vec<IntervalRecord>,
+        records: Vec<Arc<IntervalRecord>>,
         /// The arriver's logged vector time.
         vt: VTime,
     },
@@ -92,8 +95,9 @@ pub enum Req {
         lamport: u64,
         /// Pages dirtied (write mode).
         pages: Vec<PageId>,
-        /// The diffs themselves (`VC_sd` only).
-        diffs: Vec<(PageId, Diff)>,
+        /// The diffs themselves (`VC_sd` only), shared with the releaser's
+        /// diff store.
+        diffs: Vec<(PageId, Arc<Diff>)>,
     },
     /// Fetch the diffs of specific intervals of one page from their creator
     /// (the invalidate-protocol fault path).
@@ -116,7 +120,7 @@ pub enum Req {
     /// applies them immediately so its copies stay current.
     HomeFlush {
         /// `(page, diff)` pairs for pages homed at the destination.
-        items: Vec<(PageId, Diff)>,
+        items: Vec<(PageId, Arc<Diff>)>,
     },
 }
 
@@ -154,7 +158,7 @@ pub enum Resp {
     /// grantor's vector time to advance to, and its lamport clock.
     LockGrant {
         /// Interval records the requester was missing.
-        records: Vec<IntervalRecord>,
+        records: Vec<Arc<IntervalRecord>>,
         /// Grantor's logged vector time (consistency target).
         vt: VTime,
         /// Grantor's happens-before scalar.
@@ -163,7 +167,7 @@ pub enum Resp {
     /// Barrier released (same payload as a lock grant; empty under VC).
     BarrierRelease {
         /// Interval records the arriver was missing (empty under VC).
-        records: Vec<IntervalRecord>,
+        records: Vec<Arc<IntervalRecord>>,
         /// Manager's logged vector time (empty under VC).
         vt: VTime,
         /// Manager's happens-before scalar.
@@ -172,10 +176,13 @@ pub enum Resp {
     /// View granted. `VC_d` sends history records (invalidations to fault
     /// on); `VC_sd` piggy-backs one integrated diff per stale page.
     ViewGrant {
-        /// Missed release records (`VC_d`: invalidations to fault on).
-        records: Vec<ViewRecord>,
-        /// Integrated diffs per stale page (`VC_sd`).
-        diffs: Vec<(PageId, Diff)>,
+        /// Missed release records (`VC_d`: invalidations to fault on),
+        /// shared with the home's release history.
+        records: Vec<Arc<ViewRecord>>,
+        /// Integrated diffs per stale page (`VC_sd`). A single missed
+        /// release is shared as-is; multiple releases merge into one fresh
+        /// integrated diff.
+        diffs: Vec<(PageId, Arc<Diff>)>,
         /// The view's current version.
         version: u32,
         /// Home's happens-before scalar.
@@ -190,8 +197,8 @@ pub enum Resp {
     /// The requested diffs, with their application-order keys.
     DiffResp {
         /// `(interval, lamport, diff)` triples, application-ordered by the
-        /// requester.
-        items: Vec<(IntervalId, u64, Diff)>,
+        /// requester. Diffs are shared with the serving node's diff store.
+        items: Vec<(IntervalId, u64, Arc<Diff>)>,
     },
     /// Full page content (answers [`Req::PageReq`]); `None` when the
     /// server no longer holds a valid copy and the requester must fall
@@ -267,7 +274,7 @@ mod tests {
         let d = Diff::create(&PageBuf::zeroed(), &p);
         let grant = Resp::ViewGrant {
             records: vec![],
-            diffs: vec![(0, d.clone())],
+            diffs: vec![(0, Arc::new(d.clone()))],
             version: 1,
             lamport: 1,
         };
@@ -278,7 +285,7 @@ mod tests {
             interval: None,
             lamport: 0,
             pages: vec![0, 1],
-            diffs: vec![(0, d.clone())],
+            diffs: vec![(0, Arc::new(d.clone()))],
         };
         assert_eq!(rel.wire_bytes(), HEADER_BYTES + 21 + 8 + d.wire_bytes());
     }

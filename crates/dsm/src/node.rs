@@ -75,6 +75,8 @@ impl std::fmt::Display for Protocol {
 }
 
 /// A diff retained by its creator, served on [`crate::msg::Req::DiffReq`].
+/// The diff is immutable once stored and shared by `Arc` with every reply
+/// that serves it, instead of deep-copied per request.
 #[derive(Debug, Clone)]
 pub struct StoredDiff {
     /// Interval the diff belongs to.
@@ -82,7 +84,7 @@ pub struct StoredDiff {
     /// Happens-before scalar for application ordering.
     pub lamport: u64,
     /// The modifications themselves.
-    pub diff: Diff,
+    pub diff: Arc<Diff>,
 }
 
 /// An invalidation waiting to be resolved by a fault-time diff fetch.
@@ -111,8 +113,9 @@ pub struct NodeState {
 
     // ---- interval / knowledge tracking (LRC, also ids for VC) ----
     /// Every interval record this node possesses, keyed `(owner, seq)`.
-    /// Per-owner prefix-closed.
-    pub logged: BTreeMap<(ProcId, u32), IntervalRecord>,
+    /// Per-owner prefix-closed. Records are immutable once logged and shared
+    /// by `Arc` across the log, grants and releases.
+    pub logged: BTreeMap<(ProcId, u32), Arc<IntervalRecord>>,
     /// Per-owner count of records possessed.
     pub logged_vt: VTime,
     /// Per-owner count of intervals whose effects are enforced on `mem`
@@ -214,17 +217,25 @@ impl NodeState {
     /// Close the current write interval: extract diffs, log the record,
     /// retain the diffs for serving. Returns the new record (if any page was
     /// dirty) and the number of diffs created (for CPU accounting).
-    pub fn end_interval(&mut self) -> (Option<IntervalRecord>, usize) {
+    pub fn end_interval(&mut self) -> (Option<Arc<IntervalRecord>>, usize) {
         let (rec, diffs) = self.end_interval_with_diffs();
         let n = diffs.len();
         (rec, n)
     }
 
     /// Like [`NodeState::end_interval`] but also hands back the diffs, for
-    /// protocols that ship them eagerly (HLRC home flushes).
+    /// protocols that ship them eagerly (HLRC home flushes). The diffs are
+    /// shared with the diff store, not copied.
     #[allow(clippy::type_complexity)]
-    pub fn end_interval_with_diffs(&mut self) -> (Option<IntervalRecord>, Vec<(PageId, Diff)>) {
-        let diffs = self.mem.end_interval();
+    pub fn end_interval_with_diffs(
+        &mut self,
+    ) -> (Option<Arc<IntervalRecord>>, Vec<(PageId, Arc<Diff>)>) {
+        let diffs: Vec<(PageId, Arc<Diff>)> = self
+            .mem
+            .end_interval()
+            .into_iter()
+            .map(|(p, d)| (p, Arc::new(d)))
+            .collect();
         if diffs.is_empty() {
             return (None, Vec::new());
         }
@@ -241,17 +252,17 @@ impl NodeState {
             self.diff_store.entry(*p).or_default().push(StoredDiff {
                 id,
                 lamport: self.lamport,
-                diff: diff.clone(),
+                diff: Arc::clone(diff),
             });
         }
         self.stats.diffs_created += ndiffs as u64;
-        let rec = IntervalRecord {
+        let rec = Arc::new(IntervalRecord {
             id,
             vt: self.logged_vt.clone(),
             lamport: self.lamport,
             pages,
-        };
-        self.logged.insert((self.me, seq), rec.clone());
+        });
+        self.logged.insert((self.me, seq), Arc::clone(&rec));
         (Some(rec), diffs)
     }
 
@@ -266,10 +277,15 @@ impl NodeState {
     pub fn end_interval_vc(
         &mut self,
     ) -> (
-        Option<(IntervalId, u64, Vec<PageId>, Vec<(PageId, Diff)>)>,
+        Option<(IntervalId, u64, Vec<PageId>, Vec<(PageId, Arc<Diff>)>)>,
         usize,
     ) {
-        let diffs = self.mem.end_interval();
+        let diffs: Vec<(PageId, Arc<Diff>)> = self
+            .mem
+            .end_interval()
+            .into_iter()
+            .map(|(p, d)| (p, Arc::new(d)))
+            .collect();
         if diffs.is_empty() {
             return (None, 0);
         }
@@ -286,22 +302,23 @@ impl NodeState {
             self.diff_store.entry(*p).or_default().push(StoredDiff {
                 id,
                 lamport: self.lamport,
-                diff: diff.clone(),
+                diff: Arc::clone(diff),
             });
         }
         self.stats.diffs_created += ndiffs as u64;
         (Some((id, self.lamport, pages, diffs)), ndiffs)
     }
 
-    /// Records this node possesses that `vt` does not cover.
-    pub fn delta_since(&self, vt: &VTime) -> Vec<IntervalRecord> {
+    /// Records this node possesses that `vt` does not cover. The returned
+    /// records are `Arc`-shared with the log (no deep copies).
+    pub fn delta_since(&self, vt: &VTime) -> Vec<Arc<IntervalRecord>> {
         let mut out = Vec::new();
         for owner in 0..self.n {
             let have = if vt.is_empty() { 0 } else { vt.get(owner) };
             let lo = (owner, have + 1);
             let hi = (owner, u32::MAX);
             for rec in self.logged.range(lo..=hi).map(|(_, r)| r) {
-                out.push(rec.clone());
+                out.push(Arc::clone(rec));
             }
         }
         out
@@ -309,7 +326,7 @@ impl NodeState {
 
     /// Records of this node's own intervals (and anything else new) that the
     /// given home has not yet been sent. Advances the sent-estimate.
-    pub fn delta_for_home(&mut self, home: ProcId) -> Vec<IntervalRecord> {
+    pub fn delta_for_home(&mut self, home: ProcId) -> Vec<Arc<IntervalRecord>> {
         let sent = self
             .home_sent_vt
             .entry(home)
@@ -335,11 +352,11 @@ impl NodeState {
 
     /// Merge received interval records into the passive log (no effect on
     /// memory until this node's own next acquire applies them).
-    pub fn merge_logged(&mut self, records: &[IntervalRecord]) {
+    pub fn merge_logged(&mut self, records: &[Arc<IntervalRecord>]) {
         for r in records {
             let key = (r.id.owner, r.id.seq);
             let seq = r.id.seq;
-            self.logged.entry(key).or_insert_with(|| r.clone());
+            self.logged.entry(key).or_insert_with(|| Arc::clone(r));
             if self.logged_vt.get(r.id.owner) < seq {
                 self.logged_vt.set(r.id.owner, seq);
             }
@@ -354,7 +371,7 @@ impl NodeState {
     /// LRC: absorb a lock grant / barrier release — log the records, then
     /// enforce consistency up to `vt` by invalidating every page written in
     /// intervals this node has not yet applied.
-    pub fn absorb_lrc_grant(&mut self, records: &[IntervalRecord], vt: &VTime, lamport: u64) {
+    pub fn absorb_lrc_grant(&mut self, records: &[Arc<IntervalRecord>], vt: &VTime, lamport: u64) {
         self.merge_logged(records);
         self.lamport_sync(lamport);
         if vt.is_empty() {
@@ -370,9 +387,9 @@ impl NodeState {
                 let rec = self
                     .logged
                     .get(&(owner, seq))
-                    .unwrap_or_else(|| panic!("node {} missing record ({owner},{seq})", self.me))
-                    .clone();
-                for page in rec.pages {
+                    .map(Arc::clone)
+                    .unwrap_or_else(|| panic!("node {} missing record ({owner},{seq})", self.me));
+                for &page in &rec.pages {
                     debug_assert_ne!(
                         self.mem.state(page),
                         PageState::Dirty,
@@ -405,8 +422,8 @@ impl NodeState {
     pub fn vc_absorb_grant(
         &mut self,
         view: ViewId,
-        records: &[crate::msg::ViewRecord],
-        diffs: &[(PageId, Diff)],
+        records: &[Arc<crate::msg::ViewRecord>],
+        diffs: &[(PageId, Arc<Diff>)],
         version: u32,
         lamport: u64,
     ) {
@@ -438,7 +455,7 @@ impl NodeState {
 
     /// Scope Consistency: absorb a scoped lock grant — invalidate the pages
     /// of each release record not yet enforced on this node.
-    pub fn scc_absorb(&mut self, records: &[crate::msg::ViewRecord], lamport: u64) {
+    pub fn scc_absorb(&mut self, records: &[Arc<crate::msg::ViewRecord>], lamport: u64) {
         self.lamport_sync(lamport);
         for r in records {
             if r.id.owner == self.me || !self.scoped_applied.insert(r.id) {
@@ -456,12 +473,13 @@ impl NodeState {
     }
 
     /// Serve a diff request: look up the stored diffs of `page` for the
-    /// requested intervals. Idempotent (pure read).
+    /// requested intervals. Idempotent (pure read); the reply shares the
+    /// stored diffs by `Arc` instead of copying them.
     pub fn serve_diffs(
         &self,
         page: PageId,
         intervals: &[IntervalId],
-    ) -> Vec<(IntervalId, u64, Diff)> {
+    ) -> Vec<(IntervalId, u64, Arc<Diff>)> {
         let Some(store) = self.diff_store.get(&page) else {
             panic!("node {} has no diffs for page {page}", self.me)
         };
@@ -472,7 +490,7 @@ impl NodeState {
                     .iter()
                     .find(|sd| sd.id == *id)
                     .unwrap_or_else(|| panic!("node {} missing diff {id:?} page {page}", self.me));
-                (sd.id, sd.lamport, sd.diff.clone())
+                (sd.id, sd.lamport, Arc::clone(&sd.diff))
             })
             .collect()
     }
@@ -534,7 +552,7 @@ mod tests {
         assert_eq!(pend[0].id, rec.id);
         // Fetch from b and apply.
         let items = b.serve_diffs(2, &[rec.id]);
-        a.mem.apply_diff(2, &items[0].2);
+        a.mem.apply_diff(2, items[0].2.as_ref());
         a.mem.validate(2);
         assert_eq!(a.mem.page(2).word(3), 9);
     }
@@ -592,12 +610,12 @@ mod tests {
     #[test]
     fn merge_logged_prefix_extends_vt() {
         let mut a = mk(0, 2);
-        let rec = IntervalRecord {
+        let rec = Arc::new(IntervalRecord {
             id: IntervalId { owner: 1, seq: 1 },
             vt: VTime::zero(2),
             lamport: 5,
             pages: vec![0],
-        };
+        });
         a.merge_logged(std::slice::from_ref(&rec));
         assert_eq!(a.logged_vt.get(1), 1);
         a.merge_logged(&[rec]);

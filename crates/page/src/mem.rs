@@ -26,11 +26,88 @@ pub enum PageState {
     Dirty,
 }
 
+/// Free-list of `Box<PageBuf>` buffers so hot paths — twin creation,
+/// whole-page replies, barrier-time page rebuilds — recycle allocations
+/// instead of hitting the allocator per page.
+///
+/// The list is bounded: releases beyond [`PagePool::CAP`] buffers simply
+/// drop the page.
+#[derive(Default)]
+pub struct PagePool {
+    free: Vec<Box<PageBuf>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PagePool {
+    /// Maximum number of buffers retained on the free list.
+    pub const CAP: usize = 128;
+
+    /// An empty pool.
+    pub fn new() -> PagePool {
+        PagePool::default()
+    }
+
+    /// A zero-filled page, recycled from the free list when possible.
+    pub fn acquire_zeroed(&mut self) -> Box<PageBuf> {
+        match self.free.pop() {
+            Some(mut b) => {
+                self.hits += 1;
+                b.fill(0);
+                b
+            }
+            None => {
+                self.misses += 1;
+                PageBuf::zeroed()
+            }
+        }
+    }
+
+    /// A copy of `src`, recycled from the free list when possible.
+    pub fn acquire_copy(&mut self, src: &PageBuf) -> Box<PageBuf> {
+        match self.free.pop() {
+            Some(mut b) => {
+                self.hits += 1;
+                b.copy_from_slice(&src[..]);
+                b
+            }
+            None => {
+                self.misses += 1;
+                Box::new(src.clone())
+            }
+        }
+    }
+
+    /// Return a buffer to the free list (dropped if the pool is full).
+    pub fn release(&mut self, page: Box<PageBuf>) {
+        if self.free.len() < PagePool::CAP {
+            self.free.push(page);
+        }
+    }
+
+    /// Buffers currently on the free list.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True if the free list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Acquires served from the free list / from fresh allocations.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
 /// One node's copy of the shared memory.
 pub struct NodeMemory {
     pages: Vec<Option<Box<PageBuf>>>,
     state: Vec<PageState>,
     twins: BTreeMap<PageId, Box<PageBuf>>,
+    pool: PagePool,
+    diff_scratch: Vec<u32>,
 }
 
 impl NodeMemory {
@@ -41,6 +118,8 @@ impl NodeMemory {
             pages: (0..npages).map(|_| None).collect(),
             state: vec![PageState::Valid; npages],
             twins: BTreeMap::new(),
+            pool: PagePool::new(),
+            diff_scratch: Vec::new(),
         }
     }
 
@@ -95,8 +174,8 @@ impl NodeMemory {
             PageState::Dirty => {}
             PageState::Valid => {
                 let twin = match &self.pages[p] {
-                    Some(b) => b.clone(),
-                    None => PageBuf::zeroed(),
+                    Some(b) => self.pool.acquire_copy(b),
+                    None => self.pool.acquire_zeroed(),
                 };
                 self.twins.insert(p, twin);
                 self.state[p] = PageState::Dirty;
@@ -115,11 +194,19 @@ impl NodeMemory {
     /// Diffs may be empty if a page was rewritten with identical values.
     pub fn end_interval(&mut self) -> Vec<(PageId, Diff)> {
         let twins = std::mem::take(&mut self.twins);
+        self.diff_scratch.clear();
         let mut out = Vec::with_capacity(twins.len());
         for (p, twin) in twins {
-            let cur = self.page(p);
-            out.push((p, Diff::create(&twin, cur)));
+            let cur = match &self.pages[p] {
+                Some(b) => b,
+                None => zero_page(),
+            };
+            out.push((
+                p,
+                Diff::create_with_scratch(&twin, cur, &mut self.diff_scratch),
+            ));
             self.state[p] = PageState::Valid;
+            self.pool.release(twin);
         }
         out
     }
@@ -137,6 +224,31 @@ impl NodeMemory {
         if let Some(twin) = self.twins.get_mut(&p) {
             d.apply(twin);
         }
+    }
+
+    /// Pool-backed copy of the current content of `p` (whole-page replies
+    /// and barrier-time rebuilds go through here to recycle buffers).
+    pub fn clone_page(&mut self, p: PageId) -> Box<PageBuf> {
+        match &self.pages[p] {
+            Some(b) => self.pool.acquire_copy(b),
+            None => self.pool.acquire_zeroed(),
+        }
+    }
+
+    /// Overwrite the local copy of `p` with `content` in place, without
+    /// allocating a fresh page.
+    pub fn install_page(&mut self, p: PageId, content: &PageBuf) {
+        self.page_mut(p).copy_from_slice(&content[..]);
+    }
+
+    /// Return a no-longer-needed page buffer to this node's free list.
+    pub fn release_page(&mut self, page: Box<PageBuf>) {
+        self.pool.release(page);
+    }
+
+    /// This node's page pool (for diagnostics and benchmarks).
+    pub fn pool(&self) -> &PagePool {
+        &self.pool
     }
 
     /// Bytes resident in materialized pages and twins (for diagnostics).
@@ -223,6 +335,60 @@ mod tests {
         let mut m = NodeMemory::new(1);
         m.invalidate(0);
         m.note_write(0);
+    }
+
+    #[test]
+    fn pool_recycles_twins_across_intervals() {
+        let mut m = NodeMemory::new(1);
+        m.note_write(0);
+        m.page_mut(0).set_word(0, 1);
+        m.end_interval();
+        assert_eq!(m.pool().len(), 1);
+        m.note_write(0); // twin comes from the free list
+        m.page_mut(0).set_word(0, 2);
+        let diffs = m.end_interval();
+        assert_eq!(m.pool().stats(), (1, 1));
+        assert_eq!(diffs[0].1.word_count(), 1);
+        assert_eq!(diffs[0].1.runs()[0].words, vec![2]);
+    }
+
+    #[test]
+    fn pool_acquire_release_roundtrip() {
+        let mut pool = PagePool::new();
+        let mut a = pool.acquire_zeroed();
+        a.set_word(3, 7);
+        pool.release(a);
+        assert_eq!(pool.len(), 1);
+        // Recycled zeroed buffer must be scrubbed.
+        let b = pool.acquire_zeroed();
+        assert!(b.iter().all(|&x| x == 0));
+        let src = {
+            let mut s = PageBuf::zeroed();
+            s.set_word(1, 5);
+            s
+        };
+        pool.release(b);
+        let c = pool.acquire_copy(&src);
+        assert_eq!(c.word(1), 5);
+        assert_eq!(pool.stats(), (2, 1));
+    }
+
+    #[test]
+    fn clone_install_release_page() {
+        let mut m = NodeMemory::new(2);
+        m.note_write(0);
+        m.page_mut(0).set_word(9, 33);
+        m.end_interval();
+        let copy = m.clone_page(0);
+        assert_eq!(copy.word(9), 33);
+        let mut other = NodeMemory::new(2);
+        other.install_page(1, &copy);
+        assert_eq!(other.page(1).word(9), 33);
+        other.release_page(copy);
+        assert_eq!(other.pool().len(), 1);
+        // clone_page of a never-touched page is a zero page.
+        let z = m.clone_page(1);
+        assert!(z.iter().all(|&x| x == 0));
     }
 
     #[test]

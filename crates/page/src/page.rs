@@ -11,6 +11,21 @@ pub const PAGE_SIZE: usize = 4096;
 pub const WORD_SIZE: usize = 4;
 /// Words per page.
 pub const PAGE_WORDS: usize = PAGE_SIZE / WORD_SIZE;
+/// Words per 16-byte comparison chunk used by the diff kernels.
+pub const CHUNK_WORDS: usize = 16 / WORD_SIZE;
+/// Comparison chunks per page.
+pub const PAGE_CHUNKS: usize = PAGE_WORDS / CHUNK_WORDS;
+/// Bytes per superblock, the diff kernel's middle skip granularity: clean
+/// 256-byte regions are dismissed with a single `memcmp`-class compare
+/// before any chunk or word is examined.
+pub const SUPER_BYTES: usize = 256;
+/// Superblocks per page.
+pub const PAGE_SUPERS: usize = PAGE_SIZE / SUPER_BYTES;
+/// Bytes per quarter-page, the diff kernel's outermost skip granularity
+/// (one wide compare dismisses a clean kilobyte).
+pub const QUARTER_BYTES: usize = 1024;
+/// Quarter-pages per page.
+pub const PAGE_QUARTERS: usize = PAGE_SIZE / QUARTER_BYTES;
 
 /// Index of a page within the shared address space.
 pub type PageId = usize;
@@ -73,6 +88,40 @@ impl PageBuf {
         let o = w * WORD_SIZE;
         self.bytes[o..o + 4].copy_from_slice(&v.to_le_bytes());
     }
+
+    /// Write a run of consecutive words starting at word index `w` with one
+    /// bounds check: the diff-apply fast path. The little-endian store loop
+    /// over a single subslice compiles down to a block copy.
+    #[inline]
+    pub fn set_words(&mut self, w: usize, words: &[u32]) {
+        let o = w * WORD_SIZE;
+        let dst = &mut self.bytes[o..o + words.len() * WORD_SIZE];
+        for (chunk, v) in dst.chunks_exact_mut(WORD_SIZE).zip(words) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Read the 16-byte comparison chunk at chunk index `c` as one `u128`,
+    /// so the diff kernel can skip unchanged regions four words at a time.
+    #[inline]
+    pub fn chunk128(&self, c: usize) -> u128 {
+        let o = c * CHUNK_WORDS * WORD_SIZE;
+        u128::from_le_bytes(self.bytes[o..o + 16].try_into().unwrap())
+    }
+
+    /// The 256-byte superblock at index `s`, for the diff kernel's middle
+    /// skip loop (slice equality compiles to a wide `memcmp`).
+    #[inline]
+    pub fn superblock(&self, s: usize) -> &[u8] {
+        &self.bytes[s * SUPER_BYTES..(s + 1) * SUPER_BYTES]
+    }
+
+    /// The 1024-byte quarter-page at index `q`, for the diff kernel's
+    /// outermost skip loop.
+    #[inline]
+    pub fn quarter(&self, q: usize) -> &[u8] {
+        &self.bytes[q * QUARTER_BYTES..(q + 1) * QUARTER_BYTES]
+    }
 }
 
 impl Deref for PageBuf {
@@ -129,6 +178,31 @@ mod tests {
         assert_eq!(p.word(0), 0xdead_beef);
         assert_eq!(p.word(PAGE_WORDS - 1), 7);
         assert_eq!(p[0], 0xef);
+    }
+
+    #[test]
+    fn set_words_matches_per_word_stores() {
+        let mut a = PageBuf::zeroed();
+        let mut b = PageBuf::zeroed();
+        let words = [1u32, 0xdead_beef, 7, u32::MAX];
+        for (i, &v) in words.iter().enumerate() {
+            a.set_word(100 + i, v);
+        }
+        b.set_words(100, &words);
+        assert_eq!(&*a, &*b);
+        // Last-word boundary.
+        b.set_words(PAGE_WORDS - 1, &[42]);
+        assert_eq!(b.word(PAGE_WORDS - 1), 42);
+    }
+
+    #[test]
+    fn chunk128_sees_word_changes() {
+        let mut p = PageBuf::zeroed();
+        assert_eq!(p.chunk128(0), 0);
+        assert_eq!(p.chunk128(PAGE_CHUNKS - 1), 0);
+        p.set_word(5, 9); // word 5 lives in chunk 1 (words 4..8)
+        assert_eq!(p.chunk128(0), 0);
+        assert_ne!(p.chunk128(1), 0);
     }
 
     #[test]
