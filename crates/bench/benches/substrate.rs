@@ -1,8 +1,11 @@
 //! Micro-benchmarks of the memory and network substrates.
 
+use std::any::Any;
+use std::sync::Arc;
+
 use vopp_bench::harness::{black_box, Runner};
 use vopp_page::{Diff, DiffRun, PageBuf, PagePool, SharedHeap, VTime, PAGE_WORDS};
-use vopp_sim::{NetModel, RouteRequest, SimTime};
+use vopp_sim::{NetModel, Payload, RouteRequest, Sim, SimDuration, SimTime};
 use vopp_simnet::{EthernetModel, NetConfig};
 
 /// The pre-chunking `Diff::create`, replicated verbatim from the seed: a
@@ -149,6 +152,72 @@ fn bench_net(r: &mut Runner) {
     });
 }
 
+/// One lockstep cluster run: 8 processes each advancing their clocks in
+/// identical compute slices, so after the first round every wake-up is a
+/// same-instant `Resume` for the next process — the direct-handoff fast
+/// path's best case (and the shape of every barrier release in the DSM
+/// protocols). Returns the kernel's handoff counters.
+fn lockstep_run(direct: bool) -> (u64, u64) {
+    let mut sim = Sim::new(8, Box::new(EthernetModel::new(8, NetConfig::lossless())));
+    sim.set_direct_handoff(direct);
+    let out = sim.run(|ctx| {
+        for _ in 0..64 {
+            ctx.compute(SimDuration::from_micros(10));
+        }
+        0u64
+    });
+    (out.handoff.direct, out.handoff.via_controller)
+}
+
+/// Kernel wake-up path: the same 8-process lockstep workload with the
+/// direct-handoff fast path on vs off (every wake-up through the
+/// controller thread). The measured delta is pure scheduling overhead —
+/// virtual-time results are identical by construction.
+fn bench_kernel(r: &mut Runner) {
+    let (direct, via_ctl) = lockstep_run(true);
+    println!("    -> lockstep handoff counters: {direct} direct, {via_ctl} via controller");
+    let on = r.bench("kernel_lockstep_handoff_on", || {
+        black_box(lockstep_run(true))
+    });
+    let off = r.bench("kernel_lockstep_handoff_off", || {
+        black_box(lockstep_run(false))
+    });
+    if let (Some(on), Some(off)) = (on, off) {
+        println!(
+            "    -> direct handoff runs the lockstep cluster in {:.2}x the time of the controller path",
+            on.as_nanos() as f64 / off.as_nanos().max(1) as f64
+        );
+    }
+}
+
+/// Payload fan-out: sharing one `Arc` allocation across 32 destinations
+/// (what the transport does for broadcasts and retransmissions) vs the
+/// seed's per-destination deep clone of a 4 KiB message.
+fn bench_payload(r: &mut Runner) {
+    let msg = vec![0xABu8; 4096];
+    let arc: Payload = Arc::new(msg.clone());
+    let shared = r.bench("payload_fanout32_arc_share", || {
+        let mut v: Vec<Payload> = Vec::with_capacity(32);
+        for _ in 0..32 {
+            v.push(black_box(&arc).clone());
+        }
+        v
+    });
+    let cloned = r.bench("payload_fanout32_deep_clone_ref", || {
+        let mut v: Vec<Box<dyn Any + Send + Sync>> = Vec::with_capacity(32);
+        for _ in 0..32 {
+            v.push(Box::new(black_box(&msg).clone()));
+        }
+        v
+    });
+    if let (Some(s), Some(c)) = (shared, cloned) {
+        println!(
+            "    -> Arc sharing is {:.1}x the deep-clone reference (32-way fan-out, 4 KiB)",
+            c.as_nanos() as f64 / s.as_nanos().max(1) as f64
+        );
+    }
+}
+
 fn main() {
     let mut r = Runner::from_args();
     bench_diff(&mut r);
@@ -156,4 +225,6 @@ fn main() {
     bench_vtime(&mut r);
     bench_heap(&mut r);
     bench_net(&mut r);
+    bench_kernel(&mut r);
+    bench_payload(&mut r);
 }

@@ -24,12 +24,21 @@
 //! worker pool that precomputes the sweep's cells. Every artifact is
 //! byte-identical for any worker count — cells are independent
 //! deterministic simulations consumed in sequential order.
+//!
+//! `--cache <dir>` keeps a persistent content-addressed store of finished
+//! cells (`sweep-cache.json`) across invocations: a warm rerun simulates
+//! nothing and replays the identical tables/metrics from disk. The cache is
+//! addressed by a build fingerprint plus a scale/cost-model hash, so any
+//! rebuild or configuration change invalidates it wholesale. Ignored when
+//! `--trace` is set (trace artifacts require actually running the cells).
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use vopp_bench::sweep::{cells_for, dedup_cells, run_sweep, write_wallclock};
+use vopp_bench::sweep::{
+    cells_for, context_hash, dedup_cells, run_sweep_cached, write_wallclock, DiskCache,
+};
 use vopp_bench::tables;
 use vopp_bench::{MetricsSink, Scale, Table};
 use vopp_trace::json::Value;
@@ -75,21 +84,27 @@ fn main() {
     };
     let trace_dir = dir_flag("--trace");
     let metrics_dir = dir_flag("--metrics");
+    let mut cache_dir = dir_flag("--cache");
+    if cache_dir.is_some() && trace_dir.is_some() {
+        eprintln!("[cache: disabled — --trace requires simulating every cell]");
+        cache_dir = None;
+    }
     let wanted: Vec<&str> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            // Skip flags and the --trace/--metrics/--jobs operands.
+            // Skip flags and the --trace/--metrics/--jobs/--cache operands.
             !a.starts_with("--")
                 && !matches!(args.get(i.wrapping_sub(1)),
-                    Some(prev) if prev == "--trace" || prev == "--metrics" || prev == "--jobs")
+                    Some(prev) if prev == "--trace" || prev == "--metrics"
+                        || prev == "--jobs" || prev == "--cache")
         })
         .map(|(_, s)| s.as_str())
         .collect();
     if wanted.is_empty() {
         eprintln!(
             "usage: tables [--quick] [--json] [--jobs N] [--trace DIR] [--metrics DIR] \
-             (all | table1 .. table9 | ext)+"
+             [--cache DIR] (all | table1 .. table9 | ext)+"
         );
         std::process::exit(2);
     }
@@ -129,13 +144,22 @@ fn main() {
             .flat_map(|(name, _)| cells_for(name, &scale))
             .collect::<Vec<_>>(),
     );
-    let cache = Arc::new(run_sweep(&scale, &specs, jobs));
+    let mut disk = cache_dir
+        .as_ref()
+        .map(|dir| DiskCache::open(dir, context_hash(&scale)));
+    let cache = Arc::new(run_sweep_cached(&scale, &specs, jobs, disk.as_mut()));
     eprintln!(
         "[sweep: {} cells on {} worker(s) in {:.1?}]",
         cache.len(),
         cache.jobs,
         std::time::Duration::from_nanos(cache.total_wall_ns)
     );
+    if disk.is_some() {
+        eprintln!(
+            "[cache: {} warm, {} simulated]",
+            cache.warm_cells, cache.simulated_cells
+        );
+    }
     if let Some(dir) = &metrics_dir {
         if let Err(e) = write_wallclock(&cache, dir) {
             eprintln!("failed to write BENCH_wallclock.json: {e}");

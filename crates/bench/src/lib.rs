@@ -13,11 +13,15 @@
 
 pub mod harness;
 pub mod metrics;
+pub mod persist;
 pub mod sweep;
 pub mod table;
 pub mod tables;
 
 pub use metrics::MetricsSink;
-pub use sweep::{cells_for, dedup_cells, run_sweep, CellSpec, RunCache};
+pub use sweep::{
+    cells_for, context_hash, dedup_cells, run_sweep, run_sweep_cached, CellSpec, DiskCache,
+    RunCache,
+};
 pub use table::Table;
 pub use tables::{all_tables, Scale};

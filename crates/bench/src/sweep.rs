@@ -15,16 +15,33 @@
 //! [`write_wallclock`] emits a `BENCH_wallclock.json` artifact
 //! (schema [`WALLCLOCK_SCHEMA`]) with per-cell and total wall-clock plus the
 //! estimated speedup over a sequential (`--jobs 1`) run.
+//!
+//! ## Persistent sweep cache
+//!
+//! Because every cell is a pure function of (cell key, problem scale, cost
+//! model, simulator build), its result can be cached *across processes*:
+//! [`DiskCache`] stores each cell's full-fidelity [`RunStats`] (see
+//! [`crate::persist`]) in a single JSON file, content-addressed by a build
+//! fingerprint (FNV-1a of the running executable) plus a [`context_hash`]
+//! of the scale and cost models. `tables --cache DIR` opens the cache and
+//! [`run_sweep_cached`] skips every warm cell — a warm rerun simulates
+//! nothing and replays byte-identical tables and metrics artifacts. Any
+//! rebuild or configuration change flips the fingerprint/context and
+//! invalidates the file wholesale; writes are atomic (temp file + rename)
+//! so a crashed sweep can never leave a torn cache behind.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use vopp_core::{Protocol, RunStats};
+use vopp_dsm::CostModel;
+use vopp_sim::handoff_totals;
 use vopp_trace::json::{num, obj, str, Value};
 
+use crate::persist;
 use crate::tables::{self, Scale};
 
 /// Schema tag of the `BENCH_wallclock.json` artifact.
@@ -127,6 +144,10 @@ pub struct RunCache {
     pub jobs: usize,
     /// Real wall-clock of the whole sweep, in nanoseconds.
     pub total_wall_ns: u64,
+    /// Cells replayed from the persistent [`DiskCache`] without simulating.
+    pub warm_cells: usize,
+    /// Cells actually simulated this run.
+    pub simulated_cells: usize,
 }
 
 impl RunCache {
@@ -259,6 +280,135 @@ pub fn dedup_cells(specs: &[CellSpec]) -> Vec<CellSpec> {
         .collect()
 }
 
+/// Schema tag of the persistent sweep-cache file.
+pub const CACHE_SCHEMA: &str = "vopp-sweep-cache/1";
+
+/// File name of the persistent sweep cache inside `--cache DIR`.
+pub const CACHE_FILE: &str = "sweep-cache.json";
+
+/// Hash of everything *besides* the cell key that determines a run's
+/// result: problem scale (quick vs full) and the network/CPU cost models.
+/// Folded into the cache address so e.g. a `--quick` cache can never serve
+/// a full-scale sweep. The cost models hash via their `Debug` form, which
+/// covers every field.
+pub fn context_hash(scale: &Scale) -> u64 {
+    let net = scale.net_override.clone().unwrap_or_default();
+    let cost = CostModel::default();
+    let text = format!("quick={} net={net:?} cost={cost:?}", scale.quick);
+    persist::fnv1a(text.as_bytes())
+}
+
+/// On-disk, content-addressed store of finished sweep cells.
+///
+/// The whole cache lives in one JSON file ([`CACHE_FILE`]) whose header
+/// carries the build fingerprint and [`context_hash`]; a mismatch on either
+/// invalidates every entry at once (the stale file is simply overwritten by
+/// the next [`DiskCache::save`]). Cell entries store the lossless
+/// [`crate::persist`] encoding of [`RunStats`] plus the original simulate
+/// wall-clock, so replayed cells report how much real time they saved.
+#[derive(Debug)]
+pub struct DiskCache {
+    path: PathBuf,
+    fingerprint: u64,
+    context: u64,
+    cells: BTreeMap<String, CachedRun>,
+}
+
+impl DiskCache {
+    /// Open (or initialize empty) the cache in `dir` for the current build.
+    pub fn open(dir: &Path, context: u64) -> DiskCache {
+        DiskCache::open_with_fingerprint(dir, context, persist::exe_fingerprint())
+    }
+
+    /// [`DiskCache::open`] with an explicit build fingerprint (tests use
+    /// this to exercise invalidation without rebuilding the executable).
+    pub fn open_with_fingerprint(dir: &Path, context: u64, fingerprint: u64) -> DiskCache {
+        let path = dir.join(CACHE_FILE);
+        let mut cells = BTreeMap::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(doc) = Value::parse(&text) {
+                let fp_hex = format!("{fingerprint:016x}");
+                let ctx_hex = format!("{context:016x}");
+                let matches = doc.get("schema").and_then(Value::as_str) == Some(CACHE_SCHEMA)
+                    && doc.get("fingerprint").and_then(Value::as_str) == Some(fp_hex.as_str())
+                    && doc.get("context").and_then(Value::as_str) == Some(ctx_hex.as_str());
+                if matches {
+                    if let Some(Value::Obj(entries)) = doc.get("cells") {
+                        for (key, entry) in entries {
+                            let wall = entry.get("wall_ns").and_then(Value::as_u64);
+                            let stats = entry.get("stats").and_then(persist::stats_from_value);
+                            if let (Some(wall_ns), Some(stats)) = (wall, stats) {
+                                cells.insert(key.clone(), CachedRun { stats, wall_ns });
+                            }
+                        }
+                    }
+                }
+                // On mismatch: start empty — wholesale invalidation. The
+                // stale file stays until the next save overwrites it.
+            }
+        }
+        DiskCache {
+            path,
+            fingerprint,
+            context,
+            cells,
+        }
+    }
+
+    /// Look up a finished cell.
+    pub fn get(&self, key: &str) -> Option<&CachedRun> {
+        self.cells.get(key)
+    }
+
+    /// Record a finished cell (persisted on the next [`DiskCache::save`]).
+    pub fn insert(&mut self, key: String, run: CachedRun) {
+        self.cells.insert(key, run);
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells are cached.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomically persist the cache: write a sibling temp file, then rename
+    /// over [`CACHE_FILE`], so readers never observe a torn document.
+    pub fn save(&self) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let doc = obj(vec![
+            ("schema", str(CACHE_SCHEMA)),
+            ("fingerprint", str(&format!("{:016x}", self.fingerprint))),
+            ("context", str(&format!("{:016x}", self.context))),
+            (
+                "cells",
+                Value::Obj(
+                    self.cells
+                        .iter()
+                        .map(|(key, run)| {
+                            (
+                                key.clone(),
+                                obj(vec![
+                                    ("wall_ns", num(run.wall_ns)),
+                                    ("stats", persist::stats_to_value(&run.stats)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let tmp = self.path.with_extension("json.tmp");
+        std::fs::write(&tmp, doc.to_json_pretty())?;
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
 /// Run every cell on a scoped-thread worker pool with `jobs` workers and
 /// return the populated [`RunCache`]. Each worker claims the next
 /// unclaimed cell (atomic work index), simulates it through the same
@@ -267,15 +417,43 @@ pub fn dedup_cells(specs: &[CellSpec]) -> Vec<CellSpec> {
 /// [`Instant`]. Results land keyed by cell, so worker scheduling cannot
 /// influence any downstream artifact.
 pub fn run_sweep(scale: &Scale, specs: &[CellSpec], jobs: usize) -> RunCache {
+    run_sweep_cached(scale, specs, jobs, None)
+}
+
+/// [`run_sweep`] backed by a persistent [`DiskCache`]: warm cells are
+/// replayed from disk without simulating (their stored `wall_ns` still
+/// reports the original simulate cost), cold cells go through the worker
+/// pool as usual and are written back. The cache is saved once at the end
+/// of the sweep (atomic rename), and only when something new was simulated.
+/// Which cells were warm cannot influence any downstream artifact: both
+/// paths produce the identical [`RunStats`] keyed by cell.
+pub fn run_sweep_cached(
+    scale: &Scale,
+    specs: &[CellSpec],
+    jobs: usize,
+    mut disk: Option<&mut DiskCache>,
+) -> RunCache {
     let t0 = Instant::now();
-    let jobs = jobs.clamp(1, specs.len().max(1));
+    let mut runs: BTreeMap<String, CachedRun> = BTreeMap::new();
+    let mut cold: Vec<CellSpec> = Vec::new();
+    for spec in specs {
+        let key = spec.key();
+        match disk.as_ref().and_then(|d| d.get(&key)) {
+            Some(run) => {
+                runs.insert(key, run.clone());
+            }
+            None => cold.push(*spec),
+        }
+    }
+    let warm_cells = runs.len();
+    let jobs = jobs.clamp(1, cold.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CachedRun>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<CachedRun>>> = cold.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(i) else { break };
+                let Some(spec) = cold.get(i) else { break };
                 let c0 = Instant::now();
                 let stats = tables::execute_cell(scale, spec);
                 let wall_ns = c0.elapsed().as_nanos() as u64;
@@ -283,18 +461,29 @@ pub fn run_sweep(scale: &Scale, specs: &[CellSpec], jobs: usize) -> RunCache {
             });
         }
     });
-    let mut runs = BTreeMap::new();
-    for (spec, slot) in specs.iter().zip(slots) {
+    for (spec, slot) in cold.iter().zip(slots) {
         let run = slot
             .into_inner()
             .expect("sweep slot lock")
             .expect("worker pool completed every cell");
+        if let Some(d) = disk.as_deref_mut() {
+            d.insert(spec.key(), run.clone());
+        }
         runs.insert(spec.key(), run);
+    }
+    if let Some(d) = disk {
+        if !cold.is_empty() {
+            if let Err(e) = d.save() {
+                eprintln!("warning: could not persist sweep cache: {e}");
+            }
+        }
     }
     RunCache {
         runs,
         jobs,
         total_wall_ns: t0.elapsed().as_nanos() as u64,
+        warm_cells,
+        simulated_cells: cold.len(),
     }
 }
 
@@ -309,9 +498,38 @@ pub fn wallclock_document(cache: &RunCache) -> Value {
     } else {
         Value::Null
     };
+    let handoff = handoff_totals();
     obj(vec![
         ("schema", str(WALLCLOCK_SCHEMA)),
         ("jobs", num(cache.jobs as u64)),
+        // Process-wide kernel scheduling counters: how many same-instant
+        // wake-ups the direct-handoff path served without a controller
+        // round-trip. Machine/schedule-independent for a given sweep, but
+        // reported here (not in the gated artifacts) alongside wall-clock.
+        (
+            "handoff",
+            obj(vec![
+                ("direct", num(handoff.direct)),
+                ("via_controller", num(handoff.via_controller)),
+                (
+                    "direct_share",
+                    if handoff.total() > 0 {
+                        Value::Num(handoff.direct as f64 / handoff.total() as f64)
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+        ),
+        // Persistent-cache effect on this sweep: cells replayed from disk
+        // vs. actually simulated.
+        (
+            "cache",
+            obj(vec![
+                ("warm_cells", num(cache.warm_cells as u64)),
+                ("simulated_cells", num(cache.simulated_cells as u64)),
+            ]),
+        ),
         (
             "cells",
             Value::Arr(
@@ -405,5 +623,94 @@ mod tests {
             doc.get("cells").and_then(Value::as_arr).map(<[_]>::len),
             Some(3)
         );
+        // No disk cache: every cell simulated.
+        let cache_doc = doc.get("cache").expect("cache section");
+        assert_eq!(cache_doc.get("warm_cells").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            cache_doc.get("simulated_cells").and_then(Value::as_u64),
+            Some(3)
+        );
+        assert!(doc.get("handoff").is_some());
+    }
+
+    /// Fresh scratch directory under the target-adjacent temp dir; unique
+    /// per test name so parallel tests never collide.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("vopp-sweep-cache-tests")
+            .join(format!("{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn sample_run(seed: u64) -> CachedRun {
+        let mut stats = RunStats {
+            nprocs: 4,
+            ..RunStats::default()
+        };
+        stats.time = vopp_sim::SimTime(1_000 + seed);
+        stats.nodes.barriers = seed;
+        stats.net.msgs = 10 * seed;
+        CachedRun {
+            stats,
+            wall_ns: 5_000 + seed,
+        }
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_invalidates() {
+        let dir = scratch("round-trip");
+        let mut cache = DiskCache::open_with_fingerprint(&dir, 0xC0, 0xF0);
+        assert!(cache.is_empty());
+        cache.insert("is_vopp_vc_d_4p".into(), sample_run(7));
+        cache.save().expect("save cache");
+        assert!(dir.join(CACHE_FILE).exists());
+
+        // Same fingerprint + context: the cell is warm and byte-identical.
+        let warm = DiskCache::open_with_fingerprint(&dir, 0xC0, 0xF0);
+        assert_eq!(warm.len(), 1);
+        let run = warm.get("is_vopp_vc_d_4p").expect("warm cell");
+        assert_eq!(run.wall_ns, 5_007);
+        assert_eq!(
+            persist::stats_to_value(&run.stats).to_json(),
+            persist::stats_to_value(&sample_run(7).stats).to_json()
+        );
+
+        // Different build fingerprint or context: wholesale invalidation.
+        assert!(DiskCache::open_with_fingerprint(&dir, 0xC0, 0xF1).is_empty());
+        assert!(DiskCache::open_with_fingerprint(&dir, 0xC1, 0xF0).is_empty());
+        // Corrupt file: treated as empty, not an error.
+        std::fs::write(dir.join(CACHE_FILE), "{ torn").expect("corrupt");
+        assert!(DiskCache::open_with_fingerprint(&dir, 0xC0, 0xF0).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_sweep_replays_without_simulating() {
+        let dir = scratch("warm-sweep");
+        let scale = Scale::quick();
+        let ctx = context_hash(&scale);
+        let specs = dedup_cells(&cells_for("table1", &scale));
+
+        let mut disk = DiskCache::open(&dir, ctx);
+        let cold = run_sweep_cached(&scale, &specs, 2, Some(&mut disk));
+        assert_eq!((cold.warm_cells, cold.simulated_cells), (0, 3));
+
+        let mut disk = DiskCache::open(&dir, ctx);
+        assert_eq!(disk.len(), 3);
+        let warm = run_sweep_cached(&scale, &specs, 2, Some(&mut disk));
+        assert_eq!((warm.warm_cells, warm.simulated_cells), (3, 0));
+        for spec in &specs {
+            let a = cold.get(&spec.key()).expect("cold cell");
+            let b = warm.get(&spec.key()).expect("warm cell");
+            assert_eq!(
+                persist::stats_to_value(&a.stats).to_json(),
+                persist::stats_to_value(&b.stats).to_json(),
+                "replayed stats must be byte-identical for {}",
+                spec.key()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

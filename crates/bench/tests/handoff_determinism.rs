@@ -1,0 +1,83 @@
+//! Direct thread handoff is a wall-clock optimization only: with the
+//! fast path enabled or disabled, every protocol must produce the exact
+//! same event stream — same events, same virtual timestamps, same global
+//! order. This is the strongest determinism statement the simulator can
+//! make, because the trace records every scheduling-visible action
+//! (process starts, network sends/receives, protocol operations) in the
+//! order they were committed.
+//!
+//! This file holds a single `#[test]` on purpose: it flips the
+//! process-wide handoff default, so it must not share a process with
+//! other tests (each integration-test file is its own binary).
+
+use std::sync::Arc;
+
+use vopp_core::prelude::*;
+use vopp_core::VoppExt;
+use vopp_sim::set_direct_handoff_default;
+use vopp_trace::Tracer;
+
+const NPROCS: usize = 8;
+const ROUNDS: u32 = 4;
+
+/// Run a protocol-appropriate workload under `proto` with a tracer
+/// attached; return the serialized trace. Uses the default (lossy)
+/// network so timer events and retransmissions are exercised too.
+fn traced_trace(proto: Protocol) -> String {
+    let mut cfg = ClusterConfig::new(NPROCS, proto);
+    let tracer = Arc::new(Tracer::default());
+    cfg.tracer = Some(tracer.clone());
+    match proto {
+        // Lock + barrier workload on the traditional API.
+        Protocol::LrcD | Protocol::Hlrc | Protocol::ScC => {
+            let mut w = WorldBuilder::new();
+            let arr = w.alloc_u32(1024);
+            run_cluster(&cfg, w.build(), move |ctx| {
+                for round in 0..ROUNDS {
+                    ctx.lock_acquire(0);
+                    arr.update(ctx, round as usize, |x| x + 1);
+                    ctx.lock_release(0);
+                    ctx.barrier();
+                    let _ = arr.get(ctx, round as usize);
+                    ctx.barrier();
+                }
+            });
+        }
+        // View bracket + barrier workload on the VOPP API.
+        Protocol::VcD | Protocol::VcSd => {
+            let mut w = WorldBuilder::new();
+            let v = w.view_u32(64);
+            run_cluster(&cfg, w.build(), move |ctx| {
+                for round in 0..ROUNDS {
+                    ctx.with_view(&v, |r| r.update(ctx, (round as usize) % 64, |x| x + 1));
+                    ctx.barrier();
+                    let first = ctx.with_rview(&v, |r| r.get(ctx, (round as usize) % 64));
+                    assert!(first > 0);
+                    ctx.barrier();
+                }
+            });
+        }
+    }
+    let trace = tracer.take();
+    assert_eq!(trace.evicted, 0, "{proto}: ring must not wrap at this size");
+    assert!(!trace.events.is_empty(), "{proto}: empty trace");
+    trace.to_json()
+}
+
+#[test]
+fn handoff_on_and_off_produce_identical_traces() {
+    for proto in [
+        Protocol::LrcD,
+        Protocol::VcD,
+        Protocol::VcSd,
+        Protocol::Hlrc,
+        Protocol::ScC,
+    ] {
+        set_direct_handoff_default(true);
+        let on = traced_trace(proto);
+        set_direct_handoff_default(false);
+        let off = traced_trace(proto);
+        set_direct_handoff_default(true);
+        assert_eq!(on, off, "{proto}: direct handoff changed the event stream");
+    }
+}

@@ -7,7 +7,10 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
-use vopp_bench::sweep::{cells_for, dedup_cells, run_sweep, write_wallclock, WALLCLOCK_SCHEMA};
+use vopp_bench::sweep::{
+    cells_for, context_hash, dedup_cells, run_sweep, run_sweep_cached, write_wallclock, DiskCache,
+    WALLCLOCK_SCHEMA,
+};
 use vopp_bench::{all_tables, MetricsSink, Scale};
 use vopp_trace::json::Value;
 
@@ -102,6 +105,76 @@ fn four_workers_match_one_worker_byte_for_byte() {
         assert!(!cells.is_empty());
         let total = doc.get("total").expect("total section");
         assert!(total.get("wall_ns").and_then(Value::as_u64).unwrap() > 0);
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Render the full quick sweep (metrics only — the persistent cache is
+/// bypassed when tracing) through a [`DiskCache`] in `cache_dir`, mirroring
+/// `tables --cache`. Returns the table text, the metrics artifacts, and the
+/// number of cells actually simulated.
+fn cached_sweep_artifacts(
+    jobs: usize,
+    cache_dir: &Path,
+    metrics: &Path,
+) -> (String, BTreeMap<String, String>, usize) {
+    let sink = Arc::new(MetricsSink::new());
+    let mut scale = Scale {
+        quick: true,
+        metrics: Some(sink.clone()),
+        ..Scale::default()
+    };
+    let specs = dedup_cells(
+        &ALL_TABLES
+            .iter()
+            .flat_map(|name| cells_for(name, &scale))
+            .collect::<Vec<_>>(),
+    );
+    let mut disk = DiskCache::open(cache_dir, context_hash(&scale));
+    let cache = run_sweep_cached(&scale, &specs, jobs, Some(&mut disk));
+    let simulated = cache.simulated_cells;
+    assert_eq!(cache.warm_cells + simulated, specs.len());
+    scale.cache = Some(Arc::new(cache));
+    let text = all_tables(&scale)
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
+    sink.write_all(metrics).expect("write metrics artifacts");
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(metrics).expect("read metrics dir") {
+        let entry = entry.expect("metrics entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        files.insert(
+            name,
+            std::fs::read_to_string(entry.path()).expect("read artifact"),
+        );
+    }
+    (text, files, simulated)
+}
+
+#[test]
+fn warm_disk_cache_replays_byte_identical_artifacts() {
+    let base = std::env::temp_dir().join(format!("vopp-warm-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let cache_dir = base.join("cache");
+
+    // Cold, sequential: populates the persistent cache.
+    let (t_cold, f_cold, sim_cold) = cached_sweep_artifacts(1, &cache_dir, &base.join("cold"));
+    assert!(sim_cold > 0, "cold run must simulate");
+
+    // Warm, parallel: must simulate *nothing* and replay identical bytes.
+    let (t_warm, f_warm, sim_warm) = cached_sweep_artifacts(4, &cache_dir, &base.join("warm"));
+    assert_eq!(sim_warm, 0, "warm run simulated cells despite a hot cache");
+
+    assert_eq!(t_cold, t_warm, "table text differs between cold and warm");
+    assert_eq!(
+        f_cold.keys().collect::<Vec<_>>(),
+        f_warm.keys().collect::<Vec<_>>()
+    );
+    assert!(f_cold.keys().any(|k| k.starts_with("BENCH_")));
+    for (name, body) in &f_cold {
+        assert_eq!(body, &f_warm[name], "{name} differs between cold and warm");
     }
     std::fs::remove_dir_all(&base).ok();
 }

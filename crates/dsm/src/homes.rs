@@ -165,7 +165,7 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
             // Duplicate releases (holder already moved on) are just acked.
             n.locks.insert(lock, h);
             let ack = Resp::Ack;
-            reply(svc, src, ack.wire_bytes(), tag, Box::new(ack));
+            reply(svc, src, ack.wire_bytes(), tag, Arc::new(ack));
         }
 
         Req::BarrierArrive {
@@ -257,13 +257,13 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
                 };
                 h.last_write_release.insert(src, version);
                 let ack = Resp::ReleaseAck { version };
-                reply(svc, src, ack.wire_bytes(), tag, Box::new(ack));
+                reply(svc, src, ack.wire_bytes(), tag, Arc::new(ack));
                 grant_next(n, &mut h, svc, view);
             } else {
                 // Duplicate release after the original was processed.
                 let version = h.last_write_release.get(&src).copied().unwrap_or(h.version);
                 let ack = Resp::ReleaseAck { version };
-                reply(svc, src, ack.wire_bytes(), tag, Box::new(ack));
+                reply(svc, src, ack.wire_bytes(), tag, Arc::new(ack));
             }
             n.views.insert(view, h);
         }
@@ -276,7 +276,7 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
             let mut h = n.views.remove(&view).unwrap_or_default();
             h.readers.remove(&src);
             let ack = Resp::Ack;
-            reply(svc, src, ack.wire_bytes(), tag, Box::new(ack));
+            reply(svc, src, ack.wire_bytes(), tag, Arc::new(ack));
             if h.readers.is_empty() && h.writer.is_none() {
                 grant_next(n, &mut h, svc, view);
             }
@@ -286,7 +286,7 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
         Req::DiffReq { page, intervals } => {
             let items = n.serve_diffs(page, &intervals);
             let resp = Resp::DiffResp { items };
-            reply(svc, src, resp.wire_bytes(), tag, Box::new(resp));
+            reply(svc, src, resp.wire_bytes(), tag, Arc::new(resp));
         }
 
         Req::HomeFlush { items } => {
@@ -302,7 +302,7 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
                 n.stats.diffs_applied += 1;
             }
             let ack = Resp::Ack;
-            reply(svc, src, ack.wire_bytes(), tag, Box::new(ack));
+            reply(svc, src, ack.wire_bytes(), tag, Arc::new(ack));
         }
 
         Req::PageReq { page } => {
@@ -317,7 +317,7 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
                 Some(n.mem.clone_page(page))
             };
             let resp = Resp::PageResp { content };
-            reply(svc, src, resp.wire_bytes(), tag, Box::new(resp));
+            reply(svc, src, resp.wire_bytes(), tag, Arc::new(resp));
         }
     }
 }
@@ -362,7 +362,7 @@ fn send_lock_grant(n: &NodeState, svc: &mut SvcCtx<'_>, dst: ProcId, tag: u64, r
         vt: n.logged_vt.clone(),
         lamport: n.lamport,
     };
-    reply(svc, dst, resp.wire_bytes(), tag, Box::new(resp));
+    reply(svc, dst, resp.wire_bytes(), tag, Arc::new(resp));
 }
 
 fn send_barrier_release(
@@ -386,7 +386,7 @@ fn send_barrier_release(
             lamport: n.lamport,
         }
     };
-    reply(svc, dst, resp.wire_bytes(), tag, Box::new(resp));
+    reply(svc, dst, resp.wire_bytes(), tag, Arc::new(resp));
 }
 
 fn send_view_grant(
@@ -452,5 +452,5 @@ fn send_view_grant(
         version: h.version as u64,
         bytes: bytes as u64,
     });
-    reply(svc, dst, bytes, tag, Box::new(resp));
+    reply(svc, dst, bytes, tag, Arc::new(resp));
 }

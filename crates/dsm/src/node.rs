@@ -159,20 +159,24 @@ pub struct NodeState {
 }
 
 impl NodeState {
-    /// Fresh state for processor `me` of `n`.
+    /// Fresh state for processor `me` of `n`. `pool_cap` bounds the node's
+    /// page-recycling free list (see [`ClusterConfig::page_pool_cap`]).
+    ///
+    /// [`ClusterConfig::page_pool_cap`]: crate::runtime::ClusterConfig::page_pool_cap
     pub fn new(
         me: ProcId,
         n: usize,
         protocol: Protocol,
         cost: CostModel,
         layout: Arc<Layout>,
+        pool_cap: usize,
     ) -> NodeState {
         NodeState {
             me,
             n,
             protocol,
             cost,
-            mem: NodeMemory::new(layout.npages()),
+            mem: NodeMemory::with_pool_capacity(layout.npages(), pool_cap),
             logged: BTreeMap::new(),
             logged_vt: VTime::zero(n),
             applied_vt: VTime::zero(n),
@@ -512,7 +516,7 @@ mod tests {
     fn mk(me: ProcId, n: usize) -> NodeState {
         let mut l = Layout::new();
         let _ = l.alloc(4 * vopp_page::PAGE_SIZE, 1);
-        NodeState::new(me, n, Protocol::LrcD, CostModel::default(), l.freeze())
+        NodeState::new(me, n, Protocol::LrcD, CostModel::default(), l.freeze(), 128)
     }
 
     #[test]
@@ -628,7 +632,7 @@ mod tests {
         let _ = l.add_view(8); // view 0: round-robin home
         let _ = l.add_view_homed(8, Some(3)); // view 1: explicit home
         let _ = l.add_view(8); // view 2
-        let a = NodeState::new(0, 4, Protocol::VcSd, CostModel::default(), l.freeze());
+        let a = NodeState::new(0, 4, Protocol::VcSd, CostModel::default(), l.freeze(), 128);
         assert_eq!(a.view_home(0), 0);
         assert_eq!(a.view_home(1), 3);
         assert_eq!(a.view_home(2), 2);

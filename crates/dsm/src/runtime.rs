@@ -32,6 +32,11 @@ pub struct ClusterConfig {
     /// network, protocol). `None` (the default) records nothing and adds
     /// no per-event work beyond a pointer test.
     pub tracer: Option<Arc<Tracer>>,
+    /// Per-node page-recycling pool capacity: the maximum number of free
+    /// 4 KiB buffers each node retains for twin creation and page rebuilds.
+    /// Purely a wall-clock/footprint knob — pool hits and misses never
+    /// touch virtual time, so any value produces identical results.
+    pub page_pool_cap: usize,
 }
 
 impl ClusterConfig {
@@ -44,6 +49,7 @@ impl ClusterConfig {
             cost: CostModel::default(),
             barrier_timeout: SimDuration::from_secs(2),
             tracer: None,
+            page_pool_cap: vopp_page::PagePool::CAP,
         }
     }
 
@@ -113,6 +119,7 @@ where
                 cfg.protocol,
                 cfg.cost.clone(),
                 layout.clone(),
+                cfg.page_pool_cap,
             )))
         })
         .collect();

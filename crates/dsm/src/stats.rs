@@ -13,7 +13,7 @@ use vopp_simnet::NetStats;
 /// Per-view counters, the data behind the paper's §3.6 rule of thumb
 /// ("the more views are acquired, the more messages there are in the
 /// system; and the larger a view is, the more data traffic is caused").
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ViewStats {
     /// Acquire operations (read + write) on this view.
     pub acquires: u64,
@@ -30,7 +30,7 @@ pub type ViewStatsMap = BTreeMap<u32, ViewStats>;
 
 /// Phase-accounting breakdown and latency histograms collected on one node
 /// (or aggregated across nodes).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NodeMetrics {
     /// Where every nanosecond of this node's virtual time went.
     pub breakdown: Breakdown,

@@ -27,6 +27,7 @@ fn drive<R: Send>(
         protocol,
         CostModel::default(),
         layout,
+        vopp_page::PagePool::CAP,
     )));
     let mut sim = Sim::new(2, Box::new(PerfectNet::new(SimDuration::from_micros(10))));
     sim.set_handler(0, make_handler(node0));
@@ -43,7 +44,7 @@ fn drive<R: Send>(
 }
 
 fn send_req(ctx: &vopp_sim::AppCtx<'_>, tag: u64, req: Req) {
-    ctx.send(0, 64, DeliveryClass::Svc, RPC_TAG_BIT | tag, Box::new(req));
+    ctx.send(0, 64, DeliveryClass::Svc, RPC_TAG_BIT | tag, Arc::new(req));
 }
 
 fn recv_resp(ctx: &vopp_sim::AppCtx<'_>, tag: u64) -> Resp {

@@ -33,7 +33,8 @@ pub const BOUNDS: [u64; 19] = [
     1_000_000_000,
 ];
 
-const NBUCKETS: usize = BOUNDS.len() + 1;
+/// Number of buckets, including the overflow bucket.
+pub const NBUCKETS: usize = BOUNDS.len() + 1;
 
 /// A fixed-bucket histogram of nanosecond durations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +132,25 @@ impl Histogram {
     /// JSON form of [`Histogram::summary`].
     pub fn to_value(&self) -> Value {
         self.summary().to_value()
+    }
+
+    /// Raw per-bucket counts (index `i` counts samples `<= BOUNDS[i]`; the
+    /// last bucket is the overflow). For persistence; quantiles should use
+    /// [`Histogram::quantile`].
+    pub fn bucket_counts(&self) -> &[u64; NBUCKETS] {
+        &self.counts
+    }
+
+    /// Rebuild a histogram from its raw parts, the inverse of
+    /// [`Histogram::bucket_counts`] / [`Histogram::sum_ns`] /
+    /// [`Histogram::max_ns`]. The sample count is derived from the buckets.
+    pub fn from_raw(counts: [u64; NBUCKETS], sum_ns: u64, max_ns: u64) -> Histogram {
+        Histogram {
+            counts,
+            count: counts.iter().sum(),
+            sum: sum_ns,
+            max: max_ns,
+        }
     }
 }
 
@@ -230,6 +250,17 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max_ns(), 10_000);
         assert_eq!(a.sum_ns(), 10_199);
+    }
+
+    #[test]
+    fn raw_round_trip_is_lossless() {
+        let mut h = Histogram::default();
+        for ns in [500, 1_500, 3_000, 70_000, 2_000_000_000, 42] {
+            h.record(ns);
+        }
+        let rebuilt = Histogram::from_raw(*h.bucket_counts(), h.sum_ns(), h.max_ns());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.count(), 6);
     }
 
     #[test]

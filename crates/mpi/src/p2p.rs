@@ -63,7 +63,7 @@ impl MpiData {
 }
 
 /// Delivered message as re-queued into the receiver's own mailbox.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Delivered {
     pub payload: MpiPayload,
 }
@@ -86,7 +86,9 @@ pub(crate) fn make_handler(state: Arc<Mutex<MpiNode>>) -> Handler {
     Box::new(move |svc, pkt| {
         let rpc_tag = pkt.tag;
         let src = pkt.src;
-        let data = pkt.expect::<MpiData>();
+        // The sender retains the payload for retransmission; borrow it
+        // shared instead of deep-copying the message.
+        let data = pkt.expect_arc::<MpiData>();
         let mut st = state.lock();
         let exp = &mut st.expected_in[src];
         if data.seq == *exp {
@@ -100,14 +102,14 @@ pub(crate) fn make_handler(state: Arc<Mutex<MpiNode>>) -> Handler {
                 0,
                 DeliveryClass::App,
                 dt,
-                Box::new(Delivered { payload }),
+                Arc::new(Delivered { payload }),
             );
         } else {
             // Duplicate of an already-delivered message: just re-ack.
             debug_assert!(data.seq < *exp, "out-of-order MPI data");
             drop(st);
         }
-        reply(svc, src, HEADER_BYTES, rpc_tag, Box::new(()));
+        reply(svc, src, HEADER_BYTES, rpc_tag, Arc::new(()));
     })
 }
 

@@ -30,22 +30,45 @@ pub enum PageState {
 /// whole-page replies, barrier-time page rebuilds — recycle allocations
 /// instead of hitting the allocator per page.
 ///
-/// The list is bounded: releases beyond [`PagePool::CAP`] buffers simply
-/// drop the page.
-#[derive(Default)]
+/// The list is bounded: releases beyond the pool's capacity (default
+/// [`PagePool::CAP`], configurable per pool) simply drop the page.
 pub struct PagePool {
     free: Vec<Box<PageBuf>>,
+    cap: usize,
     hits: u64,
     misses: u64,
 }
 
+impl Default for PagePool {
+    fn default() -> Self {
+        PagePool::with_capacity(PagePool::CAP)
+    }
+}
+
 impl PagePool {
-    /// Maximum number of buffers retained on the free list.
+    /// Default maximum number of buffers retained on the free list.
     pub const CAP: usize = 128;
 
-    /// An empty pool.
+    /// An empty pool with the default capacity.
     pub fn new() -> PagePool {
         PagePool::default()
+    }
+
+    /// An empty pool retaining at most `cap` free buffers. Small address
+    /// spaces can bound their worst-case footprint (`cap * 4 KiB`) below
+    /// the default; page-heavy runs can raise it.
+    pub fn with_capacity(cap: usize) -> PagePool {
+        PagePool {
+            free: Vec::new(),
+            cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum number of buffers this pool retains.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// A zero-filled page, recycled from the free list when possible.
@@ -80,7 +103,7 @@ impl PagePool {
 
     /// Return a buffer to the free list (dropped if the pool is full).
     pub fn release(&mut self, page: Box<PageBuf>) {
-        if self.free.len() < PagePool::CAP {
+        if self.free.len() < self.cap {
             self.free.push(page);
         }
     }
@@ -112,13 +135,20 @@ pub struct NodeMemory {
 
 impl NodeMemory {
     /// Memory of `npages` pages, all valid and zero-filled (pages are
-    /// materialized lazily on first touch).
+    /// materialized lazily on first touch). Uses the default page-pool
+    /// capacity; see [`NodeMemory::with_pool_capacity`].
     pub fn new(npages: usize) -> NodeMemory {
+        NodeMemory::with_pool_capacity(npages, PagePool::CAP)
+    }
+
+    /// [`NodeMemory::new`] with an explicit page-pool capacity, bounding
+    /// this node's recycled-buffer footprint at `pool_cap * 4 KiB`.
+    pub fn with_pool_capacity(npages: usize, pool_cap: usize) -> NodeMemory {
         NodeMemory {
             pages: (0..npages).map(|_| None).collect(),
             state: vec![PageState::Valid; npages],
             twins: BTreeMap::new(),
-            pool: PagePool::new(),
+            pool: PagePool::with_capacity(pool_cap),
             diff_scratch: Vec::new(),
         }
     }
@@ -350,6 +380,21 @@ mod tests {
         assert_eq!(m.pool().stats(), (1, 1));
         assert_eq!(diffs[0].1.word_count(), 1);
         assert_eq!(diffs[0].1.runs()[0].words, vec![2]);
+    }
+
+    #[test]
+    fn pool_capacity_bounds_free_list() {
+        let mut pool = PagePool::with_capacity(2);
+        assert_eq!(pool.capacity(), 2);
+        for _ in 0..5 {
+            pool.release(PageBuf::zeroed());
+        }
+        // Releases beyond the configured capacity drop the page.
+        assert_eq!(pool.len(), 2);
+        assert_eq!(PagePool::new().capacity(), PagePool::CAP);
+        // NodeMemory plumbs the capacity through to its pool.
+        let m = NodeMemory::with_pool_capacity(1, 7);
+        assert_eq!(m.pool().capacity(), 7);
     }
 
     #[test]

@@ -1,11 +1,23 @@
 //! Process-side and handler-side views of the kernel.
 
-use std::any::Any;
+use std::collections::VecDeque;
 
 use crate::kernel::{Event, Phase, Shared};
-use crate::packet::{DeliveryClass, Packet};
+use crate::packet::{DeliveryClass, Packet, Payload};
 use crate::time::{SimDuration, SimTime};
 use crate::ProcId;
+
+/// Mailbox capacity retained after a drain. A barrier fan-in can spike a
+/// manager's mailbox to `nprocs` packets; once drained, capacity beyond this
+/// is released so the spike doesn't pin memory for the rest of the run.
+const MAILBOX_IDLE_CAP: usize = 64;
+
+/// Release excess mailbox capacity once the queue is empty.
+fn shrink_if_drained(mb: &mut VecDeque<Packet>) {
+    if mb.is_empty() && mb.capacity() > MAILBOX_IDLE_CAP {
+        mb.shrink_to(MAILBOX_IDLE_CAP);
+    }
+}
 
 /// The kernel interface available to a process body (application thread).
 ///
@@ -59,14 +71,16 @@ impl<'a> AppCtx<'a> {
     }
 
     /// Send a datagram. Non-blocking; delivery time and loss are decided by
-    /// the network model. `wire_bytes` must include protocol headers.
+    /// the network model. `wire_bytes` must include protocol headers. The
+    /// payload is shared: sending the same `Arc` to many destinations (a
+    /// broadcast, a retransmission) costs one allocation total.
     pub fn send(
         &self,
         dst: ProcId,
         wire_bytes: usize,
         class: DeliveryClass,
         tag: u64,
-        payload: Box<dyn Any + Send>,
+        payload: Payload,
     ) {
         let mut s = self.shared.sched.lock();
         let now = s.procs[self.me].clock;
@@ -85,7 +99,9 @@ impl<'a> AppCtx<'a> {
         let mut s = self.shared.sched.lock();
         loop {
             if let Some(pos) = s.procs[self.me].mailbox.iter().position(&want) {
-                return s.procs[self.me].mailbox.remove(pos).unwrap();
+                let pkt = s.procs[self.me].mailbox.remove(pos).unwrap();
+                shrink_if_drained(&mut s.procs[self.me].mailbox);
+                return pkt;
             }
             s.procs[self.me].phase = Phase::WaitRecv { deadline: None };
             self.shared.yield_and_wait(self.me, &mut s);
@@ -106,7 +122,9 @@ impl<'a> AppCtx<'a> {
         let mut timer_armed = false;
         loop {
             if let Some(pos) = s.procs[self.me].mailbox.iter().position(&want) {
-                return Some(s.procs[self.me].mailbox.remove(pos).unwrap());
+                let pkt = s.procs[self.me].mailbox.remove(pos).unwrap();
+                shrink_if_drained(&mut s.procs[self.me].mailbox);
+                return Some(pkt);
             }
             if !timer_armed {
                 s.push_event(
@@ -147,7 +165,9 @@ impl<'a> AppCtx<'a> {
         let mb = &mut s.procs[self.me].mailbox;
         let before = mb.len();
         mb.retain(|p| !unwanted(p));
-        before - mb.len()
+        let purged = before - mb.len();
+        shrink_if_drained(mb);
+        purged
     }
 
     /// Whether an enabled tracer is installed. Layers that need to compute
@@ -210,7 +230,7 @@ impl<'a> SvcCtx<'a> {
         wire_bytes: usize,
         class: DeliveryClass,
         tag: u64,
-        payload: Box<dyn Any + Send>,
+        payload: Payload,
     ) {
         let mut s = self.shared.sched.lock();
         let pkt = Packet::new(self.me, wire_bytes, class, tag, payload);

@@ -11,9 +11,25 @@
 //! arrival time*, even while the destination's application thread is in the
 //! middle of a `compute` span — modelling the interrupt-driven request
 //! handlers (SIGIO) of real page-based DSM systems such as TreadMarks.
+//!
+//! ## Direct handoff
+//!
+//! The naive schedule costs two OS-thread handoffs per event: blocking
+//! process → controller → next process. Instead, the blocking thread drains
+//! the event queue itself — advancing virtual time, delivering packets, and
+//! running service handlers in exactly the order the controller would — and
+//! hands control straight to the next runnable process while the controller
+//! stays parked. The controller pops events itself only at startup, when
+//! handoff is disabled, and when the queue empties (termination / deadlock
+//! detection). Event pop order, trace order and every clock advance are
+//! identical either way; only the OS-thread ping-pong is elided. Savings
+//! (wake-ups that skipped the controller) are counted in
+//! [`HandoffStats`] (per run) and in process-wide totals ([`handoff_totals`])
+//! for wall-clock reporting.
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vopp_trace::{EventKind, Tracer};
@@ -28,6 +44,49 @@ use crate::ProcId;
 /// A service-request handler: invoked by the kernel when a [`DeliveryClass::Svc`]
 /// packet arrives at the process it is registered for.
 pub type Handler = Box<dyn FnMut(&mut SvcCtx<'_>, Packet) + Send + 'static>;
+
+/// How process wake-ups were scheduled during a run. Wall-clock bookkeeping
+/// only — never part of the virtual-time results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandoffStats {
+    /// Wake-ups transferred process→process without running the controller.
+    pub direct: u64,
+    /// Wake-ups that went through the controller thread.
+    pub via_controller: u64,
+}
+
+impl HandoffStats {
+    /// Total wake-ups.
+    pub fn total(&self) -> u64 {
+        self.direct + self.via_controller
+    }
+}
+
+/// Process-wide handoff totals, accumulated across every finished run.
+static TOTAL_DIRECT: AtomicU64 = AtomicU64::new(0);
+static TOTAL_VIA_CTL: AtomicU64 = AtomicU64::new(0);
+/// Process-wide default for [`Sim::set_direct_handoff`].
+static DIRECT_HANDOFF_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Handoff totals accumulated by every run finished in this process so far.
+pub fn handoff_totals() -> HandoffStats {
+    HandoffStats {
+        direct: TOTAL_DIRECT.load(Ordering::Relaxed),
+        via_controller: TOTAL_VIA_CTL.load(Ordering::Relaxed),
+    }
+}
+
+/// Set the process-wide default for direct handoff scheduling (normally on;
+/// turning it off forces every wake-up through the controller thread, which
+/// is only useful for comparative benchmarks and scheduling tests).
+pub fn set_direct_handoff_default(on: bool) {
+    DIRECT_HANDOFF_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide direct-handoff default.
+pub fn direct_handoff_default() -> bool {
+    DIRECT_HANDOFF_DEFAULT.load(Ordering::Relaxed)
+}
 
 pub(crate) enum Event {
     Resume(ProcId),
@@ -121,6 +180,12 @@ pub(crate) struct Sched {
     live: usize,
     pub(crate) shutdown: bool,
     panicked: bool,
+    direct_handoff: bool,
+    /// A process thread is inside `try_handoff` — possibly with the lock
+    /// released while it runs a service handler. The controller must stay
+    /// parked until the drain finishes, even if its condvar wakes spuriously.
+    draining: bool,
+    handoff: HandoffStats,
     pub(crate) net: Box<dyn NetModel>,
     pub(crate) tracer: Option<Arc<Tracer>>,
 }
@@ -174,19 +239,29 @@ pub(crate) struct Shared {
     pub(crate) proc_cv: Vec<Condvar>,
     pub(crate) ctl_cv: Condvar,
     pub(crate) nprocs: usize,
+    /// Service handlers, shared so whichever thread pops a `Svc` delivery —
+    /// the controller or a draining process thread — can run it. A handler is
+    /// taken out of its slot for the duration of the call; event execution is
+    /// serialized by the scheduler (`running`/`draining`), so the slot is
+    /// never contended.
+    handlers: Mutex<Vec<Option<Handler>>>,
     /// Same tracer as `Sched::tracer`, duplicated outside the mutex so the
     /// disabled path is a pointer test without taking the scheduler lock.
     pub(crate) tracer: Option<Arc<Tracer>>,
 }
 
 impl Shared {
-    /// Called from a process thread: give control back to the controller and
-    /// wait until the controller hands it back. The caller must already have
-    /// set its own phase to the blocked state it wants.
-    pub(crate) fn yield_and_wait(&self, me: ProcId, s: &mut MutexGuard<'_, Sched>) {
+    /// Called from a process thread: yield control and wait until it is
+    /// handed back. The caller must already have set its own phase to the
+    /// blocked state it wants. If a queued event wakes a process, control
+    /// transfers directly; the controller is only notified when the drain
+    /// cannot continue (empty queue, shutdown, or handoff disabled).
+    pub(crate) fn yield_and_wait<'a>(&'a self, me: ProcId, s: &mut MutexGuard<'a, Sched>) {
         debug_assert_eq!(s.running, Some(me));
         s.running = None;
-        self.ctl_cv.notify_one();
+        if !self.try_handoff(s) {
+            self.ctl_cv.notify_one();
+        }
         while s.running != Some(me) {
             if s.shutdown {
                 // Unblock so the controller can report the real error.
@@ -195,6 +270,147 @@ impl Shared {
             self.proc_cv[me].wait(s);
         }
         debug_assert_eq!(s.procs[me].phase, Phase::Running);
+    }
+
+    /// Drain the event queue — in exactly the order the controller would,
+    /// advancing virtual time and running service handlers the same way —
+    /// until an event wakes a process. Returns `true` if a process was woken
+    /// (the controller stays parked), `false` if the controller must take
+    /// over: the queue is empty (termination or deadlock), handoff is
+    /// disabled, or the run is shutting down.
+    ///
+    /// Advancing `now` and running handlers from a process thread is safe:
+    /// event execution is serialized by `Sched::draining` (set here, checked
+    /// by the controller's parking loop), and the controller only reads
+    /// scheduler state after reacquiring the lock.
+    fn try_handoff<'a>(&'a self, s: &mut MutexGuard<'a, Sched>) -> bool {
+        if !s.direct_handoff || s.panicked || s.shutdown {
+            return false;
+        }
+        s.draining = true;
+        let woke = self.drain(s);
+        s.draining = false;
+        woke
+    }
+
+    /// The loop body of [`Shared::try_handoff`]; `Sched::draining` is set.
+    fn drain<'a>(&'a self, s: &mut MutexGuard<'a, Sched>) -> bool {
+        loop {
+            let Some(entry) = s.queue.pop() else {
+                return false;
+            };
+            debug_assert!(entry.at >= s.now, "event queue went backwards");
+            s.now = entry.at;
+            match entry.ev {
+                Event::Resume(p) => match s.procs[p].phase {
+                    Phase::Startup | Phase::BlockedResume => {
+                        self.wake_now(s, p, entry.at);
+                        s.handoff.direct += 1;
+                        return true;
+                    }
+                    Phase::Finished => {}
+                    ref ph => unreachable!("resume for proc {p} in phase {ph:?}"),
+                },
+                Event::Deliver { dst, mut pkt } => {
+                    s.procs[dst].pending_deliver -= 1;
+                    s.procs[dst].pending_bytes -= pkt.wire_bytes;
+                    pkt.arrived = entry.at;
+                    if let Some(tr) = &s.tracer {
+                        tr.record(
+                            entry.at.0,
+                            dst,
+                            EventKind::NetRecv {
+                                src: pkt.src,
+                                wire_bytes: pkt.wire_bytes as u64,
+                                tag: pkt.tag,
+                            },
+                        );
+                    }
+                    match pkt.class {
+                        DeliveryClass::Svc => {
+                            if let Err(e) = self.dispatch_svc(s, dst, pkt, entry.at) {
+                                // Propagate on this thread: the process-exit
+                                // path records it as the first panic and the
+                                // controller shuts the run down.
+                                std::panic::resume_unwind(e);
+                            }
+                            if s.panicked || s.shutdown {
+                                return false;
+                            }
+                        }
+                        DeliveryClass::App => {
+                            s.procs[dst].mailbox.push_back(pkt);
+                            if matches!(s.procs[dst].phase, Phase::WaitRecv { .. }) {
+                                self.wake_now(s, dst, entry.at);
+                                s.handoff.direct += 1;
+                                return true;
+                            }
+                        }
+                    }
+                }
+                Event::Timer { dst, token } => {
+                    if s.procs[dst].phase
+                        == (Phase::WaitRecv {
+                            deadline: Some(token),
+                        })
+                    {
+                        s.procs[dst].timed_out = true;
+                        self.wake_now(s, dst, entry.at);
+                        s.handoff.direct += 1;
+                        return true;
+                    }
+                    // Otherwise the timer is stale (the wait already ended).
+                }
+            }
+        }
+    }
+
+    /// Run the `Svc` handler for `dst`, releasing the scheduler lock for the
+    /// duration of the call (handlers re-enter the scheduler through
+    /// [`SvcCtx`]) and re-acquiring it before returning. Returns the
+    /// handler's panic payload, if any.
+    fn dispatch_svc<'a>(
+        &'a self,
+        s: &mut MutexGuard<'a, Sched>,
+        dst: ProcId,
+        pkt: Packet,
+        at: SimTime,
+    ) -> Result<(), Box<dyn std::any::Any + Send>> {
+        let mut h = self.handlers.lock()[dst]
+            .take()
+            .unwrap_or_else(|| panic!("no Svc handler on proc {dst}"));
+        let r = self.sched.unlocked(s, || {
+            let mut ctx = SvcCtx::new(self, dst, at);
+            catch_unwind(AssertUnwindSafe(|| h(&mut ctx, pkt)))
+        });
+        if r.is_ok() {
+            // On panic the slot stays empty; the run is shutting down.
+            self.handlers.lock()[dst] = Some(h);
+        }
+        r
+    }
+
+    /// Mark process `p` runnable at virtual time `t` and notify its thread.
+    /// Shared by the controller's `wake` and the direct-handoff path; every
+    /// clock advance and its compute/blocked classification happens here.
+    pub(crate) fn wake_now(&self, s: &mut MutexGuard<'_, Sched>, p: ProcId, t: SimTime) {
+        debug_assert!(s.running.is_none());
+        if s.procs[p].phase == Phase::Startup {
+            if let Some(tr) = &s.tracer {
+                tr.record(t.0, p, EventKind::ProcStart);
+            }
+        }
+        let pi = &mut s.procs[p];
+        let adv = t.0.saturating_sub(pi.clock.0);
+        match pi.phase {
+            Phase::BlockedResume => pi.times.compute_ns += adv,
+            Phase::WaitRecv { .. } => pi.times.blocked_ns += adv,
+            Phase::Startup | Phase::Running | Phase::Finished => {}
+        }
+        pi.clock = pi.clock.max(t);
+        pi.phase = Phase::Running;
+        s.running = Some(p);
+        self.proc_cv[p].notify_one();
     }
 }
 
@@ -208,6 +424,9 @@ pub struct RunOutcome<R> {
     pub proc_end: Vec<SimTime>,
     /// Kernel compute/blocked time classification of each process.
     pub proc_times: Vec<ProcTimes>,
+    /// Direct vs controller-mediated wake-up counts (wall-clock bookkeeping;
+    /// not part of the virtual-time results).
+    pub handoff: HandoffStats,
     /// The network model, returned so callers can read its statistics.
     pub net: Box<dyn NetModel>,
 }
@@ -215,12 +434,13 @@ pub struct RunOutcome<R> {
 /// A configured simulation, ready to run.
 ///
 /// ```
+/// use std::sync::Arc;
 /// use vopp_sim::{Sim, PerfectNet, SimDuration, DeliveryClass};
 ///
 /// let sim = Sim::new(2, Box::new(PerfectNet::default()));
 /// let out = sim.run(|ctx| {
 ///     if ctx.me() == 0 {
-///         ctx.send(1, 100, DeliveryClass::App, 0, Box::new(123u32));
+///         ctx.send(1, 100, DeliveryClass::App, 0, Arc::new(123u32));
 ///         0
 ///     } else {
 ///         ctx.recv().expect::<u32>()
@@ -233,6 +453,7 @@ pub struct Sim {
     net: Box<dyn NetModel>,
     handlers: Vec<Option<Handler>>,
     tracer: Option<Arc<Tracer>>,
+    direct_handoff: bool,
 }
 
 impl Sim {
@@ -244,7 +465,15 @@ impl Sim {
             net,
             handlers: (0..nprocs).map(|_| None).collect(),
             tracer: None,
+            direct_handoff: direct_handoff_default(),
         }
+    }
+
+    /// Enable or disable direct process→process handoff for this run
+    /// (defaults to the process-wide setting, normally on). Virtual-time
+    /// results are identical either way; only wall-clock differs.
+    pub fn set_direct_handoff(&mut self, on: bool) {
+        self.direct_handoff = on;
     }
 
     /// Install an event tracer. Kernel-level send/receive and process
@@ -273,7 +502,6 @@ impl Sim {
         F: Fn(AppCtx<'_>) -> R + Send + Sync,
     {
         let nprocs = self.nprocs;
-        let mut handlers = self.handlers;
         let shared = Shared {
             sched: Mutex::new(Sched {
                 now: SimTime::ZERO,
@@ -284,12 +512,16 @@ impl Sim {
                 live: nprocs,
                 shutdown: false,
                 panicked: false,
+                direct_handoff: self.direct_handoff,
+                draining: false,
+                handoff: HandoffStats::default(),
                 net: self.net,
                 tracer: self.tracer.clone(),
             }),
             proc_cv: (0..nprocs).map(|_| Condvar::new()).collect(),
             ctl_cv: Condvar::new(),
             nprocs,
+            handlers: Mutex::new(self.handlers),
             tracer: self.tracer,
         };
         {
@@ -343,7 +575,7 @@ impl Sim {
                 })
                 .collect();
 
-            let handler_panic = Self::controller(shared, &mut handlers);
+            let handler_panic = Self::controller(shared);
 
             let results: Vec<Option<R>> = joins
                 .into_iter()
@@ -371,6 +603,9 @@ impl Sim {
         let proc_end: Vec<SimTime> = s.procs.iter().map(|pi| pi.clock).collect();
         let proc_times: Vec<ProcTimes> = s.procs.iter().map(|pi| pi.times).collect();
         let end_time = proc_end.iter().copied().max().unwrap_or(SimTime::ZERO);
+        let handoff = s.handoff;
+        TOTAL_DIRECT.fetch_add(handoff.direct, Ordering::Relaxed);
+        TOTAL_VIA_CTL.fetch_add(handoff.via_controller, Ordering::Relaxed);
         let net = std::mem::replace(&mut s.net, Box::new(crate::net::PerfectNet::default()));
         drop(s);
         RunOutcome {
@@ -381,17 +616,18 @@ impl Sim {
             end_time,
             proc_end,
             proc_times,
+            handoff,
             net,
         }
     }
 
     /// Event loop: runs on the caller's thread until every process finished,
     /// a process panicked, or a deadlock is detected. Returns a panic
-    /// payload if a service handler panicked.
-    fn controller(
-        shared: &Shared,
-        handlers: &mut [Option<Handler>],
-    ) -> Option<Box<dyn std::any::Any + Send>> {
+    /// payload if a service handler panicked on this thread. With direct
+    /// handoff on, process threads drain the queue themselves and this loop
+    /// mostly stays parked in `wake` — it only pops events itself at startup,
+    /// when handoff is disabled, and to detect termination or deadlock.
+    fn controller(shared: &Shared) -> Option<Box<dyn std::any::Any + Send>> {
         loop {
             let mut s = shared.sched.lock();
             if s.panicked {
@@ -433,15 +669,9 @@ impl Sim {
                     }
                     match pkt.class {
                         DeliveryClass::Svc => {
-                            drop(s);
-                            let h = handlers[dst]
-                                .as_mut()
-                                .unwrap_or_else(|| panic!("no Svc handler on proc {dst}"));
-                            let mut ctx = SvcCtx::new(shared, dst, entry.at);
                             // A handler panic must not strand the blocked
                             // process threads: release them, then re-panic.
-                            if let Err(e) = catch_unwind(AssertUnwindSafe(|| h(&mut ctx, pkt))) {
-                                let mut s = shared.sched.lock();
+                            if let Err(e) = shared.dispatch_svc(&mut s, dst, pkt, entry.at) {
                                 Self::shutdown_all(shared, &mut s);
                                 drop(s);
                                 return Some(e);
@@ -470,27 +700,17 @@ impl Sim {
         }
     }
 
-    /// Hand control to process `p` at virtual time `t` and block until it
-    /// yields again. Must be called with the scheduler locked.
+    /// Hand control to process `p` at virtual time `t` and block until the
+    /// controller is needed again. Must be called with the scheduler locked.
+    /// While parked here, blocking processes drain the event queue and chain
+    /// wake-ups among themselves (direct handoff) without waking this
+    /// thread; the `draining` check keeps this loop parked even if the
+    /// condvar wakes spuriously while a drain has the lock released to run a
+    /// service handler.
     fn wake(shared: &Shared, s: &mut MutexGuard<'_, Sched>, p: ProcId, t: SimTime) {
-        debug_assert!(s.running.is_none());
-        if s.procs[p].phase == Phase::Startup {
-            if let Some(tr) = &s.tracer {
-                tr.record(t.0, p, EventKind::ProcStart);
-            }
-        }
-        let pi = &mut s.procs[p];
-        let adv = t.0.saturating_sub(pi.clock.0);
-        match pi.phase {
-            Phase::BlockedResume => pi.times.compute_ns += adv,
-            Phase::WaitRecv { .. } => pi.times.blocked_ns += adv,
-            Phase::Startup | Phase::Running | Phase::Finished => {}
-        }
-        pi.clock = pi.clock.max(t);
-        pi.phase = Phase::Running;
-        s.running = Some(p);
-        shared.proc_cv[p].notify_one();
-        while s.running.is_some() && !s.panicked {
+        shared.wake_now(s, p, t);
+        s.handoff.via_controller += 1;
+        while (s.running.is_some() || s.draining) && !s.panicked {
             shared.ctl_cv.wait(s);
         }
     }

@@ -1,16 +1,24 @@
 //! Packets exchanged between simulated processes.
 //!
-//! The payload is an in-process `Box<dyn Any>`: the simulation transfers Rust
+//! The payload is an in-process `Arc<dyn Any>`: the simulation transfers Rust
 //! values directly instead of serializing them, while the *wire size* used for
 //! network timing and traffic statistics is declared explicitly by the sender.
-//! This keeps the simulator fast and lets protocol layers account for the
-//! exact number of bytes the real system would have put on the wire.
+//! Sharing the payload by `Arc` means a broadcast (a barrier release fan-out,
+//! an RPC retransmission) allocates the message once and every destination's
+//! packet points at the same value. This keeps the simulator fast and lets
+//! protocol layers account for the exact number of bytes the real system
+//! would have put on the wire.
 
 use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::time::SimTime;
 use crate::ProcId;
+
+/// The shared, immutable payload of a [`Packet`]. One allocation per message,
+/// no matter how many destinations (or retransmissions) it is sent to.
+pub type Payload = Arc<dyn Any + Send + Sync>;
 
 /// How a packet is consumed at the destination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,8 +46,8 @@ pub struct Packet {
     /// Virtual time at which the packet arrived at the destination.
     /// Filled in by the kernel on delivery; zero while in flight.
     pub arrived: SimTime,
-    /// The transferred value.
-    pub payload: Box<dyn Any + Send>,
+    /// The transferred value, shared with every other copy of this message.
+    pub payload: Payload,
 }
 
 impl Packet {
@@ -49,7 +57,7 @@ impl Packet {
         wire_bytes: usize,
         class: DeliveryClass,
         tag: u64,
-        payload: Box<dyn Any + Send>,
+        payload: Payload,
     ) -> Packet {
         Packet {
             src,
@@ -63,11 +71,15 @@ impl Packet {
 
     /// Downcast the payload to a concrete message type, consuming the packet.
     ///
+    /// If this packet holds the payload's last reference the value moves out
+    /// without a copy; a payload still shared (e.g. retained by an RPC layer
+    /// for retransmission) is cloned — its `Arc`-shared internals stay shared.
+    ///
     /// Panics if the payload is of a different type: a type confusion here is
     /// always a protocol bug, never a recoverable condition.
-    pub fn expect<T: 'static>(self) -> T {
+    pub fn expect<T: Any + Send + Sync + Clone>(self) -> T {
         match self.payload.downcast::<T>() {
-            Ok(b) => *b,
+            Ok(arc) => Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()),
             Err(_) => panic!(
                 "packet from proc {} (tag {}) had unexpected payload type; wanted {}",
                 self.src,
@@ -77,8 +89,28 @@ impl Packet {
         }
     }
 
+    /// Downcast the payload and keep it shared, consuming the packet.
+    /// Never copies the value, whatever its reference count.
+    pub fn expect_arc<T: Any + Send + Sync>(self) -> Arc<T> {
+        match self.payload.downcast::<T>() {
+            Ok(arc) => arc,
+            Err(_) => panic!(
+                "packet from proc {} (tag {}) had unexpected payload type; wanted Arc<{}>",
+                self.src,
+                self.tag,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Borrow the payload as `T` without consuming the packet.
+    /// Returns `None` on type mismatch.
+    pub fn peek<T: Any>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+
     /// Try to downcast the payload, returning the packet back on mismatch.
-    pub fn try_expect<T: 'static>(self) -> Result<T, Packet> {
+    pub fn try_expect<T: Any + Send + Sync + Clone>(self) -> Result<T, Packet> {
         let Packet {
             src,
             wire_bytes,
@@ -88,7 +120,7 @@ impl Packet {
             payload,
         } = self;
         match payload.downcast::<T>() {
-            Ok(b) => Ok(*b),
+            Ok(arc) => Ok(Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone())),
             Err(payload) => Err(Packet {
                 src,
                 wire_bytes,
@@ -119,7 +151,7 @@ mod tests {
 
     #[test]
     fn expect_roundtrip() {
-        let p = Packet::new(3, 100, DeliveryClass::App, 7, Box::new(42u32));
+        let p = Packet::new(3, 100, DeliveryClass::App, 7, Arc::new(42u32));
         assert_eq!(p.src, 3);
         assert_eq!(p.expect::<u32>(), 42);
     }
@@ -127,15 +159,53 @@ mod tests {
     #[test]
     #[should_panic(expected = "unexpected payload type")]
     fn expect_wrong_type_panics() {
-        let p = Packet::new(0, 0, DeliveryClass::App, 0, Box::new("hi"));
+        let p = Packet::new(0, 0, DeliveryClass::App, 0, Arc::new("hi"));
         let _ = p.expect::<u64>();
     }
 
     #[test]
     fn try_expect_returns_packet_on_mismatch() {
-        let p = Packet::new(1, 10, DeliveryClass::Svc, 9, Box::new(5i64));
+        let p = Packet::new(1, 10, DeliveryClass::Svc, 9, Arc::new(5i64));
         let p = p.try_expect::<String>().unwrap_err();
         assert_eq!(p.tag, 9);
         assert_eq!(p.try_expect::<i64>().unwrap(), 5);
+    }
+
+    #[test]
+    fn expect_moves_out_sole_reference_and_clones_shared() {
+        // Sole reference: the value moves out (same Vec buffer, not a copy).
+        let v: Arc<dyn Any + Send + Sync> = Arc::new(vec![1u8, 2, 3]);
+        let buf_ptr = {
+            let r = v.downcast_ref::<Vec<u8>>().unwrap();
+            r.as_ptr()
+        };
+        let p = Packet::new(0, 8, DeliveryClass::App, 0, v);
+        let out = p.expect::<Vec<u8>>();
+        assert_eq!(out.as_ptr(), buf_ptr);
+
+        // Shared reference: the packet clones, the retained copy is intact.
+        let retained: Arc<dyn Any + Send + Sync> = Arc::new(vec![9u8; 4]);
+        let p = Packet::new(0, 8, DeliveryClass::App, 0, retained.clone());
+        let out = p.expect::<Vec<u8>>();
+        assert_eq!(out, vec![9u8; 4]);
+        assert_eq!(retained.downcast_ref::<Vec<u8>>().unwrap(), &vec![9u8; 4]);
+    }
+
+    #[test]
+    fn peek_borrows_without_consuming() {
+        let p = Packet::new(2, 4, DeliveryClass::App, 1, Arc::new(7u16));
+        assert_eq!(p.peek::<u16>(), Some(&7));
+        assert_eq!(p.peek::<u32>(), None);
+        assert_eq!(p.expect::<u16>(), 7);
+    }
+
+    #[test]
+    fn expect_arc_preserves_sharing() {
+        let payload: Arc<dyn Any + Send + Sync> = Arc::new(String::from("shared"));
+        let p = Packet::new(0, 8, DeliveryClass::App, 0, payload.clone());
+        let arc = p.expect_arc::<String>();
+        assert_eq!(*arc, "shared");
+        // Both handles point at the same allocation.
+        assert_eq!(Arc::strong_count(&arc), 2);
     }
 }

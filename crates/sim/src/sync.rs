@@ -26,6 +26,18 @@ impl<T> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
+
+    /// Temporarily release `guard` — which must have been returned by
+    /// `self.lock()` — while `f` runs, then re-acquire the lock in place
+    /// before returning. Passing a guard that belongs to a different mutex
+    /// would silently re-lock the wrong one; callers must not do that.
+    pub fn unlocked<'a, U>(&'a self, guard: &mut MutexGuard<'a, T>, f: impl FnOnce() -> U) -> U {
+        let inner = guard.0.take().expect("guard moved during wait");
+        drop(inner);
+        let r = f();
+        guard.0 = Some(self.0.lock().unwrap_or_else(PoisonError::into_inner));
+        r
+    }
 }
 
 impl<T: fmt::Debug> fmt::Debug for Mutex<T> {

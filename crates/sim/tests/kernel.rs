@@ -34,7 +34,7 @@ fn zero_compute_is_noop() {
 fn message_roundtrip_with_latency() {
     let out = run_simple(2, LAT, |ctx| {
         if ctx.me() == 0 {
-            ctx.send(1, 64, DeliveryClass::App, 1, Box::new(7u64));
+            ctx.send(1, 64, DeliveryClass::App, 1, Arc::new(7u64));
             let pkt = ctx.recv();
             assert_eq!(pkt.src, 1);
             pkt.expect::<u64>()
@@ -43,7 +43,7 @@ fn message_roundtrip_with_latency() {
             // One-way latency.
             assert_eq!(pkt.arrived, SimTime(50_000));
             let v = pkt.expect::<u64>();
-            ctx.send(0, 64, DeliveryClass::App, 2, Box::new(v * 2));
+            ctx.send(0, 64, DeliveryClass::App, 2, Arc::new(v * 2));
             v
         }
     });
@@ -58,7 +58,7 @@ fn recv_while_sender_computes() {
     let out = run_simple(2, LAT, |ctx| {
         if ctx.me() == 0 {
             ctx.compute(SimDuration::from_millis(3));
-            ctx.send(1, 10, DeliveryClass::App, 0, Box::new(()));
+            ctx.send(1, 10, DeliveryClass::App, 0, Arc::new(()));
             ctx.now()
         } else {
             let pkt = ctx.recv();
@@ -74,7 +74,7 @@ fn messages_delivered_in_order_per_link() {
     let out = run_simple(2, LAT, |ctx| {
         if ctx.me() == 0 {
             for i in 0..10u32 {
-                ctx.send(1, 16, DeliveryClass::App, i as u64, Box::new(i));
+                ctx.send(1, 16, DeliveryClass::App, i as u64, Arc::new(i));
             }
             0
         } else {
@@ -93,8 +93,8 @@ fn messages_delivered_in_order_per_link() {
 fn recv_filter_skips_non_matching() {
     let out = run_simple(2, LAT, |ctx| {
         if ctx.me() == 0 {
-            ctx.send(1, 8, DeliveryClass::App, 5, Box::new(5u32));
-            ctx.send(1, 8, DeliveryClass::App, 9, Box::new(9u32));
+            ctx.send(1, 8, DeliveryClass::App, 5, Arc::new(5u32));
+            ctx.send(1, 8, DeliveryClass::App, 9, Arc::new(9u32));
             0
         } else {
             // Ask for tag 9 first even though tag 5 arrives first.
@@ -121,7 +121,7 @@ fn recv_timeout_expires() {
 fn recv_timeout_beaten_by_message() {
     let out = run_simple(2, LAT, |ctx| {
         if ctx.me() == 0 {
-            ctx.send(1, 8, DeliveryClass::App, 0, Box::new(1u8));
+            ctx.send(1, 8, DeliveryClass::App, 0, Arc::new(1u8));
             true
         } else {
             let r = ctx.recv_timeout(SimDuration::from_secs(100));
@@ -138,9 +138,9 @@ fn stale_timer_does_not_fire_later_wait() {
     // the stale timer must not break a later recv.
     let out = run_simple(2, LAT, |ctx| {
         if ctx.me() == 0 {
-            ctx.send(1, 8, DeliveryClass::App, 0, Box::new(1u8));
+            ctx.send(1, 8, DeliveryClass::App, 0, Arc::new(1u8));
             ctx.compute(SimDuration::from_secs(2));
-            ctx.send(1, 8, DeliveryClass::App, 0, Box::new(2u8));
+            ctx.send(1, 8, DeliveryClass::App, 0, Arc::new(2u8));
             0u8
         } else {
             let a = ctx
@@ -157,7 +157,7 @@ fn stale_timer_does_not_fire_later_wait() {
 #[test]
 fn self_send_works() {
     let out = run_simple(1, LAT, |ctx| {
-        ctx.send(0, 8, DeliveryClass::App, 0, Box::new(99u32));
+        ctx.send(0, 8, DeliveryClass::App, 0, Arc::new(99u32));
         ctx.recv().expect::<u32>()
     });
     assert_eq!(out.results[0], 99);
@@ -175,7 +175,7 @@ fn svc_handler_runs_during_compute() {
         Box::new(move |svc, pkt| {
             ha.store(svc.now().nanos(), Ordering::SeqCst);
             let v = pkt.expect::<u32>();
-            svc.send(pkt_src(), 8, DeliveryClass::App, 0, Box::new(v + 1));
+            svc.send(pkt_src(), 8, DeliveryClass::App, 0, Arc::new(v + 1));
             fn pkt_src() -> usize {
                 0
             }
@@ -183,7 +183,7 @@ fn svc_handler_runs_during_compute() {
     );
     let out = sim.run(|ctx| {
         if ctx.me() == 0 {
-            ctx.send(1, 8, DeliveryClass::Svc, 0, Box::new(41u32));
+            ctx.send(1, 8, DeliveryClass::Svc, 0, Arc::new(41u32));
             ctx.recv().expect::<u32>()
         } else {
             ctx.compute(SimDuration::from_millis(10));
@@ -211,7 +211,7 @@ fn handler_state_shared_with_app_thread() {
             *g += pkt.expect::<u32>();
             let v = *g;
             drop(g);
-            svc.send(1, 8, DeliveryClass::App, 0, Box::new(v));
+            svc.send(1, 8, DeliveryClass::App, 0, Arc::new(v));
         }),
     );
     let state2 = state.clone();
@@ -219,7 +219,7 @@ fn handler_state_shared_with_app_thread() {
         if ctx.me() == 1 {
             let mut last = 0;
             for _ in 0..5 {
-                ctx.send(0, 8, DeliveryClass::Svc, 0, Box::new(10u32));
+                ctx.send(0, 8, DeliveryClass::Svc, 0, Arc::new(10u32));
                 last = ctx.recv().expect::<u32>();
             }
             last
@@ -242,7 +242,7 @@ fn deterministic_timestamps_across_runs() {
             ctx.compute(SimDuration::from_micros(me as u64 * 13 + 1));
             for d in 0..n {
                 if d != me {
-                    ctx.send(d, 100 + me, DeliveryClass::App, me as u64, Box::new(me));
+                    ctx.send(d, 100 + me, DeliveryClass::App, me as u64, Arc::new(me));
                 }
             }
             let mut sum = 0usize;
@@ -263,7 +263,7 @@ fn deterministic_timestamps_across_runs() {
 fn net_stats_exposed_after_run() {
     let out = run_simple(2, LAT, |ctx| {
         if ctx.me() == 0 {
-            ctx.send(1, 1000, DeliveryClass::App, 0, Box::new(()));
+            ctx.send(1, 1000, DeliveryClass::App, 0, Arc::new(()));
         } else {
             ctx.recv();
         }
@@ -288,7 +288,7 @@ fn handler_panic_propagates_without_hanging() {
     sim.set_handler(1, Box::new(|_, _| panic!("handler boom")));
     sim.run(|ctx| {
         if ctx.me() == 0 {
-            ctx.send(1, 8, DeliveryClass::Svc, 0, Box::new(()));
+            ctx.send(1, 8, DeliveryClass::Svc, 0, Arc::new(()));
             ctx.recv(); // would wait forever; the panic must end the run
         } else {
             ctx.recv();
@@ -318,13 +318,13 @@ fn many_procs_ring() {
         let mut seen = 0u32;
         if me == 0 {
             // Seed hop 1 towards proc 1.
-            ctx.send(next, 8, DeliveryClass::App, 0, Box::new(1u32));
+            ctx.send(next, 8, DeliveryClass::App, 0, Arc::new(1u32));
         }
         for _ in 0..3 {
             let h = ctx.recv().expect::<u32>();
             seen = h;
             if h < last_hop {
-                ctx.send(next, 8, DeliveryClass::App, 0, Box::new(h + 1));
+                ctx.send(next, 8, DeliveryClass::App, 0, Arc::new(h + 1));
             }
         }
         seen
@@ -345,7 +345,7 @@ fn proc_times_classify_every_nanosecond() {
             ctx.recv().expect::<u8>()
         } else {
             ctx.compute(SimDuration::from_millis(2));
-            ctx.send(0, 16, DeliveryClass::App, 0, Box::new(9u8));
+            ctx.send(0, 16, DeliveryClass::App, 0, Arc::new(9u8));
             0
         }
     });

@@ -16,7 +16,7 @@ fn heavy_all_to_all_traffic() {
         for r in 0..rounds {
             for d in 0..n {
                 if d != me {
-                    ctx.send(d, 64, DeliveryClass::App, r, Box::new((me, r)));
+                    ctx.send(d, 64, DeliveryClass::App, r, Arc::new((me, r)));
                 }
             }
             for _ in 0..n - 1 {
@@ -47,7 +47,7 @@ fn handlers_under_pressure() {
                 let v = ctr.fetch_add(1, Ordering::SeqCst);
                 let src = pkt.src;
                 let tag = pkt.tag;
-                svc.send(src, 16, DeliveryClass::App, tag, Box::new(v));
+                svc.send(src, 16, DeliveryClass::App, tag, Arc::new(v));
             }),
         );
     }
@@ -56,7 +56,7 @@ fn handlers_under_pressure() {
         let mut acks = 0;
         for i in 0..100u64 {
             let dst = (me + 1 + (i as usize % (ctx.nprocs() - 1))) % ctx.nprocs();
-            ctx.send(dst, 32, DeliveryClass::Svc, i, Box::new(()));
+            ctx.send(dst, 32, DeliveryClass::Svc, i, Arc::new(()));
             ctx.recv_filter(|p| p.tag == i);
             acks += 1;
         }
@@ -85,7 +85,7 @@ fn deterministic_pseudo_random_program() {
                         (state % 512) as usize + 16,
                         DeliveryClass::App,
                         round,
-                        Box::new(state),
+                        Arc::new(state),
                     );
                 }
                 // Opportunistically drain anything that has arrived.
@@ -114,7 +114,7 @@ fn mailbox_purge_under_load() {
     let out = run_simple(2, SimDuration::from_micros(10), |ctx| {
         if ctx.me() == 0 {
             for i in 0..200u64 {
-                ctx.send(1, 8, DeliveryClass::App, i, Box::new(i));
+                ctx.send(1, 8, DeliveryClass::App, i, Arc::new(i));
             }
             0
         } else {

@@ -14,10 +14,10 @@
 //! * handlers must be idempotent: a duplicate request re-sends the current
 //!   answer (or updates the stored pending-reply tag).
 
-use std::any::Any;
+use std::sync::Arc;
 
 use vopp_metrics::Histogram;
-use vopp_sim::{AppCtx, DeliveryClass, Packet, ProcId, SimDuration, SvcCtx};
+use vopp_sim::{AppCtx, DeliveryClass, Packet, Payload, ProcId, SimDuration, SvcCtx};
 
 /// High bit marking RPC-reply tags, so replies never collide with other
 /// protocol messages in the mailbox.
@@ -63,25 +63,21 @@ impl RpcClient {
     /// arrives, retransmitting on timeout. `wire_bytes` is the request's
     /// on-wire size including headers.
     ///
-    /// The request value must be `Clone` so it can be retransmitted.
+    /// The request is allocated once; retransmissions re-send the same
+    /// shared payload.
     pub fn call<M>(&mut self, ctx: &AppCtx<'_>, dst: ProcId, wire_bytes: usize, msg: M) -> Packet
     where
-        M: Clone + Send + 'static,
+        M: Send + Sync + 'static,
     {
         let tag = RPC_TAG_BIT | self.next_tag;
         self.next_tag += 1;
         // Discard stale duplicate replies from earlier calls.
         ctx.purge_filter(|p| p.tag & RPC_TAG_BIT != 0 && p.tag < tag);
         let started = ctx.now();
+        let payload: Payload = Arc::new(msg);
         let mut tries = 0;
         loop {
-            ctx.send(
-                dst,
-                wire_bytes,
-                DeliveryClass::Svc,
-                tag,
-                Box::new(msg.clone()),
-            );
+            ctx.send(dst, wire_bytes, DeliveryClass::Svc, tag, payload.clone());
             match ctx.recv_filter_timeout(self.timeout, |p| p.tag == tag) {
                 Some(pkt) => {
                     self.rtt.record((ctx.now() - started).nanos());
@@ -106,7 +102,7 @@ impl RpcClient {
     /// each call retransmits independently on timeout.
     pub fn call_all<M>(&mut self, ctx: &AppCtx<'_>, calls: &[(ProcId, usize, M)]) -> Vec<Packet>
     where
-        M: Clone + Send + 'static,
+        M: Clone + Send + Sync + 'static,
     {
         if calls.is_empty() {
             return Vec::new();
@@ -116,17 +112,22 @@ impl RpcClient {
         let tag_of = |i: usize| RPC_TAG_BIT | (base + i as u64);
         ctx.purge_filter(|p| p.tag & RPC_TAG_BIT != 0 && p.tag < tag_of(0));
         let started = ctx.now();
-        for (i, (dst, bytes, msg)) in calls.iter().enumerate() {
+        // One allocation per request, shared with every retransmission.
+        let payloads: Vec<Payload> = calls
+            .iter()
+            .map(|(_, _, msg)| Arc::new(msg.clone()) as Payload)
+            .collect();
+        for (i, (dst, bytes, _)) in calls.iter().enumerate() {
             ctx.send(
                 *dst,
                 *bytes,
                 DeliveryClass::Svc,
                 tag_of(i),
-                Box::new(msg.clone()),
+                payloads[i].clone(),
             );
         }
         let mut out = Vec::with_capacity(calls.len());
-        for (i, (dst, bytes, msg)) in calls.iter().enumerate() {
+        for (i, (dst, bytes, _)) in calls.iter().enumerate() {
             let tag = tag_of(i);
             let mut tries = 0;
             loop {
@@ -144,7 +145,7 @@ impl RpcClient {
                             tries <= self.max_retries,
                             "rpc to {dst} got no reply after {tries} retransmissions"
                         );
-                        ctx.send(*dst, *bytes, DeliveryClass::Svc, tag, Box::new(msg.clone()));
+                        ctx.send(*dst, *bytes, DeliveryClass::Svc, tag, payloads[i].clone());
                     }
                 }
             }
@@ -164,7 +165,7 @@ impl RpcClient {
         timeout: SimDuration,
     ) -> Packet
     where
-        M: Clone + Send + 'static,
+        M: Send + Sync + 'static,
     {
         let saved = self.timeout;
         self.timeout = timeout;
@@ -176,13 +177,7 @@ impl RpcClient {
 
 /// Reply to a request previously received by a service handler: echoes the
 /// request tag so the blocked caller's filter matches.
-pub fn reply(
-    svc: &mut SvcCtx<'_>,
-    dst: ProcId,
-    wire_bytes: usize,
-    tag: u64,
-    payload: Box<dyn Any + Send>,
-) {
+pub fn reply(svc: &mut SvcCtx<'_>, dst: ProcId, wire_bytes: usize, tag: u64, payload: Payload) {
     debug_assert!(tag & RPC_TAG_BIT != 0, "replying to a non-rpc tag");
     svc.send(dst, wire_bytes, DeliveryClass::App, tag, payload);
 }
@@ -203,7 +198,7 @@ mod tests {
                 let tag = pkt.tag;
                 let src = pkt.src;
                 let v = pkt.expect::<u64>();
-                reply(svc, src, 64, tag, Box::new(v + 1));
+                reply(svc, src, 64, tag, Arc::new(v + 1));
             }),
         );
         let out = sim.run(move |ctx| {
@@ -262,7 +257,7 @@ mod tests {
             Box::new(|svc, pkt| {
                 let (tag, src) = (pkt.tag, pkt.src);
                 let v = pkt.expect::<u64>();
-                reply(svc, src, 64, tag, Box::new(v));
+                reply(svc, src, 64, tag, Arc::new(v));
             }),
         );
         let out = sim.run(|ctx| {
