@@ -5,7 +5,7 @@ METRICS_DIR ?= target/bench-metrics
 BASELINE_DIR ?= crates/bench/baselines
 
 .PHONY: all check fmt clippy test tables tables-quick bench bench-micro \
-        bench-wallclock baseline metrics-demo trace-demo clean
+        bench-wallclock baseline metrics-demo trace-demo racecheck clean
 
 all: check test
 
@@ -62,6 +62,12 @@ trace-demo:
 	cargo run -p vopp-bench --release --bin tables -- table1 --quick --trace $(TRACE_DIR)
 	@echo "Perfetto files in $(TRACE_DIR):"
 	@ls $(TRACE_DIR)
+
+# The dynamic-checker suite (docs/CORRECTNESS.md): clean applications
+# across all five protocol×style cells must report zero violations, the
+# seeded-racy variants their exact known-answer counts.
+racecheck:
+	cargo run -p vopp-bench --release --bin tables -- --racecheck
 
 clean:
 	cargo clean

@@ -19,6 +19,7 @@
 pub mod gauss;
 pub mod is;
 pub mod nn;
+pub mod racy;
 pub mod sor;
 pub mod workload;
 

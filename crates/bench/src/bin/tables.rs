@@ -31,6 +31,14 @@
 //! addressed by a build fingerprint plus a scale/cost-model hash, so any
 //! rebuild or configuration change invalidates it wholesale. Ignored when
 //! `--trace` is set (trace artifacts require actually running the cells).
+//!
+//! `--racecheck` additionally runs the dynamic-checker suite (see
+//! `docs/CORRECTNESS.md`): clean applications across all five
+//! protocol×style cells must report zero violations, and the seeded-racy
+//! variants must report their exact known-answer counts. Exits nonzero on
+//! any mismatch. May be used alone (`tables --racecheck`) without
+//! generating tables. Checking never perturbs the table sweep: all other
+//! artifacts stay byte-identical with or without this flag.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -70,6 +78,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let racecheck = args.iter().any(|a| a == "--racecheck");
     let jobs = jobs_from(&args);
     let dir_flag = |flag: &str| {
         args.iter()
@@ -101,12 +110,16 @@ fn main() {
         })
         .map(|(_, s)| s.as_str())
         .collect();
-    if wanted.is_empty() {
+    if wanted.is_empty() && !racecheck {
         eprintln!(
             "usage: tables [--quick] [--json] [--jobs N] [--trace DIR] [--metrics DIR] \
-             [--cache DIR] (all | table1 .. table9 | ext)+"
+             [--cache DIR] [--racecheck] (all | table1 .. table9 | ext)*"
         );
         std::process::exit(2);
+    }
+    if racecheck && wanted.is_empty() {
+        run_racecheck_suite();
+        return;
     }
     let sink = metrics_dir.as_ref().map(|_| Arc::new(MetricsSink::new()));
     let mut scale = Scale {
@@ -196,5 +209,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if racecheck {
+        run_racecheck_suite();
+    }
+}
+
+/// Run the dynamic-checker suite and exit nonzero on any count mismatch.
+fn run_racecheck_suite() {
+    let t0 = Instant::now();
+    let outcome = vopp_bench::run_racecheck();
+    print!("{}", outcome.render());
+    eprintln!("[racecheck suite in {:.1?}]", t0.elapsed());
+    if !outcome.ok() {
+        std::process::exit(1);
     }
 }

@@ -14,11 +14,13 @@
 pub mod harness;
 pub mod metrics;
 pub mod persist;
+pub mod racecheck;
 pub mod sweep;
 pub mod table;
 pub mod tables;
 
 pub use metrics::MetricsSink;
+pub use racecheck::{run_racecheck, RacecheckOutcome};
 pub use sweep::{
     cells_for, context_hash, dedup_cells, run_sweep, run_sweep_cached, CellSpec, DiskCache,
     RunCache,

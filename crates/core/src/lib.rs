@@ -42,8 +42,9 @@ pub use region::{Region, ViewRegion};
 pub use world::WorldBuilder;
 
 pub use vopp_dsm::{
-    check_views, run_cluster, Breakdown, ClusterConfig, ClusterOutcome, CostModel, DsmCtx, Layout,
-    NodeMetrics, NodeStats, Phase, Protocol, Registry, RunStats, Summary, ViewId, ViewStats,
+    check_views, run_cluster, Breakdown, ClusterConfig, ClusterOutcome, CostModel, DisciplineRule,
+    DsmCtx, Layout, NodeMetrics, NodeStats, Phase, Protocol, RaceChecker, RacecheckMode, Registry,
+    RunStats, Summary, ViewId, ViewStats, Violation,
 };
 pub use vopp_page::{Addr, PAGE_SIZE};
 pub use vopp_simnet::NetConfig;

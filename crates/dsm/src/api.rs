@@ -18,6 +18,7 @@ use vopp_metrics::Phase;
 use vopp_page::{
     offset_in_page, page_of, pages_spanned, Addr, IntervalId, PageId, PageState, VTime, PAGE_SIZE,
 };
+use vopp_racecheck::{DisciplineRule, Mode as RcMode, RaceChecker, Violation};
 use vopp_sim::sync::Mutex;
 use vopp_sim::{AppCtx, EventKind, ProcId, SimDuration, SimTime};
 use vopp_simnet::RpcClient;
@@ -39,6 +40,7 @@ pub struct DsmCtx<'a> {
     next_barrier: Cell<u32>,
     barrier_timeout: SimDuration,
     auto_views: Cell<bool>,
+    rc: Option<Arc<RaceChecker>>,
 }
 
 impl<'a> DsmCtx<'a> {
@@ -46,6 +48,7 @@ impl<'a> DsmCtx<'a> {
         sim: AppCtx<'a>,
         node: Arc<Mutex<NodeState>>,
         barrier_timeout: SimDuration,
+        rc: Option<Arc<RaceChecker>>,
     ) -> DsmCtx<'a> {
         let (cost, layout, protocol) = {
             let n = node.lock();
@@ -62,6 +65,7 @@ impl<'a> DsmCtx<'a> {
             next_barrier: Cell::new(0),
             barrier_timeout,
             auto_views: Cell::new(false),
+            rc,
         }
     }
 
@@ -216,6 +220,12 @@ impl<'a> DsmCtx<'a> {
         let t0 = self.sim.now();
         let episode = self.next_barrier.get();
         self.next_barrier.set(episode + 1);
+        if let Some(rc) = self.rc_hb() {
+            // Contribute this node's clock before the arrive message: the
+            // home releases everyone only after all arrives, so every
+            // node's enter is ordered before any node's exit.
+            rc.barrier_enter(self.me(), episode);
+        }
         let (records, vt) = if self.protocol.is_lrc_family() {
             let ndiffs = self.close_interval();
             if ndiffs > 0 {
@@ -226,6 +236,9 @@ impl<'a> DsmCtx<'a> {
             let mut n = self.node.lock();
             (n.delta_for_home(0), n.logged_vt.clone())
         } else {
+            // Undisciplined writes (already reported by the checker) are
+            // reverted here so they can never leak past a barrier.
+            self.rc_discard_undisciplined();
             let n = self.node.lock();
             assert!(
                 n.mem.dirty_pages().is_empty(),
@@ -277,6 +290,9 @@ impl<'a> DsmCtx<'a> {
                     epoch: episode as u64,
                     notices,
                 });
+                if let Some(rc) = self.rc_hb() {
+                    rc.barrier_exit(self.me(), episode);
+                }
             }
             other => panic!("barrier got unexpected reply {other:?}"),
         }
@@ -370,6 +386,9 @@ impl<'a> DsmCtx<'a> {
                 }
                 self.emit_notices(fresh, 0);
                 self.trace(EventKind::LockAcquireEnd { lock: lock as u64 });
+                if let Some(rc) = self.rc_hb() {
+                    rc.lock_acquired(self.me(), lock);
+                }
             }
             other => panic!("lock_acquire got unexpected reply {other:?}"),
         }
@@ -389,6 +408,12 @@ impl<'a> DsmCtx<'a> {
             self.debt
                 .add_overhead(self.cost.diff_create * ndiffs as u64);
             self.flush();
+        }
+        if let Some(rc) = self.rc_hb() {
+            // Publish this node's ordering before the release message: the
+            // home may grant the lock to a remote acquirer while this
+            // thread is still blocked on the Ack.
+            rc.lock_released(self.me(), lock);
         }
         let (home, records) = {
             let mut n = self.node.lock();
@@ -473,6 +498,9 @@ impl<'a> DsmCtx<'a> {
                 }
                 self.emit_notices(fresh, lock as u64 + 1);
                 self.trace(EventKind::LockAcquireEnd { lock: lock as u64 });
+                if let Some(rc) = self.rc_hb() {
+                    rc.lock_acquired(self.me(), lock);
+                }
             }
             other => panic!("scc lock_acquire got unexpected reply {other:?}"),
         }
@@ -482,6 +510,10 @@ impl<'a> DsmCtx<'a> {
     /// barrier merge) and publish its record under this lock's scope.
     fn scc_lock_release(&self, lock: u32) {
         self.flush();
+        if let Some(rc) = self.rc_hb() {
+            // As in `lock_release`: publish ordering before the message.
+            rc.lock_released(self.me(), lock);
+        }
         let (home, interval, lamport, pages, ndiffs) = {
             let mut n = self.node.lock();
             let (rec, ndiffs) = n.end_interval();
@@ -668,16 +700,27 @@ impl<'a> DsmCtx<'a> {
                 "proc {}: release_view({v}) without holding it",
                 n.me
             );
-            // VOPP discipline: everything dirtied belongs to the view.
+            // VOPP discipline: everything dirtied belongs to the view. With
+            // a checker attached the violation was already reported at
+            // access time; revert foreign writes instead of panicking so
+            // only the view's own modifications are published.
             let view_pages = self.layout.view(v).pages.clone();
-            for p in n.mem.dirty_pages() {
-                assert!(
-                    view_pages.contains(&p),
-                    "proc {}: modified page {p} (view {:?}) while holding view {v} — \
-                     VOPP programs modify only the acquired view (paper §2)",
-                    n.me,
-                    self.layout.view_of_page(p)
-                );
+            if self.rc_discipline().is_some() {
+                for p in n.mem.dirty_pages() {
+                    if !view_pages.contains(&p) {
+                        n.mem.discard_writes(p);
+                    }
+                }
+            } else {
+                for p in n.mem.dirty_pages() {
+                    assert!(
+                        view_pages.contains(&p),
+                        "proc {}: modified page {p} (view {:?}) while holding view {v} — \
+                         VOPP programs modify only the acquired view (paper §2)",
+                        n.me,
+                        self.layout.view_of_page(p)
+                    );
+                }
             }
             let (closed, ndiffs) = n.end_interval_vc();
             n.held_write = None;
@@ -748,6 +791,9 @@ impl<'a> DsmCtx<'a> {
             }
             n.held_read.remove(&v);
         }
+        // Writes made while only this read view was held were reported as
+        // violations; revert them before the protocol closes any interval.
+        self.rc_discard_undisciplined();
         self.flush();
         let (home, lamport) = {
             let n = self.node.lock();
@@ -864,11 +910,129 @@ impl<'a> DsmCtx<'a> {
     }
 
     // ---------------------------------------------------------------
+    // Dynamic correctness checking (vopp-racecheck)
+    // ---------------------------------------------------------------
+
+    /// The attached happens-before checker, if any.
+    fn rc_hb(&self) -> Option<&RaceChecker> {
+        match &self.rc {
+            Some(rc) if rc.mode() == RcMode::HappensBefore => Some(rc),
+            _ => None,
+        }
+    }
+
+    /// The attached view-discipline checker, if any. While one is attached,
+    /// VOPP discipline violations are reported instead of panicking.
+    fn rc_discipline(&self) -> Option<&RaceChecker> {
+        match &self.rc {
+            Some(rc) if rc.mode() == RcMode::ViewDiscipline => Some(rc),
+            _ => None,
+        }
+    }
+
+    /// Record one shared access with the attached checker (a single pointer
+    /// test when none is attached) and emit a trace event per fresh
+    /// violation. Pure observation: never advances virtual time, so runs
+    /// with the checker off are byte-identical to runs without it.
+    fn rc_access(&self, addr: Addr, len: usize, write: bool) {
+        let Some(rc) = &self.rc else { return };
+        if len == 0 {
+            return;
+        }
+        match rc.mode() {
+            RcMode::HappensBefore => {
+                let me = self.me();
+                for v in rc.access(me, addr, len, write) {
+                    if let Violation::DataRace {
+                        page,
+                        first,
+                        second,
+                    } = v
+                    {
+                        let (mine, other) = if second.node == me {
+                            (second, first)
+                        } else {
+                            (first, second)
+                        };
+                        self.trace(EventKind::RaceDetected {
+                            page: page as u64,
+                            other: other.node,
+                            start: mine.start as u64,
+                            end: mine.end as u64,
+                            write: mine.write,
+                        });
+                    }
+                }
+            }
+            RcMode::ViewDiscipline => self.rc_check_discipline(rc, addr, len, write),
+        }
+    }
+
+    /// Classify one access against the VOPP discipline and report every
+    /// violated page range — the relaxed, reporting replacement for the
+    /// panicking [`DsmCtx::vopp_check`].
+    fn rc_check_discipline(&self, rc: &RaceChecker, addr: Addr, len: usize, write: bool) {
+        let me = self.me();
+        let (held_w, held_r): (Option<ViewId>, Vec<ViewId>) = {
+            let n = self.node.lock();
+            (n.held_write, n.held_read.keys().copied().collect())
+        };
+        for p in pages_spanned(addr, len) {
+            let ps = p * PAGE_SIZE;
+            let start = addr.max(ps);
+            let end = (addr + len).min(ps + PAGE_SIZE);
+            let (rule, view) = match self.layout.view_of_page(p) {
+                None => (DisciplineRule::OutsideViews, None),
+                Some(v) => {
+                    if held_w == Some(v) || (!write && held_r.contains(&v)) {
+                        continue; // disciplined access
+                    }
+                    let rule = if write && held_r.contains(&v) {
+                        DisciplineRule::ReadOnlyWrite
+                    } else if held_w.is_none() && held_r.is_empty() {
+                        DisciplineRule::Unbracketed
+                    } else {
+                        DisciplineRule::ForeignView
+                    };
+                    (rule, Some(v))
+                }
+            };
+            if rc.record_discipline(rule, me, view, p, start, end, write) && self.tracing() {
+                self.trace(EventKind::DisciplineViolation {
+                    rule: rule.label().to_string(),
+                    page: p as u64,
+                    start: start as u64,
+                    end: end as u64,
+                    write,
+                });
+            }
+        }
+    }
+
+    /// With a discipline checker attached, undisciplined writes are reported
+    /// rather than rejected; revert any dirty page that does not belong to
+    /// the currently-held write view so the protocol machinery (interval
+    /// closing, grant invalidation) never observes them.
+    fn rc_discard_undisciplined(&self) {
+        if self.rc_discipline().is_none() {
+            return;
+        }
+        let mut n = self.node.lock();
+        let keep = n.held_write.map(|v| self.layout.view(v).pages.clone());
+        for p in n.mem.dirty_pages() {
+            let legit = keep.as_ref().is_some_and(|pages| pages.contains(&p));
+            if !legit {
+                n.mem.discard_writes(p);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
     // Shared memory access
     // ---------------------------------------------------------------
 
     fn vopp_check(&self, n: &NodeState, p: PageId, write: bool) {
-        if !self.protocol.is_vc() {
+        if !self.protocol.is_vc() || self.rc_discipline().is_some() {
             return;
         }
         let v = self.layout.view_of_page(p).unwrap_or_else(|| {
@@ -1114,6 +1278,7 @@ impl<'a> DsmCtx<'a> {
     /// Read `out.len()` bytes of shared memory starting at `addr`.
     pub fn read_bytes(&self, addr: Addr, out: &mut [u8]) {
         let auto = self.auto_acquire(addr, out.len(), false);
+        self.rc_access(addr, out.len(), false);
         self.copy_cost(out.len() as u64);
         let mut i = 0;
         while i < out.len() {
@@ -1132,6 +1297,7 @@ impl<'a> DsmCtx<'a> {
     /// Write `data` into shared memory at `addr`.
     pub fn write_bytes(&self, addr: Addr, data: &[u8]) {
         let auto = self.auto_acquire(addr, data.len(), true);
+        self.rc_access(addr, data.len(), true);
         self.copy_cost(data.len() as u64);
         let mut i = 0;
         while i < data.len() {
@@ -1150,6 +1316,7 @@ impl<'a> DsmCtx<'a> {
     /// Read one `u32` (4-aligned).
     pub fn read_u32(&self, addr: Addr) -> u32 {
         let auto = self.auto_acquire(addr, 4, false);
+        self.rc_access(addr, 4, false);
         debug_assert_eq!(addr % 4, 0);
         self.copy_cost(4);
         let p = page_of(addr);
@@ -1165,6 +1332,7 @@ impl<'a> DsmCtx<'a> {
     /// Write one `u32` (4-aligned).
     pub fn write_u32(&self, addr: Addr, v: u32) {
         let auto = self.auto_acquire(addr, 4, true);
+        self.rc_access(addr, 4, true);
         debug_assert_eq!(addr % 4, 0);
         self.copy_cost(4);
         let p = page_of(addr);
@@ -1179,6 +1347,7 @@ impl<'a> DsmCtx<'a> {
     /// Read-modify-write one `u32` in place.
     pub fn update_u32(&self, addr: Addr, f: impl FnOnce(u32) -> u32) {
         let auto = self.auto_acquire(addr, 4, true);
+        self.rc_access(addr, 4, true);
         debug_assert_eq!(addr % 4, 0);
         self.copy_cost(8);
         let p = page_of(addr);
@@ -1195,6 +1364,7 @@ impl<'a> DsmCtx<'a> {
     /// Read one `f64` (8-aligned).
     pub fn read_f64(&self, addr: Addr) -> f64 {
         let auto = self.auto_acquire(addr, 8, false);
+        self.rc_access(addr, 8, false);
         debug_assert_eq!(addr % 8, 0);
         self.copy_cost(8);
         let p = page_of(addr);
@@ -1211,6 +1381,7 @@ impl<'a> DsmCtx<'a> {
     /// Write one `f64` (8-aligned).
     pub fn write_f64(&self, addr: Addr, v: f64) {
         let auto = self.auto_acquire(addr, 8, true);
+        self.rc_access(addr, 8, true);
         debug_assert_eq!(addr % 8, 0);
         self.copy_cost(8);
         let p = page_of(addr);
@@ -1226,6 +1397,7 @@ impl<'a> DsmCtx<'a> {
     /// Bulk read of `f64`s (8-aligned base).
     pub fn read_f64s(&self, addr: Addr, out: &mut [f64]) {
         let auto = self.auto_acquire(addr, out.len() * 8, false);
+        self.rc_access(addr, out.len() * 8, false);
         debug_assert_eq!(addr % 8, 0);
         self.copy_cost(out.len() as u64 * 8);
         for p in pages_spanned(addr, out.len() * 8) {
@@ -1245,6 +1417,7 @@ impl<'a> DsmCtx<'a> {
     /// Bulk write of `f64`s (8-aligned base).
     pub fn write_f64s(&self, addr: Addr, data: &[f64]) {
         let auto = self.auto_acquire(addr, data.len() * 8, true);
+        self.rc_access(addr, data.len() * 8, true);
         debug_assert_eq!(addr % 8, 0);
         self.copy_cost(data.len() as u64 * 8);
         for p in pages_spanned(addr, data.len() * 8) {
@@ -1264,6 +1437,7 @@ impl<'a> DsmCtx<'a> {
     /// Bulk read of `u32`s (4-aligned base).
     pub fn read_u32s(&self, addr: Addr, out: &mut [u32]) {
         let auto = self.auto_acquire(addr, out.len() * 4, false);
+        self.rc_access(addr, out.len() * 4, false);
         debug_assert_eq!(addr % 4, 0);
         self.copy_cost(out.len() as u64 * 4);
         for p in pages_spanned(addr, out.len() * 4) {
@@ -1282,6 +1456,7 @@ impl<'a> DsmCtx<'a> {
     /// Bulk write of `u32`s (4-aligned base).
     pub fn write_u32s(&self, addr: Addr, data: &[u32]) {
         let auto = self.auto_acquire(addr, data.len() * 4, true);
+        self.rc_access(addr, data.len() * 4, true);
         debug_assert_eq!(addr % 4, 0);
         self.copy_cost(data.len() as u64 * 4);
         for p in pages_spanned(addr, data.len() * 4) {

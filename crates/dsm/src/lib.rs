@@ -38,3 +38,6 @@ pub use node::{NodeState, PendingFetch, Protocol, StoredDiff};
 pub use runtime::{run_cluster, ClusterConfig, ClusterOutcome};
 pub use stats::{NodeMetrics, NodeStats, RunStats, ViewStats, ViewStatsMap};
 pub use vopp_metrics::{Breakdown, Histogram, Phase, Registry, Summary};
+pub use vopp_racecheck::{
+    AccessRec, DisciplineRule, Mode as RacecheckMode, RaceChecker, Violation,
+};

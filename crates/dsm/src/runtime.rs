@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use vopp_racecheck::RaceChecker;
 use vopp_sim::sync::Mutex;
 use vopp_sim::{Sim, SimDuration, Tracer};
 use vopp_simnet::{EthernetModel, NetConfig};
@@ -37,6 +38,11 @@ pub struct ClusterConfig {
     /// Purely a wall-clock/footprint knob — pool hits and misses never
     /// touch virtual time, so any value produces identical results.
     pub page_pool_cap: usize,
+    /// Dynamic correctness checker shared by every node of the run (see
+    /// `vopp-racecheck`). `None` (the default) checks nothing and adds no
+    /// per-access work beyond a pointer test; attaching a checker never
+    /// advances virtual time, so results and statistics are unchanged.
+    pub racecheck: Option<Arc<RaceChecker>>,
 }
 
 impl ClusterConfig {
@@ -50,6 +56,7 @@ impl ClusterConfig {
             barrier_timeout: SimDuration::from_secs(2),
             tracer: None,
             page_pool_cap: vopp_page::PagePool::CAP,
+            racecheck: None,
         }
     }
 
@@ -129,8 +136,14 @@ where
 
     let nodes_ref = &nodes;
     let barrier_timeout = cfg.barrier_timeout;
+    let racecheck = &cfg.racecheck;
     let out = sim.run(move |ctx| {
-        let dctx = DsmCtx::new(ctx, nodes_ref[ctx.me()].clone(), barrier_timeout);
+        let dctx = DsmCtx::new(
+            ctx,
+            nodes_ref[ctx.me()].clone(),
+            barrier_timeout,
+            racecheck.clone(),
+        );
         let r = body(&dctx);
         dctx.finish();
         r

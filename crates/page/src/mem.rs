@@ -241,6 +241,21 @@ impl NodeMemory {
         out
     }
 
+    /// Revert every write of the current interval to `p`: restore the page
+    /// content from its twin, drop the twin, and downgrade the page to
+    /// `Valid`. No-op unless `p` is dirty. Used by the correctness checker
+    /// to neutralize undisciplined writes so the protocol state machine
+    /// never observes them (they are reported, not published).
+    pub fn discard_writes(&mut self, p: PageId) {
+        if let Some(twin) = self.twins.remove(&p) {
+            if let Some(cur) = &mut self.pages[p] {
+                cur.copy_from_slice(&twin[..]);
+            }
+            self.state[p] = PageState::Valid;
+            self.pool.release(twin);
+        }
+    }
+
     /// Apply a diff from another node onto the local copy of `p`.
     pub fn apply_diff(&mut self, p: PageId, d: &Diff) {
         d.apply(self.page_mut(p));

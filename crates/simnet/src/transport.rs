@@ -81,6 +81,10 @@ impl RpcClient {
             match ctx.recv_filter_timeout(self.timeout, |p| p.tag == tag) {
                 Some(pkt) => {
                     self.rtt.record((ctx.now() - started).nanos());
+                    // A retransmitted request may have produced a duplicate
+                    // reply that is already queued; drop it now so no later
+                    // receive can match this satisfied tag.
+                    ctx.purge_filter(|p| p.tag == tag);
                     return pkt;
                 }
                 None => {
@@ -133,7 +137,12 @@ impl RpcClient {
             loop {
                 match ctx.recv_filter_timeout(self.timeout, |p| p.tag == tag) {
                     Some(pkt) => {
-                        self.rtt.record((ctx.now() - started).nanos());
+                        // Use the packet's arrival stamp, not the dequeue
+                        // time: replies are drained in call order, so a
+                        // fast reply dequeued after a slow earlier tag
+                        // would otherwise inherit that tag's wait and
+                        // inflate the histogram.
+                        self.rtt.record((pkt.arrived - started).nanos());
                         out.push(pkt);
                         break;
                     }
@@ -150,6 +159,11 @@ impl RpcClient {
                 }
             }
         }
+        // Duplicate replies for already-satisfied tags of *this* burst may
+        // have queued up while later slots were drained; purge them so no
+        // later receive can match a stale reply.
+        let last = tag_of(calls.len() - 1);
+        ctx.purge_filter(|p| p.tag & RPC_TAG_BIT != 0 && p.tag >= tag_of(0) && p.tag <= last);
         out
     }
 
@@ -276,6 +290,96 @@ mod tests {
         assert_eq!(count, 10);
         assert!(p50 > 0 && max > 0, "round trips must take virtual time");
         assert!(max >= p50);
+    }
+
+    #[test]
+    fn call_all_rtt_uses_arrival_time() {
+        // Fan-out where the first tag's reply only comes after a ~1 s
+        // retransmission (node 1 ignores the first request) while the
+        // second tag's reply arrives within microseconds. Replies are
+        // drained in call order, so the fast reply is dequeued ~1 s after
+        // it arrived; its recorded RTT must reflect its own arrival, not
+        // the dequeue time after the slow tag.
+        let mut sim = Sim::new(3, Box::new(EthernetModel::new(3, NetConfig::lossless())));
+        let mut first = true;
+        sim.set_handler(
+            1,
+            Box::new(move |svc, pkt| {
+                if first {
+                    first = false; // swallow the first request
+                    return;
+                }
+                let (tag, src) = (pkt.tag, pkt.src);
+                let v = pkt.expect::<u64>();
+                reply(svc, src, 64, tag, Arc::new(v + 1));
+            }),
+        );
+        sim.set_handler(
+            2,
+            Box::new(|svc, pkt| {
+                let (tag, src) = (pkt.tag, pkt.src);
+                let v = pkt.expect::<u64>();
+                reply(svc, src, 64, tag, Arc::new(v + 1));
+            }),
+        );
+        let out = sim.run(|ctx| {
+            if ctx.me() == 0 {
+                let mut rpc = RpcClient::new();
+                let replies = rpc.call_all(&ctx, &[(1, 64, 0u64), (2, 64, 0u64)]);
+                assert_eq!(replies.len(), 2);
+                (rpc.rtt.count(), rpc.rtt.sum_ns(), rpc.rtt.max_ns())
+            } else {
+                (0, 0, 0)
+            }
+        });
+        let (count, sum, max) = out.results[0];
+        assert_eq!(count, 2);
+        // With arrival-time attribution the fast reply's RTT is a fraction
+        // of the slow one's; dequeue-time attribution would make both
+        // roughly `max` and double the sum.
+        assert!(
+            sum < max + max / 2,
+            "fast fan-out reply inherited the slow tag's wait: sum {sum} max {max}"
+        );
+    }
+
+    #[test]
+    fn call_all_purges_satisfied_tag_stragglers() {
+        // Node 1's reply is duplicated in the network; node 2's reply is
+        // slow, keeping the caller inside call_all long enough for the
+        // duplicate of the already-satisfied first tag to be queued. It
+        // must be purged before call_all returns so no later receive can
+        // match a stale RPC reply.
+        let mut sim = Sim::new(3, Box::new(EthernetModel::new(3, NetConfig::lossless())));
+        sim.set_handler(
+            1,
+            Box::new(|svc, pkt| {
+                let (tag, src) = (pkt.tag, pkt.src);
+                let v = pkt.expect::<u64>();
+                reply(svc, src, 64, tag, Arc::new(v + 1));
+                reply(svc, src, 64, tag, Arc::new(v + 1)); // duplicate
+            }),
+        );
+        sim.set_handler(
+            2,
+            Box::new(|svc, pkt| {
+                let (tag, src) = (pkt.tag, pkt.src);
+                let v = pkt.expect::<u64>();
+                reply(svc, src, 1_000_000, tag, Arc::new(v + 1)); // ~80 ms
+            }),
+        );
+        let out = sim.run(|ctx| {
+            if ctx.me() == 0 {
+                let mut rpc = RpcClient::new();
+                let replies = rpc.call_all(&ctx, &[(1, 64, 1u64), (2, 64, 2u64)]);
+                let vals: Vec<u64> = replies.into_iter().map(|p| p.expect::<u64>()).collect();
+                assert_eq!(vals, vec![2, 3]);
+                ctx.mailbox_len()
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[0], 0, "stale duplicate reply left in mailbox");
     }
 
     #[test]

@@ -180,6 +180,35 @@ pub enum EventKind {
         lock: u64,
     },
 
+    // ── correctness checking (vopp-racecheck) ───────────────────────────
+    /// The happens-before checker confirmed a data race: `node`'s access is
+    /// unordered with a conflicting access by `other`.
+    RaceDetected {
+        /// Page both accesses touch.
+        page: u64,
+        /// The other node of the unordered pair.
+        other: NodeId,
+        /// First byte of this node's access range (absolute address).
+        start: u64,
+        /// One past the last byte of the range.
+        end: u64,
+        /// Whether this node's access was a write.
+        write: bool,
+    },
+    /// The view-discipline checker flagged a VOPP access by `node`.
+    DisciplineViolation {
+        /// Broken rule (stable snake_case label from vopp-racecheck).
+        rule: String,
+        /// Page touched.
+        page: u64,
+        /// First byte of the access range (absolute address).
+        start: u64,
+        /// One past the last byte of the range.
+        end: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+
     // ── application layer ───────────────────────────────────────────────
     /// An application-level span opened (e.g. a `with_view` bracket).
     SpanBegin {
@@ -216,6 +245,8 @@ impl EventKind {
             EventKind::LockAcquireStart { .. } => "lock_acquire_start",
             EventKind::LockAcquireEnd { .. } => "lock_acquire_end",
             EventKind::LockRelease { .. } => "lock_release",
+            EventKind::RaceDetected { .. } => "race_detected",
+            EventKind::DisciplineViolation { .. } => "discipline_violation",
             EventKind::SpanBegin { .. } => "span_begin",
             EventKind::SpanEnd { .. } => "span_end",
         }
@@ -332,6 +363,32 @@ impl Event {
             | EventKind::LockRelease { lock } => {
                 pairs.push(("lock", json::num(*lock)));
             }
+            EventKind::RaceDetected {
+                page,
+                other,
+                start,
+                end,
+                write,
+            } => {
+                pairs.push(("page", json::num(*page)));
+                pairs.push(("other", json::num(*other as u64)));
+                pairs.push(("start", json::num(*start)));
+                pairs.push(("end", json::num(*end)));
+                pairs.push(("write", Value::Bool(*write)));
+            }
+            EventKind::DisciplineViolation {
+                rule,
+                page,
+                start,
+                end,
+                write,
+            } => {
+                pairs.push(("rule", json::str(rule)));
+                pairs.push(("page", json::num(*page)));
+                pairs.push(("start", json::num(*start)));
+                pairs.push(("end", json::num(*end)));
+                pairs.push(("write", Value::Bool(*write)));
+            }
             EventKind::SpanBegin { name } | EventKind::SpanEnd { name } => {
                 pairs.push(("name", json::str(name)));
             }
@@ -442,6 +499,20 @@ impl Event {
             "lock_acquire_start" => EventKind::LockAcquireStart { lock: u("lock")? },
             "lock_acquire_end" => EventKind::LockAcquireEnd { lock: u("lock")? },
             "lock_release" => EventKind::LockRelease { lock: u("lock")? },
+            "race_detected" => EventKind::RaceDetected {
+                page: u("page")?,
+                other: id("other")?,
+                start: u("start")?,
+                end: u("end")?,
+                write: b("write")?,
+            },
+            "discipline_violation" => EventKind::DisciplineViolation {
+                rule: s("rule")?,
+                page: u("page")?,
+                start: u("start")?,
+                end: u("end")?,
+                write: b("write")?,
+            },
             "span_begin" => EventKind::SpanBegin { name: s("name")? },
             "span_end" => EventKind::SpanEnd { name: s("name")? },
             other => return Err(format!("unknown event kind '{other}'")),
@@ -589,6 +660,28 @@ mod tests {
                 t: 113_000,
                 node: 0,
                 kind: EventKind::LockRelease { lock: 2 },
+            },
+            Event {
+                t: 113_500,
+                node: 1,
+                kind: EventKind::RaceDetected {
+                    page: 7,
+                    other: 2,
+                    start: 0x7000,
+                    end: 0x7008,
+                    write: true,
+                },
+            },
+            Event {
+                t: 113_600,
+                node: 2,
+                kind: EventKind::DisciplineViolation {
+                    rule: "unbracketed".to_string(),
+                    page: 9,
+                    start: 0x9010,
+                    end: 0x9014,
+                    write: false,
+                },
             },
             Event {
                 t: 114_000,

@@ -289,6 +289,46 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                     vec![("dst", json::num(*dst as u64)), ("tag", json::num(*tag))],
                 );
             }
+            EventKind::RaceDetected {
+                page,
+                other,
+                start,
+                end,
+                write,
+            } => {
+                em.instant(
+                    n,
+                    "racecheck",
+                    &format!("race p{page} vs n{other} ({})", mode(*write)),
+                    ev.t,
+                    vec![
+                        ("page", json::num(*page)),
+                        ("other", json::num(*other as u64)),
+                        ("start", json::num(*start)),
+                        ("end", json::num(*end)),
+                    ],
+                );
+            }
+            EventKind::DisciplineViolation {
+                rule,
+                page,
+                start,
+                end,
+                write,
+            } => {
+                em.instant(
+                    n,
+                    "racecheck",
+                    &format!("{rule} p{page} ({})", mode(*write)),
+                    ev.t,
+                    vec![
+                        ("rule", json::str(rule)),
+                        ("page", json::num(*page)),
+                        ("start", json::num(*start)),
+                        ("end", json::num(*end)),
+                    ],
+                );
+            }
             // High-volume or structural events are available in the raw
             // trace JSON; they would only clutter the timeline here.
             EventKind::ProcStart
