@@ -4,7 +4,7 @@ TRACE_DIR ?= target/trace-demo
 METRICS_DIR ?= target/bench-metrics
 BASELINE_DIR ?= crates/bench/baselines
 
-.PHONY: all check fmt clippy test tables tables-quick bench bench-micro \
+.PHONY: all check fmt clippy test tables tables-quick serve bench bench-micro \
         bench-wallclock baseline metrics-demo trace-demo racecheck clean
 
 all: check test
@@ -27,24 +27,30 @@ tables:
 tables-quick:
 	cargo run -p vopp-bench --release --bin tables -- all --quick
 
+# The serving workload (docs/SERVING.md): open-loop sharded KV store
+# across the protocol matrix, two offered loads, and loss/slowdown/crash
+# fault scenarios. Opt-in like `ext`; not part of `all`.
+serve:
+	cargo run -p vopp-bench --release --bin tables -- serve --quick
+
 # Quick tables with machine-readable metrics, then the perf-regression
 # gate against the committed baselines (>2% time drift or any count drift
 # fails the build).
 bench:
-	cargo run -p vopp-bench --release --bin tables -- all --quick --metrics $(METRICS_DIR)
+	cargo run -p vopp-bench --release --bin tables -- all serve --quick --metrics $(METRICS_DIR)
 	cargo run -p vopp-bench --release --bin metrics_diff -- $(BASELINE_DIR) $(METRICS_DIR)
 
 # Full quick sweep on every core, reporting real time per cell. Wall-clock
 # is machine-dependent and never gated; see docs/PERFORMANCE.md.
 bench-wallclock:
-	cargo run -p vopp-bench --release --bin tables -- all --quick --metrics $(METRICS_DIR)
+	cargo run -p vopp-bench --release --bin tables -- all serve --quick --metrics $(METRICS_DIR)
 	@echo "Wall-clock artifact:"
 	@cat $(METRICS_DIR)/BENCH_wallclock.json
 
 # Refresh the committed baselines after an intentional perf change. The
 # machine-dependent wall-clock artifact is never committed as a baseline.
 baseline:
-	cargo run -p vopp-bench --release --bin tables -- all --quick --metrics $(BASELINE_DIR)
+	cargo run -p vopp-bench --release --bin tables -- all serve --quick --metrics $(BASELINE_DIR)
 	rm -f $(BASELINE_DIR)/BENCH_wallclock.json
 
 # One metered table, artifacts left in target/metrics-demo for inspection.

@@ -2,6 +2,17 @@
 //!
 //! Every node generates exactly the same inputs from a seed and an index, so
 //! no input distribution traffic is needed and every run is reproducible.
+//!
+//! The service-workload generators (Zipfian ranks, exponential
+//! interarrivals, diurnal envelope) need `ln`/`exp`/`pow`/`sin`, but the
+//! platform's libm is not bit-stable across targets and these values feed
+//! virtual time, which committed baselines compare byte-exactly. So the
+//! transcendentals here ([`det_ln`], [`det_exp`], [`det_pow`],
+//! [`det_sin_turns`]) are built from nothing but IEEE-754 basic operations
+//! (`+ - * /`, `floor`, bit casts), which round identically on every
+//! conforming platform.
+
+use std::f64::consts::{LN_2, SQRT_2};
 
 /// SplitMix64 hash of a (seed, index) pair — the basis of all generators.
 #[inline]
@@ -33,6 +44,166 @@ pub fn share(total: usize, who: usize, n: usize) -> (usize, usize) {
     let start = who * base + who.min(extra);
     let len = base + usize::from(who < extra);
     (start, start + len)
+}
+
+/// `2^k` as an `f64` by direct exponent construction (no libm).
+fn pow2i(k: i64) -> f64 {
+    if k > 1023 {
+        f64::INFINITY
+    } else if k >= -1022 {
+        f64::from_bits(((k + 1023) as u64) << 52)
+    } else if k >= -1074 {
+        // Subnormal range: a single mantissa bit.
+        f64::from_bits(1u64 << (k + 1074))
+    } else {
+        0.0
+    }
+}
+
+/// Deterministic natural logarithm of a finite `x > 0`.
+///
+/// Splits `x = m · 2^e` with `m ∈ [√2/2, √2)`, then evaluates
+/// `ln m = 2·atanh(t)` with `t = (m−1)/(m+1)` (|t| < 0.172) as a fixed-length
+/// odd power series. Matches the platform `ln` to ~1 ulp but uses only
+/// exactly-rounded basic operations, so the bits are identical everywhere.
+pub fn det_ln(x: f64) -> f64 {
+    assert!(x > 0.0 && x.is_finite(), "det_ln domain: 0 < x < inf");
+    // Lift subnormals into the normal range: ln(x) = ln(x·2^53) − 53·ln 2.
+    let (x, pre) = if x < f64::MIN_POSITIVE {
+        (x * pow2i(53), -53.0 * LN_2)
+    } else {
+        (x, 0.0)
+    };
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    if m > SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    // atanh series through t^27: next term < 0.172^29/29 ≈ 2e-24.
+    let mut sum = 0.0;
+    let mut n = 27i32;
+    while n >= 1 {
+        sum = sum * t2 + 1.0 / n as f64;
+        n -= 2;
+    }
+    2.0 * t * sum + e as f64 * LN_2 + pre
+}
+
+/// Deterministic `e^x` for finite `x`, by range reduction to
+/// `x = k·ln 2 + r` (|r| ≤ ln 2 / 2) and a fixed-length Taylor series on `r`.
+pub fn det_exp(x: f64) -> f64 {
+    assert!(x.is_finite(), "det_exp domain: finite x");
+    if x < -745.2 {
+        return 0.0;
+    }
+    if x > 709.8 {
+        return f64::INFINITY;
+    }
+    let k = (x / LN_2 + 0.5).floor();
+    let r = x - k * LN_2;
+    // Taylor through r^17: 0.347^17/17! ≈ 6e-23.
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for n in 1..=17 {
+        term *= r / n as f64;
+        sum += term;
+    }
+    sum * pow2i(k as i64)
+}
+
+/// Deterministic `x^y` for `x > 0`.
+pub fn det_pow(x: f64, y: f64) -> f64 {
+    det_exp(y * det_ln(x))
+}
+
+/// Deterministic sine of `2π·u` (`u` in turns), by the Bhaskara I rational
+/// approximation on each half-period. Max absolute error ≈ 0.0016 — the
+/// diurnal envelope is a load *shape*, not a numeric result, so a smooth
+/// deterministic sine-alike is exactly what is needed.
+pub fn det_sin_turns(u: f64) -> f64 {
+    assert!((0.0..1.0).contains(&u), "det_sin_turns domain: u in [0,1)");
+    let (u, sign) = if u < 0.5 { (u, 1.0) } else { (u - 0.5, -1.0) };
+    let x = 2.0 * u; // θ/π in [0,1]
+    let g = x * (1.0 - x);
+    sign * 16.0 * g / (5.0 - 4.0 * g)
+}
+
+/// Deterministic Zipfian sampler over ranks `0..n` with exponent `s`:
+/// `P(rank = i) ∝ (i+1)^(−s)`. Built once (O(n)), sampled by binary search
+/// on the precomputed CDF. `s = 0` degenerates to uniform; the serving
+/// workload's default `s ≈ 0.99` is the classic YCSB-style skew where a few
+/// hot shards absorb most of the traffic.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    cdf: Vec<f64>,
+}
+
+impl Zipfian {
+    /// Precompute the CDF for `n` ranks with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Zipfian {
+        assert!(n > 0, "zipfian needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "zipfian exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += det_pow((i + 1) as f64, -s);
+            cdf.push(total);
+        }
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        // Guard the top against rounding: sample() must never fall off the end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipfian { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank (never empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Map a uniform `u ∈ [0, 1)` to a rank by CDF inversion.
+    pub fn sample(&self, u: f64) -> usize {
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// Convenience: rank for a `(seed, index)` pair.
+    pub fn rank(&self, seed: u64, index: u64) -> usize {
+        self.sample(unit_f64(seed, index))
+    }
+}
+
+/// Exponentially distributed interarrival gap (ns) with the given mean, by
+/// CDF inversion of the `(seed, index)` uniform: `−ln(1−u)·mean`.
+pub fn exp_gap_ns(seed: u64, index: u64, mean_ns: f64) -> u64 {
+    assert!(mean_ns >= 0.0 && mean_ns.is_finite());
+    let u = unit_f64(seed, index); // [0, 1), so 1−u ∈ (0, 1] and the ln is finite
+    (-det_ln(1.0 - u) * mean_ns) as u64
+}
+
+/// Diurnal load envelope: the instantaneous arrival-rate multiplier at `t`,
+/// `1 + amp·sin(2π·t/period)`. `amp ∈ [0, 1)` keeps the rate positive;
+/// open-loop generators divide gaps by this factor, compressing arrivals at
+/// the daily peak and stretching them in the trough.
+pub fn diurnal_factor(t_ns: u64, period_ns: u64, amp: f64) -> f64 {
+    assert!(period_ns > 0, "diurnal period must be positive");
+    assert!(
+        (0.0..1.0).contains(&amp),
+        "diurnal amplitude must be in [0,1)"
+    );
+    let phase = (t_ns % period_ns) as f64 / period_ns as f64;
+    1.0 + amp * det_sin_turns(phase)
 }
 
 #[cfg(test)]
@@ -78,6 +249,163 @@ mod tests {
                 assert_eq!(prev_end, total);
             }
         }
+    }
+
+    /// Exact bit patterns from fixed seeds. These values ARE the contract:
+    /// they feed virtual time, and committed baselines compare byte-exactly
+    /// across machines, so any drift here is a determinism break, not a
+    /// tolerance question.
+    #[test]
+    fn known_answer_bit_patterns() {
+        assert_eq!(det_ln(2.0).to_bits(), 0x3fe62e42fefa39ef); // == LN_2 exactly
+        assert_eq!(det_ln(10.0).to_bits(), 0x40026bb1bbb55515);
+        assert_eq!(det_ln(0.3).to_bits(), 0xbff34378fcbda720);
+        assert_eq!(det_exp(1.0).to_bits(), 0x4005bf0a8b145768);
+        assert_eq!(det_exp(-4.2).to_bits(), 0x3f8eb600403a9681);
+        assert_eq!(det_pow(7.0, -0.99).to_bits(), 0x3fc2a520308bb814);
+        assert_eq!(det_sin_turns(0.125).to_bits(), 0x3fe6969696969697);
+        // Bhaskara is exact at the quarter-period peaks: 1 ± amp.
+        assert_eq!(diurnal_factor(0, 1000, 0.5).to_bits(), 1.0f64.to_bits());
+        assert_eq!(diurnal_factor(250, 1000, 0.5).to_bits(), 1.5f64.to_bits());
+        assert_eq!(diurnal_factor(750, 1000, 0.5).to_bits(), 0.5f64.to_bits());
+    }
+
+    #[test]
+    fn known_answer_samplers() {
+        let z = Zipfian::new(64, 0.99);
+        let ranks: Vec<usize> = (0..16).map(|i| z.rank(42, i)).collect();
+        assert_eq!(ranks, [18, 0, 1, 2, 0, 34, 1, 24, 2, 10, 0, 5, 6, 6, 12, 0]);
+        let gaps: Vec<u64> = (0..8).map(|i| exp_gap_ns(42, i, 1_000_000.0)).collect();
+        assert_eq!(
+            gaps,
+            [1353110, 174246, 326563, 421885, 38772, 2026682, 246418, 1612602]
+        );
+    }
+
+    #[test]
+    fn det_ln_matches_std_to_a_few_ulp() {
+        for i in 1..4000u64 {
+            let x = i as f64 * 0.25;
+            let got = det_ln(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() <= want.abs().max(1e-300) * 1e-14 + 1e-16,
+                "ln({x}): {got} vs {want}"
+            );
+        }
+        assert_eq!(det_ln(1.0), 0.0);
+    }
+
+    #[test]
+    fn det_exp_matches_std_to_a_few_ulp() {
+        for i in -600..600i64 {
+            let x = i as f64 * 0.1;
+            let got = det_exp(x);
+            let want = x.exp();
+            assert!(
+                (got - want).abs() <= want * 1e-14,
+                "exp({x}): {got} vs {want}"
+            );
+        }
+        assert_eq!(det_exp(0.0), 1.0);
+    }
+
+    #[test]
+    fn det_exp_ln_round_trip() {
+        for i in 1..1000u64 {
+            let x = i as f64 * 0.01;
+            let rt = det_exp(det_ln(x));
+            assert!((rt - x).abs() <= x * 1e-13, "round trip {x} -> {rt}");
+        }
+    }
+
+    #[test]
+    fn det_pow_known_cases() {
+        assert!((det_pow(2.0, 10.0) - 1024.0).abs() < 1e-10);
+        assert!((det_pow(9.0, 0.5) - 3.0).abs() < 1e-13);
+        assert_eq!(det_pow(5.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn det_sin_shape() {
+        assert_eq!(det_sin_turns(0.0), 0.0);
+        assert_eq!(det_sin_turns(0.5), 0.0);
+        assert!((det_sin_turns(0.25) - 1.0).abs() < 2e-3);
+        assert!((det_sin_turns(0.75) + 1.0).abs() < 2e-3);
+        // Odd symmetry across the half-period (approximate: `u + 0.5` is
+        // not exactly representable for every u) and bounded amplitude.
+        for i in 0..500 {
+            let u = i as f64 / 1000.0;
+            let s = det_sin_turns(u);
+            assert!((-1.0..=1.0).contains(&s));
+            assert!((det_sin_turns(u + 0.5) + s).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipfian::new(100, 0.99);
+        assert_eq!(z.len(), 100);
+        let mut counts = vec![0u64; 100];
+        for i in 0..200_000 {
+            counts[z.rank(7, i)] += 1;
+        }
+        // Rank 0 is the hottest and the head dominates the tail.
+        assert!(counts[0] > counts[1] && counts[1] > counts[3]);
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[90..].iter().sum();
+        assert!(
+            head > 20 * tail,
+            "zipf head {head} should dwarf tail {tail}"
+        );
+        // s = 0 degenerates to uniform: top rank near 1/n, not dominant.
+        let u = Zipfian::new(100, 0.0);
+        let mut c0 = 0u64;
+        for i in 0..200_000 {
+            if u.rank(7, i) == 0 {
+                c0 += 1;
+            }
+        }
+        assert!((1000..3000).contains(&c0), "uniform rank-0 count {c0}");
+    }
+
+    #[test]
+    fn zipf_cdf_extremes_stay_in_bounds() {
+        let z = Zipfian::new(3, 1.2);
+        assert_eq!(z.sample(0.0), 0);
+        // u can approach 1.0 from below without indexing off the end.
+        assert_eq!(z.sample(1.0 - 1e-16), 2);
+    }
+
+    #[test]
+    fn exp_gaps_have_the_right_mean() {
+        let mean = 2_000_000.0;
+        let n = 100_000u64;
+        let total: u64 = (0..n).map(|i| exp_gap_ns(11, i, mean)).sum();
+        let got = total as f64 / n as f64;
+        assert!(
+            (got - mean).abs() < mean * 0.02,
+            "sample mean {got} vs {mean}"
+        );
+        // And spread: an exponential has plenty of mass beyond 2x the mean.
+        let slow = (0..n)
+            .filter(|&i| exp_gap_ns(11, i, mean) as f64 > 2.0 * mean)
+            .count();
+        assert!((8_000..20_000).contains(&slow), "tail count {slow}");
+    }
+
+    #[test]
+    fn diurnal_factor_bounds_and_period() {
+        let period = 3_600_000_000_000u64;
+        for i in 0..1000u64 {
+            let f = diurnal_factor(i * period / 1000, period, 0.8);
+            assert!((0.2 - 1e-9..=1.8 + 1e-9).contains(&f), "factor {f}");
+        }
+        assert_eq!(
+            diurnal_factor(123, period, 0.8),
+            diurnal_factor(123 + 2 * period, period, 0.8)
+        );
+        assert_eq!(diurnal_factor(0, period, 0.0), 1.0);
     }
 
     #[test]

@@ -32,6 +32,16 @@
 //! rebuild or configuration change invalidates it wholesale. Ignored when
 //! `--trace` is set (trace artifacts require actually running the cells).
 //!
+//! `--faults <plan>` applies a global fault plan to every cell (e.g.
+//! `loss=0.02@7,slow=0x1.5`): message loss and slowdowns reshape the
+//! timing of all runs, while crash entries are acted on only by the
+//! `serve` table (batch apps ignore them). The plan is folded into the
+//! sweep-cache context hash, so cached cells never mix fault regimes.
+//!
+//! The `serve` table (open-loop service workload, see `docs/SERVING.md`)
+//! is opt-in like `ext`: request it by name (`tables serve`), it is not
+//! part of `all`.
+//!
 //! `--racecheck` additionally runs the dynamic-checker suite (see
 //! `docs/CORRECTNESS.md`): clean applications across all five
 //! protocol×style cells must report zero violations, and the seeded-racy
@@ -49,6 +59,7 @@ use vopp_bench::sweep::{
 };
 use vopp_bench::tables;
 use vopp_bench::{MetricsSink, Scale, Table};
+use vopp_core::FaultPlan;
 use vopp_trace::json::Value;
 
 fn jobs_from(args: &[String]) -> usize {
@@ -94,6 +105,22 @@ fn main() {
     let trace_dir = dir_flag("--trace");
     let metrics_dir = dir_flag("--metrics");
     let mut cache_dir = dir_flag("--cache");
+    let faults = match args.iter().position(|a| a == "--faults") {
+        None => FaultPlan::default(),
+        Some(i) => match args.get(i + 1) {
+            Some(spec) if !spec.starts_with("--") => match FaultPlan::parse(spec) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("--faults: {e}");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("--faults requires a fault-plan argument (e.g. loss=0.02@7)");
+                std::process::exit(2);
+            }
+        },
+    };
     if cache_dir.is_some() && trace_dir.is_some() {
         eprintln!("[cache: disabled — --trace requires simulating every cell]");
         cache_dir = None;
@@ -102,18 +129,20 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            // Skip flags and the --trace/--metrics/--jobs/--cache operands.
+            // Skip flags and the --trace/--metrics/--jobs/--cache/--faults
+            // operands.
             !a.starts_with("--")
                 && !matches!(args.get(i.wrapping_sub(1)),
                     Some(prev) if prev == "--trace" || prev == "--metrics"
-                        || prev == "--jobs" || prev == "--cache")
+                        || prev == "--jobs" || prev == "--cache"
+                        || prev == "--faults")
         })
         .map(|(_, s)| s.as_str())
         .collect();
     if wanted.is_empty() && !racecheck {
         eprintln!(
             "usage: tables [--quick] [--json] [--jobs N] [--trace DIR] [--metrics DIR] \
-             [--cache DIR] [--racecheck] (all | table1 .. table9 | ext)*"
+             [--cache DIR] [--faults PLAN] [--racecheck] (all | table1 .. table9 | ext | serve)*"
         );
         std::process::exit(2);
     }
@@ -128,6 +157,7 @@ fn main() {
         metrics: sink.clone(),
         net_override: None,
         cache: None,
+        faults,
     };
     type TableFn = fn(&Scale) -> Table;
     let table_fns: Vec<(&str, TableFn)> = vec![
@@ -141,11 +171,14 @@ fn main() {
         ("table8", tables::table8),
         ("table9", tables::table9),
         ("ext", tables::table_ext),
+        ("serve", tables::table_serve),
     ];
     let run_all = wanted.contains(&"all");
     let selected: Vec<(&str, TableFn)> = table_fns
         .into_iter()
-        .filter(|(name, _)| (run_all && *name != "ext") || wanted.contains(name))
+        .filter(|(name, _)| {
+            (run_all && *name != "ext" && *name != "serve") || wanted.contains(name)
+        })
         .collect();
 
     // Precompute every selected cell on the worker pool; the table

@@ -23,7 +23,7 @@ pub use metrics::MetricsSink;
 pub use racecheck::{run_racecheck, RacecheckOutcome};
 pub use sweep::{
     cells_for, context_hash, dedup_cells, run_sweep, run_sweep_cached, CellSpec, DiskCache,
-    RunCache,
+    RunCache, ServeCell, ServeFault, ServeLoad, ServePayload,
 };
 pub use table::Table;
 pub use tables::{all_tables, Scale};

@@ -18,10 +18,16 @@ use std::path::Path;
 use std::sync::Mutex;
 
 use vopp_core::RunStats;
+use vopp_metrics::Histogram;
 use vopp_trace::json::{num, obj, str, Value};
 
 /// Schema tag written into every artifact, bumped on breaking changes.
 pub const SCHEMA: &str = "vopp-bench-metrics/1";
+
+/// Schema tag of the serving artifact (`BENCH_serve.json`), whose cells
+/// additionally carry per-request latency percentiles and the convergence
+/// evidence of the sharded store.
+pub const SERVE_SCHEMA: &str = "vopp-bench-serve/1";
 
 /// Maximum tolerated relative drift of a cell's `time_ns`, in percent.
 pub const TIME_DRIFT_PCT: f64 = 2.0;
@@ -44,6 +50,21 @@ pub struct Cell {
     pub nprocs: usize,
     /// The run's statistics.
     pub stats: RunStats,
+    /// Serving-workload extras (`BENCH_serve.json` cells only).
+    pub serve: Option<ServeCellMetrics>,
+}
+
+/// The serving-specific fields of a recorded cell.
+#[derive(Debug, Clone)]
+pub struct ServeCellMetrics {
+    /// Per-request service latency, merged across all serving nodes.
+    pub latency: Histogram,
+    /// Requests served (the whole schedule, exactly once).
+    pub served: u64,
+    /// Final-store checksum, equal to the sequential reference.
+    pub checksum: u64,
+    /// Pages shed by crash windows and rebuilt from the home nodes.
+    pub recovered_pages: u64,
 }
 
 fn cell_key(table: &str, variant: &str, protocol: &str, nprocs: usize) -> String {
@@ -86,6 +107,40 @@ impl MetricsSink {
             protocol: protocol.to_string(),
             nprocs,
             stats: stats.clone(),
+            serve: None,
+        });
+    }
+
+    /// Record one verified serving run under the current table label. The
+    /// cell lands in `BENCH_serve.json` (schema [`SERVE_SCHEMA`]) with the
+    /// request-latency percentiles and convergence evidence attached; its
+    /// exact counters are gated like every other cell's.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_serve(
+        &self,
+        variant: &str,
+        protocol: &str,
+        nprocs: usize,
+        stats: &RunStats,
+        latency: &Histogram,
+        served: u64,
+        checksum: u64,
+        recovered_pages: u64,
+    ) {
+        let table = self.current_table.lock().expect("sink lock").clone();
+        self.cells.lock().expect("sink lock").push(Cell {
+            table,
+            app: "serve".to_string(),
+            variant: variant.to_string(),
+            protocol: protocol.to_string(),
+            nprocs,
+            stats: stats.clone(),
+            serve: Some(ServeCellMetrics {
+                latency: latency.clone(),
+                served,
+                checksum,
+                recovered_pages,
+            }),
         });
     }
 
@@ -118,7 +173,10 @@ impl MetricsSink {
                     .find(|c| c.nprocs == 1)
                     .map(|c| c.stats.time.nanos());
                 let doc = obj(vec![
-                    ("schema", str(SCHEMA)),
+                    (
+                        "schema",
+                        str(if app == "serve" { SERVE_SCHEMA } else { SCHEMA }),
+                    ),
                     ("app", str(&app)),
                     (
                         "cells",
@@ -150,7 +208,7 @@ fn cell_value(c: &Cell, base_ns: Option<u64>) -> Value {
         Some(base) if s.time.nanos() > 0 => Value::Num(base as f64 / s.time.nanos() as f64),
         _ => Value::Null,
     };
-    obj(vec![
+    let mut fields = vec![
         ("table", str(&c.table)),
         ("app", str(&c.app)),
         ("variant", str(&c.variant)),
@@ -178,7 +236,17 @@ fn cell_value(c: &Cell, base_ns: Option<u64>) -> Value {
                 ("rpc_rtt", s.nodes.metrics.rpc_rtt.summary().to_value()),
             ]),
         ),
-    ])
+    ];
+    if let Some(sm) = &c.serve {
+        // Serving extras: the open-loop request-latency summary (p50/p95/
+        // p99/p99.9/max) plus the store's convergence evidence.
+        fields.push(("request_latency", sm.latency.to_value()));
+        fields.push(("request_latency_mean_ns", Value::Num(sm.latency.mean_ns())));
+        fields.push(("served", num(sm.served)));
+        fields.push(("checksum", str(&format!("{:016x}", sm.checksum))));
+        fields.push(("recovered_pages", num(sm.recovered_pages)));
+    }
+    obj(fields)
 }
 
 /// Compare one candidate document against its baseline; returns one message

@@ -5,7 +5,7 @@
 //! by contrast, must reproduce the *exact* `RunStats` the simulator would
 //! have produced, because table text and `BENCH_<app>.json` artifacts are
 //! byte-gated against the cold run. This module therefore round-trips every
-//! field: raw histogram buckets, the full six-phase breakdown, per-view
+//! field: raw histogram buckets, the full phase breakdown, per-view
 //! counters, and per-node end times.
 //!
 //! It also provides the content-addressing primitives: FNV-1a hashing and a
@@ -50,7 +50,9 @@ pub fn exe_fingerprint() -> u64 {
     })
 }
 
-fn hist_to_value(h: &Histogram) -> Value {
+/// Lossless histogram encoding: raw buckets plus sum and max. Also used by
+/// the sweep cache for the serve cells' latency histograms.
+pub fn hist_to_value(h: &Histogram) -> Value {
     obj(vec![
         (
             "counts",
@@ -61,7 +63,9 @@ fn hist_to_value(h: &Histogram) -> Value {
     ])
 }
 
-fn hist_from_value(v: &Value) -> Option<Histogram> {
+/// Rebuild a histogram from [`hist_to_value`] output; `None` on any
+/// structural mismatch.
+pub fn hist_from_value(v: &Value) -> Option<Histogram> {
     let arr = v.get("counts")?.as_arr()?;
     if arr.len() != NBUCKETS {
         return None;
@@ -77,7 +81,7 @@ fn hist_from_value(v: &Value) -> Option<Histogram> {
     ))
 }
 
-/// Breakdown as an array of six numbers in `Phase::ALL` order.
+/// Breakdown as an array of numbers in `Phase::ALL` order.
 fn breakdown_to_value(b: &Breakdown) -> Value {
     Value::Arr(Phase::ALL.iter().map(|&p| num(b.get(p))).collect())
 }

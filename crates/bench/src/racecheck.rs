@@ -27,6 +27,7 @@ use vopp_apps::is::{run_is, IsParams, IsVariant};
 use vopp_apps::racy::{is_racy_expected, run_is_racy, run_sor_racy, sor_racy_expected};
 use vopp_apps::sor::{run_sor, SorParams, SorVariant};
 use vopp_core::{ClusterConfig, Protocol, RaceChecker, RacecheckMode};
+use vopp_serve::{run_serve, run_serve_undisciplined, undisciplined_expected, ServeParams};
 
 /// Processor count for every racecheck cell.
 const NP: usize = 4;
@@ -148,6 +149,28 @@ pub fn run_racecheck() -> RacecheckOutcome {
         cells.push(cell(
             format!("seeded sor-racy vopp {proto}"),
             sor_racy_expected(),
+            &rc,
+        ));
+    }
+
+    // The serving store: the shard-view discipline must be clean across
+    // all five protocol×style cells, and the seeded undisciplined variant
+    // must report exactly one violation per discipline rule.
+    let serve_p = ServeParams::quick();
+    for proto in [Protocol::LrcD, Protocol::Hlrc, Protocol::ScC] {
+        let (cfg, rc) = checked(NP, proto, RacecheckMode::HappensBefore);
+        run_serve(&cfg, &serve_p, vopp_serve::ServeVariant::Traditional);
+        cells.push(cell(format!("clean serve traditional {proto}"), 0, &rc));
+    }
+    for proto in [Protocol::VcD, Protocol::VcSd] {
+        let (cfg, rc) = checked(NP, proto, RacecheckMode::ViewDiscipline);
+        run_serve(&cfg, &serve_p, vopp_serve::ServeVariant::Vopp);
+        cells.push(cell(format!("clean serve vopp {proto}"), 0, &rc));
+        let (cfg, rc) = checked(NP, proto, RacecheckMode::ViewDiscipline);
+        run_serve_undisciplined(&cfg, &serve_p);
+        cells.push(cell(
+            format!("seeded serve-undisciplined vopp {proto}"),
+            undisciplined_expected(),
             &rc,
         ));
     }

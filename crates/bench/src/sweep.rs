@@ -58,17 +58,83 @@ pub enum CellApp {
     Sor,
     /// Neural network training.
     Nn,
+    /// Open-loop serving workload (`vopp-serve`).
+    Serve,
 }
 
 impl CellApp {
-    /// Artifact label (`is`, `gauss`, `sor`, `nn`).
+    /// Artifact label (`is`, `gauss`, `sor`, `nn`, `serve`).
     pub fn label(self) -> &'static str {
         match self {
             CellApp::Is => "is",
             CellApp::Gauss => "gauss",
             CellApp::Sor => "sor",
             CellApp::Nn => "nn",
+            CellApp::Serve => "serve",
         }
+    }
+}
+
+/// Offered load of a serve cell: the base open-loop rate or double it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeLoad {
+    /// The calibrated mean arrival rate.
+    Base,
+    /// Twice the base arrival rate (half the mean interarrival gap).
+    High,
+}
+
+impl ServeLoad {
+    /// Artifact label (`base`, `hi`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeLoad::Base => "base",
+            ServeLoad::High => "hi",
+        }
+    }
+}
+
+/// Fault scenario of a serve cell, promoted into the run's
+/// [`vopp_core::FaultPlan`] by the table runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// No injected faults.
+    Clean,
+    /// 2% datagram loss.
+    Loss,
+    /// Node 0 slowed 2x.
+    Slow,
+    /// Node 1 crashes mid-stream for a quarter of the schedule horizon and
+    /// reconstructs its shard/view state from the home nodes (view-backed
+    /// store only).
+    Crash,
+}
+
+impl ServeFault {
+    /// Artifact label (`clean`, `loss`, `slow`, `crash`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeFault::Clean => "clean",
+            ServeFault::Loss => "loss",
+            ServeFault::Slow => "slow",
+            ServeFault::Crash => "crash",
+        }
+    }
+}
+
+/// The serve-specific dimensions of a cell (`None` on batch cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeCell {
+    /// Offered load.
+    pub load: ServeLoad,
+    /// Injected fault scenario.
+    pub fault: ServeFault,
+}
+
+impl ServeCell {
+    /// Key/label fragment, e.g. `base_crash`.
+    pub fn label(self) -> String {
+        format!("{}_{}", self.load.label(), self.fault.label())
     }
 }
 
@@ -109,19 +175,70 @@ pub struct CellSpec {
     pub proto: Protocol,
     /// Processor count.
     pub np: usize,
+    /// Serve-only dimensions: offered load and fault scenario. Always
+    /// `Some` on [`CellApp::Serve`] cells, `None` otherwise.
+    pub serve: Option<ServeCell>,
 }
 
 impl CellSpec {
     /// Cache/artifact key, matching the trace-file stem convention:
-    /// `{app}_{variant}_{proto}_{np}p`.
+    /// `{app}_{variant}_{proto}_{np}p`, with the load/fault fragment after
+    /// the variant on serve cells (`serve_vopp_base_crash_vc_sd_4p`).
     pub fn key(&self) -> String {
-        format!(
-            "{}_{}_{}_{}p",
-            self.app.label(),
-            self.variant.label(),
-            self.proto.label().to_lowercase(),
-            self.np
-        )
+        let mut head = format!("{}_{}", self.app.label(), self.variant.label());
+        if let Some(sc) = self.serve {
+            head.push('_');
+            head.push_str(&sc.label());
+        }
+        format!("{head}_{}_{}p", self.proto.label().to_lowercase(), self.np)
+    }
+}
+
+/// The serve-specific results of one cell, cached alongside its
+/// [`RunStats`]: the merged per-request latency histogram and the
+/// convergence evidence (checksum, GET digest, pages reconstructed after
+/// crashes). `None` on batch cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePayload {
+    /// Per-request service latency, merged across all serving nodes.
+    pub latency: vopp_metrics::Histogram,
+    /// Final-store checksum (equal to the sequential reference).
+    pub checksum: u64,
+    /// Order-independent digest of every GET's observed value.
+    pub get_digest: u64,
+    /// Requests served (the whole schedule, exactly once).
+    pub served: u64,
+    /// Pages shed by crash windows and rebuilt from the home nodes.
+    pub recovered_pages: u64,
+}
+
+impl ServePayload {
+    /// Lossless JSON encoding for the persistent sweep cache.
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("latency", persist::hist_to_value(&self.latency)),
+            ("checksum", str(&format!("{:016x}", self.checksum))),
+            ("get_digest", str(&format!("{:016x}", self.get_digest))),
+            ("served", num(self.served)),
+            ("recovered_pages", num(self.recovered_pages)),
+        ])
+    }
+
+    /// Inverse of [`ServePayload::to_value`]; `None` on any mismatch
+    /// (treated by the cache as a miss).
+    pub fn from_value(v: &Value) -> Option<ServePayload> {
+        let hex = |field: &str| {
+            v.get(field)
+                .and_then(Value::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+        };
+        Some(ServePayload {
+            latency: persist::hist_from_value(v.get("latency")?)?,
+            checksum: hex("checksum")?,
+            get_digest: hex("get_digest")?,
+            served: v.get("served")?.as_u64()?,
+            recovered_pages: v.get("recovered_pages")?.as_u64()?,
+        })
     }
 }
 
@@ -130,6 +247,9 @@ impl CellSpec {
 pub struct CachedRun {
     /// The run's verified statistics (virtual time, counters).
     pub stats: RunStats,
+    /// Serve-only results (latency histogram, convergence evidence);
+    /// `None` on batch cells.
+    pub serve: Option<ServePayload>,
     /// Real wall-clock spent simulating the cell, in nanoseconds.
     pub wall_ns: u64,
 }
@@ -178,6 +298,23 @@ fn cell(app: CellApp, variant: CellVariant, proto: Protocol, np: usize) -> CellS
         variant,
         proto,
         np,
+        serve: None,
+    }
+}
+
+fn serve_cell(
+    variant: CellVariant,
+    proto: Protocol,
+    np: usize,
+    load: ServeLoad,
+    fault: ServeFault,
+) -> CellSpec {
+    CellSpec {
+        app: CellApp::Serve,
+        variant,
+        proto,
+        np,
+        serve: Some(ServeCell { load, fault }),
     }
 }
 
@@ -187,7 +324,7 @@ fn cell(app: CellApp, variant: CellVariant, proto: Protocol, np: usize) -> CellS
 pub fn cells_for(table: &str, scale: &Scale) -> Vec<CellSpec> {
     use CellApp::{Gauss, Is, Nn, Sor};
     use CellVariant::{Mpi, Traditional, Vopp, VoppLb};
-    use Protocol::{Hlrc, LrcD, VcD, VcSd};
+    use Protocol::{Hlrc, LrcD, ScC, VcD, VcSd};
     let np = scale.stats_procs();
     let speedup = scale.speedup_procs();
     let mut cells = Vec::new();
@@ -264,6 +401,27 @@ pub fn cells_for(table: &str, scale: &Scale) -> Vec<CellSpec> {
                 cells.push(cell(app, Traditional, Hlrc, np));
             }
         }
+        "serve" => {
+            use ServeFault::{Clean, Crash, Loss, Slow};
+            use ServeLoad::{Base, High};
+            // Clean serving across the full protocol matrix at base load.
+            cells.push(serve_cell(Traditional, LrcD, np, Base, Clean));
+            cells.push(serve_cell(Traditional, Hlrc, np, Base, Clean));
+            cells.push(serve_cell(Traditional, ScC, np, Base, Clean));
+            cells.push(serve_cell(Vopp, VcD, np, Base, Clean));
+            cells.push(serve_cell(Vopp, VcSd, np, Base, Clean));
+            // Doubled load and the loss/slowdown scenarios: the paper's
+            // baseline protocol vs the headline VOPP one.
+            cells.push(serve_cell(Traditional, LrcD, np, High, Clean));
+            cells.push(serve_cell(Vopp, VcSd, np, High, Clean));
+            for fault in [Loss, Slow] {
+                cells.push(serve_cell(Traditional, LrcD, np, Base, fault));
+                cells.push(serve_cell(Vopp, VcSd, np, Base, fault));
+            }
+            // Crash/recovery is modelled for the view-backed store only.
+            cells.push(serve_cell(Vopp, VcD, np, Base, Crash));
+            cells.push(serve_cell(Vopp, VcSd, np, Base, Crash));
+        }
         other => panic!("unknown table {other:?}"),
     }
     cells
@@ -281,20 +439,25 @@ pub fn dedup_cells(specs: &[CellSpec]) -> Vec<CellSpec> {
 }
 
 /// Schema tag of the persistent sweep-cache file.
-pub const CACHE_SCHEMA: &str = "vopp-sweep-cache/1";
+pub const CACHE_SCHEMA: &str = "vopp-sweep-cache/2";
 
 /// File name of the persistent sweep cache inside `--cache DIR`.
 pub const CACHE_FILE: &str = "sweep-cache.json";
 
 /// Hash of everything *besides* the cell key that determines a run's
-/// result: problem scale (quick vs full) and the network/CPU cost models.
-/// Folded into the cache address so e.g. a `--quick` cache can never serve
-/// a full-scale sweep. The cost models hash via their `Debug` form, which
+/// result: problem scale (quick vs full), the network/CPU cost models and
+/// the global fault plan. Folded into the cache address so e.g. a
+/// `--quick` cache can never serve a full-scale sweep, nor a faulted sweep
+/// a fault-free one. The cost models hash via their `Debug` form, which
 /// covers every field.
 pub fn context_hash(scale: &Scale) -> u64 {
     let net = scale.net_override.clone().unwrap_or_default();
     let cost = CostModel::default();
-    let text = format!("quick={} net={net:?} cost={cost:?}", scale.quick);
+    let text = format!(
+        "quick={} net={net:?} cost={cost:?} faults={}",
+        scale.quick,
+        scale.faults.label()
+    );
     persist::fnv1a(text.as_bytes())
 }
 
@@ -337,8 +500,24 @@ impl DiskCache {
                         for (key, entry) in entries {
                             let wall = entry.get("wall_ns").and_then(Value::as_u64);
                             let stats = entry.get("stats").and_then(persist::stats_from_value);
+                            // A serve entry must decode its payload too; a
+                            // malformed one falls back to a cache miss.
+                            let serve = match entry.get("serve") {
+                                None => None,
+                                Some(v) => match ServePayload::from_value(v) {
+                                    Some(p) => Some(p),
+                                    None => continue,
+                                },
+                            };
                             if let (Some(wall_ns), Some(stats)) = (wall, stats) {
-                                cells.insert(key.clone(), CachedRun { stats, wall_ns });
+                                cells.insert(
+                                    key.clone(),
+                                    CachedRun {
+                                        stats,
+                                        serve,
+                                        wall_ns,
+                                    },
+                                );
                             }
                         }
                     }
@@ -391,13 +570,14 @@ impl DiskCache {
                     self.cells
                         .iter()
                         .map(|(key, run)| {
-                            (
-                                key.clone(),
-                                obj(vec![
-                                    ("wall_ns", num(run.wall_ns)),
-                                    ("stats", persist::stats_to_value(&run.stats)),
-                                ]),
-                            )
+                            let mut fields = vec![
+                                ("wall_ns", num(run.wall_ns)),
+                                ("stats", persist::stats_to_value(&run.stats)),
+                            ];
+                            if let Some(p) = &run.serve {
+                                fields.push(("serve", p.to_value()));
+                            }
+                            (key.clone(), obj(fields))
                         })
                         .collect(),
                 ),
@@ -455,9 +635,13 @@ pub fn run_sweep_cached(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = cold.get(i) else { break };
                 let c0 = Instant::now();
-                let stats = tables::execute_cell(scale, spec);
+                let (stats, serve) = tables::execute_cell(scale, spec);
                 let wall_ns = c0.elapsed().as_nanos() as u64;
-                *slots[i].lock().expect("sweep slot lock") = Some(CachedRun { stats, wall_ns });
+                *slots[i].lock().expect("sweep slot lock") = Some(CachedRun {
+                    stats,
+                    serve,
+                    wall_ns,
+                });
             });
         }
     });
@@ -579,6 +763,22 @@ mod tests {
         assert_eq!(spec.key(), "nn_mpi_vc_sd_4p");
         let spec = cell(CellApp::Is, CellVariant::Traditional, Protocol::LrcD, 16);
         assert_eq!(spec.key(), "is_trad_lrc_d_16p");
+        let spec = serve_cell(
+            CellVariant::Vopp,
+            Protocol::VcSd,
+            4,
+            ServeLoad::Base,
+            ServeFault::Crash,
+        );
+        assert_eq!(spec.key(), "serve_vopp_base_crash_vc_sd_4p");
+        let spec = serve_cell(
+            CellVariant::Traditional,
+            Protocol::ScC,
+            16,
+            ServeLoad::High,
+            ServeFault::Clean,
+        );
+        assert_eq!(spec.key(), "serve_trad_hi_clean_scc_d_16p");
     }
 
     #[test]
@@ -601,6 +801,11 @@ mod tests {
         // table9: 1p base + 3 rows x 2 speedup counts.
         assert_eq!(cells_for("table9", &scale).len(), 7);
         assert_eq!(cells_for("ext", &scale).len(), 8);
+        // serve: 5 clean protocols + 2 hi-load + 2x2 loss/slow + 2 crash.
+        let serve = cells_for("serve", &scale);
+        assert_eq!(serve.len(), 13);
+        assert_eq!(dedup_cells(&serve).len(), 13, "serve cells are distinct");
+        assert!(serve.iter().all(|c| c.serve.is_some()));
     }
 
     #[test]
@@ -654,8 +859,51 @@ mod tests {
         stats.net.msgs = 10 * seed;
         CachedRun {
             stats,
+            serve: None,
             wall_ns: 5_000 + seed,
         }
+    }
+
+    fn sample_serve_run(seed: u64) -> CachedRun {
+        let mut run = sample_run(seed);
+        let mut latency = vopp_metrics::Histogram::default();
+        latency.record(1_000 + seed);
+        latency.record(90_000_000);
+        run.serve = Some(ServePayload {
+            latency,
+            checksum: 0xdead_beef ^ seed,
+            get_digest: 0x5eed ^ seed,
+            served: 400,
+            recovered_pages: seed,
+        });
+        run
+    }
+
+    #[test]
+    fn serve_payload_survives_the_disk_cache() {
+        let dir = scratch("serve-payload");
+        let mut cache = DiskCache::open_with_fingerprint(&dir, 0xC0, 0xF0);
+        cache.insert("serve_vopp_base_crash_vc_sd_4p".into(), sample_serve_run(3));
+        cache.save().expect("save cache");
+
+        let warm = DiskCache::open_with_fingerprint(&dir, 0xC0, 0xF0);
+        let run = warm.get("serve_vopp_base_crash_vc_sd_4p").expect("warm");
+        let original = sample_serve_run(3);
+        assert_eq!(run.serve, original.serve);
+        let p = run.serve.as_ref().unwrap();
+        assert_eq!(p.latency.count(), 2);
+        assert_eq!(p.latency.max_ns(), 90_000_000);
+
+        // A corrupted serve payload turns the entry into a miss instead of
+        // replaying a half-decoded cell.
+        let text = std::fs::read_to_string(dir.join(CACHE_FILE)).expect("read cache");
+        std::fs::write(
+            dir.join(CACHE_FILE),
+            text.replace("recovered_pages", "recovered"),
+        )
+        .expect("corrupt");
+        assert!(DiskCache::open_with_fingerprint(&dir, 0xC0, 0xF0).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

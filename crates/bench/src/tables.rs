@@ -11,11 +11,15 @@ use vopp_apps::gauss::{gauss_reference, run_gauss, GaussParams, GaussVariant};
 use vopp_apps::is::{is_reference, run_is, IsParams, IsVariant};
 use vopp_apps::nn::{nn_reference, run_nn, NnParams, NnVariant};
 use vopp_apps::sor::{run_sor, sor_reference, SorParams, SorVariant};
-use vopp_core::{ClusterConfig, NetConfig, Phase, Protocol, RunStats};
+use vopp_core::{ClusterConfig, FaultPlan, NetConfig, Phase, Protocol, RunStats};
+use vopp_serve::{build_schedule, run_serve, serve_reference, ServeParams, ServeVariant};
+use vopp_sim::{SimDuration, SimTime};
 use vopp_trace::{check, report, to_chrome_json, CheckConfig, Tracer};
 
 use crate::metrics::MetricsSink;
-use crate::sweep::{CellApp, CellSpec, CellVariant, RunCache};
+use crate::sweep::{
+    CellApp, CellSpec, CellVariant, RunCache, ServeCell, ServeFault, ServeLoad, ServePayload,
+};
 use crate::table::Table;
 
 /// Problem scaling: `quick` shrinks every instance for smoke tests; the
@@ -42,6 +46,12 @@ pub struct Scale {
     /// regression-gate tests to demonstrate that perturbing the cost model
     /// fails the gate).
     pub net_override: Option<NetConfig>,
+    /// Global fault plan applied to every run (the `tables --faults SPEC`
+    /// flag): datagram loss and node slowdowns reshape all cells; crash
+    /// windows are acted on by the serving workload only. Folded into the
+    /// sweep cache's context hash. The serve table's fault *dimension*
+    /// stacks its scenario on top of this plan.
+    pub faults: FaultPlan,
     /// Precomputed sweep results; `None` simulates every cell inline.
     pub cache: Option<Arc<RunCache>>,
 }
@@ -66,6 +76,7 @@ impl Scale {
         if let Some(net) = &self.net_override {
             config.net = net.clone();
         }
+        config.faults = self.faults.clone();
         config
     }
 
@@ -96,11 +107,35 @@ impl Scale {
             variant,
             proto,
             np,
+            serve: None,
         };
         self.cache
             .as_ref()
             .and_then(|c| c.get(&spec.key()))
             .map(|r| r.stats.clone())
+    }
+
+    /// Precomputed serve cell, when a sweep cache is attached. A cached
+    /// entry without its serve payload (impossible outside a corrupted
+    /// store) falls back to simulating inline.
+    fn cached_serve(
+        &self,
+        variant: CellVariant,
+        proto: Protocol,
+        np: usize,
+        sc: ServeCell,
+    ) -> Option<(RunStats, ServePayload)> {
+        let spec = CellSpec {
+            app: CellApp::Serve,
+            variant,
+            proto,
+            np,
+            serve: Some(sc),
+        };
+        self.cache
+            .as_ref()
+            .and_then(|c| c.get(&spec.key()))
+            .and_then(|r| Some((r.stats.clone(), r.serve.clone()?)))
     }
 
     /// Install a fresh tracer on `config` when tracing is requested.
@@ -205,6 +240,19 @@ impl Scale {
         } else {
             NnParams::bench()
         }
+    }
+
+    fn serve(&self, load: ServeLoad) -> ServeParams {
+        let mut p = if self.quick {
+            ServeParams::quick()
+        } else {
+            ServeParams::bench()
+        };
+        if load == ServeLoad::High {
+            // Double the offered load: half the mean interarrival gap.
+            p.mean_gap_ns /= 2.0;
+        }
+        p
     }
 }
 
@@ -376,11 +424,12 @@ impl From<NnVariant> for CellVariant {
 
 /// Simulate one sweep cell through the same verified path the tables use
 /// (reference check, trace artifacts, conformance assertions) and return
-/// its statistics. Called by the sweep workers; does *not* record metrics —
-/// that happens at consumption time so cell order stays sequential.
-pub(crate) fn execute_cell(scale: &Scale, spec: &CellSpec) -> RunStats {
+/// its statistics, plus the serve payload on serve cells. Called by the
+/// sweep workers; does *not* record metrics — that happens at consumption
+/// time so cell order stays sequential.
+pub(crate) fn execute_cell(scale: &Scale, spec: &CellSpec) -> (RunStats, Option<ServePayload>) {
     let (np, proto) = (spec.np, spec.proto);
-    match spec.app {
+    let stats = match spec.app {
         CellApp::Is => {
             let v = match spec.variant {
                 CellVariant::Traditional => IsVariant::Traditional,
@@ -415,7 +464,13 @@ pub(crate) fn execute_cell(scale: &Scale, spec: &CellSpec) -> RunStats {
             };
             nn_exec(scale, np, proto, &scale.nn(), v)
         }
-    }
+        CellApp::Serve => {
+            let sc = spec.serve.expect("serve cells carry load/fault dims");
+            let (stats, payload) = serve_exec(scale, np, proto, sc);
+            return (stats, Some(payload));
+        }
+    };
+    (stats, None)
 }
 
 fn variant_label<V: std::fmt::Debug>(v: V) -> &'static str {
@@ -834,6 +889,219 @@ pub fn table_ext(scale: &Scale) -> Table {
     t.row(
         "Diff/Page Requests",
         runs.iter().map(|s| Table::i(s.diff_requests())).collect(),
+    );
+    t
+}
+
+// -------------------------------------------------------------------
+// Serving (the `serve` cell family; not in the paper)
+// -------------------------------------------------------------------
+
+/// The store style a protocol serves with: views on the VC family, a
+/// lock-per-shard store on the LRC family.
+fn serve_style(proto: Protocol) -> (ServeVariant, CellVariant) {
+    if proto.is_vc() {
+        (ServeVariant::Vopp, CellVariant::Vopp)
+    } else {
+        (ServeVariant::Traditional, CellVariant::Traditional)
+    }
+}
+
+/// Metrics/trace variant label of a serve cell, e.g. `vopp_base_crash`.
+fn serve_variant_label(variant: CellVariant, sc: ServeCell) -> String {
+    format!("{}_{}", variant.label(), sc.label())
+}
+
+/// Promote a serve cell's fault dimension into the run's fault plan,
+/// stacked on top of the global `--faults` plan.
+fn serve_fault_plan(p: &ServeParams, base: FaultPlan, fault: ServeFault) -> FaultPlan {
+    match fault {
+        ServeFault::Clean => base,
+        ServeFault::Loss => base.with_loss(0.02, 7),
+        ServeFault::Slow => base.with_slowdown(0, 2.0),
+        ServeFault::Crash => {
+            // Crash node 1 at a quarter of the schedule horizon, down for
+            // another quarter: recovery happens mid-stream with plenty of
+            // post-recovery traffic left to measure.
+            let horizon = build_schedule(p).last().expect("nonempty schedule").arrival;
+            base.with_crash(
+                1,
+                SimTime(horizon / 4),
+                SimDuration::from_nanos(horizon / 4),
+            )
+        }
+    }
+}
+
+fn serve_exec(
+    scale: &Scale,
+    np: usize,
+    proto: Protocol,
+    sc: ServeCell,
+) -> (RunStats, ServePayload) {
+    let p = scale.serve(sc.load);
+    let (style, variant) = serve_style(proto);
+    let mut config = scale.cfg(np, proto);
+    config.faults = serve_fault_plan(&p, config.faults.clone(), sc.fault);
+    let tracer = scale.attach_tracer(&mut config);
+    let out = run_serve(&config, &p, style);
+    assert_eq!(
+        out.checksum,
+        serve_reference(&p),
+        "serve store diverged from the sequential reference"
+    );
+    scale.finish_trace(
+        tracer,
+        "serve",
+        &serve_variant_label(variant, sc),
+        proto,
+        np,
+    );
+    (
+        out.stats,
+        ServePayload {
+            latency: out.latency,
+            checksum: out.checksum,
+            get_digest: out.get_digest,
+            served: out.served,
+            recovered_pages: out.recovered_pages,
+        },
+    )
+}
+
+fn serve_run(scale: &Scale, np: usize, proto: Protocol, sc: ServeCell) -> (RunStats, ServePayload) {
+    let (_, variant) = serve_style(proto);
+    let (stats, payload) = scale
+        .cached_serve(variant, proto, np, sc)
+        .unwrap_or_else(|| serve_exec(scale, np, proto, sc));
+    if let Some(m) = &scale.metrics {
+        m.record_serve(
+            &serve_variant_label(variant, sc),
+            &proto_label(proto),
+            np,
+            &stats,
+            &payload.latency,
+            payload.served,
+            payload.checksum,
+            payload.recovered_pages,
+        );
+    }
+    (stats, payload)
+}
+
+/// The serving table (not in the paper): the open-loop sharded KV store
+/// across the full protocol matrix, at two offered loads and under the
+/// fault scenarios of [`ServeFault`]. Latency columns report per-request
+/// service time; the `x clean` rows divide each column's tail by the same
+/// protocol's fault-free base-load cell, so crash/recovery degradation is
+/// visible directly in the table.
+pub fn table_serve(scale: &Scale) -> Table {
+    scale.begin_table("serve");
+    let np = scale.stats_procs();
+    use Protocol::{Hlrc, LrcD, ScC, VcD, VcSd};
+    use ServeFault::{Clean, Crash, Loss, Slow};
+    use ServeLoad::{Base, High};
+    let matrix: Vec<(String, Protocol, ServeLoad, ServeFault)> = vec![
+        ("LRC_d".into(), LrcD, Base, Clean),
+        ("HLRC".into(), Hlrc, Base, Clean),
+        ("ScC_d".into(), ScC, Base, Clean),
+        ("VC_d".into(), VcD, Base, Clean),
+        ("VC_sd".into(), VcSd, Base, Clean),
+        ("LRC_d hi".into(), LrcD, High, Clean),
+        ("VC_sd hi".into(), VcSd, High, Clean),
+        ("LRC_d loss".into(), LrcD, Base, Loss),
+        ("VC_sd loss".into(), VcSd, Base, Loss),
+        ("LRC_d slow".into(), LrcD, Base, Slow),
+        ("VC_sd slow".into(), VcSd, Base, Slow),
+        ("VC_d crash".into(), VcD, Base, Crash),
+        ("VC_sd crash".into(), VcSd, Base, Crash),
+    ];
+    let runs: Vec<(Protocol, RunStats, ServePayload)> = matrix
+        .iter()
+        .map(|&(_, proto, load, fault)| {
+            let (stats, payload) = serve_run(scale, np, proto, ServeCell { load, fault });
+            (proto, stats, payload)
+        })
+        .collect();
+    // Fault-free base-load tail per protocol: the degradation denominator.
+    let clean_of = |proto: Protocol| -> &ServePayload {
+        matrix
+            .iter()
+            .zip(&runs)
+            .find(|((_, p, load, fault), _)| *p == proto && *load == Base && *fault == Clean)
+            .map(|(_, (_, _, payload))| payload)
+            .expect("every protocol has a clean base cell")
+    };
+    let mut t = Table::new(
+        format!("Serve: open-loop KV store on {np} processors (protocol x load x faults)"),
+        matrix.iter().map(|(name, ..)| name.clone()).collect(),
+    );
+    let usec = |ns: u64| Table::f(ns as f64 / 1000.0, 1);
+    t.row(
+        "Time (Sec.)",
+        runs.iter()
+            .map(|(_, s, _)| Table::f(s.time_secs(), 2))
+            .collect(),
+    );
+    t.row(
+        "Latency p50 (usec.)",
+        runs.iter()
+            .map(|(_, _, p)| usec(p.latency.quantile(0.5)))
+            .collect(),
+    );
+    t.row(
+        "Latency p99 (usec.)",
+        runs.iter().map(|(_, _, p)| usec(p.latency.p99())).collect(),
+    );
+    t.row(
+        "Latency p99.9 (usec.)",
+        runs.iter()
+            .map(|(_, _, p)| usec(p.latency.p999()))
+            .collect(),
+    );
+    t.row(
+        "Latency max (usec.)",
+        runs.iter()
+            .map(|(_, _, p)| usec(p.latency.max_ns()))
+            .collect(),
+    );
+    t.row(
+        "p99 x clean",
+        runs.iter()
+            .map(|(proto, _, p)| {
+                Table::f(
+                    p.latency.p99() as f64 / clean_of(*proto).latency.p99().max(1) as f64,
+                    2,
+                )
+            })
+            .collect(),
+    );
+    t.row(
+        "p99.9 x clean",
+        runs.iter()
+            .map(|(proto, _, p)| {
+                Table::f(
+                    p.latency.p999() as f64 / clean_of(*proto).latency.p999().max(1) as f64,
+                    2,
+                )
+            })
+            .collect(),
+    );
+    t.row(
+        "Num. Msg",
+        runs.iter()
+            .map(|(_, s, _)| Table::i(s.num_msgs()))
+            .collect(),
+    );
+    t.row(
+        "Rexmit",
+        runs.iter().map(|(_, s, _)| Table::i(s.rexmits())).collect(),
+    );
+    t.row(
+        "Recovered Pages",
+        runs.iter()
+            .map(|(_, _, p)| Table::i(p.recovered_pages))
+            .collect(),
     );
     t
 }

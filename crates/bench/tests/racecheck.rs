@@ -22,7 +22,11 @@ fn checked(np: usize, proto: Protocol, mode: RacecheckMode) -> (ClusterConfig, A
 #[test]
 fn full_racecheck_suite_is_green() {
     let outcome = vopp_bench::run_racecheck();
-    assert_eq!(outcome.cells.len(), 15, "5 clean pairs + 5 seeded cells");
+    assert_eq!(
+        outcome.cells.len(),
+        22,
+        "5 clean app pairs + 5 seeded app cells + 5 clean serve + 2 seeded serve"
+    );
     assert!(
         outcome.ok(),
         "racecheck suite failed:\n{}",

@@ -42,9 +42,10 @@ pub use region::{Region, ViewRegion};
 pub use world::WorldBuilder;
 
 pub use vopp_dsm::{
-    check_views, run_cluster, Breakdown, ClusterConfig, ClusterOutcome, CostModel, DisciplineRule,
-    DsmCtx, Layout, NodeMetrics, NodeStats, Phase, Protocol, RaceChecker, RacecheckMode, Registry,
-    RunStats, Summary, ViewId, ViewStats, Violation,
+    check_views, run_cluster, Breakdown, ClusterConfig, ClusterOutcome, CostModel, Crash,
+    DisciplineRule, DsmCtx, FaultPlan, Layout, Loss, NodeMetrics, NodeStats, Phase, Protocol,
+    RaceChecker, RacecheckMode, Registry, RunStats, Slowdown, Summary, ViewId, ViewStats,
+    Violation,
 };
 pub use vopp_page::{Addr, PAGE_SIZE};
 pub use vopp_simnet::NetConfig;
@@ -52,7 +53,7 @@ pub use vopp_simnet::NetConfig;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{
-        run_cluster, ClusterConfig, CostModel, DsmCtx, NetConfig, Protocol, Region, RunStats,
-        ViewRegion, VoppExt, WorldBuilder,
+        run_cluster, ClusterConfig, CostModel, DsmCtx, FaultPlan, NetConfig, Protocol, Region,
+        RunStats, ViewRegion, VoppExt, WorldBuilder,
     };
 }

@@ -108,6 +108,53 @@ impl<'a> DsmCtx<'a> {
         self.sim.trace(kind);
     }
 
+    /// Park this node until `until`; a no-op when that time has passed.
+    /// This is open-loop pacing (interarrival gaps, crash downtime), not
+    /// protocol waiting: the span is charged to [`Phase::Idle`], which the
+    /// kernel counts as CPU time — the node is runnable, just pacing
+    /// itself — so the accounting invariants still close. Returns the
+    /// nanoseconds idled.
+    pub fn idle_until(&self, until: SimTime) -> u64 {
+        self.flush();
+        let now = self.sim.now();
+        if until <= now {
+            return 0;
+        }
+        let d = until - now;
+        self.sim.sleep(d);
+        let ns = d.nanos();
+        self.node
+            .lock()
+            .stats
+            .metrics
+            .breakdown
+            .charge(Phase::Idle, ns);
+        ns
+    }
+
+    /// Simulate a crash and restart of this node's DSM engine: volatile
+    /// state — page copies, pending invalidations, view-version knowledge —
+    /// is lost; durable state — the node's interval log and diff store (its
+    /// write-ahead log), the lamport clock, and any home/manager roles on
+    /// this node — survives. Recovery is lazy: the next `acquire_view`
+    /// reports version 0 and the home streams the full view history back,
+    /// reconstructing shard contents page by page.
+    ///
+    /// Only legal between requests (no held views, no unextracted writes)
+    /// and only modelled for the view protocols, whose homes keep the
+    /// per-view history recovery replays. Returns the number of page
+    /// buffers lost.
+    pub fn crash_recover(&self) -> u64 {
+        assert!(
+            self.protocol.is_vc(),
+            "crash/recovery is modelled for the view protocols only"
+        );
+        self.flush();
+        let dropped = self.node.lock().crash_volatile();
+        self.trace(EventKind::NodeCrash { pages: dropped });
+        dropped
+    }
+
     // ---------------------------------------------------------------
     // CPU accounting
     // ---------------------------------------------------------------
@@ -1087,10 +1134,13 @@ impl<'a> DsmCtx<'a> {
         // transfer, ask a node whose copy is known complete instead.
         //   * View pages (VC): writes are serialized, so the most recent
         //     writer's copy is provably complete while we hold the view.
-        //   * LRC pages with a *single* writer: in a data-race-free program
-        //     no write can be concurrent with this read, so the writer's
-        //     current copy equals the diff-reconstructed content. (Multi-
-        //     writer pages — false sharing — must merge diffs.)
+        //   * LRC pages whose *entire write history* has a single owner:
+        //     that owner's current copy equals the diff-reconstructed
+        //     content. The pending list alone is not enough — on a
+        //     false-shared page the one pending writer's copy can miss
+        //     other writers' updates this node already applied, silently
+        //     regressing their words — so the hatch additionally consults
+        //     the page's full writer-history bitmask.
         let distinct_owners = {
             let mut o: Vec<_> = fetches.iter().map(|f| f.id.owner).collect();
             o.sort_unstable();
@@ -1135,8 +1185,18 @@ impl<'a> DsmCtx<'a> {
                 other => panic!("HLRC home fetch got unexpected reply {other:?}"),
             }
         }
-        let whole_page = (self.protocol.is_vc() && is_view_page && distinct_owners >= 3)
-            || (self.protocol == Protocol::LrcD && distinct_owners == 1 && fetches.len() >= 4);
+        // The most recent writer can be this node itself after a crash (its
+        // own releases come back in the `have == 0` recovery grant); a
+        // node's post-crash copy is exactly what was lost, so the escape
+        // hatch must fetch from a peer — fall through to diff fetches,
+        // which loopback to the durable local diff store where needed.
+        let last_owner_is_me = fetches.last().is_some_and(|f| f.id.owner == self.me());
+        let whole_page = !last_owner_is_me
+            && ((self.protocol.is_vc() && is_view_page && distinct_owners >= 3)
+                || (self.protocol == Protocol::LrcD
+                    && distinct_owners == 1
+                    && fetches.len() >= 4
+                    && self.node.lock().page_sole_writer(p, fetches[0].id.owner)));
         if whole_page {
             let last = fetches.last().unwrap();
             let req = Req::PageReq { page: p };
@@ -1173,12 +1233,10 @@ impl<'a> DsmCtx<'a> {
                     return;
                 }
                 Resp::PageResp { content: None } => {
-                    assert_eq!(
-                        self.protocol,
-                        Protocol::LrcD,
-                        "view-page server copy must stay valid while the view is held"
-                    );
-                    // Fall through to per-interval diff fetches.
+                    // LRC homes drop copies under memory pressure; under
+                    // crash faults even a view page's last writer may have
+                    // lost its copy. Diffs live in the durable store, so
+                    // fall through to per-interval diff fetches either way.
                 }
                 other => panic!("PageReq got unexpected reply {other:?}"),
             }
@@ -1263,6 +1321,8 @@ impl<'a> DsmCtx<'a> {
                 PageState::Dirty => return,
                 PageState::Valid => {
                     n.mem.note_write(p);
+                    let me = n.me;
+                    n.note_page_writer(p, me);
                     n.stats.twins += 1;
                     self.debt.add_overhead(self.cost.twin);
                     return;

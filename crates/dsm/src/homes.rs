@@ -401,10 +401,16 @@ fn send_view_grant(
     let (records, diffs) = match n.protocol {
         // ScC scoped grants look exactly like VC_d view grants: release
         // records newer than the requester's version, diffs on fault.
+        // A requester's own releases are elided — it applied them locally —
+        // except when it asks from version 0: in steady state no own
+        // records predate a node's first acquire, so `have == 0` with own
+        // history means a crashed node rebuilding from the home, and it
+        // needs its own releases back (their diffs still sit in its durable
+        // diff store).
         Protocol::VcD | Protocol::ScC => (
             h.records
                 .iter()
-                .filter(|r| r.version > have && r.id.owner != dst)
+                .filter(|r| r.version > have && (have == 0 || r.id.owner != dst))
                 .cloned()
                 .collect(),
             Vec::new(),

@@ -23,6 +23,7 @@ pub(crate) const PAGE_SIZE_WIRE: usize = vopp_page::PAGE_SIZE;
 
 pub mod api;
 pub mod cost;
+pub mod fault;
 pub mod homes;
 pub mod layout;
 pub mod msg;
@@ -32,6 +33,7 @@ pub mod stats;
 
 pub use api::DsmCtx;
 pub use cost::{CostModel, CpuDebt};
+pub use fault::{Crash, FaultPlan, Loss, Slowdown};
 pub use layout::{check_views, Layout, ViewDef, ViewId};
 pub use msg::{AccessMode, Req, Resp, ViewRecord};
 pub use node::{NodeState, PendingFetch, Protocol, StoredDiff};

@@ -127,6 +127,12 @@ pub struct NodeState {
     pub home_sent_vt: BTreeMap<ProcId, VTime>,
     /// Per-page invalidations awaiting a fault-time fetch.
     pub pending: BTreeMap<PageId, Vec<PendingFetch>>,
+    /// Per-page bitmask of every writer this node has ever learned of
+    /// (logged interval records plus its own writes). Monotone knowledge:
+    /// gates the whole-page fetch escape hatch, which is only sound when
+    /// the page's entire write history has a single owner — the pending
+    /// list alone can miss concurrent writers on false-shared pages.
+    pub page_writers: Vec<u64>,
     /// Diffs created locally, served to faulting peers.
     pub diff_store: BTreeMap<PageId, Vec<StoredDiff>>,
 
@@ -183,6 +189,7 @@ impl NodeState {
             lamport: 0,
             home_sent_vt: BTreeMap::new(),
             pending: BTreeMap::new(),
+            page_writers: vec![0; layout.npages()],
             diff_store: BTreeMap::new(),
             view_applied: vec![0; layout.nviews()],
             held_write: None,
@@ -364,7 +371,26 @@ impl NodeState {
             if self.logged_vt.get(r.id.owner) < seq {
                 self.logged_vt.set(r.id.owner, seq);
             }
+            for &page in &r.pages {
+                self.note_page_writer(page, r.id.owner);
+            }
         }
+    }
+
+    /// Record that `owner` has written `page` at some point.
+    pub fn note_page_writer(&mut self, page: PageId, owner: ProcId) {
+        self.page_writers[page] |= match u32::try_from(owner) {
+            Ok(o) if o < 64 => 1 << o,
+            // Beyond the bitmask width: pessimize to "many writers", which
+            // only disables an optimization.
+            _ => u64::MAX,
+        };
+    }
+
+    /// Whether `owner` is the only writer ever known for `page` — the
+    /// soundness condition of the LRC whole-page fetch escape hatch.
+    pub fn page_sole_writer(&self, page: PageId, owner: ProcId) -> bool {
+        matches!(u32::try_from(owner), Ok(o) if o < 64 && self.page_writers[page] == 1 << o)
     }
 
     /// Lamport receive rule.
@@ -433,11 +459,12 @@ impl NodeState {
     ) {
         self.lamport_sync(lamport);
         for r in records {
-            assert_ne!(
-                r.id.owner, self.me,
-                "home echoed node {}'s own release back",
-                self.me
-            );
+            // In steady state the home never echoes this node's own
+            // releases (it filters on `have`). After a crash this node
+            // re-acquires with `have == 0` and the full history — its own
+            // records included — comes back; the diffs for those records
+            // are then served out of this node's own durable diff store
+            // like anyone else's.
             for &page in &r.pages {
                 debug_assert_ne!(self.mem.state(page), PageState::Dirty);
                 self.mem.invalidate(page);
@@ -455,6 +482,41 @@ impl NodeState {
         }
         let va = &mut self.view_applied[view as usize];
         *va = (*va).max(version);
+    }
+
+    /// Crash this node's volatile protocol state, leaving its durable state
+    /// intact. Lost: every local page copy of every view (content restarts
+    /// from the zero page), all pending invalidations, and all knowledge of
+    /// view versions (`view_applied` back to 0, so the next acquire pulls
+    /// the full history from the home). Kept: the node's own interval log
+    /// and diff store — the write-ahead log its released intervals were
+    /// persisted to, which peers (and this node itself, on re-fetch) read
+    /// diffs from — plus the lamport clock and any manager roles homed
+    /// here, which the model treats as replicated directory state.
+    ///
+    /// Only legal between requests: no dirty pages, no held views. Returns
+    /// the number of materialized page buffers lost.
+    pub fn crash_volatile(&mut self) -> u64 {
+        assert!(
+            self.held_write.is_none() && self.held_read.is_empty(),
+            "node {} crashed while holding a view",
+            self.me
+        );
+        let mut dropped = 0u64;
+        let layout = self.layout.clone();
+        for def in layout.views() {
+            for page in def.pages.clone() {
+                // Invalidations queued for these pages refer to content the
+                // crash just destroyed; the `have == 0` re-acquire restores
+                // everything, so stale fetch plans must not survive.
+                self.pending.remove(&page);
+                if self.mem.crash_page(page) {
+                    dropped += 1;
+                }
+            }
+            self.view_applied[def.id as usize] = 0;
+        }
+        dropped
     }
 
     /// Scope Consistency: absorb a scoped lock grant — invalidate the pages

@@ -10,6 +10,7 @@ use vopp_simnet::{EthernetModel, NetConfig};
 
 use crate::api::DsmCtx;
 use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 use crate::homes::make_handler;
 use crate::layout::Layout;
 use crate::node::{NodeState, Protocol};
@@ -43,6 +44,12 @@ pub struct ClusterConfig {
     /// per-access work beyond a pointer test; attaching a checker never
     /// advances virtual time, so results and statistics are unchanged.
     pub racecheck: Option<Arc<RaceChecker>>,
+    /// Deterministic fault schedule: elevated loss rewrites the network
+    /// config, slowdowns scale individual nodes' cost models, and crash
+    /// windows are read by crash-aware workloads (the serving benchmark)
+    /// via [`ClusterConfig::faults`]. The default empty plan changes
+    /// nothing.
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -57,6 +64,7 @@ impl ClusterConfig {
             tracer: None,
             page_pool_cap: vopp_page::PagePool::CAP,
             racecheck: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -108,7 +116,7 @@ where
 {
     let n = cfg.nprocs;
     assert!(n > 0);
-    let mut model = EthernetModel::new(n, cfg.net.clone());
+    let mut model = EthernetModel::new(n, cfg.faults.apply_net(&cfg.net));
     if let Some(tr) = &cfg.tracer {
         model.set_tracer(tr.clone());
     }
@@ -124,7 +132,7 @@ where
                 p,
                 n,
                 cfg.protocol,
-                cfg.cost.clone(),
+                cfg.faults.cost_for(p, &cfg.cost),
                 layout.clone(),
                 cfg.page_pool_cap,
             )))

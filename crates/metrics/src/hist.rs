@@ -108,6 +108,18 @@ impl Histogram {
         self.max
     }
 
+    /// 99th percentile, at bucket resolution (ns).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile, at bucket resolution (ns). The tail statistic for
+    /// open-loop serving cells, where a handful of requests landing behind a
+    /// crash or a hot shard dominate the user-visible latency.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Fold another histogram into this one.
     pub fn absorb(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -118,13 +130,15 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
-    /// Condensed summary (count, sum, p50, p95, max).
+    /// Condensed summary (count, sum, p50, p95, p99, p99.9, max).
     pub fn summary(&self) -> Summary {
         Summary {
             count: self.count,
             sum_ns: self.sum,
             p50_ns: self.quantile(0.50),
             p95_ns: self.quantile(0.95),
+            p99_ns: self.p99(),
+            p999_ns: self.p999(),
             max_ns: self.max,
         }
     }
@@ -165,6 +179,10 @@ pub struct Summary {
     pub p50_ns: u64,
     /// 95th percentile, at bucket resolution (ns).
     pub p95_ns: u64,
+    /// 99th percentile, at bucket resolution (ns).
+    pub p99_ns: u64,
+    /// 99.9th percentile, at bucket resolution (ns).
+    pub p999_ns: u64,
     /// Exact maximum (ns).
     pub max_ns: u64,
 }
@@ -177,6 +195,8 @@ impl Summary {
             ("sum_ns", num(self.sum_ns)),
             ("p50_ns", num(self.p50_ns)),
             ("p95_ns", num(self.p95_ns)),
+            ("p99_ns", num(self.p99_ns)),
+            ("p999_ns", num(self.p999_ns)),
             ("max_ns", num(self.max_ns)),
         ])
     }
@@ -190,10 +210,17 @@ mod tests {
     fn empty_histogram_is_all_zero() {
         let h = Histogram::default();
         assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.0), 0);
         assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.p999(), 0);
         assert_eq!(h.mean_ns(), 0.0);
         let s = h.summary();
-        assert_eq!((s.count, s.p50_ns, s.p95_ns, s.max_ns), (0, 0, 0, 0));
+        assert_eq!(
+            (s.count, s.p50_ns, s.p95_ns, s.p99_ns, s.p999_ns, s.max_ns),
+            (0, 0, 0, 0, 0, 0)
+        );
     }
 
     #[test]
@@ -227,9 +254,59 @@ mod tests {
     fn single_sample_quantiles_clamp_to_max() {
         let mut h = Histogram::default();
         h.record(1_234);
-        // Bucket bound is 2_000 but the exact max is smaller.
+        // Bucket bound is 2_000 but the exact max is smaller. Every
+        // quantile of a one-sample histogram is that sample.
+        assert_eq!(h.quantile(0.0), 1_234);
         assert_eq!(h.quantile(0.5), 1_234);
         assert_eq!(h.quantile(0.95), 1_234);
+        assert_eq!(h.p99(), 1_234);
+        assert_eq!(h.p999(), 1_234);
+        assert_eq!(h.quantile(1.0), 1_234);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket() {
+        let mut h = Histogram::default();
+        // 1000 samples, all in the (2µs, 5µs] bucket; max is 4.7µs.
+        for i in 0..1000u64 {
+            h.record(3_000 + i);
+        }
+        h.record(4_700);
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(h.quantile(q), 4_700, "q={q}");
+        }
+        assert_eq!(h.quantile(1.0), 4_700);
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_first_and_last_sample() {
+        let mut h = Histogram::default();
+        for _ in 0..997 {
+            h.record(800); // <=1µs bucket
+        }
+        for _ in 0..3 {
+            h.record(300_000_000); // 200-500ms bucket
+        }
+        // q=0.0 clamps the rank to 1: the fastest bucket's bound.
+        assert_eq!(h.quantile(0.0), 1_000);
+        assert_eq!(h.quantile(0.5), 1_000);
+        // The 3-in-1000 slow tail only surfaces at the 99.9th percentile.
+        assert_eq!(h.p99(), 1_000);
+        assert_eq!(h.p999(), 300_000_000);
+        assert_eq!(h.quantile(1.0), 300_000_000);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_one_in_a_thousand() {
+        let mut h = Histogram::default();
+        for _ in 0..9_989 {
+            h.record(900);
+        }
+        for _ in 0..11 {
+            h.record(70_000_000); // 50-100ms bucket
+        }
+        assert_eq!(h.p99(), 1_000);
+        assert_eq!(h.p999(), 70_000_000);
     }
 
     #[test]
@@ -270,7 +347,8 @@ mod tests {
         let s = h.to_value().to_json();
         assert_eq!(
             s,
-            "{\"count\":1,\"sum_ns\":1000,\"p50_ns\":1000,\"p95_ns\":1000,\"max_ns\":1000}"
+            "{\"count\":1,\"sum_ns\":1000,\"p50_ns\":1000,\"p95_ns\":1000,\
+             \"p99_ns\":1000,\"p999_ns\":1000,\"max_ns\":1000}"
         );
     }
 }

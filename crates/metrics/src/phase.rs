@@ -2,11 +2,13 @@
 
 use vopp_trace::json::{num, obj, Value};
 
-/// The six mutually exclusive states a simulated processor's virtual time is
-/// attributed to.
+/// The seven mutually exclusive states a simulated processor's virtual time
+/// is attributed to.
 ///
-/// The first two are CPU time (the kernel's compute advances), the last four
-/// are blocked time (the kernel's receive waits):
+/// The first two are CPU time (the kernel's compute advances), the middle
+/// four are blocked time (the kernel's receive waits), and the last is idle
+/// time (kernel compute advances with no application work — open-loop
+/// arrival pacing, crash downtime):
 ///
 /// * [`Phase::Compute`] — application work: flops, integer ops, memory copies.
 /// * [`Phase::ProtoCpu`] — protocol CPU: page-fault handling, twin creation,
@@ -16,6 +18,8 @@ use vopp_trace::json::{num, obj, Value};
 /// * [`Phase::DataWait`] — blocked fetching pages or diffs at a page fault.
 /// * [`Phase::SendWait`] — blocked publishing state: release/flush round-trips
 ///   (DSM) or awaiting the delivery ack of an eager send (MPI).
+/// * [`Phase::Idle`] — parked waiting for wall-clock to pass (the serving
+///   workload's interarrival gaps and crash downtime), not for a message.
 ///
 /// The paper-style five-way split {compute, barrier, acquire, page-fault/diff,
 /// send overhead} folds `ProtoCpu + SendWait` into "send overhead"; see
@@ -34,17 +38,21 @@ pub enum Phase {
     DataWait,
     /// Blocked in release/flush/send-ack round-trips.
     SendWait,
+    /// Parked until a point in virtual time (open-loop pacing, crash
+    /// downtime) rather than blocked on a reply.
+    Idle,
 }
 
 impl Phase {
     /// All phases, in canonical (JSON) order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Compute,
         Phase::ProtoCpu,
         Phase::BarrierWait,
         Phase::AcquireWait,
         Phase::DataWait,
         Phase::SendWait,
+        Phase::Idle,
     ];
 
     /// Stable snake_case key used in JSON artifacts.
@@ -56,6 +64,7 @@ impl Phase {
             Phase::AcquireWait => "acquire_wait_ns",
             Phase::DataWait => "data_wait_ns",
             Phase::SendWait => "send_wait_ns",
+            Phase::Idle => "idle_ns",
         }
     }
 
@@ -68,6 +77,7 @@ impl Phase {
             Phase::AcquireWait => "acquire wait",
             Phase::DataWait => "data wait",
             Phase::SendWait => "send wait",
+            Phase::Idle => "idle",
         }
     }
 
@@ -79,6 +89,7 @@ impl Phase {
             Phase::AcquireWait => 3,
             Phase::DataWait => 4,
             Phase::SendWait => 5,
+            Phase::Idle => 6,
         }
     }
 }
@@ -86,7 +97,7 @@ impl Phase {
 /// Per-node (or aggregated) virtual-time breakdown, in nanoseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Breakdown {
-    ns: [u64; 6],
+    ns: [u64; 7],
 }
 
 impl Breakdown {
@@ -106,9 +117,11 @@ impl Breakdown {
         self.ns.iter().sum()
     }
 
-    /// CPU time: `Compute + ProtoCpu` (must equal the kernel's compute time).
+    /// CPU time: `Compute + ProtoCpu + Idle` (must equal the kernel's
+    /// compute time — the kernel advances an idle node's clock the same way
+    /// it advances a computing one's; only receive waits count as blocked).
     pub fn cpu_ns(&self) -> u64 {
-        self.get(Phase::Compute) + self.get(Phase::ProtoCpu)
+        self.get(Phase::Compute) + self.get(Phase::ProtoCpu) + self.get(Phase::Idle)
     }
 
     /// Blocked time: the four wait phases (must equal the kernel's blocked time).
@@ -143,7 +156,7 @@ impl Breakdown {
 
     /// Stable JSON object: one key per phase (canonical order) plus `total_ns`.
     pub fn to_value(&self) -> Value {
-        let mut o: Vec<(&str, Value)> = Vec::with_capacity(7);
+        let mut o: Vec<(&str, Value)> = Vec::with_capacity(Phase::ALL.len() + 1);
         for p in Phase::ALL {
             o.push((p.key(), num(self.get(p))));
         }
@@ -165,11 +178,12 @@ mod tests {
         b.charge(Phase::AcquireWait, 5);
         b.charge(Phase::DataWait, 7);
         b.charge(Phase::SendWait, 3);
-        assert_eq!(b.total_ns(), 100);
-        assert_eq!(b.cpu_ns(), 70);
+        b.charge(Phase::Idle, 20);
+        assert_eq!(b.total_ns(), 120);
+        assert_eq!(b.cpu_ns(), 90);
         assert_eq!(b.blocked_ns(), 30);
         assert_eq!(b.send_overhead_ns(), 13);
-        assert!((b.pct(Phase::Compute) - 60.0).abs() < 1e-12);
+        assert!((b.pct(Phase::Compute) - 50.0).abs() < 1e-12);
     }
 
     #[test]
@@ -200,7 +214,8 @@ mod tests {
         assert_eq!(
             s,
             "{\"compute_ns\":0,\"proto_cpu_ns\":0,\"barrier_wait_ns\":0,\
-             \"acquire_wait_ns\":0,\"data_wait_ns\":42,\"send_wait_ns\":0,\"total_ns\":42}"
+             \"acquire_wait_ns\":0,\"data_wait_ns\":42,\"send_wait_ns\":0,\
+             \"idle_ns\":0,\"total_ns\":42}"
         );
     }
 }

@@ -182,6 +182,30 @@ impl NodeMemory {
         }
     }
 
+    /// Simulate a crash's effect on `p`: the buffer is lost (the next
+    /// materialization starts from the zero page) and the page goes
+    /// `Invalid`, so the protocol must reconstruct its content before any
+    /// access. Illegal on a `Dirty` page — a crash model that loses
+    /// unextracted writes would break the write-ahead-log narrative.
+    /// Returns true when a materialized buffer was actually dropped.
+    pub fn crash_page(&mut self, p: PageId) -> bool {
+        assert_ne!(
+            self.state[p],
+            PageState::Dirty,
+            "crash_page({p}) with unextracted writes"
+        );
+        debug_assert!(!self.twins.contains_key(&p));
+        let had = match self.pages[p].take() {
+            Some(buf) => {
+                self.pool.release(buf);
+                true
+            }
+            None => false,
+        };
+        self.state[p] = PageState::Invalid;
+        had
+    }
+
     /// Read-only page content (zero page if never touched).
     pub fn page(&self, p: PageId) -> &PageBuf {
         match &self.pages[p] {
@@ -321,6 +345,22 @@ mod tests {
         assert_eq!(m.state(2), PageState::Valid);
         assert!(m.page(2).iter().all(|&b| b == 0));
         assert_eq!(m.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn crash_page_loses_content_and_invalidates() {
+        let mut m = NodeMemory::new(2);
+        m.note_write(0);
+        m.page_mut(0).set_word(3, 77);
+        m.end_interval(); // extract the diff: page back to Valid
+        assert!(m.crash_page(0), "materialized page should be dropped");
+        assert_eq!(m.state(0), PageState::Invalid);
+        // Once the protocol validates it again, content restarts from zero.
+        m.validate(0);
+        assert!(m.page(0).iter().all(|&b| b == 0));
+        // A never-touched page has no buffer to lose but still goes Invalid.
+        assert!(!m.crash_page(1));
+        assert_eq!(m.state(1), PageState::Invalid);
     }
 
     #[test]

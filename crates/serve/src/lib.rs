@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # vopp-serve — open-loop serving on a view-backed KV store
+//!
+//! The paper's applications are batch kernels: every processor computes as
+//! fast as it can and the figure of merit is wall-clock time. This crate
+//! adds the complementary workload shape — an **open-loop service**: requests
+//! arrive on their own clock (exponential interarrivals under a diurnal
+//! envelope, Zipfian key popularity), each request acquires the view backing
+//! one shard of a KV store, and the figure of merit is the **latency
+//! distribution** (p50/p99/p99.9), not throughput.
+//!
+//! The store is servable by every protocol in the suite through the same
+//! `Protocol` seam the batch apps use:
+//!
+//! * **VOPP** (`VC_d` / `VC_sd`): each shard is one view with a fixed home
+//!   node; a PUT brackets the shard with `acquire_view`, a GET with
+//!   `acquire_Rview`.
+//! * **Traditional** (`LRC_d` / `HLRC_d` / `ScC_d`): the same shards live in
+//!   one packed allocation guarded by one lock per shard.
+//!
+//! On top sits a **dynamic-cluster layer** driven by
+//! [`FaultPlan`](vopp_core::FaultPlan): node slowdowns, crash windows after
+//! which a node loses every cached shard page and lazily reconstructs from
+//! the home nodes, and the membership churn they imply. Request placement is
+//! recomputed per membership epoch, so shards served by a crashed node fail
+//! over deterministically and fail back when it recovers.
+//!
+//! Everything is deterministic: the schedule is a pure function of
+//! [`ServeParams`], placement is a pure function of the schedule and the
+//! fault plan, and the simulator orders the rest. Two runs with the same
+//! inputs produce byte-identical latency histograms and store contents.
+
+mod membership;
+mod params;
+mod run;
+mod schedule;
+
+pub use membership::Membership;
+pub use params::ServeParams;
+pub use run::{
+    run_serve, run_serve_undisciplined, serve_reference, undisciplined_expected, ServeOutcome,
+    ServeVariant,
+};
+pub use schedule::{build_schedule, Request};

@@ -1,0 +1,154 @@
+//! Dynamic cluster membership: epochs, live sets, request placement.
+//!
+//! The fault plan's crash windows partition virtual time into **epochs**
+//! whose live set is constant. Placement maps `(shard, epoch)` to a serving
+//! node: the shard's home node while it is live, otherwise a deterministic
+//! hash pick over the survivors. Every node computes the same map from the
+//! same plan, so failover and fail-back need no coordination messages —
+//! exactly like the deterministic re-sharding of a config-driven cluster.
+
+use vopp_apps::workload::mix64;
+use vopp_core::FaultPlan;
+
+/// The epoch table for one run: boundaries, per-epoch live sets, placement.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    nprocs: usize,
+    /// Epoch start times; `boundaries[0] == 0`.
+    boundaries: Vec<u64>,
+    /// Live nodes per epoch, each sorted ascending.
+    live: Vec<Vec<usize>>,
+}
+
+impl Membership {
+    /// Build the epoch table for `nprocs` nodes under `plan`.
+    pub fn new(nprocs: usize, plan: &FaultPlan) -> Membership {
+        assert!(nprocs > 0);
+        let mut boundaries = vec![0u64];
+        for c in &plan.crashes {
+            assert!(c.node < nprocs, "crash names node {} of {nprocs}", c.node);
+            boundaries.push(c.at.nanos());
+            boundaries.push(c.up_at().nanos());
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let live: Vec<Vec<usize>> = boundaries
+            .iter()
+            .map(|&start| {
+                let l: Vec<usize> = (0..nprocs)
+                    .filter(|&n| {
+                        !plan.crashes.iter().any(|c| {
+                            c.node == n && c.at.nanos() <= start && start < c.up_at().nanos()
+                        })
+                    })
+                    .collect();
+                assert!(!l.is_empty(), "every node is down at t={start}ns");
+                l
+            })
+            .collect();
+        Membership {
+            nprocs,
+            boundaries,
+            live,
+        }
+    }
+
+    /// Number of epochs (1 for a fault-free plan).
+    pub fn epochs(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// The epoch containing virtual time `t_ns`.
+    pub fn epoch_at(&self, t_ns: u64) -> usize {
+        self.boundaries.partition_point(|&b| b <= t_ns) - 1
+    }
+
+    /// Live nodes in `epoch`, sorted ascending.
+    pub fn live(&self, epoch: usize) -> &[usize] {
+        &self.live[epoch]
+    }
+
+    /// A shard's home node: fixed for the whole run, round-robin over the
+    /// full cluster. View homes in the store layout use the same map.
+    pub fn home_of(&self, shard: usize) -> usize {
+        shard % self.nprocs
+    }
+
+    /// The node serving `shard` during `epoch`: its home while live,
+    /// otherwise a seeded hash pick over the epoch's survivors.
+    pub fn server_for(&self, shard: usize, epoch: usize) -> usize {
+        let home = self.home_of(shard);
+        let live = &self.live[epoch];
+        if live.binary_search(&home).is_ok() {
+            return home;
+        }
+        live[(mix64(shard as u64, epoch as u64) % live.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use vopp_sim::{SimDuration, SimTime};
+
+    use super::*;
+
+    #[test]
+    fn fault_free_plan_is_one_epoch() {
+        let m = Membership::new(4, &FaultPlan::none());
+        assert_eq!(m.epochs(), 1);
+        assert_eq!(m.epoch_at(0), 0);
+        assert_eq!(m.epoch_at(u64::MAX / 2), 0);
+        assert_eq!(m.live(0), &[0, 1, 2, 3]);
+        for s in 0..16 {
+            assert_eq!(m.server_for(s, 0), s % 4, "home-node placement");
+        }
+    }
+
+    #[test]
+    fn crash_window_fails_over_and_back() {
+        let plan =
+            FaultPlan::none().with_crash(1, SimTime(1_000_000), SimDuration::from_micros(500));
+        let m = Membership::new(3, &plan);
+        assert_eq!(m.epochs(), 3);
+        // Before, during, after.
+        assert_eq!(m.epoch_at(999_999), 0);
+        assert_eq!(m.epoch_at(1_000_000), 1);
+        assert_eq!(m.epoch_at(1_499_999), 1);
+        assert_eq!(m.epoch_at(1_500_000), 2);
+        assert_eq!(m.live(0), &[0, 1, 2]);
+        assert_eq!(m.live(1), &[0, 2]);
+        assert_eq!(m.live(2), &[0, 1, 2]);
+        // Shard 1 lives on node 1: served elsewhere only during the window.
+        assert_eq!(m.server_for(1, 0), 1);
+        let failover = m.server_for(1, 1);
+        assert_ne!(failover, 1);
+        assert!(m.live(1).contains(&failover));
+        assert_eq!(m.server_for(1, 2), 1, "fail-back to the home node");
+        // Shards of live homes never move.
+        assert_eq!(m.server_for(0, 1), 0);
+        assert_eq!(m.server_for(2, 1), 2);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let plan = FaultPlan::none()
+            .with_crash(0, SimTime(10_000), SimDuration::from_micros(20))
+            .with_crash(2, SimTime(15_000), SimDuration::from_micros(20));
+        let a = Membership::new(4, &plan);
+        let b = Membership::new(4, &plan);
+        for e in 0..a.epochs() {
+            for s in 0..32 {
+                assert_eq!(a.server_for(s, e), b.server_for(s, e));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every node is down")]
+    fn all_nodes_down_is_rejected() {
+        let plan = FaultPlan::none()
+            .with_crash(0, SimTime(1_000), SimDuration::from_micros(10))
+            .with_crash(1, SimTime(1_000), SimDuration::from_micros(10));
+        Membership::new(2, &plan);
+    }
+}

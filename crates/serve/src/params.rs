@@ -1,0 +1,81 @@
+//! Serving-workload parameters.
+
+/// Everything that shapes the open-loop serving workload. The request
+/// schedule is a pure function of these fields (see
+/// [`build_schedule`](crate::build_schedule)), so two runs with equal
+/// parameters serve byte-identical request streams.
+#[derive(Debug, Clone)]
+pub struct ServeParams {
+    /// Number of store shards; each shard is one view (VOPP) or one lock
+    /// (traditional).
+    pub shards: usize,
+    /// `u32` slots per shard.
+    pub slots_per_shard: usize,
+    /// Total requests in the run.
+    pub requests: usize,
+    /// Mean request interarrival gap in nanoseconds (the open-loop clock).
+    pub mean_gap_ns: f64,
+    /// Zipfian skew of shard popularity (`0.0` = uniform; the classic
+    /// YCSB-style default is `0.99`).
+    pub zipf_s: f64,
+    /// Fraction of requests that are GETs (the rest are PUTs).
+    pub read_frac: f64,
+    /// Diurnal envelope amplitude in `[0, 1)`: instantaneous arrival rate
+    /// swings between `1 - amp` and `1 + amp` times the mean.
+    pub diurnal_amp: f64,
+    /// Diurnal period in nanoseconds of virtual time.
+    pub period_ns: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ServeParams {
+    /// Small instance for tests: a few hundred requests, sub-millisecond
+    /// horizon.
+    pub fn quick() -> ServeParams {
+        ServeParams {
+            shards: 8,
+            slots_per_shard: 16,
+            requests: 400,
+            mean_gap_ns: 20_000.0,
+            zipf_s: 0.99,
+            read_frac: 0.7,
+            diurnal_amp: 0.4,
+            period_ns: 2_000_000,
+            seed: 0x5e,
+        }
+    }
+
+    /// The benchmark instance behind the `serve` table (see
+    /// EXPERIMENTS.md).
+    pub fn bench() -> ServeParams {
+        ServeParams {
+            shards: 32,
+            slots_per_shard: 64,
+            requests: 12_000,
+            mean_gap_ns: 8_000.0,
+            zipf_s: 0.99,
+            read_frac: 0.7,
+            diurnal_amp: 0.4,
+            period_ns: 20_000_000,
+            seed: 0x5e,
+        }
+    }
+
+    /// Sanity-check the parameter ranges the generators assume.
+    pub fn validate(&self) {
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(self.slots_per_shard > 0, "need at least one slot");
+        assert!(self.mean_gap_ns > 0.0, "mean gap must be positive");
+        assert!(self.zipf_s >= 0.0, "negative Zipf skew is meaningless");
+        assert!(
+            (0.0..=1.0).contains(&self.read_frac),
+            "read fraction is a probability"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.diurnal_amp),
+            "diurnal amplitude must stay in [0, 1)"
+        );
+        assert!(self.period_ns > 0, "diurnal period must be positive");
+    }
+}

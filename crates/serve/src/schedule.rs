@@ -1,0 +1,150 @@
+//! The deterministic request schedule.
+//!
+//! One global stream of timestamped requests, identical on every node: each
+//! node walks the whole stream and serves the requests placed on it by the
+//! [`Membership`](crate::Membership) map. Building the stream up front (it
+//! is a pure function of [`ServeParams`]) keeps the open-loop clock
+//! independent of service times — the defining property of an open-loop
+//! workload, and the reason tail latency degrades visibly when a node
+//! crashes instead of the arrival process politely slowing down.
+
+use vopp_apps::workload::{bounded, diurnal_factor, exp_gap_ns, mix64, unit_f64, Zipfian};
+
+use crate::params::ServeParams;
+
+/// Stream salts: each random decision draws from its own lane of the seed
+/// space so changing one knob (e.g. the read fraction) never reshuffles the
+/// others.
+const GAP_LANE: u64 = 0x6761_7000;
+const SHARD_LANE: u64 = 0x7368_6172;
+const SLOT_LANE: u64 = 0x736c_6f74;
+const RW_LANE: u64 = 0x7277_5f5f;
+const DELTA_LANE: u64 = 0x6465_6c74;
+
+/// One timestamped store request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival time in nanoseconds of virtual time.
+    pub arrival: u64,
+    /// Target shard.
+    pub shard: usize,
+    /// Target slot within the shard.
+    pub slot: usize,
+    /// `true` for PUT, `false` for GET.
+    pub write: bool,
+    /// PUT payload: the slot accumulates deltas with `wrapping_add`, so the
+    /// final store contents are placement- and timing-independent.
+    pub delta: u32,
+}
+
+/// Build the global request schedule for `p`.
+///
+/// Arrivals are a non-homogeneous Poisson process: exponential gaps at the
+/// mean rate, compressed or stretched by the diurnal envelope at the
+/// current virtual time. Shard popularity is Zipfian, slots are uniform,
+/// and the PUT/GET coin is biased by `read_frac`.
+pub fn build_schedule(p: &ServeParams) -> Vec<Request> {
+    p.validate();
+    let zipf = Zipfian::new(p.shards, p.zipf_s);
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(p.requests);
+    for i in 0..p.requests as u64 {
+        let gap = exp_gap_ns(p.seed ^ GAP_LANE, i, p.mean_gap_ns);
+        // The envelope scales the instantaneous arrival *rate*, so gaps
+        // divide by it: factor > 1 is rush hour, factor < 1 is night.
+        let factor = diurnal_factor(t, p.period_ns, p.diurnal_amp);
+        t += ((gap as f64 / factor) as u64).max(1);
+        out.push(Request {
+            arrival: t,
+            shard: zipf.rank(p.seed ^ SHARD_LANE, i),
+            slot: bounded(p.seed ^ SLOT_LANE, i, p.slots_per_shard),
+            write: unit_f64(p.seed ^ RW_LANE, i) >= p.read_frac,
+            delta: (mix64(p.seed ^ DELTA_LANE, i) >> 32) as u32,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let p = ServeParams::quick();
+        let a = build_schedule(&p);
+        let b = build_schedule(&p);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), p.requests);
+        assert!(a.windows(2).all(|w| w[0].arrival < w[1].arrival));
+        assert!(a.iter().all(|r| r.shard < p.shards));
+        assert!(a.iter().all(|r| r.slot < p.slots_per_shard));
+    }
+
+    #[test]
+    fn mix_matches_the_read_fraction() {
+        let mut p = ServeParams::quick();
+        p.requests = 20_000;
+        let sched = build_schedule(&p);
+        let writes = sched.iter().filter(|r| r.write).count() as f64;
+        let frac = writes / p.requests as f64;
+        assert!(
+            (frac - (1.0 - p.read_frac)).abs() < 0.02,
+            "write fraction {frac} far from {}",
+            1.0 - p.read_frac
+        );
+    }
+
+    #[test]
+    fn shard_popularity_is_zipf_skewed() {
+        let mut p = ServeParams::quick();
+        p.requests = 20_000;
+        let sched = build_schedule(&p);
+        let mut counts = vec![0usize; p.shards];
+        for r in &sched {
+            counts[r.shard] += 1;
+        }
+        let hottest = *counts.iter().max().unwrap();
+        let coldest = *counts.iter().min().unwrap();
+        assert!(
+            hottest > 4 * coldest.max(1),
+            "Zipf 0.99 should skew hard: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn diurnal_envelope_modulates_arrival_density() {
+        let mut p = ServeParams::quick();
+        p.requests = 30_000;
+        p.diurnal_amp = 0.8;
+        // The envelope's first half-period runs above the mean rate, the
+        // second below it; folding arrivals by phase across the run's many
+        // periods, the rush half must hold clearly more than half of them.
+        let sched = build_schedule(&p);
+        let rush = sched
+            .iter()
+            .filter(|r| r.arrival % p.period_ns < p.period_ns / 2)
+            .count();
+        assert!(
+            rush > sched.len() * 60 / 100,
+            "rush-hour phase holds {rush} of {}",
+            sched.len()
+        );
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // Changing the read fraction must not move arrivals or shards.
+        let p = ServeParams::quick();
+        let mut p2 = p.clone();
+        p2.read_frac = 0.1;
+        let a = build_schedule(&p);
+        let b = build_schedule(&p2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.shard, y.shard);
+            assert_eq!(x.slot, y.slot);
+            assert_eq!(x.delta, y.delta);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The serve table's cell matrix, exercised end-to-end: every protocol at
+//! both offered loads and under every fault scenario must converge to the
+//! sequential reference. The high-load traditional cells are the
+//! regression guard for the LRC whole-page fetch escape hatch, which once
+//! regressed concurrent writers' words on false-shared pages.
+
+use vopp_core::{ClusterConfig, FaultPlan, Protocol};
+use vopp_serve::{build_schedule, run_serve, serve_reference, ServeParams, ServeVariant};
+use vopp_sim::{SimDuration, SimTime};
+
+const TRAD: [Protocol; 3] = [Protocol::LrcD, Protocol::Hlrc, Protocol::ScC];
+const VOPP: [Protocol; 2] = [Protocol::VcD, Protocol::VcSd];
+
+fn high_load() -> ServeParams {
+    let mut p = ServeParams::quick();
+    p.mean_gap_ns /= 2.0;
+    p
+}
+
+fn check(proto: Protocol, variant: ServeVariant, p: &ServeParams, faults: FaultPlan) {
+    let mut cfg = ClusterConfig::new(4, proto);
+    cfg.faults = faults;
+    let out = run_serve(&cfg, p, variant);
+    assert_eq!(out.checksum, serve_reference(p), "{proto} {variant:?}");
+    assert_eq!(out.served, p.requests as u64, "{proto} {variant:?}");
+}
+
+#[test]
+fn every_protocol_converges_at_high_load() {
+    // Halving the interarrival gap piles up concurrent unsynchronized
+    // writers on the store's false-shared pages — the hostile case for the
+    // lazy-diff protocols.
+    let p = high_load();
+    for proto in TRAD {
+        check(proto, ServeVariant::Traditional, &p, FaultPlan::none());
+    }
+    for proto in VOPP {
+        check(proto, ServeVariant::Vopp, &p, FaultPlan::none());
+    }
+}
+
+#[test]
+fn loss_and_slowdown_cells_converge() {
+    let p = ServeParams::quick();
+    for plan in [
+        FaultPlan::none().with_loss(0.02, 7),
+        FaultPlan::none().with_slowdown(0, 2.0),
+    ] {
+        check(Protocol::LrcD, ServeVariant::Traditional, &p, plan.clone());
+        check(Protocol::VcSd, ServeVariant::Vopp, &p, plan);
+    }
+}
+
+#[test]
+fn crash_cells_converge_on_both_vc_protocols() {
+    let p = ServeParams::quick();
+    let horizon = build_schedule(&p).last().unwrap().arrival;
+    for proto in VOPP {
+        let plan = FaultPlan::none().with_crash(
+            1,
+            SimTime(horizon / 4),
+            SimDuration::from_nanos(horizon / 4),
+        );
+        check(proto, ServeVariant::Vopp, &p, plan);
+    }
+}

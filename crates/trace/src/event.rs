@@ -179,6 +179,13 @@ pub enum EventKind {
         /// Lock id.
         lock: u64,
     },
+    /// `node` crashed and restarted its DSM engine: volatile state (page
+    /// copies, pending invalidations, view versions) was lost; its durable
+    /// write-ahead log survived. Recovery is lazy via version-0 acquires.
+    NodeCrash {
+        /// Materialized page buffers lost in the crash.
+        pages: u64,
+    },
 
     // ── correctness checking (vopp-racecheck) ───────────────────────────
     /// The happens-before checker confirmed a data race: `node`'s access is
@@ -210,6 +217,15 @@ pub enum EventKind {
     },
 
     // ── application layer ───────────────────────────────────────────────
+    /// The serving workload on `node` completed one request.
+    ServeRequest {
+        /// Shard the request addressed.
+        shard: u64,
+        /// PUT (write) vs GET (read).
+        write: bool,
+        /// Open-loop latency: completion minus scheduled arrival.
+        latency_ns: u64,
+    },
     /// An application-level span opened (e.g. a `with_view` bracket).
     SpanBegin {
         /// Span label.
@@ -245,8 +261,10 @@ impl EventKind {
             EventKind::LockAcquireStart { .. } => "lock_acquire_start",
             EventKind::LockAcquireEnd { .. } => "lock_acquire_end",
             EventKind::LockRelease { .. } => "lock_release",
+            EventKind::NodeCrash { .. } => "node_crash",
             EventKind::RaceDetected { .. } => "race_detected",
             EventKind::DisciplineViolation { .. } => "discipline_violation",
+            EventKind::ServeRequest { .. } => "serve_request",
             EventKind::SpanBegin { .. } => "span_begin",
             EventKind::SpanEnd { .. } => "span_end",
         }
@@ -362,6 +380,18 @@ impl Event {
             | EventKind::LockAcquireEnd { lock }
             | EventKind::LockRelease { lock } => {
                 pairs.push(("lock", json::num(*lock)));
+            }
+            EventKind::NodeCrash { pages } => {
+                pairs.push(("pages", json::num(*pages)));
+            }
+            EventKind::ServeRequest {
+                shard,
+                write,
+                latency_ns,
+            } => {
+                pairs.push(("shard", json::num(*shard)));
+                pairs.push(("write", Value::Bool(*write)));
+                pairs.push(("latency_ns", json::num(*latency_ns)));
             }
             EventKind::RaceDetected {
                 page,
@@ -499,6 +529,12 @@ impl Event {
             "lock_acquire_start" => EventKind::LockAcquireStart { lock: u("lock")? },
             "lock_acquire_end" => EventKind::LockAcquireEnd { lock: u("lock")? },
             "lock_release" => EventKind::LockRelease { lock: u("lock")? },
+            "node_crash" => EventKind::NodeCrash { pages: u("pages")? },
+            "serve_request" => EventKind::ServeRequest {
+                shard: u("shard")?,
+                write: b("write")?,
+                latency_ns: u("latency_ns")?,
+            },
             "race_detected" => EventKind::RaceDetected {
                 page: u("page")?,
                 other: id("other")?,
@@ -660,6 +696,20 @@ mod tests {
                 t: 113_000,
                 node: 0,
                 kind: EventKind::LockRelease { lock: 2 },
+            },
+            Event {
+                t: 113_200,
+                node: 2,
+                kind: EventKind::NodeCrash { pages: 18 },
+            },
+            Event {
+                t: 113_300,
+                node: 2,
+                kind: EventKind::ServeRequest {
+                    shard: 6,
+                    write: true,
+                    latency_ns: 480_000,
+                },
             },
             Event {
                 t: 113_500,

@@ -309,6 +309,31 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                     ],
                 );
             }
+            EventKind::NodeCrash { pages } => {
+                em.instant(
+                    n,
+                    "fault",
+                    &format!("crash ({pages} pages lost)"),
+                    ev.t,
+                    vec![("pages", json::num(*pages))],
+                );
+            }
+            EventKind::ServeRequest {
+                shard,
+                write,
+                latency_ns,
+            } => {
+                em.instant(
+                    n,
+                    "serve",
+                    &format!("{} s{shard}", if *write { "put" } else { "get" }),
+                    ev.t,
+                    vec![
+                        ("shard", json::num(*shard)),
+                        ("latency_ns", json::num(*latency_ns)),
+                    ],
+                );
+            }
             EventKind::DisciplineViolation {
                 rule,
                 page,
