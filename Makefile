@@ -3,9 +3,12 @@
 TRACE_DIR ?= target/trace-demo
 METRICS_DIR ?= target/bench-metrics
 BASELINE_DIR ?= crates/bench/baselines
+CRITPATH_DIR ?= target/bench-critpath
+CRITPATH_BASELINE_DIR ?= crates/bench/baselines-critpath
 
 .PHONY: all check fmt clippy test tables tables-quick serve bench bench-micro \
-        bench-wallclock baseline metrics-demo trace-demo racecheck clean
+        bench-wallclock baseline critpath baseline-critpath metrics-demo \
+        trace-demo racecheck clean
 
 all: check test
 
@@ -52,6 +55,22 @@ bench-wallclock:
 baseline:
 	cargo run -p vopp-bench --release --bin tables -- all serve --quick --metrics $(BASELINE_DIR)
 	rm -f $(BASELINE_DIR)/BENCH_wallclock.json
+
+# Critical-path profile of the full quick sweep (docs/OBSERVABILITY.md):
+# every table gains CP blame rows and what-if ceilings, the sweep writes
+# BENCH_critpath.json, and the critpath regression gate runs against the
+# committed baselines. Covers all five protocols (stats tables + ext +
+# serve).
+critpath:
+	cargo run -p vopp-bench --release --bin tables -- all ext serve --quick --critpath --metrics $(CRITPATH_DIR)
+	cargo run -p vopp-bench --release --bin metrics_diff -- $(CRITPATH_BASELINE_DIR) $(CRITPATH_DIR)
+
+# Refresh the committed critpath baselines after an intentional change to
+# the protocols or the cost model. Only BENCH_critpath.json is committed;
+# the per-app artifacts stay gated by `make baseline`.
+baseline-critpath:
+	cargo run -p vopp-bench --release --bin tables -- all ext serve --quick --critpath --metrics $(CRITPATH_DIR)
+	cp $(CRITPATH_DIR)/BENCH_critpath.json $(CRITPATH_BASELINE_DIR)/BENCH_critpath.json
 
 # One metered table, artifacts left in target/metrics-demo for inspection.
 metrics-demo:

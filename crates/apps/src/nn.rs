@@ -420,6 +420,7 @@ fn run_nn_mpi(cfg: &ClusterConfig, p: &NnParams) -> AppOutcome<f64> {
             net: vopp_simnet_stats(out.msgs, out.bytes),
             node_breakdowns: out.breakdowns,
             node_end: out.proc_end,
+            crit: None,
         },
     }
 }

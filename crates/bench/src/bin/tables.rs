@@ -42,6 +42,15 @@
 //! is opt-in like `ext`: request it by name (`tables serve`), it is not
 //! part of `all`.
 //!
+//! `--critpath` attaches the causal profiler to every run: each table
+//! gains `CP ...` rows decomposing the virtual-time critical path (plus
+//! what-if speedup ceilings), `--metrics` additionally writes
+//! `BENCH_critpath.json`, and `--trace` additionally writes a
+//! `<stem>.critpath.perfetto.json` track per run. Profiling is pure
+//! observation: every other table, metric and trace stream stays
+//! byte-identical. Like `--trace`, it disables `--cache` (a warm replay
+//! carries no causal log to walk).
+//!
 //! `--racecheck` additionally runs the dynamic-checker suite (see
 //! `docs/CORRECTNESS.md`): clean applications across all five
 //! protocol×style cells must report zero violations, and the seeded-racy
@@ -54,6 +63,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
+use vopp_bench::hostprof::{peak_rss_bytes, CountingAlloc, StageStats, StageTimer};
 use vopp_bench::sweep::{
     cells_for, context_hash, dedup_cells, run_sweep_cached, write_wallclock, DiskCache,
 };
@@ -61,6 +71,12 @@ use vopp_bench::tables;
 use vopp_bench::{MetricsSink, Scale, Table};
 use vopp_core::FaultPlan;
 use vopp_trace::json::Value;
+
+/// Count every allocation the table run makes; the per-stage deltas land
+/// in `BENCH_wallclock.json`. Library users and tests don't pay for this —
+/// only this binary installs the counting allocator.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn jobs_from(args: &[String]) -> usize {
     let parse = |s: &str, what: &str| match s.parse::<usize>() {
@@ -90,6 +106,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let racecheck = args.iter().any(|a| a == "--racecheck");
+    let critpath = args.iter().any(|a| a == "--critpath");
     let jobs = jobs_from(&args);
     let dir_flag = |flag: &str| {
         args.iter()
@@ -125,6 +142,10 @@ fn main() {
         eprintln!("[cache: disabled — --trace requires simulating every cell]");
         cache_dir = None;
     }
+    if cache_dir.is_some() && critpath {
+        eprintln!("[cache: disabled — --critpath requires simulating every cell]");
+        cache_dir = None;
+    }
     let wanted: Vec<&str> = args
         .iter()
         .enumerate()
@@ -142,7 +163,8 @@ fn main() {
     if wanted.is_empty() && !racecheck {
         eprintln!(
             "usage: tables [--quick] [--json] [--jobs N] [--trace DIR] [--metrics DIR] \
-             [--cache DIR] [--faults PLAN] [--racecheck] (all | table1 .. table9 | ext | serve)*"
+             [--cache DIR] [--faults PLAN] [--critpath] [--racecheck] \
+             (all | table1 .. table9 | ext | serve)*"
         );
         std::process::exit(2);
     }
@@ -158,6 +180,7 @@ fn main() {
         net_override: None,
         cache: None,
         faults,
+        critpath,
     };
     type TableFn = fn(&Scale) -> Table;
     let table_fns: Vec<(&str, TableFn)> = vec![
@@ -184,16 +207,23 @@ fn main() {
     // Precompute every selected cell on the worker pool; the table
     // functions below consume the cache in their original sequential
     // order, so all artifacts stay byte-identical for any --jobs value.
+    // Each stage's wall-clock and allocation delta lands in
+    // `BENCH_wallclock.json`.
+    let mut stages: Vec<StageStats> = Vec::new();
+    let stage = StageTimer::start("enumerate");
     let specs = dedup_cells(
         &selected
             .iter()
             .flat_map(|(name, _)| cells_for(name, &scale))
             .collect::<Vec<_>>(),
     );
+    stages.push(stage.finish());
+    let stage = StageTimer::start("simulate");
     let mut disk = cache_dir
         .as_ref()
         .map(|dir| DiskCache::open(dir, context_hash(&scale)));
     let cache = Arc::new(run_sweep_cached(&scale, &specs, jobs, disk.as_mut()));
+    stages.push(stage.finish());
     eprintln!(
         "[sweep: {} cells on {} worker(s) in {:.1?}]",
         cache.len(),
@@ -206,16 +236,11 @@ fn main() {
             cache.warm_cells, cache.simulated_cells
         );
     }
-    if let Some(dir) = &metrics_dir {
-        if let Err(e) = write_wallclock(&cache, dir) {
-            eprintln!("failed to write BENCH_wallclock.json: {e}");
-            std::process::exit(1);
-        }
-    }
-    scale.cache = Some(cache);
+    scale.cache = Some(cache.clone());
 
+    let stage = StageTimer::start("render");
     let mut produced = Vec::new();
-    for (name, f) in selected {
+    for (name, f) in &selected {
         let t0 = Instant::now();
         let table = f(&scale);
         eprintln!("[{name} generated in {:.1?}]", t0.elapsed());
@@ -229,8 +254,8 @@ fn main() {
         let v = Value::Arr(produced.iter().map(Table::to_value).collect());
         println!("{}", v.to_json_pretty());
     }
-    if let (Some(sink), Some(dir)) = (sink, metrics_dir) {
-        match sink.write_all(&dir) {
+    if let (Some(sink), Some(dir)) = (&sink, &metrics_dir) {
+        match sink.write_all(dir) {
             Ok(files) => eprintln!(
                 "[metrics: {} cells -> {} in {}]",
                 sink.len(),
@@ -242,6 +267,17 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    stages.push(stage.finish());
+    // Written last so the artifact covers every stage of the run.
+    if let Some(dir) = &metrics_dir {
+        if let Err(e) = write_wallclock(&cache, &stages, dir) {
+            eprintln!("failed to write BENCH_wallclock.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(rss) = peak_rss_bytes() {
+        eprintln!("[host: peak RSS {:.1} MiB]", rss as f64 / (1024.0 * 1024.0));
     }
     if racecheck {
         run_racecheck_suite();

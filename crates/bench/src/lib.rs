@@ -12,6 +12,7 @@
 //! model, protocol operations) and the ablations called out in DESIGN.md.
 
 pub mod harness;
+pub mod hostprof;
 pub mod metrics;
 pub mod persist;
 pub mod racecheck;
@@ -19,6 +20,7 @@ pub mod sweep;
 pub mod table;
 pub mod tables;
 
+pub use hostprof::{alloc_totals, peak_rss_bytes, CountingAlloc, StageStats, StageTimer};
 pub use metrics::MetricsSink;
 pub use racecheck::{run_racecheck, RacecheckOutcome};
 pub use sweep::{

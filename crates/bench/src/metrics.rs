@@ -29,6 +29,12 @@ pub const SCHEMA: &str = "vopp-bench-metrics/1";
 /// evidence of the sharded store.
 pub const SERVE_SCHEMA: &str = "vopp-bench-serve/1";
 
+/// Schema tag of the critical-path artifact (`BENCH_critpath.json`): one
+/// cell per profiled run with the path's blame decomposition and the
+/// what-if speedup ceilings. Deterministic and byte-stable across `--jobs`
+/// values; gated by its own baselines (`baselines-critpath/`).
+pub const CRITPATH_SCHEMA: &str = "vopp-bench-critpath/1";
+
 /// Maximum tolerated relative drift of a cell's `time_ns`, in percent.
 pub const TIME_DRIFT_PCT: f64 = 2.0;
 
@@ -76,7 +82,19 @@ fn cell_key(table: &str, variant: &str, protocol: &str, nprocs: usize) -> String
 #[derive(Debug, Default)]
 pub struct MetricsSink {
     cells: Mutex<Vec<Cell>>,
+    crit_cells: Mutex<Vec<CritCell>>,
     current_table: Mutex<String>,
+}
+
+/// One critical-path cell: the blame decomposition of a profiled run.
+#[derive(Debug, Clone)]
+struct CritCell {
+    table: String,
+    app: String,
+    variant: String,
+    protocol: String,
+    nprocs: usize,
+    crit: std::sync::Arc<vopp_metrics::CritPath>,
 }
 
 impl MetricsSink {
@@ -100,6 +118,7 @@ impl MetricsSink {
         stats: &RunStats,
     ) {
         let table = self.current_table.lock().expect("sink lock").clone();
+        self.record_crit(&table, app, variant, protocol, nprocs, stats);
         self.cells.lock().expect("sink lock").push(Cell {
             table,
             app: app.to_string(),
@@ -109,6 +128,29 @@ impl MetricsSink {
             stats: stats.clone(),
             serve: None,
         });
+    }
+
+    /// When the run carried a critical path, also record a critpath cell
+    /// (destined for `BENCH_critpath.json`). Zero cost when unprofiled.
+    fn record_crit(
+        &self,
+        table: &str,
+        app: &str,
+        variant: &str,
+        protocol: &str,
+        nprocs: usize,
+        stats: &RunStats,
+    ) {
+        if let Some(crit) = &stats.crit {
+            self.crit_cells.lock().expect("sink lock").push(CritCell {
+                table: table.to_string(),
+                app: app.to_string(),
+                variant: variant.to_string(),
+                protocol: protocol.to_string(),
+                nprocs,
+                crit: crit.clone(),
+            });
+        }
     }
 
     /// Record one verified serving run under the current table label. The
@@ -128,6 +170,7 @@ impl MetricsSink {
         recovered_pages: u64,
     ) {
         let table = self.current_table.lock().expect("sink lock").clone();
+        self.record_crit(&table, "serve", variant, protocol, nprocs, stats);
         self.cells.lock().expect("sink lock").push(Cell {
             table,
             app: "serve".to_string(),
@@ -154,38 +197,52 @@ impl MetricsSink {
         self.len() == 0
     }
 
-    /// Group the recorded cells into one JSON document per application.
+    /// Group the recorded cells into one JSON document per application,
+    /// plus a `critpath` document when any run was profiled.
     pub fn to_documents(&self) -> BTreeMap<String, Value> {
         let cells = self.cells.lock().expect("sink lock");
         let mut by_app: BTreeMap<String, Vec<&Cell>> = BTreeMap::new();
         for c in cells.iter() {
             by_app.entry(c.app.clone()).or_default().push(c);
         }
-        by_app
-            .into_iter()
-            .map(|(app, cells)| {
-                // Speedup base: the application's single-processor run (the
-                // speedup tables' sequential baseline). Cells recorded
-                // before any 1p run still resolve — the base is looked up
-                // across the whole app, not positionally.
-                let base_ns = cells
-                    .iter()
-                    .find(|c| c.nprocs == 1)
-                    .map(|c| c.stats.time.nanos());
+        let mut docs: BTreeMap<String, Value> = {
+            let crit = self.crit_cells.lock().expect("sink lock");
+            if crit.is_empty() {
+                BTreeMap::new()
+            } else {
                 let doc = obj(vec![
-                    (
-                        "schema",
-                        str(if app == "serve" { SERVE_SCHEMA } else { SCHEMA }),
-                    ),
-                    ("app", str(&app)),
+                    ("schema", str(CRITPATH_SCHEMA)),
                     (
                         "cells",
-                        Value::Arr(cells.iter().map(|c| cell_value(c, base_ns)).collect()),
+                        Value::Arr(crit.iter().map(crit_cell_value).collect()),
                     ),
                 ]);
-                (app, doc)
-            })
-            .collect()
+                [("critpath".to_string(), doc)].into_iter().collect()
+            }
+        };
+        docs.extend(by_app.into_iter().map(|(app, cells)| {
+            // Speedup base: the application's single-processor run (the
+            // speedup tables' sequential baseline). Cells recorded
+            // before any 1p run still resolve — the base is looked up
+            // across the whole app, not positionally.
+            let base_ns = cells
+                .iter()
+                .find(|c| c.nprocs == 1)
+                .map(|c| c.stats.time.nanos());
+            let doc = obj(vec![
+                (
+                    "schema",
+                    str(if app == "serve" { SERVE_SCHEMA } else { SCHEMA }),
+                ),
+                ("app", str(&app)),
+                (
+                    "cells",
+                    Value::Arr(cells.iter().map(|c| cell_value(c, base_ns)).collect()),
+                ),
+            ]);
+            (app, doc)
+        }));
+        docs
     }
 
     /// Write `BENCH_<app>.json` for every recorded application into `dir`
@@ -249,11 +306,69 @@ fn cell_value(c: &Cell, base_ns: Option<u64>) -> Value {
     obj(fields)
 }
 
+fn crit_cell_value(c: &CritCell) -> Value {
+    let cp = c.crit.as_ref();
+    let whatif = |removed_ns: u64| {
+        obj(vec![
+            ("removed_ns", num(removed_ns)),
+            ("speedup_ceiling", Value::Num(cp.ceiling(removed_ns))),
+        ])
+    };
+    obj(vec![
+        ("table", str(&c.table)),
+        ("app", str(&c.app)),
+        ("variant", str(&c.variant)),
+        ("protocol", str(&c.protocol)),
+        ("nprocs", num(c.nprocs as u64)),
+        // The gate's comparison surface: segment count exactly, the ns
+        // decomposition within the makespan drift budget.
+        ("cp_segments", num(cp.segs.len() as u64)),
+        ("makespan_ns", num(cp.makespan_ns)),
+        ("end_node", num(cp.end_node as u64)),
+        ("cpu_ns", num(cp.cpu_ns())),
+        ("cpu_app_ns", num(cp.cpu_app_ns())),
+        ("cpu_overhead_ns", num(cp.cpu_overhead_ns())),
+        ("diff_cpu_ns", num(cp.diff_cpu_ns())),
+        ("idle_ns", num(cp.cpu_op_ns(vopp_metrics::OpKind::Idle))),
+        ("net_ns", num(cp.net_ns())),
+        ("timeout_ns", num(cp.timeout_ns())),
+        (
+            "barrier_wait_ns",
+            num(cp.wait_ns(vopp_metrics::OpKind::Barrier)),
+        ),
+        (
+            "acquire_wait_ns",
+            num(cp.wait_ns(vopp_metrics::OpKind::Acquire)),
+        ),
+        ("data_wait_ns", num(cp.wait_ns(vopp_metrics::OpKind::Data))),
+        (
+            "flush_wait_ns",
+            num(cp.wait_ns(vopp_metrics::OpKind::Flush)),
+        ),
+        (
+            "whatif",
+            obj(vec![
+                ("net_free", whatif(cp.whatif_net_free_ns())),
+                ("diff_free", whatif(cp.whatif_diff_free_ns())),
+                ("barrier_free", whatif(cp.whatif_barrier_free_ns())),
+            ]),
+        ),
+    ])
+}
+
 /// Compare one candidate document against its baseline; returns one message
 /// per violation (empty = pass). Candidate cells absent from the baseline
 /// are allowed (new tables extend coverage without invalidating old
 /// baselines); baseline cells absent from the candidate fail.
+///
+/// `BENCH_critpath.json` documents (schema [`CRITPATH_SCHEMA`]) use their
+/// own rules: exact `cp_segments`, and every `*_ns` field within
+/// [`TIME_DRIFT_PCT`] percent of the baseline *makespan* (so zero-valued
+/// components have a well-defined budget too).
 pub fn compare(app: &str, baseline: &Value, candidate: &Value) -> Vec<String> {
+    if baseline.get("schema").and_then(Value::as_str) == Some(CRITPATH_SCHEMA) {
+        return compare_critpath(app, baseline, candidate);
+    }
     let mut errors = Vec::new();
     let cells_of = |v: &Value| -> BTreeMap<String, Value> {
         v.get("cells")
@@ -300,6 +415,92 @@ pub fn compare(app: &str, baseline: &Value, candidate: &Value) -> Vec<String> {
                 (Some(bv), Some(cv)) => errors.push(format!(
                     "{app}/{key}: {field} changed from {bv} to {cv} (must match exactly)"
                 )),
+                _ => errors.push(format!("{app}/{key}: unreadable {field}")),
+            }
+        }
+    }
+    errors
+}
+
+/// The `*_ns` decomposition fields of a critpath cell. Each is allowed to
+/// drift by [`TIME_DRIFT_PCT`] percent *of the baseline makespan* — an
+/// absolute budget, so components that are zero in the baseline (say,
+/// `timeout_ns` on a lossless run) still have a meaningful tolerance.
+const CRITPATH_NS_KEYS: [&str; 12] = [
+    "makespan_ns",
+    "cpu_ns",
+    "cpu_app_ns",
+    "cpu_overhead_ns",
+    "diff_cpu_ns",
+    "idle_ns",
+    "net_ns",
+    "timeout_ns",
+    "barrier_wait_ns",
+    "acquire_wait_ns",
+    "data_wait_ns",
+    "flush_wait_ns",
+];
+
+fn compare_critpath(app: &str, baseline: &Value, candidate: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    // Critpath cells span every application in one document, so the key
+    // carries the cell's own `app` field (the document-level `app` is the
+    // artifact name, "critpath").
+    let cells_of = |v: &Value| -> BTreeMap<String, Value> {
+        v.get("cells")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|c| {
+                let key = format!(
+                    "{}/{}",
+                    c.get("app")?.as_str()?,
+                    cell_key(
+                        c.get("table")?.as_str()?,
+                        c.get("variant")?.as_str()?,
+                        c.get("protocol")?.as_str()?,
+                        c.get("nprocs")?.as_usize()?,
+                    )
+                );
+                Some((key, c.clone()))
+            })
+            .collect()
+    };
+    let base = cells_of(baseline);
+    let cand = cells_of(candidate);
+    if base.is_empty() {
+        errors.push(format!("{app}: baseline has no readable cells"));
+    }
+    for (key, b) in &base {
+        let Some(c) = cand.get(key) else {
+            errors.push(format!("{app}/{key}: cell missing from candidate"));
+            continue;
+        };
+        let int_of = |v: &Value, field: &str| v.get(field).and_then(Value::as_u64);
+        let Some(makespan) = int_of(b, "makespan_ns") else {
+            errors.push(format!("{app}/{key}: unreadable makespan_ns"));
+            continue;
+        };
+        let budget_ns = makespan as f64 * TIME_DRIFT_PCT / 100.0;
+        match (int_of(b, "cp_segments"), int_of(c, "cp_segments")) {
+            (Some(bv), Some(cv)) if bv == cv => {}
+            (Some(bv), Some(cv)) => errors.push(format!(
+                "{app}/{key}: cp_segments changed from {bv} to {cv} (must match exactly)"
+            )),
+            _ => errors.push(format!("{app}/{key}: unreadable cp_segments")),
+        }
+        for field in CRITPATH_NS_KEYS {
+            match (int_of(b, field), int_of(c, field)) {
+                (Some(bv), Some(cv)) => {
+                    let drift = (cv as f64 - bv as f64).abs();
+                    if drift > budget_ns {
+                        errors.push(format!(
+                            "{app}/{key}: {field} drifted {drift:.0}ns \
+                             (baseline {bv}, candidate {cv}, \
+                             budget {budget_ns:.0}ns = {TIME_DRIFT_PCT}% of makespan)"
+                        ));
+                    }
+                }
                 _ => errors.push(format!("{app}/{key}: unreadable {field}")),
             }
         }
@@ -454,6 +655,101 @@ mod tests {
         // A vanished cell fails.
         let empty = sink_with(&[("table9", "is", "mpi", "vc_sd", 2, stats(1_000_000, 5, 0))]);
         let errs = compare("is", base_doc, &empty.to_documents()["is"]);
+        assert!(
+            errs.iter().any(|e| e.contains("missing from candidate")),
+            "{errs:?}"
+        );
+    }
+
+    fn crit_stats(makespan_ns: u64, net_ns: u64) -> RunStats {
+        use vopp_metrics::{CritPath, CritSeg, OpKind, SegCat};
+        let cpu = makespan_ns - net_ns;
+        let mut s = stats(makespan_ns, 10, 0);
+        s.crit = Some(std::sync::Arc::new(CritPath {
+            makespan_ns,
+            end_node: 0,
+            segs: vec![
+                CritSeg {
+                    node: 0,
+                    lo_ns: 0,
+                    hi_ns: cpu,
+                    cat: SegCat::Cpu,
+                    op: OpKind::App,
+                    obj: 0,
+                    app_ns: cpu,
+                    overhead_ns: 0,
+                    diff_ns: 0,
+                },
+                CritSeg {
+                    node: 0,
+                    lo_ns: cpu,
+                    hi_ns: makespan_ns,
+                    cat: SegCat::Net,
+                    op: OpKind::Barrier,
+                    obj: 0,
+                    app_ns: 0,
+                    overhead_ns: 0,
+                    diff_ns: 0,
+                },
+            ],
+        }));
+        s
+    }
+
+    #[test]
+    fn profiled_runs_produce_a_critpath_document() {
+        let sink = MetricsSink::new();
+        sink.begin_table("table3");
+        sink.record("is", "vopp", "vc_sd", 4, &crit_stats(1_000_000, 250_000));
+        sink.record("is", "trad", "lrc_d", 4, &stats(900_000, 10, 0)); // unprofiled
+        let docs = sink.to_documents();
+        assert_eq!(docs.keys().collect::<Vec<_>>(), ["critpath", "is"]);
+        let doc = &docs["critpath"];
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(CRITPATH_SCHEMA));
+        let cells = doc.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 1, "only the profiled run gets a cell");
+        let c = &cells[0];
+        assert_eq!(c.get("makespan_ns").unwrap().as_u64(), Some(1_000_000));
+        assert_eq!(c.get("cpu_ns").unwrap().as_u64(), Some(750_000));
+        assert_eq!(c.get("net_ns").unwrap().as_u64(), Some(250_000));
+        assert_eq!(c.get("barrier_wait_ns").unwrap().as_u64(), Some(250_000));
+        assert_eq!(c.get("cp_segments").unwrap().as_u64(), Some(2));
+        // Ceilings: removing 250k of 1M caps speedup at 4/3.
+        let net_free = c.get("whatif").unwrap().get("net_free").unwrap();
+        assert_eq!(net_free.get("removed_ns").unwrap().as_u64(), Some(250_000));
+        let ceiling = net_free.get("speedup_ceiling").unwrap().as_f64().unwrap();
+        assert!((ceiling - 4.0 / 3.0).abs() < 1e-9, "{ceiling}");
+    }
+
+    #[test]
+    fn critpath_gate_budgets_drift_against_the_makespan() {
+        let doc_of = |makespan, net| {
+            let sink = MetricsSink::new();
+            sink.begin_table("table3");
+            sink.record("is", "vopp", "vc_sd", 4, &crit_stats(makespan, net));
+            sink.to_documents().remove("critpath").unwrap()
+        };
+        let base = doc_of(1_000_000, 250_000);
+        // Identical passes.
+        assert_eq!(compare("critpath", &base, &base), Vec::<String>::new());
+        // net_ns moves by 1% of makespan: within the 2% budget even though
+        // it is a 4% relative change of the field itself.
+        let near = doc_of(1_000_000, 260_000);
+        assert_eq!(compare("critpath", &base, &near), Vec::<String>::new());
+        // net_ns moves by 5% of makespan: fails.
+        let far = doc_of(1_000_000, 300_000);
+        let errs = compare("critpath", &base, &far);
+        assert!(
+            errs.iter().any(|e| e.contains("net_ns drifted")),
+            "{errs:?}"
+        );
+        // A vanished cell fails.
+        let other = doc_of(2_000_000, 250_000);
+        let sink = MetricsSink::new();
+        sink.begin_table("table9");
+        sink.record("sor", "vopp", "vc_d", 2, &crit_stats(500_000, 100_000));
+        let missing = sink.to_documents().remove("critpath").unwrap();
+        let errs = compare("critpath", &other, &missing);
         assert!(
             errs.iter().any(|e| e.contains("missing from candidate")),
             "{errs:?}"

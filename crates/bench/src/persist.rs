@@ -242,6 +242,9 @@ pub fn stats_from_value(v: &Value) -> Option<RunStats> {
         },
         node_breakdowns,
         node_end,
+        // Critical paths are never cached: profiled sweeps re-simulate
+        // every cell (see run_sweep_cached), so a cache hit has no path.
+        crit: None,
     })
 }
 
@@ -308,6 +311,7 @@ mod tests {
             },
             node_breakdowns: vec![bd0, bd1],
             node_end: vec![SimTime(100), SimTime(123_456_789)],
+            crit: None,
         }
     }
 

@@ -44,8 +44,10 @@ use vopp_trace::json::{num, obj, str, Value};
 use crate::persist;
 use crate::tables::{self, Scale};
 
-/// Schema tag of the `BENCH_wallclock.json` artifact.
-pub const WALLCLOCK_SCHEMA: &str = "vopp-bench-wallclock/1";
+/// Schema tag of the `BENCH_wallclock.json` artifact. `/2` adds the
+/// `host` section (peak RSS, allocation counters) and the per-stage
+/// (`enumerate`/`simulate`/`render`) timing array.
+pub const WALLCLOCK_SCHEMA: &str = "vopp-bench-wallclock/2";
 
 /// Application of a sweep cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -616,9 +618,18 @@ pub fn run_sweep_cached(
     let t0 = Instant::now();
     let mut runs: BTreeMap<String, CachedRun> = BTreeMap::new();
     let mut cold: Vec<CellSpec> = Vec::new();
+    // Trace artifacts and critical paths only exist for cells that are
+    // actually simulated — a warm replay would silently produce neither.
+    // With tracing or profiling requested, every cell runs cold (results
+    // are still written back, so the cache warms up for ordinary sweeps).
+    let replay_warm = scale.trace_dir.is_none() && !scale.critpath;
     for spec in specs {
         let key = spec.key();
-        match disk.as_ref().and_then(|d| d.get(&key)) {
+        match disk
+            .as_ref()
+            .filter(|_| replay_warm)
+            .and_then(|d| d.get(&key))
+        {
             Some(run) => {
                 runs.insert(key, run.clone());
             }
@@ -671,12 +682,17 @@ pub fn run_sweep_cached(
     }
 }
 
-/// The `BENCH_wallclock.json` document for a finished sweep. Wall-clock is
+/// The `BENCH_wallclock.json` document for a finished sweep, including
+/// host-side self-profiling: peak RSS, cumulative allocation counters
+/// (live only when the binary installs [`crate::hostprof::CountingAlloc`])
+/// and per-stage wall-clock/allocation deltas. Wall-clock and memory are
 /// machine-dependent by nature: this artifact is reported and uploaded,
 /// never byte-compared by the regression gate (which `metrics_diff`
 /// enforces by skipping it).
-pub fn wallclock_document(cache: &RunCache) -> Value {
+pub fn wallclock_document(cache: &RunCache, stages: &[crate::hostprof::StageStats]) -> Value {
     let cells_ns = cache.cells_wall_ns();
+    let (allocs, alloc_bytes) = crate::hostprof::alloc_totals();
+    let peak_rss = crate::hostprof::peak_rss_bytes().map_or(Value::Null, num);
     let speedup = if cache.total_wall_ns > 0 {
         Value::Num(cells_ns as f64 / cache.total_wall_ns as f64)
     } else {
@@ -686,6 +702,38 @@ pub fn wallclock_document(cache: &RunCache) -> Value {
     obj(vec![
         ("schema", str(WALLCLOCK_SCHEMA)),
         ("jobs", num(cache.jobs as u64)),
+        // Host-side resource accounting (never gated): the process's
+        // high-water RSS (`null` off Linux) and cumulative allocation
+        // counters, zero unless the binary installed the counting
+        // allocator.
+        (
+            "host",
+            obj(vec![
+                ("peak_rss_bytes", peak_rss),
+                ("allocs", num(allocs)),
+                ("alloc_bytes", num(alloc_bytes)),
+            ]),
+        ),
+        // Per-stage cost of the whole table run (enumerate cells, simulate
+        // the sweep, render tables/artifacts). Empty when the caller did
+        // not time stages.
+        (
+            "stages",
+            Value::Arr(
+                stages
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("name", str(s.name)),
+                            ("wall_ns", num(s.wall_ns)),
+                            ("wall_ms", Value::Num(s.wall_ns as f64 / 1e6)),
+                            ("allocs", num(s.allocs)),
+                            ("alloc_bytes", num(s.alloc_bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         // Process-wide kernel scheduling counters: how many same-instant
         // wake-ups the direct-handoff path served without a controller
         // round-trip. Machine/schedule-independent for a given sweep, but
@@ -745,11 +793,15 @@ pub fn wallclock_document(cache: &RunCache) -> Value {
 }
 
 /// Write `BENCH_wallclock.json` into `dir` (created if needed).
-pub fn write_wallclock(cache: &RunCache, dir: &Path) -> std::io::Result<()> {
+pub fn write_wallclock(
+    cache: &RunCache,
+    stages: &[crate::hostprof::StageStats],
+    dir: &Path,
+) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(
         dir.join("BENCH_wallclock.json"),
-        wallclock_document(cache).to_json_pretty(),
+        wallclock_document(cache, stages).to_json_pretty(),
     )
 }
 
@@ -819,7 +871,13 @@ mod tests {
             let run = cache.get(&spec.key()).expect("cell precomputed");
             assert!(run.stats.time.nanos() > 0);
         }
-        let doc = wallclock_document(&cache);
+        let stages = [crate::hostprof::StageStats {
+            name: "simulate",
+            wall_ns: 123,
+            allocs: 0,
+            alloc_bytes: 0,
+        }];
+        let doc = wallclock_document(&cache, &stages);
         assert_eq!(
             doc.get("schema").and_then(Value::as_str),
             Some(WALLCLOCK_SCHEMA)
@@ -828,6 +886,19 @@ mod tests {
             doc.get("cells").and_then(Value::as_arr).map(<[_]>::len),
             Some(3)
         );
+        // Host accounting is always present; counters may be zero (no
+        // counting allocator in tests), RSS may be null off Linux.
+        let host = doc.get("host").expect("host section");
+        assert!(host.get("allocs").and_then(Value::as_u64).is_some());
+        assert!(host.get("alloc_bytes").and_then(Value::as_u64).is_some());
+        assert!(host.get("peak_rss_bytes").is_some());
+        let staged = doc.get("stages").and_then(Value::as_arr).expect("stages");
+        assert_eq!(staged.len(), 1);
+        assert_eq!(
+            staged[0].get("name").and_then(Value::as_str),
+            Some("simulate")
+        );
+        assert_eq!(staged[0].get("wall_ns").and_then(Value::as_u64), Some(123));
         // No disk cache: every cell simulated.
         let cache_doc = doc.get("cache").expect("cache section");
         assert_eq!(cache_doc.get("warm_cells").and_then(Value::as_u64), Some(0));
@@ -958,6 +1029,46 @@ mod tests {
                 "replayed stats must be byte-identical for {}",
                 spec.key()
             );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression test: a warm cache used to make `--trace` (and would make
+    /// `--critpath`) silently no-ops — zero cells simulated means zero
+    /// trace files and zero critical paths. Both flags must force every
+    /// cell cold.
+    #[test]
+    fn traced_or_profiled_sweeps_resimulate_warm_cells() {
+        let dir = scratch("trace-vs-cache");
+        let scale = Scale::quick();
+        let ctx = context_hash(&scale);
+        let specs = dedup_cells(&cells_for("table1", &scale));
+        let mut disk = DiskCache::open(&dir, ctx);
+        run_sweep_cached(&scale, &specs, 2, Some(&mut disk));
+
+        // A traced sweep over the now-warm cache still simulates every
+        // cell and writes its trace artifacts.
+        let trace_dir = dir.join("traces");
+        let mut traced_scale = scale.clone();
+        traced_scale.trace_dir = Some(trace_dir.clone());
+        let mut disk = DiskCache::open(&dir, ctx);
+        assert_eq!(disk.len(), 3, "cache is warm");
+        let traced = run_sweep_cached(&traced_scale, &specs, 2, Some(&mut disk));
+        assert_eq!((traced.warm_cells, traced.simulated_cells), (0, 3));
+        for spec in &specs {
+            let f = trace_dir.join(format!("{}.perfetto.json", spec.key()));
+            assert!(f.exists(), "trace missing for {}", spec.key());
+        }
+
+        // Same for a profiled sweep: a warm replay would carry no path.
+        let mut prof_scale = scale.clone();
+        prof_scale.critpath = true;
+        let mut disk = DiskCache::open(&dir, ctx);
+        let prof = run_sweep_cached(&prof_scale, &specs, 2, Some(&mut disk));
+        assert_eq!((prof.warm_cells, prof.simulated_cells), (0, 3));
+        for spec in &specs {
+            let run = prof.get(&spec.key()).expect("profiled cell");
+            assert!(run.stats.crit.is_some(), "{} lost its path", spec.key());
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

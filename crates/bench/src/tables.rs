@@ -54,6 +54,13 @@ pub struct Scale {
     pub faults: FaultPlan,
     /// Precomputed sweep results; `None` simulates every cell inline.
     pub cache: Option<Arc<RunCache>>,
+    /// Attach a causal profiler to every cluster run (the `tables
+    /// --critpath` flag): tables gain critical-path breakdown rows, the
+    /// metrics sink gains the `BENCH_critpath.json` artifact, and (with
+    /// `trace_dir`) each run writes a `<stem>.critpath.perfetto.json`
+    /// track. Profiling is pure observation — every other artifact stays
+    /// byte-identical.
+    pub critpath: bool,
 }
 
 impl Scale {
@@ -77,6 +84,10 @@ impl Scale {
             config.net = net.clone();
         }
         config.faults = self.faults.clone();
+        if self.critpath {
+            // One fresh profiler per run: causal logs are per-run state.
+            config.profiler = Some(Arc::new(vopp_sim::CausalProfiler::new(np)));
+        }
         config
     }
 
@@ -192,6 +203,27 @@ impl Scale {
             );
         }
     }
+    /// When both tracing and profiling are on, export the run's critical
+    /// path as its own Perfetto track (`<stem>.critpath.perfetto.json`).
+    /// A separate file keeps the existing `perfetto.json` stream
+    /// byte-identical with the profiler on or off.
+    fn finish_critpath(
+        &self,
+        stats: &RunStats,
+        app: &str,
+        variant: &str,
+        proto: Protocol,
+        np: usize,
+    ) {
+        if let (Some(dir), Some(cp)) = (self.trace_dir.as_ref(), stats.crit.as_deref()) {
+            std::fs::create_dir_all(dir).expect("failed to create trace directory");
+            let stem = format!("{app}_{variant}_{}_{np}p", proto.label().to_lowercase());
+            let path = dir.join(format!("{stem}.critpath.perfetto.json"));
+            std::fs::write(&path, vopp_metrics::critpath_to_chrome_json(cp))
+                .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        }
+    }
+
     /// Processor count of the statistics tables (paper: 16).
     pub fn stats_procs(&self) -> usize {
         if self.quick {
@@ -344,6 +376,69 @@ fn stats_rows(t: &mut Table, runs: &[RunStats], with_acquire_time: bool) {
             .map(|s| Table::f(s.send_overhead_pct(), 1))
             .collect(),
     );
+    critpath_rows(
+        t,
+        &runs.iter().map(|s| s.crit.as_deref()).collect::<Vec<_>>(),
+    );
+}
+
+/// Critical-path breakdown rows, appended to a statistics table when any
+/// of its runs was profiled (`--critpath`). Every percentage is of the
+/// *makespan*: unlike the summed-per-node breakdown above, these rows
+/// decompose the single chain of events that determined the finish time.
+/// Unprofiled columns (e.g. the NN MPI variant, which bypasses the cluster
+/// runtime) render `-`.
+fn critpath_rows(t: &mut Table, crits: &[Option<&vopp_metrics::CritPath>]) {
+    use vopp_metrics::{CritPath, OpKind};
+    if crits.iter().all(Option::is_none) {
+        return;
+    }
+    let ceiling = |x: f64| {
+        if x.is_finite() {
+            format!("{x:.2}x")
+        } else {
+            "inf".to_string()
+        }
+    };
+    let mut row = |label: &str, f: &dyn Fn(&CritPath) -> String| {
+        t.row(
+            label,
+            crits
+                .iter()
+                .map(|c| c.map_or_else(|| "-".to_string(), f))
+                .collect(),
+        );
+    };
+    row("CP Compute (%)", &|c| Table::f(c.pct(c.cpu_app_ns()), 1));
+    row("CP Overhead (%)", &|c| {
+        Table::f(c.pct(c.cpu_overhead_ns()), 1)
+    });
+    row("CP Diff CPU (%)", &|c| Table::f(c.pct(c.diff_cpu_ns()), 1));
+    row("CP Idle (%)", &|c| {
+        Table::f(c.pct(c.cpu_op_ns(OpKind::Idle)), 1)
+    });
+    row("CP Net Barrier (%)", &|c| {
+        Table::f(c.pct(c.wait_ns(OpKind::Barrier)), 1)
+    });
+    row("CP Net Acquire (%)", &|c| {
+        Table::f(c.pct(c.wait_ns(OpKind::Acquire)), 1)
+    });
+    row("CP Net Data (%)", &|c| {
+        Table::f(c.pct(c.wait_ns(OpKind::Data)), 1)
+    });
+    row("CP Net Flush (%)", &|c| {
+        Table::f(c.pct(c.wait_ns(OpKind::Flush)), 1)
+    });
+    row("CP Timeout (%)", &|c| Table::f(c.pct(c.timeout_ns()), 1));
+    row("Ceil. net free", &|c| {
+        ceiling(c.ceiling(c.whatif_net_free_ns()))
+    });
+    row("Ceil. diff free", &|c| {
+        ceiling(c.ceiling(c.whatif_diff_free_ns()))
+    });
+    row("Ceil. barrier free", &|c| {
+        ceiling(c.ceiling(c.whatif_barrier_free_ns()))
+    });
 }
 
 // -------------------------------------------------------------------
@@ -363,6 +458,7 @@ fn is_exec(
     let lb = variant == IsVariant::VoppLb;
     assert_eq!(out.value, is_reference(p, np, lb), "IS result mismatch");
     scale.finish_trace(tracer, "is", variant_label(variant), proto, np);
+    scale.finish_critpath(&out.stats, "is", variant_label(variant), proto, np);
     out.stats
 }
 
@@ -577,6 +673,7 @@ fn gauss_exec(
     let out = run_gauss(&config, p, variant);
     assert_eq!(out.value, gauss_reference(p, np), "Gauss result mismatch");
     scale.finish_trace(tracer, "gauss", variant_label(variant), proto, np);
+    scale.finish_critpath(&out.stats, "gauss", variant_label(variant), proto, np);
     out.stats
 }
 
@@ -669,6 +766,7 @@ fn sor_exec(
     let out = run_sor(&config, p, variant);
     assert_eq!(out.value, sor_reference(p), "SOR result mismatch");
     scale.finish_trace(tracer, "sor", variant_label(variant), proto, np);
+    scale.finish_critpath(&out.stats, "sor", variant_label(variant), proto, np);
     out.stats
 }
 
@@ -761,6 +859,7 @@ fn nn_exec(
     let out = run_nn(&config, p, variant);
     assert_eq!(out.value, nn_reference(p, np), "NN result mismatch");
     scale.finish_trace(tracer, "nn", variant_label(variant), proto, np);
+    scale.finish_critpath(&out.stats, "nn", variant_label(variant), proto, np);
     out.stats
 }
 
@@ -890,6 +989,10 @@ pub fn table_ext(scale: &Scale) -> Table {
         "Diff/Page Requests",
         runs.iter().map(|s| Table::i(s.diff_requests())).collect(),
     );
+    critpath_rows(
+        &mut t,
+        &runs.iter().map(|s| s.crit.as_deref()).collect::<Vec<_>>(),
+    );
     t
 }
 
@@ -952,6 +1055,13 @@ fn serve_exec(
     );
     scale.finish_trace(
         tracer,
+        "serve",
+        &serve_variant_label(variant, sc),
+        proto,
+        np,
+    );
+    scale.finish_critpath(
+        &out.stats,
         "serve",
         &serve_variant_label(variant, sc),
         proto,
@@ -1102,6 +1212,13 @@ pub fn table_serve(scale: &Scale) -> Table {
         runs.iter()
             .map(|(_, _, p)| Table::i(p.recovered_pages))
             .collect(),
+    );
+    critpath_rows(
+        &mut t,
+        &runs
+            .iter()
+            .map(|(_, s, _)| s.crit.as_deref())
+            .collect::<Vec<_>>(),
     );
     t
 }

@@ -40,7 +40,7 @@ fn sweep_artifacts(jobs: usize, base: &Path) -> (String, BTreeMap<String, String
     );
     let cache = run_sweep(&scale, &specs, jobs);
     assert_eq!(cache.jobs, jobs.min(specs.len()));
-    write_wallclock(&cache, &metrics).expect("write wallclock artifact");
+    write_wallclock(&cache, &[], &metrics).expect("write wallclock artifact");
     scale.cache = Some(Arc::new(cache));
     let text = all_tables(&scale)
         .iter()

@@ -22,6 +22,7 @@ use vopp_racecheck::{DisciplineRule, Mode as RcMode, RaceChecker, Violation};
 use vopp_sim::sync::Mutex;
 use vopp_sim::{AppCtx, EventKind, ProcId, SimDuration, SimTime};
 use vopp_simnet::RpcClient;
+use vopp_trace::{CausalProfiler, OpKind, OpSpan};
 
 use crate::cost::{CostModel, CpuDebt};
 use crate::layout::{Layout, ViewId};
@@ -41,6 +42,10 @@ pub struct DsmCtx<'a> {
     barrier_timeout: SimDuration,
     auto_views: Cell<bool>,
     rc: Option<Arc<RaceChecker>>,
+    /// Causal profiler of this run, cached off the kernel so the hot paths
+    /// pay one pointer test. When set, every flush and blocking wait also
+    /// records an [`OpSpan`] annotation for critical-path blame.
+    causal: Option<Arc<CausalProfiler>>,
 }
 
 impl<'a> DsmCtx<'a> {
@@ -54,6 +59,7 @@ impl<'a> DsmCtx<'a> {
             let n = node.lock();
             (n.cost.clone(), n.layout.clone(), n.protocol)
         };
+        let causal = sim.causal_profiler();
         DsmCtx {
             sim,
             node,
@@ -66,6 +72,7 @@ impl<'a> DsmCtx<'a> {
             barrier_timeout,
             auto_views: Cell::new(false),
             rc,
+            causal,
         }
     }
 
@@ -129,6 +136,20 @@ impl<'a> DsmCtx<'a> {
             .metrics
             .breakdown
             .charge(Phase::Idle, ns);
+        if let Some(prof) = &self.causal {
+            prof.record_op(
+                self.me(),
+                OpSpan {
+                    lo_ns: now.nanos(),
+                    hi_ns: until.nanos(),
+                    op: OpKind::Idle,
+                    obj: 0,
+                    app_ns: 0,
+                    overhead_ns: 0,
+                    diff_ns: 0,
+                },
+            );
+        }
         ns
     }
 
@@ -188,6 +209,23 @@ impl<'a> DsmCtx<'a> {
             let bd = &mut self.node.lock().stats.metrics.breakdown;
             bd.charge(Phase::Compute, f.app_ns);
             bd.charge(Phase::ProtoCpu, f.overhead_ns);
+            if let Some(prof) = &self.causal {
+                // The flush advanced the clock by exactly total_ns, so the
+                // annotation span matches the kernel's compute wake record.
+                let hi_ns = self.sim.now().nanos();
+                prof.record_op(
+                    self.me(),
+                    OpSpan {
+                        lo_ns: hi_ns - f.total_ns(),
+                        hi_ns,
+                        op: OpKind::App,
+                        obj: 0,
+                        app_ns: f.app_ns,
+                        overhead_ns: f.overhead_ns,
+                        diff_ns: f.diff_ns,
+                    },
+                );
+            }
         }
     }
 
@@ -195,8 +233,11 @@ impl<'a> DsmCtx<'a> {
     /// to `phase`, recording it in the matching latency histogram. Every
     /// blocking call in this file is bracketed by exactly one `charge_wait`,
     /// which is what makes the per-node breakdown sum to the node's clock.
-    fn charge_wait(&self, phase: Phase, since: SimTime) -> u64 {
-        let waited = (self.sim.now() - since).nanos();
+    /// `obj` is the view/lock/page the wait was for (0 when global), used
+    /// only by the critical-path blame annotation.
+    fn charge_wait(&self, phase: Phase, obj: u64, since: SimTime) -> u64 {
+        let now = self.sim.now();
+        let waited = (now - since).nanos();
         let mut n = self.node.lock();
         let m = &mut n.stats.metrics;
         m.breakdown.charge(phase, waited);
@@ -205,6 +246,28 @@ impl<'a> DsmCtx<'a> {
             Phase::BarrierWait => m.barrier_rtt.record(waited),
             Phase::DataWait => m.diff_rtt.record(waited),
             _ => {}
+        }
+        drop(n);
+        if let Some(prof) = &self.causal {
+            let op = match phase {
+                Phase::BarrierWait => OpKind::Barrier,
+                Phase::AcquireWait => OpKind::Acquire,
+                Phase::DataWait => OpKind::Data,
+                Phase::SendWait => OpKind::Flush,
+                _ => OpKind::Other,
+            };
+            prof.record_op(
+                self.me(),
+                OpSpan {
+                    lo_ns: since.nanos(),
+                    hi_ns: now.nanos(),
+                    op,
+                    obj,
+                    app_ns: 0,
+                    overhead_ns: 0,
+                    diff_ns: 0,
+                },
+            );
         }
         waited
     }
@@ -233,7 +296,7 @@ impl<'a> DsmCtx<'a> {
             if !groups.is_empty() {
                 if ndiffs > 0 {
                     self.debt
-                        .add_overhead(self.cost.diff_create * ndiffs as u64);
+                        .add_overhead_diff(self.cost.diff_create * ndiffs as u64);
                 }
                 self.flush();
                 let calls: Vec<(ProcId, usize, Req)> = groups
@@ -246,7 +309,7 @@ impl<'a> DsmCtx<'a> {
                     .collect();
                 let t_rpc = self.sim.now();
                 let replies = self.rpc.borrow_mut().call_all(&self.sim, &calls);
-                self.charge_wait(Phase::SendWait, t_rpc);
+                self.charge_wait(Phase::SendWait, 0, t_rpc);
                 for pkt in replies {
                     assert!(matches!(pkt.expect::<Resp>(), Resp::Ack));
                 }
@@ -277,7 +340,7 @@ impl<'a> DsmCtx<'a> {
             let ndiffs = self.close_interval();
             if ndiffs > 0 {
                 self.debt
-                    .add_overhead(self.cost.diff_create * ndiffs as u64);
+                    .add_overhead_diff(self.cost.diff_create * ndiffs as u64);
                 self.flush();
             }
             let mut n = self.node.lock();
@@ -310,7 +373,7 @@ impl<'a> DsmCtx<'a> {
             .borrow_mut()
             .call_with_timeout(&self.sim, 0, bytes, req, self.barrier_timeout)
             .expect::<Resp>();
-        self.charge_wait(Phase::BarrierWait, t_rpc);
+        self.charge_wait(Phase::BarrierWait, 0, t_rpc);
         match resp {
             Resp::BarrierRelease {
                 records,
@@ -400,7 +463,7 @@ impl<'a> DsmCtx<'a> {
         let ndiffs = self.close_interval();
         if ndiffs > 0 {
             self.debt
-                .add_overhead(self.cost.diff_create * ndiffs as u64);
+                .add_overhead_diff(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         let (home, vt) = {
@@ -415,7 +478,7 @@ impl<'a> DsmCtx<'a> {
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
-        self.charge_wait(Phase::AcquireWait, t_rpc);
+        self.charge_wait(Phase::AcquireWait, lock as u64, t_rpc);
         match resp {
             Resp::LockGrant {
                 records,
@@ -453,7 +516,7 @@ impl<'a> DsmCtx<'a> {
         let ndiffs = self.close_interval();
         if ndiffs > 0 {
             self.debt
-                .add_overhead(self.cost.diff_create * ndiffs as u64);
+                .add_overhead_diff(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         if let Some(rc) = self.rc_hb() {
@@ -475,7 +538,7 @@ impl<'a> DsmCtx<'a> {
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
-        self.charge_wait(Phase::SendWait, t_rpc);
+        self.charge_wait(Phase::SendWait, lock as u64, t_rpc);
         assert!(matches!(resp, Resp::Ack), "lock_release expects Ack");
         self.trace(EventKind::LockRelease { lock: lock as u64 });
     }
@@ -495,7 +558,7 @@ impl<'a> DsmCtx<'a> {
         let ndiffs = self.close_interval();
         if ndiffs > 0 {
             self.debt
-                .add_overhead(self.cost.diff_create * ndiffs as u64);
+                .add_overhead_diff(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         let (home, have) = {
@@ -517,7 +580,7 @@ impl<'a> DsmCtx<'a> {
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
-        self.charge_wait(Phase::AcquireWait, t_rpc);
+        self.charge_wait(Phase::AcquireWait, lock as u64, t_rpc);
         match resp {
             Resp::ViewGrant {
                 records,
@@ -576,7 +639,7 @@ impl<'a> DsmCtx<'a> {
         };
         if ndiffs > 0 {
             self.debt
-                .add_overhead(self.cost.diff_create * ndiffs as u64);
+                .add_overhead_diff(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         let req = Req::ViewRelease {
@@ -594,7 +657,7 @@ impl<'a> DsmCtx<'a> {
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
-        self.charge_wait(Phase::SendWait, t_rpc);
+        self.charge_wait(Phase::SendWait, lock as u64, t_rpc);
         match resp {
             Resp::ReleaseAck { version } => {
                 let mut n = self.node.lock();
@@ -672,7 +735,7 @@ impl<'a> DsmCtx<'a> {
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
-        self.charge_wait(Phase::AcquireWait, t0);
+        self.charge_wait(Phase::AcquireWait, v as u64, t0);
         match resp {
             Resp::ViewGrant {
                 records,
@@ -712,7 +775,7 @@ impl<'a> DsmCtx<'a> {
                 drop(n);
                 if napplied > 0 {
                     self.debt
-                        .add_overhead(self.cost.diff_apply * napplied as u64);
+                        .add_overhead_diff(self.cost.diff_apply * napplied as u64);
                 }
                 self.emit_notices(fresh, v as u64 + 1);
                 if self.tracing() {
@@ -786,7 +849,7 @@ impl<'a> DsmCtx<'a> {
         };
         if ndiffs > 0 {
             self.debt
-                .add_overhead(self.cost.diff_create * ndiffs as u64);
+                .add_overhead_diff(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
         let req = Req::ViewRelease {
@@ -804,7 +867,7 @@ impl<'a> DsmCtx<'a> {
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
-        self.charge_wait(Phase::SendWait, t_rpc);
+        self.charge_wait(Phase::SendWait, v as u64, t_rpc);
         match resp {
             Resp::ReleaseAck { version } => {
                 let mut n = self.node.lock();
@@ -861,7 +924,7 @@ impl<'a> DsmCtx<'a> {
             .borrow_mut()
             .call(&self.sim, home, bytes, req)
             .expect::<Resp>();
-        self.charge_wait(Phase::SendWait, t_rpc);
+        self.charge_wait(Phase::SendWait, v as u64, t_rpc);
         assert!(matches!(resp, Resp::Ack));
         self.trace(EventKind::ReleaseDone {
             view: v as u64,
@@ -1164,7 +1227,7 @@ impl<'a> DsmCtx<'a> {
             });
             let t_rpc = self.sim.now();
             let pkt = self.rpc.borrow_mut().call(&self.sim, home, bytes, req);
-            self.charge_wait(Phase::DataWait, t_rpc);
+            self.charge_wait(Phase::DataWait, p as u64, t_rpc);
             match pkt.expect::<Resp>() {
                 Resp::PageResp {
                     content: Some(content),
@@ -1174,7 +1237,7 @@ impl<'a> DsmCtx<'a> {
                     n.mem.release_page(content);
                     n.mem.validate(p);
                     n.stats.diffs_applied += 1;
-                    self.debt.add_overhead(self.cost.diff_apply);
+                    self.debt.add_overhead_diff(self.cost.diff_apply);
                     drop(n);
                     self.trace(EventKind::DiffApply {
                         page: p as u64,
@@ -1214,7 +1277,7 @@ impl<'a> DsmCtx<'a> {
                 .rpc
                 .borrow_mut()
                 .call(&self.sim, last.id.owner, bytes, req);
-            self.charge_wait(Phase::DataWait, t_rpc);
+            self.charge_wait(Phase::DataWait, p as u64, t_rpc);
             match pkt.expect::<Resp>() {
                 Resp::PageResp {
                     content: Some(content),
@@ -1224,7 +1287,7 @@ impl<'a> DsmCtx<'a> {
                     n.mem.release_page(content);
                     n.mem.validate(p);
                     n.stats.diffs_applied += 1;
-                    self.debt.add_overhead(self.cost.diff_apply);
+                    self.debt.add_overhead_diff(self.cost.diff_apply);
                     drop(n);
                     self.trace(EventKind::DiffApply {
                         page: p as u64,
@@ -1271,7 +1334,7 @@ impl<'a> DsmCtx<'a> {
         }
         let t_rpc = self.sim.now();
         let replies = self.rpc.borrow_mut().call_all(&self.sim, &calls);
-        self.charge_wait(Phase::DataWait, t_rpc);
+        self.charge_wait(Phase::DataWait, p as u64, t_rpc);
         let mut items = Vec::new();
         for pkt in replies {
             match pkt.expect::<Resp>() {
@@ -1296,7 +1359,7 @@ impl<'a> DsmCtx<'a> {
             }
         }
         self.debt
-            .add_overhead(self.cost.diff_apply * items.len() as u64);
+            .add_overhead_diff(self.cost.diff_apply * items.len() as u64);
     }
 
     fn ensure_readable(&self, p: PageId) {

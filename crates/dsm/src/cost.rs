@@ -55,6 +55,7 @@ impl Default for CostModel {
 pub struct CpuDebt {
     ns: Cell<f64>,
     overhead_ns: Cell<f64>,
+    diff_ns: Cell<f64>,
 }
 
 /// Whole nanoseconds pushed into the clock by one [`CpuDebt::flush`], split
@@ -66,6 +67,9 @@ pub struct FlushedNs {
     pub app_ns: u64,
     /// Protocol CPU (page-fault traps, twins, diff create/apply).
     pub overhead_ns: u64,
+    /// Diff create/apply share of `overhead_ns`. Purely informational —
+    /// feeds the critical-path profiler's "free diffs" what-if estimator.
+    pub diff_ns: u64,
 }
 
 impl FlushedNs {
@@ -103,6 +107,15 @@ impl CpuDebt {
         self.overhead_ns.set(self.overhead_ns.get() + ns);
     }
 
+    /// Add protocol overhead that is diff creation/application. Identical
+    /// clock effect to [`CpuDebt::add_overhead`]; the diff share is also
+    /// reported separately by the next flush.
+    #[inline]
+    pub fn add_overhead_diff(&self, d: SimDuration) {
+        self.add_overhead(d);
+        self.diff_ns.set(self.diff_ns.get() + d.nanos() as f64);
+    }
+
     /// Nanoseconds currently owed (both accounts).
     pub fn owed_ns(&self) -> f64 {
         self.ns.get()
@@ -114,6 +127,7 @@ impl CpuDebt {
     pub fn flush(&self, ctx: &AppCtx<'_>) -> FlushedNs {
         let ns = self.ns.replace(0.0);
         let overhead = self.overhead_ns.replace(0.0);
+        let diff = self.diff_ns.replace(0.0);
         if ns >= 1.0 {
             let total = ns as u64;
             ctx.compute(SimDuration::from_nanos(total));
@@ -121,6 +135,7 @@ impl CpuDebt {
             FlushedNs {
                 app_ns: total - overhead_ns,
                 overhead_ns,
+                diff_ns: (diff as u64).min(overhead_ns),
             }
         } else {
             FlushedNs::default()
@@ -150,7 +165,8 @@ mod tests {
                 f,
                 FlushedNs {
                     app_ns: 2_500,
-                    overhead_ns: 0
+                    overhead_ns: 0,
+                    diff_ns: 0
                 }
             );
             assert_eq!(d.owed_ns(), 0.0);
@@ -190,6 +206,24 @@ mod tests {
             ctx.now()
         });
         assert_eq!(out.results[0].nanos(), 40_000);
+    }
+
+    #[test]
+    fn diff_overhead_is_reported_within_the_overhead_share() {
+        let out = vopp_sim::run_simple(1, SimDuration::from_micros(1), |ctx| {
+            let d = CpuDebt::new();
+            d.add_ns(1_000.0);
+            d.add_overhead(SimDuration::from_nanos(200));
+            d.add_overhead_diff(SimDuration::from_nanos(300));
+            let f = d.flush(&ctx);
+            assert_eq!(f.total_ns(), 1_500);
+            assert_eq!(f.overhead_ns, 500);
+            assert_eq!(f.diff_ns, 300);
+            // A fresh flush reports nothing.
+            assert_eq!(d.flush(&ctx), FlushedNs::default());
+            ctx.now()
+        });
+        assert_eq!(out.results[0].nanos(), 1_500);
     }
 
     #[test]

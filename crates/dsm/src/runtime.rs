@@ -50,6 +50,13 @@ pub struct ClusterConfig {
     /// via [`ClusterConfig::faults`]. The default empty plan changes
     /// nothing.
     pub faults: FaultPlan,
+    /// Causal profiler for critical-path extraction. When set, every kernel
+    /// wake records its causal predecessor and [`RunStats::crit`] carries
+    /// the extracted path. Recording never advances virtual time: results,
+    /// statistics, and trace streams are byte-identical either way.
+    ///
+    /// [`RunStats::crit`]: crate::RunStats::crit
+    pub profiler: Option<Arc<vopp_trace::CausalProfiler>>,
 }
 
 impl ClusterConfig {
@@ -65,6 +72,7 @@ impl ClusterConfig {
             page_pool_cap: vopp_page::PagePool::CAP,
             racecheck: None,
             faults: FaultPlan::none(),
+            profiler: None,
         }
     }
 
@@ -124,6 +132,9 @@ where
     let mut sim = Sim::new(n, Box::new(model));
     if let Some(tr) = &cfg.tracer {
         sim.set_tracer(tr.clone());
+    }
+    if let Some(prof) = &cfg.profiler {
+        sim.set_profiler(prof.clone());
     }
 
     let nodes: Vec<Arc<Mutex<NodeState>>> = (0..n)
@@ -185,6 +196,10 @@ where
         agg.absorb(&node.stats);
     }
     let net = *net_stats.lock();
+    let crit = cfg.profiler.as_ref().map(|prof| {
+        let ends: Vec<u64> = out.proc_end.iter().map(|t| t.nanos()).collect();
+        Arc::new(vopp_metrics::extract(&prof.take(), &ends))
+    });
     ClusterOutcome {
         results: out.results,
         stats: RunStats {
@@ -194,6 +209,7 @@ where
             net,
             node_breakdowns,
             node_end: out.proc_end.clone(),
+            crit,
         },
     }
 }

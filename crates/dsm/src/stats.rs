@@ -131,6 +131,11 @@ pub struct RunStats {
     pub node_breakdowns: Vec<Breakdown>,
     /// Per-node virtual finish times, indexed by node id.
     pub node_end: Vec<SimTime>,
+    /// The run's virtual-time critical path, present when the causal
+    /// profiler was attached ([`crate::ClusterConfig::profiler`]). Pure
+    /// observation: everything else in this struct is byte-identical with
+    /// or without it.
+    pub crit: Option<std::sync::Arc<vopp_metrics::CritPath>>,
 }
 
 impl RunStats {

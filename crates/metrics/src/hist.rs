@@ -317,6 +317,86 @@ mod tests {
     }
 
     #[test]
+    fn values_exactly_on_bucket_bounds_land_in_the_lower_bucket() {
+        // Bounds are inclusive upper bounds: a sample equal to BOUNDS[i]
+        // must count in bucket i, and BOUNDS[i] + 1 in bucket i + 1.
+        for (i, &b) in BOUNDS.iter().enumerate() {
+            let mut h = Histogram::default();
+            h.record(b);
+            assert_eq!(h.bucket_counts()[i], 1, "bound {b} in bucket {i}");
+            let mut h = Histogram::default();
+            h.record(b + 1);
+            assert_eq!(h.bucket_counts()[i + 1], 1, "bound {b}+1 spills over");
+        }
+    }
+
+    #[test]
+    fn zero_lands_in_the_first_bucket() {
+        let mut h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.sum_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        // The bucket bound (1µs) exceeds the exact max; quantiles clamp.
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn u64_max_lands_in_overflow_and_keeps_exact_max() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_counts()[NBUCKETS - 1], 1);
+        assert_eq!(h.max_ns(), u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.p999(), u64::MAX);
+    }
+
+    #[test]
+    fn one_below_the_first_bound_stays_in_the_first_bucket() {
+        let mut h = Histogram::default();
+        h.record(999);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.quantile(0.5), 999);
+    }
+
+    #[test]
+    fn p999_with_fewer_than_1000_samples_is_the_max_sample() {
+        // With n < 1000, rank = ceil(0.999 * n) = n: p99.9 must be the
+        // slowest sample, never a phantom sub-maximum bucket.
+        for n in [1u64, 2, 10, 999] {
+            let mut h = Histogram::default();
+            for _ in 0..n - 1 {
+                h.record(800);
+            }
+            h.record(42_000_000); // 20-50ms bucket; exact max 42ms
+            assert_eq!(h.p999(), 42_000_000, "n={n}");
+        }
+    }
+
+    #[test]
+    fn p999_rank_boundary_at_exactly_1000_samples() {
+        // 999 fast + 1 slow: rank = ceil(0.999 * 1000) = 999 → the fast
+        // bucket; the single slow sample is only visible at q = 1.0.
+        let mut h = Histogram::default();
+        for _ in 0..999 {
+            h.record(800);
+        }
+        h.record(42_000_000);
+        assert_eq!(h.p999(), 1_000);
+        assert_eq!(h.quantile(1.0), 42_000_000);
+
+        // 998 fast + 2 slow: rank 999 is the first slow sample.
+        let mut h = Histogram::default();
+        for _ in 0..998 {
+            h.record(800);
+        }
+        h.record(42_000_000);
+        h.record(42_000_000);
+        assert_eq!(h.p999(), 42_000_000);
+    }
+
+    #[test]
     fn absorb_merges_counts_and_max() {
         let mut a = Histogram::default();
         a.record(100);

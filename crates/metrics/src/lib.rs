@@ -1,6 +1,6 @@
 //! Per-node metrics for the VOPP simulator.
 //!
-//! Three primitives, all deterministic and allocation-light so they can sit
+//! Four primitives, all deterministic and allocation-light so they can sit
 //! on the simulated hot path:
 //!
 //! * [`Breakdown`] — a phase-accounting clock that classifies every
@@ -13,16 +13,22 @@
 //! * [`Registry`] — a string-keyed export container for counters, gauges
 //!   and histogram summaries, with insertion-independent (sorted) iteration
 //!   and byte-stable JSON via `vopp_trace::json`.
+//! * [`critpath`] — backward-walk extraction of the exact virtual-time
+//!   critical path from a `vopp_trace::CausalLog`, with blame attribution
+//!   and what-if speedup ceilings.
 //!
 //! The crate deliberately knows nothing about the simulator: `vopp-sim`
 //! stays metrics-free, `vopp-dsm`/`vopp-mpi` charge phases at their blocking
 //! points, and `vopp-bench` serialises the result into `BENCH_<app>.json`
 //! artifacts for the regression gate.
 
+pub mod critpath;
 pub mod hist;
 pub mod phase;
 pub mod registry;
 
+pub use critpath::{critpath_to_chrome_json, extract, CritPath, CritSeg, SegCat};
 pub use hist::{Histogram, Summary};
 pub use phase::{Breakdown, Phase};
 pub use registry::Registry;
+pub use vopp_trace::{CausalLog, CausalProfiler, OpKind, OpSpan};

@@ -84,7 +84,10 @@ impl<'a> AppCtx<'a> {
     ) {
         let mut s = self.shared.sched.lock();
         let now = s.procs[self.me].clock;
-        let pkt = Packet::new(self.me, wire_bytes, class, tag, payload);
+        let mut pkt = Packet::new(self.me, wire_bytes, class, tag, payload);
+        if let Some(p) = &s.profiler {
+            pkt.cause = p.cur_ctx();
+        }
         s.submit_send(now, dst, pkt);
     }
 
@@ -170,6 +173,13 @@ impl<'a> AppCtx<'a> {
         purged
     }
 
+    /// The causal profiler installed on this run, if any. Upper layers
+    /// (the DSM runtime) use it to annotate the timeline with protocol
+    /// operations; `None` means critical-path recording is off.
+    pub fn causal_profiler(&self) -> Option<std::sync::Arc<vopp_trace::CausalProfiler>> {
+        self.shared.sched.lock().profiler.clone()
+    }
+
     /// Whether an enabled tracer is installed. Layers that need to compute
     /// anything to build an event should gate on this first.
     #[inline]
@@ -233,7 +243,10 @@ impl<'a> SvcCtx<'a> {
         payload: Payload,
     ) {
         let mut s = self.shared.sched.lock();
-        let pkt = Packet::new(self.me, wire_bytes, class, tag, payload);
+        let mut pkt = Packet::new(self.me, wire_bytes, class, tag, payload);
+        if let Some(p) = &s.profiler {
+            pkt.cause = p.cur_ctx();
+        }
         s.submit_send(self.now, dst, pkt);
     }
 

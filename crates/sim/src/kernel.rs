@@ -32,7 +32,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use vopp_trace::{EventKind, Tracer};
+use vopp_trace::{CausalProfiler, CtxKind, EventKind, Tracer, NO_CTX};
 
 use crate::ctx::{AppCtx, SvcCtx};
 use crate::net::{NetModel, RouteRequest};
@@ -188,6 +188,9 @@ pub(crate) struct Sched {
     handoff: HandoffStats,
     pub(crate) net: Box<dyn NetModel>,
     pub(crate) tracer: Option<Arc<Tracer>>,
+    /// Causal-edge recorder for the critical-path profiler; pure
+    /// observation — `None` costs one pointer test per wake/send.
+    pub(crate) profiler: Option<Arc<CausalProfiler>>,
 }
 
 impl Sched {
@@ -304,7 +307,7 @@ impl Shared {
             match entry.ev {
                 Event::Resume(p) => match s.procs[p].phase {
                     Phase::Startup | Phase::BlockedResume => {
-                        self.wake_now(s, p, entry.at);
+                        self.wake_now(s, p, entry.at, NO_CTX);
                         s.handoff.direct += 1;
                         return true;
                     }
@@ -339,9 +342,10 @@ impl Shared {
                             }
                         }
                         DeliveryClass::App => {
+                            let cause = pkt.cause;
                             s.procs[dst].mailbox.push_back(pkt);
                             if matches!(s.procs[dst].phase, Phase::WaitRecv { .. }) {
-                                self.wake_now(s, dst, entry.at);
+                                self.wake_now(s, dst, entry.at, cause);
                                 s.handoff.direct += 1;
                                 return true;
                             }
@@ -355,7 +359,7 @@ impl Shared {
                         })
                     {
                         s.procs[dst].timed_out = true;
-                        self.wake_now(s, dst, entry.at);
+                        self.wake_now(s, dst, entry.at, NO_CTX);
                         s.handoff.direct += 1;
                         return true;
                     }
@@ -376,6 +380,9 @@ impl Shared {
         pkt: Packet,
         at: SimTime,
     ) -> Result<(), Box<dyn std::any::Any + Send>> {
+        if let Some(prof) = &s.profiler {
+            prof.record_svc(dst, at.0, pkt.cause);
+        }
         let mut h = self.handlers.lock()[dst]
             .take()
             .unwrap_or_else(|| panic!("no Svc handler on proc {dst}"));
@@ -393,11 +400,35 @@ impl Shared {
     /// Mark process `p` runnable at virtual time `t` and notify its thread.
     /// Shared by the controller's `wake` and the direct-handoff path; every
     /// clock advance and its compute/blocked classification happens here.
-    pub(crate) fn wake_now(&self, s: &mut MutexGuard<'_, Sched>, p: ProcId, t: SimTime) {
+    /// `pkt_cause` is the delivered packet's causal stamp on receive wakes
+    /// ([`NO_CTX`] for self-caused resumes and timer expiries).
+    pub(crate) fn wake_now(
+        &self,
+        s: &mut MutexGuard<'_, Sched>,
+        p: ProcId,
+        t: SimTime,
+        pkt_cause: u64,
+    ) {
         debug_assert!(s.running.is_none());
         if s.procs[p].phase == Phase::Startup {
             if let Some(tr) = &s.tracer {
                 tr.record(t.0, p, EventKind::ProcStart);
+            }
+        }
+        if let Some(prof) = &s.profiler {
+            let pi = &s.procs[p];
+            let kind = match pi.phase {
+                Phase::Startup => Some(CtxKind::Start),
+                Phase::BlockedResume => Some(CtxKind::Compute),
+                Phase::WaitRecv { .. } => Some(if pi.timed_out {
+                    CtxKind::Timeout
+                } else {
+                    CtxKind::Wait
+                }),
+                Phase::Running | Phase::Finished => None,
+            };
+            if let Some(kind) = kind {
+                prof.record_wake(p, pi.clock.0, pi.clock.max(t).0, kind, pkt_cause);
             }
         }
         let pi = &mut s.procs[p];
@@ -453,6 +484,7 @@ pub struct Sim {
     net: Box<dyn NetModel>,
     handlers: Vec<Option<Handler>>,
     tracer: Option<Arc<Tracer>>,
+    profiler: Option<Arc<CausalProfiler>>,
     direct_handoff: bool,
 }
 
@@ -465,6 +497,7 @@ impl Sim {
             net,
             handlers: (0..nprocs).map(|_| None).collect(),
             tracer: None,
+            profiler: None,
             direct_handoff: direct_handoff_default(),
         }
     }
@@ -482,6 +515,14 @@ impl Sim {
     /// [`SvcCtx::trace`] so higher layers share one event stream.
     pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
         self.tracer = Some(tracer);
+    }
+
+    /// Install a causal-edge recorder for the critical-path profiler.
+    /// Wakes, service dispatches and packet sends are tagged with their
+    /// immediate causal predecessor; recording is pure observation and
+    /// never influences scheduling, clocks, or any virtual-time result.
+    pub fn set_profiler(&mut self, profiler: Arc<CausalProfiler>) {
+        self.profiler = Some(profiler);
     }
 
     /// Register the service handler for process `p` (at most one each).
@@ -517,6 +558,7 @@ impl Sim {
                 handoff: HandoffStats::default(),
                 net: self.net,
                 tracer: self.tracer.clone(),
+                profiler: self.profiler,
             }),
             proc_cv: (0..nprocs).map(|_| Condvar::new()).collect(),
             ctl_cv: Condvar::new(),
@@ -647,7 +689,7 @@ impl Sim {
             match entry.ev {
                 Event::Resume(p) => match s.procs[p].phase {
                     Phase::Startup | Phase::BlockedResume => {
-                        Self::wake(shared, &mut s, p, entry.at);
+                        Self::wake(shared, &mut s, p, entry.at, NO_CTX);
                     }
                     Phase::Finished => {}
                     ref ph => unreachable!("resume for proc {p} in phase {ph:?}"),
@@ -678,9 +720,10 @@ impl Sim {
                             }
                         }
                         DeliveryClass::App => {
+                            let cause = pkt.cause;
                             s.procs[dst].mailbox.push_back(pkt);
                             if matches!(s.procs[dst].phase, Phase::WaitRecv { .. }) {
-                                Self::wake(shared, &mut s, dst, entry.at);
+                                Self::wake(shared, &mut s, dst, entry.at, cause);
                             }
                         }
                     }
@@ -692,7 +735,7 @@ impl Sim {
                         })
                     {
                         s.procs[dst].timed_out = true;
-                        Self::wake(shared, &mut s, dst, entry.at);
+                        Self::wake(shared, &mut s, dst, entry.at, NO_CTX);
                     }
                     // Otherwise the timer is stale (the wait already ended).
                 }
@@ -707,8 +750,8 @@ impl Sim {
     /// thread; the `draining` check keeps this loop parked even if the
     /// condvar wakes spuriously while a drain has the lock released to run a
     /// service handler.
-    fn wake(shared: &Shared, s: &mut MutexGuard<'_, Sched>, p: ProcId, t: SimTime) {
-        shared.wake_now(s, p, t);
+    fn wake(shared: &Shared, s: &mut MutexGuard<'_, Sched>, p: ProcId, t: SimTime, pkt_cause: u64) {
+        shared.wake_now(s, p, t, pkt_cause);
         s.handoff.via_controller += 1;
         while (s.running.is_some() || s.draining) && !s.panicked {
             shared.ctl_cv.wait(s);

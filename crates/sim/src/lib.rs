@@ -33,4 +33,6 @@ pub use kernel::{
 pub use net::{NetModel, PerfectNet, RouteRequest};
 pub use packet::{DeliveryClass, Packet, Payload};
 pub use time::{SimDuration, SimTime};
-pub use vopp_trace::{EventKind, Tracer};
+pub use vopp_trace::{
+    CausalLog, CausalProfiler, CtxKind, CtxRecord, EventKind, OpKind, OpSpan, Tracer, NO_CTX,
+};

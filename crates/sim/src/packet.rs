@@ -46,6 +46,10 @@ pub struct Packet {
     /// Virtual time at which the packet arrived at the destination.
     /// Filled in by the kernel on delivery; zero while in flight.
     pub arrived: SimTime,
+    /// Causal-profiler record id of the context this packet was sent from
+    /// ([`vopp_trace::NO_CTX`] when no profiler is installed). Stamped by
+    /// the sending context; pure observation, never read by protocols.
+    pub cause: u64,
     /// The transferred value, shared with every other copy of this message.
     pub payload: Payload,
 }
@@ -65,6 +69,7 @@ impl Packet {
             class,
             tag,
             arrived: SimTime::ZERO,
+            cause: vopp_trace::NO_CTX,
             payload,
         }
     }
@@ -117,6 +122,7 @@ impl Packet {
             class,
             tag,
             arrived,
+            cause,
             payload,
         } = self;
         match payload.downcast::<T>() {
@@ -127,6 +133,7 @@ impl Packet {
                 class,
                 tag,
                 arrived,
+                cause,
                 payload,
             }),
         }

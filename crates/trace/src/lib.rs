@@ -19,6 +19,7 @@
 //! a single `Option` test; a disabled tracer costs one relaxed atomic load
 //! (both guarded by the overhead bench in `vopp-bench`).
 
+pub mod causal;
 pub mod check;
 pub mod event;
 pub mod json;
@@ -26,6 +27,7 @@ pub mod perfetto;
 pub mod report;
 pub mod tracer;
 
+pub use causal::{CausalLog, CausalProfiler, CtxKind, CtxRecord, OpKind, OpSpan, NO_CTX};
 pub use check::{check, CheckConfig, Violation};
 pub use event::{Event, EventKind, NodeId};
 pub use perfetto::to_chrome_json;
