@@ -8,7 +8,7 @@ CRITPATH_BASELINE_DIR ?= crates/bench/baselines-critpath
 
 .PHONY: all check fmt clippy test tables tables-quick serve bench bench-micro \
         bench-wallclock baseline critpath baseline-critpath metrics-demo \
-        trace-demo racecheck clean
+        trace-demo racecheck parkernel clean
 
 all: check test
 
@@ -87,6 +87,17 @@ trace-demo:
 	cargo run -p vopp-bench --release --bin tables -- table1 --quick --trace $(TRACE_DIR)
 	@echo "Perfetto files in $(TRACE_DIR):"
 	@ls $(TRACE_DIR)
+
+# The intra-run parallel kernel (docs/PERFORMANCE.md §7): the byte-identity
+# test suite, then a quick sweep at 4 sim workers vs sequential — metrics
+# must pass the regression gate and be byte-identical (wall-clock excluded
+# by design; its `sim` section reports the window/merge counters).
+parkernel:
+	cargo test --release -p vopp-bench --test parkernel
+	cargo run -p vopp-bench --release --bin tables -- all serve --quick --jobs 4 --sim-workers 4 --metrics target/park-metrics
+	cargo run -p vopp-bench --release --bin tables -- all serve --quick --jobs 4 --metrics target/park-seq
+	cargo run -p vopp-bench --release --bin metrics_diff -- $(BASELINE_DIR) target/park-metrics
+	diff -r --exclude=BENCH_wallclock.json target/park-metrics target/park-seq
 
 # The dynamic-checker suite (docs/CORRECTNESS.md): clean applications
 # across all five protocol×style cells must report zero violations, the

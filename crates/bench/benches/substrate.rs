@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use vopp_bench::harness::{black_box, Runner};
 use vopp_page::{Diff, DiffRun, PageBuf, PagePool, SharedHeap, VTime, PAGE_WORDS};
-use vopp_sim::{NetModel, Payload, RouteRequest, Sim, SimDuration, SimTime};
+use vopp_sim::{DeliveryClass, NetModel, Payload, RouteRequest, Sim, SimDuration, SimTime};
 use vopp_simnet::{EthernetModel, NetConfig};
 
 /// The pre-chunking `Diff::create`, replicated verbatim from the seed: a
@@ -190,6 +190,56 @@ fn bench_kernel(r: &mut Runner) {
     }
 }
 
+/// One neighbor-exchange cluster run: every process alternates a compute
+/// slice with a ring send/recv — the communication shape of the SOR/Gauss
+/// boundary exchanges, and dense enough in events that the parallel kernel's
+/// windows carry real work. Returns the (worker-invariant) virtual end time
+/// as a self-check token.
+fn exchange_run(nodes: usize, workers: usize) -> u64 {
+    let mut sim = Sim::new(
+        nodes,
+        Box::new(EthernetModel::new(nodes, NetConfig::lossless())),
+    );
+    sim.set_workers(workers);
+    let out = sim.run(|ctx| {
+        let n = ctx.nprocs();
+        let me = ctx.me();
+        for _ in 0..24 {
+            ctx.compute(SimDuration::from_micros(30));
+            ctx.send((me + 1) % n, 512, DeliveryClass::App, 0, Arc::new(0u8));
+            let _ = ctx.recv();
+        }
+        0u8
+    });
+    out.end_time.nanos()
+}
+
+/// Intra-run parallel kernel: the neighbor-exchange workload across
+/// 1/2/4/8 sim workers at 8–64 nodes. Virtual time is identical at every
+/// width (asserted); only wall-clock moves. The printed speedups are the
+/// coordination-overhead picture `docs/PERFORMANCE.md` §7 discusses.
+fn bench_parkernel(r: &mut Runner) {
+    for nodes in [8usize, 16, 32, 64] {
+        let vt = exchange_run(nodes, 1);
+        let mut base = None;
+        for workers in [1usize, 2, 4, 8] {
+            let d = r.bench(&format!("parkernel_exchange_{nodes}n_{workers}w"), || {
+                let end = black_box(exchange_run(nodes, workers));
+                assert_eq!(end, vt, "virtual time must not depend on width");
+                end
+            });
+            match (workers, d, base) {
+                (1, Some(d), _) => base = Some(d),
+                (_, Some(d), Some(b)) => println!(
+                    "    -> {workers} workers run the {nodes}-node exchange in {:.2}x sequential time",
+                    d.as_nanos() as f64 / b.as_nanos().max(1) as f64
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
 /// Payload fan-out: sharing one `Arc` allocation across 32 destinations
 /// (what the transport does for broadcasts and retransmissions) vs the
 /// seed's per-destination deep clone of a 4 KiB message.
@@ -226,5 +276,6 @@ fn main() {
     bench_heap(&mut r);
     bench_net(&mut r);
     bench_kernel(&mut r);
+    bench_parkernel(&mut r);
     bench_payload(&mut r);
 }

@@ -25,6 +25,14 @@
 //! byte-identical for any worker count — cells are independent
 //! deterministic simulations consumed in sequential order.
 //!
+//! `--sim-workers N` (or `VOPP_SIM_WORKERS=N`; default: 1) additionally
+//! parallelizes *inside* each simulation: the kernel executes conservative-
+//! lookahead windows of causally independent events on N threads and merges
+//! them in virtual-time order (see `docs/PERFORMANCE.md` §7). Composes with
+//! `--jobs`; every artifact stays byte-identical for any combination. Runs
+//! on networks without a lookahead bound (or below the 1 us floor, e.g. the
+//! zero-latency what-if) fall back to sequential with a one-time notice.
+//!
 //! `--cache <dir>` keeps a persistent content-addressed store of finished
 //! cells (`sweep-cache.json`) across invocations: a warm rerun simulates
 //! nothing and replays the identical tables/metrics from disk. The cache is
@@ -101,6 +109,29 @@ fn jobs_from(args: &[String]) -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+fn sim_workers_from(args: &[String]) -> usize {
+    let parse = |s: &str, what: &str| match s.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("{what} must be a positive integer, got {s:?}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--sim-workers") {
+        match args.get(i + 1) {
+            Some(n) if !n.starts_with("--") => return parse(n, "--sim-workers"),
+            _ => {
+                eprintln!("--sim-workers requires a positive integer argument");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Ok(n) = std::env::var("VOPP_SIM_WORKERS") {
+        return parse(&n, "VOPP_SIM_WORKERS");
+    }
+    1
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -108,6 +139,12 @@ fn main() {
     let racecheck = args.iter().any(|a| a == "--racecheck");
     let critpath = args.iter().any(|a| a == "--critpath");
     let jobs = jobs_from(&args);
+    // Intra-run parallel kernel width for every simulation this process
+    // runs. Composes freely with --jobs: --jobs parallelizes across cells,
+    // --sim-workers inside each one; artifacts are byte-identical for any
+    // combination. The race-checker suite always forces its own runs
+    // sequential (see `vopp_dsm::ClusterConfig::sim_workers`).
+    vopp_sim::set_sim_workers_default(sim_workers_from(&args));
     let dir_flag = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -156,14 +193,14 @@ fn main() {
                 && !matches!(args.get(i.wrapping_sub(1)),
                     Some(prev) if prev == "--trace" || prev == "--metrics"
                         || prev == "--jobs" || prev == "--cache"
-                        || prev == "--faults")
+                        || prev == "--faults" || prev == "--sim-workers")
         })
         .map(|(_, s)| s.as_str())
         .collect();
     if wanted.is_empty() && !racecheck {
         eprintln!(
-            "usage: tables [--quick] [--json] [--jobs N] [--trace DIR] [--metrics DIR] \
-             [--cache DIR] [--faults PLAN] [--critpath] [--racecheck] \
+            "usage: tables [--quick] [--json] [--jobs N] [--sim-workers N] [--trace DIR] \
+             [--metrics DIR] [--cache DIR] [--faults PLAN] [--critpath] [--racecheck] \
              (all | table1 .. table9 | ext | serve)*"
         );
         std::process::exit(2);

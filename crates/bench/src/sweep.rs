@@ -46,8 +46,10 @@ use crate::tables::{self, Scale};
 
 /// Schema tag of the `BENCH_wallclock.json` artifact. `/2` adds the
 /// `host` section (peak RSS, allocation counters) and the per-stage
-/// (`enumerate`/`simulate`/`render`) timing array.
-pub const WALLCLOCK_SCHEMA: &str = "vopp-bench-wallclock/2";
+/// (`enumerate`/`simulate`/`render`) timing array. `/3` adds the `sim`
+/// section: the intra-run parallel kernel's worker width, window counters,
+/// and execute/merge stage timers.
+pub const WALLCLOCK_SCHEMA: &str = "vopp-bench-wallclock/3";
 
 /// Application of a sweep cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -699,6 +701,7 @@ pub fn wallclock_document(cache: &RunCache, stages: &[crate::hostprof::StageStat
         Value::Null
     };
     let handoff = handoff_totals();
+    let win = vopp_sim::window_totals();
     obj(vec![
         ("schema", str(WALLCLOCK_SCHEMA)),
         ("jobs", num(cache.jobs as u64)),
@@ -751,6 +754,27 @@ pub fn wallclock_document(cache: &RunCache, stages: &[crate::hostprof::StageStat
                         Value::Null
                     },
                 ),
+            ]),
+        ),
+        // Intra-run parallel kernel counters (process-wide totals): the
+        // configured worker width, how many conservative-lookahead windows
+        // ran (inline = single-group sequential fast path, parallel =
+        // multi-group concurrent), the events they drained, wall time spent
+        // executing windows vs. serially committing their logs, and runs
+        // that requested workers but fell back to the sequential kernel.
+        // Virtual-time artifacts are byte-identical at any width; only
+        // these wall-clock numbers move.
+        (
+            "sim",
+            obj(vec![
+                ("sim_workers", num(vopp_sim::sim_workers_default() as u64)),
+                ("windows", num(win.windows)),
+                ("inline_windows", num(win.inline_windows)),
+                ("parallel_windows", num(win.parallel_windows)),
+                ("window_events", num(win.window_events)),
+                ("exec_ns", num(win.exec_ns)),
+                ("merge_ns", num(win.merge_ns)),
+                ("fallback_runs", num(win.fallback_runs)),
             ]),
         ),
         // Persistent-cache effect on this sweep: cells replayed from disk
@@ -907,6 +931,21 @@ mod tests {
             Some(3)
         );
         assert!(doc.get("handoff").is_some());
+        // `/3`: the parallel-kernel section is always present, with the
+        // configured width and all window/stage counters.
+        let sim = doc.get("sim").expect("sim section");
+        assert!(sim.get("sim_workers").and_then(Value::as_u64).is_some());
+        for key in [
+            "windows",
+            "inline_windows",
+            "parallel_windows",
+            "window_events",
+            "exec_ns",
+            "merge_ns",
+            "fallback_runs",
+        ] {
+            assert!(sim.get(key).and_then(Value::as_u64).is_some(), "sim.{key}");
+        }
     }
 
     /// Fresh scratch directory under the target-adjacent temp dir; unique

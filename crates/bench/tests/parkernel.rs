@@ -1,0 +1,266 @@
+//! The intra-run parallel kernel (`--sim-workers`, see `docs/PERFORMANCE.md`
+//! §7) must be invisible in every gated artifact: table text, per-app
+//! `BENCH_*.json` metrics, trace files, and critical-path artifacts are
+//! byte-identical between 4 sim workers and 1 — including faulted,
+//! crash/recovery, and `--critpath` cells. The race-checker suite forces its
+//! own runs sequential, so its verdicts don't depend on the width either.
+//!
+//! The worker width is a process-wide default, so the tests serialize on a
+//! mutex and restore width 1 before releasing it.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use vopp_bench::sweep::{cells_for, dedup_cells, run_sweep};
+use vopp_bench::{tables, MetricsSink, Scale, Table};
+use vopp_core::FaultPlan;
+
+static WIDTH: Mutex<()> = Mutex::new(());
+
+/// Take the width lock (surviving another test's panic) — every test in
+/// this binary mutates the process-wide sim-worker default.
+fn lock_width() -> MutexGuard<'static, ()> {
+    WIDTH.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Tables that together cover all five protocol columns (the statistics
+/// sweep), plus the extended-systems and serving tables.
+const TABLES: [&str; 11] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    "ext", "serve",
+];
+
+type TableFn = fn(&Scale) -> Table;
+
+fn table_fn(name: &str) -> TableFn {
+    match name {
+        "table1" => tables::table1,
+        "table2" => tables::table2,
+        "table3" => tables::table3,
+        "table4" => tables::table4,
+        "table5" => tables::table5,
+        "table6" => tables::table6,
+        "table7" => tables::table7,
+        "table8" => tables::table8,
+        "table9" => tables::table9,
+        "ext" => tables::table_ext,
+        "serve" => tables::table_serve,
+        other => panic!("unknown table {other}"),
+    }
+}
+
+/// Mirror the `tables` binary at `--sim-workers <width>`: quick scale,
+/// traces + metrics, selected tables. Returns the rendered table text plus
+/// every artifact file (wall-clock excluded — machine-dependent by design).
+fn artifacts(
+    width: usize,
+    base: &Path,
+    names: &[&str],
+    faults: &FaultPlan,
+    critpath: bool,
+) -> (String, BTreeMap<String, String>) {
+    vopp_sim::set_sim_workers_default(width);
+    let traces = base.join("traces");
+    let metrics = base.join("metrics");
+    let sink = Arc::new(MetricsSink::new());
+    let mut scale = Scale {
+        quick: true,
+        trace_dir: Some(traces.clone()),
+        metrics: Some(sink.clone()),
+        faults: faults.clone(),
+        critpath,
+        ..Scale::default()
+    };
+    let specs = dedup_cells(
+        &names
+            .iter()
+            .flat_map(|name| cells_for(name, &scale))
+            .collect::<Vec<_>>(),
+    );
+    scale.cache = Some(Arc::new(run_sweep(&scale, &specs, 1)));
+    let text = names
+        .iter()
+        .map(|name| table_fn(name)(&scale).to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::create_dir_all(&metrics).expect("create metrics dir");
+    sink.write_all(&metrics).expect("write metrics artifacts");
+    let mut files = BTreeMap::new();
+    for (dir, tag) in [(&metrics, "metrics"), (&traces, "traces")] {
+        for entry in std::fs::read_dir(dir).expect("read artifact dir") {
+            let entry = entry.expect("artifact entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            files.insert(
+                format!("{tag}/{name}"),
+                std::fs::read_to_string(entry.path()).expect("read artifact"),
+            );
+        }
+    }
+    (text, files)
+}
+
+fn assert_identical(
+    label: &str,
+    (t1, f1): &(String, BTreeMap<String, String>),
+    (t4, f4): &(String, BTreeMap<String, String>),
+) {
+    assert_eq!(t1, t4, "{label}: table text depends on sim-worker count");
+    assert_eq!(
+        f1.keys().collect::<Vec<_>>(),
+        f4.keys().collect::<Vec<_>>(),
+        "{label}: artifact file sets differ"
+    );
+    for (name, body) in f1 {
+        assert_eq!(
+            body, &f4[name],
+            "{label}: {name} differs between sim-workers 1 and 4"
+        );
+    }
+}
+
+#[test]
+fn full_sweep_is_byte_identical_at_4_sim_workers() {
+    let _w = lock_width();
+    let base = std::env::temp_dir().join(format!("vopp-parkernel-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let none = FaultPlan::none();
+
+    let seq = artifacts(1, &base.join("w1"), &TABLES, &none, false);
+    let before = vopp_sim::window_totals();
+    let par = artifacts(4, &base.join("w4"), &TABLES, &none, false);
+    let after = vopp_sim::window_totals();
+    vopp_sim::set_sim_workers_default(1);
+
+    // The parallel kernel must actually have engaged: the default Ethernet
+    // model exports a 45 us lookahead, far above the 1 us floor.
+    assert!(
+        after.windows > before.windows,
+        "4-worker sweep carved no windows"
+    );
+    assert!(after.parallel_windows > before.parallel_windows);
+
+    assert!(
+        seq.1.keys().any(|k| k.starts_with("metrics/BENCH_")),
+        "sweep produced no metrics artifacts"
+    );
+    assert!(
+        seq.1.keys().any(|k| k.ends_with(".events.json")),
+        "sweep produced no trace artifacts"
+    );
+    assert_identical("full sweep", &seq, &par);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn faulted_and_crash_recovery_cells_are_byte_identical() {
+    let _w = lock_width();
+    let base = std::env::temp_dir().join(format!("vopp-parkernel-faults-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    // Elevated loss reshapes retransmission timing everywhere and a slowdown
+    // skews one node's cost model. (Crash/recovery runs are covered by the
+    // serve table's own fault dimension in the full-sweep test — a *global*
+    // crash plan is rejected by the traditional serving variant.)
+    let plan = FaultPlan::parse("loss=0.02@7,slow=0x1.5").expect("fault plan");
+    let names = ["table1", "serve"];
+
+    let seq = artifacts(1, &base.join("w1"), &names, &plan, false);
+    let par = artifacts(4, &base.join("w4"), &names, &plan, false);
+    vopp_sim::set_sim_workers_default(1);
+
+    assert_identical("faulted sweep", &seq, &par);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn critpath_artifacts_are_byte_identical() {
+    let _w = lock_width();
+    let base = std::env::temp_dir().join(format!("vopp-parkernel-crit-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let none = FaultPlan::none();
+    let names = ["table1", "serve"];
+
+    let seq = artifacts(1, &base.join("w1"), &names, &none, true);
+    let par = artifacts(4, &base.join("w4"), &names, &none, true);
+    vopp_sim::set_sim_workers_default(1);
+
+    assert!(
+        seq.1.contains_key("metrics/BENCH_critpath.json"),
+        "critpath run produced no BENCH_critpath.json"
+    );
+    assert!(
+        seq.1.keys().any(|k| k.ends_with(".critpath.perfetto.json")),
+        "critpath run produced no per-run critical-path tracks"
+    );
+    assert_identical("critpath sweep", &seq, &par);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Wall-clock measurement for `docs/PERFORMANCE.md` §7: one full-instance
+/// 32-processor SOR cell (VC_sd) at sim-worker widths 1/2/4. Ignored by
+/// default — it is a measurement, not a correctness gate; run it with
+/// `cargo test --release -p vopp-bench --test parkernel -- --ignored measure --nocapture`.
+#[test]
+#[ignore]
+fn measure_full_instance_speedup() {
+    use vopp_apps::sor::{run_sor, SorParams, SorVariant};
+    use vopp_dsm::{ClusterConfig, Protocol};
+
+    use vopp_apps::gauss::{run_gauss, GaussParams, GaussVariant};
+    use vopp_apps::is::{run_is, IsParams, IsVariant};
+    use vopp_apps::nn::{run_nn, NnParams, NnVariant};
+
+    let _w = lock_width();
+    let measure = |label: &str, run: &dyn Fn(&ClusterConfig) -> (u64, u64)| {
+        let mut checksum = None;
+        for width in [1usize, 2, 4] {
+            let mut cfg = ClusterConfig::new(32, Protocol::VcSd);
+            cfg.sim_workers = width;
+            let t0 = std::time::Instant::now();
+            let (sum, virt) = run(&cfg);
+            let wall = t0.elapsed();
+            match checksum {
+                None => checksum = Some(sum),
+                Some(c) => assert_eq!(c, sum, "{label}: checksum diverged at width {width}"),
+            }
+            println!("{label} 32p VC_sd: sim_workers={width} wall={wall:.2?} virtual={virt}ns");
+        }
+    };
+    measure("sor bench", &|cfg| {
+        let o = run_sor(cfg, &SorParams::bench(), SorVariant::Vopp);
+        (o.value.to_bits(), o.stats.time.nanos())
+    });
+    measure("gauss bench", &|cfg| {
+        let o = run_gauss(cfg, &GaussParams::bench(), GaussVariant::Vopp);
+        (o.value.to_bits(), o.stats.time.nanos())
+    });
+    measure("is bench", &|cfg| {
+        let o = run_is(cfg, &IsParams::bench(), IsVariant::Vopp);
+        (o.value, o.stats.time.nanos())
+    });
+    measure("nn bench", &|cfg| {
+        let o = run_nn(cfg, &NnParams::bench(), NnVariant::Vopp);
+        (o.value.to_bits(), o.stats.time.nanos())
+    });
+    vopp_sim::set_sim_workers_default(1);
+}
+
+#[test]
+fn racecheck_suite_is_unaffected_by_the_width_default() {
+    let _w = lock_width();
+    // `run_cluster` forces its simulations sequential whenever a checker is
+    // attached, so the suite's verdicts and rendering can't depend on the
+    // process default.
+    vopp_sim::set_sim_workers_default(1);
+    let seq = vopp_bench::run_racecheck();
+    vopp_sim::set_sim_workers_default(4);
+    let par = vopp_bench::run_racecheck();
+    vopp_sim::set_sim_workers_default(1);
+    assert!(seq.ok(), "racecheck suite failed sequentially");
+    assert!(par.ok(), "racecheck suite failed with a parallel default");
+    assert_eq!(
+        seq.render(),
+        par.render(),
+        "racecheck output depends on the sim-worker default"
+    );
+}

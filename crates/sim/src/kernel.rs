@@ -1,9 +1,10 @@
-//! The sequential discrete-event scheduler.
+//! The discrete-event scheduler: a sequential core plus an optional
+//! conservative-lookahead parallel kernel.
 //!
-//! Every simulated process is backed by an OS thread, but **exactly one
-//! thread runs at any instant**: the controller (the thread that called
-//! [`Sim::run`]) pops events in `(time, seq)` order and hands control to the
-//! corresponding process thread, then waits for it to block again. This gives
+//! Every simulated process is backed by an OS thread, but **within one node
+//! group exactly one thread runs at any instant**: an event-loop thread pops
+//! events in `(time, seq)` order and hands control to the corresponding
+//! process thread, then waits for it to block again. This gives
 //! straight-line imperative process code (no hand-written state machines)
 //! while keeping execution fully deterministic.
 //!
@@ -26,10 +27,25 @@
 //! (wake-ups that skipped the controller) are counted in
 //! [`HandoffStats`] (per run) and in process-wide totals ([`handoff_totals`])
 //! for wall-clock reporting.
+//!
+//! ## The parallel kernel
+//!
+//! With [`Sim::set_workers`]` > 1` and a network model that exports a
+//! [`NetModel::lookahead`] bound, the run is partitioned into node groups
+//! executed window-by-window in the Chandy–Misra–Bryant style: all events in
+//! `[T, T + lookahead)` are causally independent across groups (any packet
+//! sent inside the window arrives at or after its end), so each group can
+//! execute its slice of the window concurrently. Groups record side effects
+//! into per-group logs which a serial *commit* replays in exact global
+//! `(time, seq)` order — routing every send through the shared network
+//! model, appending to the trace ring, and growing the causal log precisely
+//! as the sequential kernel would have. Every artifact (traces, causal
+//! records, network statistics, RNG-driven drops) is therefore byte-identical
+//! at any worker count; see `window.rs` for the mechanism.
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use vopp_trace::{CausalProfiler, CtxKind, EventKind, Tracer, NO_CTX};
@@ -39,6 +55,7 @@ use crate::net::{NetModel, RouteRequest};
 use crate::packet::{DeliveryClass, Packet};
 use crate::sync::{Condvar, Mutex, MutexGuard};
 use crate::time::{SimDuration, SimTime};
+use crate::window::{self, Action, GroupCell, PushedEv};
 use crate::ProcId;
 
 /// A service-request handler: invoked by the kernel when a [`DeliveryClass::Svc`]
@@ -67,6 +84,8 @@ static TOTAL_DIRECT: AtomicU64 = AtomicU64::new(0);
 static TOTAL_VIA_CTL: AtomicU64 = AtomicU64::new(0);
 /// Process-wide default for [`Sim::set_direct_handoff`].
 static DIRECT_HANDOFF_DEFAULT: AtomicBool = AtomicBool::new(true);
+/// Process-wide default for [`Sim::set_workers`].
+static SIM_WORKERS_DEFAULT: AtomicUsize = AtomicUsize::new(1);
 
 /// Handoff totals accumulated by every run finished in this process so far.
 pub fn handoff_totals() -> HandoffStats {
@@ -88,21 +107,104 @@ pub fn direct_handoff_default() -> bool {
     DIRECT_HANDOFF_DEFAULT.load(Ordering::Relaxed)
 }
 
+/// Set the process-wide default worker count for new [`Sim`]s (clamped to at
+/// least 1). Runs built afterwards use it unless overridden per run with
+/// [`Sim::set_workers`]. Wired to `--sim-workers` / `VOPP_SIM_WORKERS` by the
+/// bench CLI.
+pub fn set_sim_workers_default(workers: usize) {
+    SIM_WORKERS_DEFAULT.store(workers.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide simulation worker-count default.
+pub fn sim_workers_default() -> usize {
+    SIM_WORKERS_DEFAULT.load(Ordering::Relaxed).max(1)
+}
+
+/// Intra-run parallel-kernel counters for one run. Wall-clock bookkeeping
+/// only — never part of the virtual-time results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Conservative-lookahead windows executed (0 on sequential runs).
+    pub windows: u64,
+    /// Windows whose events all targeted one group, executed inline on the
+    /// coordinator without logging (the sequential fast path).
+    pub inline_windows: u64,
+    /// Windows executed by two or more groups concurrently.
+    pub parallel_windows: u64,
+    /// Events drained into windows.
+    pub window_events: u64,
+    /// Wall time spent executing windows, including coordinator idle while
+    /// the slowest group finishes (the barrier cost).
+    pub exec_ns: u64,
+    /// Wall time spent in the serial commit replay that merges group logs.
+    pub merge_ns: u64,
+    /// Runs that requested workers but fell back to sequential (no lookahead
+    /// bound, or one below the floor).
+    pub fallback_runs: u64,
+}
+
+static TOTAL_WINDOWS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_INLINE_WINDOWS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_PAR_WINDOWS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_WINDOW_EVENTS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_EXEC_NS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MERGE_NS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FALLBACK_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Parallel-kernel totals accumulated by every run finished in this process.
+pub fn window_totals() -> WindowStats {
+    WindowStats {
+        windows: TOTAL_WINDOWS.load(Ordering::Relaxed),
+        inline_windows: TOTAL_INLINE_WINDOWS.load(Ordering::Relaxed),
+        parallel_windows: TOTAL_PAR_WINDOWS.load(Ordering::Relaxed),
+        window_events: TOTAL_WINDOW_EVENTS.load(Ordering::Relaxed),
+        exec_ns: TOTAL_EXEC_NS.load(Ordering::Relaxed),
+        merge_ns: TOTAL_MERGE_NS.load(Ordering::Relaxed),
+        fallback_runs: TOTAL_FALLBACK_RUNS.load(Ordering::Relaxed),
+    }
+}
+
+fn add_window_totals(w: &WindowStats) {
+    TOTAL_WINDOWS.fetch_add(w.windows, Ordering::Relaxed);
+    TOTAL_INLINE_WINDOWS.fetch_add(w.inline_windows, Ordering::Relaxed);
+    TOTAL_PAR_WINDOWS.fetch_add(w.parallel_windows, Ordering::Relaxed);
+    TOTAL_WINDOW_EVENTS.fetch_add(w.window_events, Ordering::Relaxed);
+    TOTAL_EXEC_NS.fetch_add(w.exec_ns, Ordering::Relaxed);
+    TOTAL_MERGE_NS.fetch_add(w.merge_ns, Ordering::Relaxed);
+    TOTAL_FALLBACK_RUNS.fetch_add(w.fallback_runs, Ordering::Relaxed);
+}
+
 pub(crate) enum Event {
     Resume(ProcId),
     Deliver { dst: ProcId, pkt: Packet },
     Timer { dst: ProcId, token: u64 },
 }
 
-struct QEntry {
-    at: SimTime,
-    seq: u64,
-    ev: Event,
+impl Event {
+    /// The process an event is executed on behalf of (used to bucket events
+    /// into node groups).
+    pub(crate) fn target(&self) -> ProcId {
+        match self {
+            Event::Resume(p) => *p,
+            Event::Deliver { dst, .. } => *dst,
+            Event::Timer { dst, .. } => *dst,
+        }
+    }
+}
+
+pub(crate) struct QEntry {
+    pub(crate) at: SimTime,
+    /// Orders global-seq entries (tier 0) before window-local provisional
+    /// entries (tier 1) at equal times. Always 0 on the sequential path, so
+    /// ordering degenerates to the classic `(time, seq)`.
+    pub(crate) tier: u8,
+    pub(crate) seq: u64,
+    pub(crate) ev: Event,
 }
 
 impl PartialEq for QEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.tier == other.tier && self.seq == other.seq
     }
 }
 impl Eq for QEntry {}
@@ -114,7 +216,7 @@ impl PartialOrd for QEntry {
 impl Ord for QEntry {
     // Reversed: BinaryHeap is a max-heap and we want the earliest event first.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.tier, other.seq).cmp(&(self.at, self.tier, self.seq))
     }
 }
 
@@ -138,8 +240,6 @@ pub(crate) struct ProcInfo {
     pub(crate) mailbox: VecDeque<Packet>,
     pub(crate) next_token: u64,
     pub(crate) timed_out: bool,
-    pub(crate) pending_deliver: usize,
-    pub(crate) pending_bytes: usize,
     pub(crate) times: ProcTimes,
 }
 
@@ -151,18 +251,16 @@ impl ProcInfo {
             mailbox: VecDeque::new(),
             next_token: 0,
             timed_out: false,
-            pending_deliver: 0,
-            pending_bytes: 0,
             times: ProcTimes::default(),
         }
     }
 }
 
 /// Kernel-level classification of one process's virtual time: every clock
-/// advance happens in `Sim::wake`, and the phase the process was blocked in
-/// says which kind of time just elapsed. `compute_ns + blocked_ns` equals the
-/// process's final clock, by construction — higher layers (DSM, MPI) check
-/// their finer-grained phase breakdowns against these two totals.
+/// advance happens in `Shared::wake_now`, and the phase the process was
+/// blocked in says which kind of time just elapsed. `compute_ns + blocked_ns`
+/// equals the process's final clock, by construction — higher layers (DSM,
+/// MPI) check their finer-grained phase breakdowns against these two totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcTimes {
     /// Time spent advancing through `compute`/`sleep` spans (CPU time).
@@ -171,22 +269,83 @@ pub struct ProcTimes {
     pub blocked_ns: u64,
 }
 
+/// How a group's scheduler treats side effects right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// The group owns the shared [`GlobalState`]: sends route immediately,
+    /// traces and causal records go to the shared sinks, event seqs are
+    /// global. The sequential run and single-active-group windows.
+    Inline,
+    /// Two or more groups execute concurrently: side effects append to the
+    /// group's [`Action`] log for the serial commit; in-window events get
+    /// window-local provisional seqs (tier 1).
+    Deferred,
+}
+
+/// State that must be touched in exact global event order: the event-seq
+/// counter, the cross-window future event heap, the network model (RNG and
+/// link occupancy), and the per-destination delivery backlog the model reads
+/// for overflow decisions. On sequential runs it lives inside the single
+/// group's scheduler; on parallel runs the coordinator holds it between
+/// windows and lends it to the group of a single-active-group window.
+pub(crate) struct GlobalState {
+    pub(crate) seq: u64,
+    pub(crate) future: BinaryHeap<QEntry>,
+    pub(crate) pending_deliver: Vec<usize>,
+    pub(crate) pending_bytes: Vec<usize>,
+    pub(crate) net: Box<dyn NetModel>,
+}
+
+impl GlobalState {
+    /// Push with the next global seq (tier 0).
+    pub(crate) fn push_future(&mut self, at: SimTime, ev: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.future.push(QEntry {
+            at,
+            tier: 0,
+            seq,
+            ev,
+        });
+    }
+}
+
+/// One node group's scheduler. A sequential run is exactly one group with no
+/// window bound and the [`GlobalState`] permanently resident.
 pub(crate) struct Sched {
     pub(crate) now: SimTime,
-    seq: u64,
     queue: BinaryHeap<QEntry>,
+    /// This group's processes, indexed by `proc - lo`.
     pub(crate) procs: Vec<ProcInfo>,
+    pub(crate) lo: ProcId,
     pub(crate) running: Option<ProcId>,
-    live: usize,
+    pub(crate) live: usize,
     pub(crate) shutdown: bool,
-    panicked: bool,
+    pub(crate) panicked: bool,
     direct_handoff: bool,
     /// A process thread is inside `try_handoff` — possibly with the lock
-    /// released while it runs a service handler. The controller must stay
-    /// parked until the drain finishes, even if its condvar wakes spuriously.
+    /// released while it runs a service handler. The event-loop thread must
+    /// stay parked until the drain finishes, even on a spurious condvar wake.
     draining: bool,
-    handoff: HandoffStats,
-    pub(crate) net: Box<dyn NetModel>,
+    pub(crate) handoff: HandoffStats,
+    pub(crate) mode: Mode,
+    /// Exclusive upper bound of the current window; `None` = unbounded
+    /// (sequential run).
+    pub(crate) t_end: Option<SimTime>,
+    /// Window-local seq counter for tier-1 entries (deferred mode).
+    local_seq: u64,
+    /// Set by the coordinator when a window is dispatched to this group;
+    /// cleared by the group's runner when the window is exhausted.
+    pub(crate) window_open: bool,
+    /// Tells the group's runner thread to exit.
+    pub(crate) halt: bool,
+    /// The model's exact self-delivery latency (deferred-mode loopbacks are
+    /// predicted locally and re-verified at commit). Unused sequentially.
+    loopback: SimDuration,
+    pub(crate) global: Option<GlobalState>,
+    /// The group's side-effect log + provisional causal-id state; the same
+    /// `Arc` is installed as the thread-local sink on the group's threads.
+    pub(crate) cell: Arc<GroupCell>,
     pub(crate) tracer: Option<Arc<Tracer>>,
     /// Causal-edge recorder for the critical-path profiler; pure
     /// observation — `None` costs one pointer test per wake/send.
@@ -194,15 +353,146 @@ pub(crate) struct Sched {
 }
 
 impl Sched {
+    #[inline]
+    pub(crate) fn pi(&self, p: ProcId) -> &ProcInfo {
+        &self.procs[p - self.lo]
+    }
+
+    #[inline]
+    pub(crate) fn pi_mut(&mut self, p: ProcId) -> &mut ProcInfo {
+        &mut self.procs[p - self.lo]
+    }
+
+    #[inline]
+    fn owns(&self, p: ProcId) -> bool {
+        p >= self.lo && p < self.lo + self.procs.len()
+    }
+
+    #[inline]
+    fn in_window(&self, at: SimTime) -> bool {
+        self.t_end.is_none_or(|te| at < te)
+    }
+
+    /// Coordinator-side: arm a window on this group, seeding its queue with
+    /// the bucketed events (already carrying their global seqs).
+    pub(crate) fn open_window(&mut self, mode: Mode, t_end: SimTime, bucket: &mut Vec<QEntry>) {
+        debug_assert!(self.queue.is_empty(), "window opened over a live queue");
+        self.mode = mode;
+        self.t_end = Some(t_end);
+        self.local_seq = 0;
+        for e in bucket.drain(..) {
+            self.queue.push(e);
+        }
+        self.window_open = true;
+    }
+
+    /// Coordinator-side: drop the window bounds once the group has parked.
+    pub(crate) fn close_window(&mut self) {
+        self.mode = Mode::Inline;
+        self.t_end = None;
+    }
+
+    /// Whether the group's queue is exhausted (window complete).
+    pub(crate) fn window_drained(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Pop the earliest event if it falls inside the current window.
+    pub(crate) fn pop_due(&mut self) -> Option<QEntry> {
+        if let (Some(te), Some(head)) = (self.t_end, self.queue.peek()) {
+            if head.at >= te {
+                return None;
+            }
+        }
+        self.queue.pop()
+    }
+
+    /// Log the start of an event execution so the commit replay can align
+    /// the group's action log with the global event order.
+    pub(crate) fn note_begin(&self, entry: &QEntry) {
+        if self.mode == Mode::Deferred {
+            self.cell.push(Action::Begin { at: entry.at });
+        }
+    }
+
+    /// Deliver-event bookkeeping: the destination's backlog shrinks.
+    pub(crate) fn note_deliver_pop(&mut self, dst: ProcId, wire_bytes: usize) {
+        match self.mode {
+            Mode::Inline => {
+                let g = self
+                    .global
+                    .as_mut()
+                    .expect("inline group owns global state");
+                g.pending_deliver[dst] -= 1;
+                g.pending_bytes[dst] -= wire_bytes;
+            }
+            Mode::Deferred => self.cell.push(Action::DeliverPop { dst, wire_bytes }),
+        }
+    }
+
     pub(crate) fn push_event(&mut self, at: SimTime, ev: Event) {
         debug_assert!(
             at >= self.now,
             "event scheduled in the past: {at} < now {}",
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(QEntry { at, seq, ev });
+        match self.mode {
+            Mode::Inline => {
+                let in_win = self.in_window(at);
+                debug_assert!(
+                    !in_win || self.owns(ev.target()),
+                    "in-window event targets a foreign group"
+                );
+                let g = self
+                    .global
+                    .as_mut()
+                    .expect("inline group owns global state");
+                let seq = g.seq;
+                g.seq += 1;
+                let e = QEntry {
+                    at,
+                    tier: 0,
+                    seq,
+                    ev,
+                };
+                if in_win {
+                    self.queue.push(e);
+                } else {
+                    g.future.push(e);
+                }
+            }
+            Mode::Deferred => {
+                match &ev {
+                    Event::Resume(p) => self.cell.push(Action::Push {
+                        at,
+                        ev: PushedEv::Resume(*p),
+                    }),
+                    Event::Timer { dst, token } => self.cell.push(Action::Push {
+                        at,
+                        ev: PushedEv::Timer {
+                            dst: *dst,
+                            token: *token,
+                        },
+                    }),
+                    // In-window loopback deliveries: `submit_send` already
+                    // logged the send; the commit re-routes it.
+                    Event::Deliver { .. } => {}
+                }
+                if self.in_window(at) {
+                    debug_assert!(self.owns(ev.target()));
+                    let seq = self.local_seq;
+                    self.local_seq += 1;
+                    self.queue.push(QEntry {
+                        at,
+                        tier: 1,
+                        seq,
+                        ev,
+                    });
+                }
+                // Out-of-window events exist only in the log; the commit
+                // assigns their global seq and pushes them to the future.
+            }
+        }
     }
 
     /// Route a packet through the network model and schedule its delivery.
@@ -219,93 +509,159 @@ impl Sched {
                 },
             );
         }
-        let req = RouteRequest {
-            now,
-            src: pkt.src,
-            dst,
-            wire_bytes: pkt.wire_bytes,
-            pending_at_dst: self.procs[dst].pending_deliver,
-            pending_bytes_at_dst: self.procs[dst].pending_bytes,
-        };
-        if let Some(at) = self.net.route(req) {
-            self.procs[dst].pending_deliver += 1;
-            self.procs[dst].pending_bytes += pkt.wire_bytes;
-            self.push_event(at.max(now), Event::Deliver { dst, pkt });
+        match self.mode {
+            Mode::Inline => {
+                let g = self
+                    .global
+                    .as_mut()
+                    .expect("inline group owns global state");
+                let req = RouteRequest {
+                    now,
+                    src: pkt.src,
+                    dst,
+                    wire_bytes: pkt.wire_bytes,
+                    pending_at_dst: g.pending_deliver[dst],
+                    pending_bytes_at_dst: g.pending_bytes[dst],
+                };
+                if let Some(at) = g.net.route(req) {
+                    g.pending_deliver[dst] += 1;
+                    g.pending_bytes[dst] += pkt.wire_bytes;
+                    self.push_event(at.max(now), Event::Deliver { dst, pkt });
+                }
+            }
+            Mode::Deferred => {
+                // Routing reads global state (RNG, link occupancy, backlog)
+                // and must run in exact global send order: defer it to the
+                // commit. Only a loopback is predictable locally — it is
+                // exact, lossless, and touches no shared routing state
+                // (the `loopback_latency` contract) — and only a loopback
+                // can land inside the window (cross-node deliveries are
+                // bounded below by the lookahead, the window length).
+                let loopback = pkt.src == dst;
+                self.cell.push(Action::Send {
+                    now,
+                    dst,
+                    pkt: pkt.clone(),
+                });
+                if loopback {
+                    let at = now + self.loopback;
+                    if self.in_window(at) {
+                        self.push_event(at, Event::Deliver { dst, pkt });
+                    }
+                }
+            }
         }
     }
 }
 
-/// Shared kernel state: the scheduler under one mutex plus the condition
-/// variables used for the controller/process handoff.
-pub(crate) struct Shared {
+/// One node group: its scheduler, the condvar its event-loop thread (the
+/// controller sequentially, the group runner in parallel mode) parks on, and
+/// the side-effect cell shared with the thread-local sinks.
+pub(crate) struct Group {
     pub(crate) sched: Mutex<Sched>,
-    pub(crate) proc_cv: Vec<Condvar>,
     pub(crate) ctl_cv: Condvar,
+    pub(crate) cell: Arc<GroupCell>,
+}
+
+/// Parallel-window completion barrier: dispatched-but-unfinished group count.
+pub(crate) struct WinSync {
+    pub(crate) pending: Mutex<usize>,
+    pub(crate) done_cv: Condvar,
+    /// First service-handler panic raised on a runner thread; rethrown by
+    /// the coordinator once every window participant has parked.
+    pub(crate) svc_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Shared kernel state: the per-group schedulers plus the condition
+/// variables used for the event-loop/process handoffs.
+pub(crate) struct Shared {
+    pub(crate) groups: Vec<Group>,
+    /// Group index of each process.
+    pub(crate) group_of: Vec<usize>,
+    pub(crate) proc_cv: Vec<Condvar>,
     pub(crate) nprocs: usize,
+    pub(crate) win: WinSync,
     /// Service handlers, shared so whichever thread pops a `Svc` delivery —
-    /// the controller or a draining process thread — can run it. A handler is
+    /// the event loop or a draining process thread — can run it. A handler is
     /// taken out of its slot for the duration of the call; event execution is
-    /// serialized by the scheduler (`running`/`draining`), so the slot is
-    /// never contended.
+    /// serialized per group (`running`/`draining`) and a process belongs to
+    /// exactly one group, so the slot is never contended.
     handlers: Mutex<Vec<Option<Handler>>>,
     /// Same tracer as `Sched::tracer`, duplicated outside the mutex so the
-    /// disabled path is a pointer test without taking the scheduler lock.
+    /// disabled path is a pointer test without taking a scheduler lock.
     pub(crate) tracer: Option<Arc<Tracer>>,
 }
 
 impl Shared {
+    #[inline]
+    pub(crate) fn group_ix(&self, p: ProcId) -> usize {
+        self.group_of[p]
+    }
+
+    #[inline]
+    pub(crate) fn group(&self, p: ProcId) -> &Group {
+        &self.groups[self.group_of[p]]
+    }
+
+    /// Lock the scheduler of the group owning process `p`.
+    #[inline]
+    pub(crate) fn lock_proc(&self, p: ProcId) -> MutexGuard<'_, Sched> {
+        self.group(p).sched.lock()
+    }
+
     /// Called from a process thread: yield control and wait until it is
     /// handed back. The caller must already have set its own phase to the
     /// blocked state it wants. If a queued event wakes a process, control
-    /// transfers directly; the controller is only notified when the drain
-    /// cannot continue (empty queue, shutdown, or handoff disabled).
+    /// transfers directly; the group's event loop is only notified when the
+    /// drain cannot continue (empty window, shutdown, or handoff disabled).
     pub(crate) fn yield_and_wait<'a>(&'a self, me: ProcId, s: &mut MutexGuard<'a, Sched>) {
         debug_assert_eq!(s.running, Some(me));
         s.running = None;
-        if !self.try_handoff(s) {
-            self.ctl_cv.notify_one();
+        if !self.try_handoff(me, s) {
+            self.group(me).ctl_cv.notify_one();
         }
         while s.running != Some(me) {
             if s.shutdown {
-                // Unblock so the controller can report the real error.
+                // Unblock so the run can report the real error.
                 panic!("simulation shut down while proc {me} was blocked");
             }
             self.proc_cv[me].wait(s);
         }
-        debug_assert_eq!(s.procs[me].phase, Phase::Running);
+        debug_assert_eq!(s.pi(me).phase, Phase::Running);
     }
 
-    /// Drain the event queue — in exactly the order the controller would,
-    /// advancing virtual time and running service handlers the same way —
-    /// until an event wakes a process. Returns `true` if a process was woken
-    /// (the controller stays parked), `false` if the controller must take
-    /// over: the queue is empty (termination or deadlock), handoff is
-    /// disabled, or the run is shutting down.
+    /// Drain the group's event queue — in exactly the order the event loop
+    /// would, advancing virtual time and running service handlers the same
+    /// way — until an event wakes a process. Returns `true` if a process was
+    /// woken (the event loop stays parked), `false` if it must take over:
+    /// the window is exhausted, handoff is disabled, or the run is shutting
+    /// down.
     ///
     /// Advancing `now` and running handlers from a process thread is safe:
-    /// event execution is serialized by `Sched::draining` (set here, checked
-    /// by the controller's parking loop), and the controller only reads
-    /// scheduler state after reacquiring the lock.
-    fn try_handoff<'a>(&'a self, s: &mut MutexGuard<'a, Sched>) -> bool {
+    /// event execution is serialized per group by `Sched::draining` (set
+    /// here, checked by the event loop's parking loop), and the event loop
+    /// only reads scheduler state after reacquiring the lock.
+    fn try_handoff<'a>(&'a self, me: ProcId, s: &mut MutexGuard<'a, Sched>) -> bool {
         if !s.direct_handoff || s.panicked || s.shutdown {
             return false;
         }
         s.draining = true;
-        let woke = self.drain(s);
+        let woke = self.drain(me, s);
         s.draining = false;
         woke
     }
 
     /// The loop body of [`Shared::try_handoff`]; `Sched::draining` is set.
-    fn drain<'a>(&'a self, s: &mut MutexGuard<'a, Sched>) -> bool {
+    fn drain<'a>(&'a self, me: ProcId, s: &mut MutexGuard<'a, Sched>) -> bool {
         loop {
-            let Some(entry) = s.queue.pop() else {
+            let Some(entry) = s.pop_due() else {
                 return false;
             };
             debug_assert!(entry.at >= s.now, "event queue went backwards");
             s.now = entry.at;
+            s.note_begin(&entry);
             match entry.ev {
-                Event::Resume(p) => match s.procs[p].phase {
+                Event::Resume(p) => match s.pi(p).phase {
                     Phase::Startup | Phase::BlockedResume => {
                         self.wake_now(s, p, entry.at, NO_CTX);
                         s.handoff.direct += 1;
@@ -315,8 +671,7 @@ impl Shared {
                     ref ph => unreachable!("resume for proc {p} in phase {ph:?}"),
                 },
                 Event::Deliver { dst, mut pkt } => {
-                    s.procs[dst].pending_deliver -= 1;
-                    s.procs[dst].pending_bytes -= pkt.wire_bytes;
+                    s.note_deliver_pop(dst, pkt.wire_bytes);
                     pkt.arrived = entry.at;
                     if let Some(tr) = &s.tracer {
                         tr.record(
@@ -331,10 +686,10 @@ impl Shared {
                     }
                     match pkt.class {
                         DeliveryClass::Svc => {
-                            if let Err(e) = self.dispatch_svc(s, dst, pkt, entry.at) {
+                            if let Err(e) = self.dispatch_svc(me, s, dst, pkt, entry.at) {
                                 // Propagate on this thread: the process-exit
                                 // path records it as the first panic and the
-                                // controller shuts the run down.
+                                // run shuts down.
                                 std::panic::resume_unwind(e);
                             }
                             if s.panicked || s.shutdown {
@@ -343,8 +698,8 @@ impl Shared {
                         }
                         DeliveryClass::App => {
                             let cause = pkt.cause;
-                            s.procs[dst].mailbox.push_back(pkt);
-                            if matches!(s.procs[dst].phase, Phase::WaitRecv { .. }) {
+                            s.pi_mut(dst).mailbox.push_back(pkt);
+                            if matches!(s.pi(dst).phase, Phase::WaitRecv { .. }) {
                                 self.wake_now(s, dst, entry.at, cause);
                                 s.handoff.direct += 1;
                                 return true;
@@ -353,12 +708,12 @@ impl Shared {
                     }
                 }
                 Event::Timer { dst, token } => {
-                    if s.procs[dst].phase
+                    if s.pi(dst).phase
                         == (Phase::WaitRecv {
                             deadline: Some(token),
                         })
                     {
-                        s.procs[dst].timed_out = true;
+                        s.pi_mut(dst).timed_out = true;
                         self.wake_now(s, dst, entry.at, NO_CTX);
                         s.handoff.direct += 1;
                         return true;
@@ -372,21 +727,24 @@ impl Shared {
     /// Run the `Svc` handler for `dst`, releasing the scheduler lock for the
     /// duration of the call (handlers re-enter the scheduler through
     /// [`SvcCtx`]) and re-acquiring it before returning. Returns the
-    /// handler's panic payload, if any.
-    fn dispatch_svc<'a>(
+    /// handler's panic payload, if any. `locked` is any process of the group
+    /// whose scheduler `s` guards (the handler's own group).
+    pub(crate) fn dispatch_svc<'a>(
         &'a self,
+        locked: ProcId,
         s: &mut MutexGuard<'a, Sched>,
         dst: ProcId,
         pkt: Packet,
         at: SimTime,
     ) -> Result<(), Box<dyn std::any::Any + Send>> {
+        debug_assert_eq!(self.group_ix(locked), self.group_ix(dst));
         if let Some(prof) = &s.profiler {
             prof.record_svc(dst, at.0, pkt.cause);
         }
         let mut h = self.handlers.lock()[dst]
             .take()
             .unwrap_or_else(|| panic!("no Svc handler on proc {dst}"));
-        let r = self.sched.unlocked(s, || {
+        let r = self.group(dst).sched.unlocked(s, || {
             let mut ctx = SvcCtx::new(self, dst, at);
             catch_unwind(AssertUnwindSafe(|| h(&mut ctx, pkt)))
         });
@@ -398,8 +756,8 @@ impl Shared {
     }
 
     /// Mark process `p` runnable at virtual time `t` and notify its thread.
-    /// Shared by the controller's `wake` and the direct-handoff path; every
-    /// clock advance and its compute/blocked classification happens here.
+    /// Shared by the event loops and the direct-handoff path; every clock
+    /// advance and its compute/blocked classification happens here.
     /// `pkt_cause` is the delivered packet's causal stamp on receive wakes
     /// ([`NO_CTX`] for self-caused resumes and timer expiries).
     pub(crate) fn wake_now(
@@ -410,13 +768,13 @@ impl Shared {
         pkt_cause: u64,
     ) {
         debug_assert!(s.running.is_none());
-        if s.procs[p].phase == Phase::Startup {
+        if s.pi(p).phase == Phase::Startup {
             if let Some(tr) = &s.tracer {
                 tr.record(t.0, p, EventKind::ProcStart);
             }
         }
         if let Some(prof) = &s.profiler {
-            let pi = &s.procs[p];
+            let pi = s.pi(p);
             let kind = match pi.phase {
                 Phase::Startup => Some(CtxKind::Start),
                 Phase::BlockedResume => Some(CtxKind::Compute),
@@ -431,7 +789,7 @@ impl Shared {
                 prof.record_wake(p, pi.clock.0, pi.clock.max(t).0, kind, pkt_cause);
             }
         }
-        let pi = &mut s.procs[p];
+        let pi = s.pi_mut(p);
         let adv = t.0.saturating_sub(pi.clock.0);
         match pi.phase {
             Phase::BlockedResume => pi.times.compute_ns += adv,
@@ -442,6 +800,41 @@ impl Shared {
         pi.phase = Phase::Running;
         s.running = Some(p);
         self.proc_cv[p].notify_one();
+    }
+
+    /// Hand control to process `p` at virtual time `t` and park this
+    /// event-loop thread until it is needed again. Must be called with the
+    /// group's scheduler locked. While parked, blocking processes drain the
+    /// event queue and chain wake-ups among themselves (direct handoff); the
+    /// `draining` check keeps this loop parked even if the condvar wakes
+    /// spuriously while a drain has the lock released for a service handler.
+    pub(crate) fn wake_and_park<'a>(
+        &'a self,
+        gi: usize,
+        s: &mut MutexGuard<'a, Sched>,
+        p: ProcId,
+        t: SimTime,
+        pkt_cause: u64,
+    ) {
+        self.wake_now(s, p, t, pkt_cause);
+        s.handoff.via_controller += 1;
+        while (s.running.is_some() || s.draining) && !s.panicked {
+            self.groups[gi].ctl_cv.wait(s);
+        }
+    }
+
+    /// Release every blocked process thread in every group so the scope can
+    /// join them, and wake the group runners so they can observe `halt`.
+    pub(crate) fn shutdown_all(&self) {
+        for grp in &self.groups {
+            let mut s = grp.sched.lock();
+            s.shutdown = true;
+            drop(s);
+            grp.ctl_cv.notify_all();
+        }
+        for cv in &self.proc_cv {
+            cv.notify_all();
+        }
     }
 }
 
@@ -458,6 +851,10 @@ pub struct RunOutcome<R> {
     /// Direct vs controller-mediated wake-up counts (wall-clock bookkeeping;
     /// not part of the virtual-time results).
     pub handoff: HandoffStats,
+    /// Parallel-kernel window counters (zero on sequential runs).
+    pub windows: WindowStats,
+    /// Node groups the run actually executed with (1 = sequential).
+    pub sim_workers: usize,
     /// The network model, returned so callers can read its statistics.
     pub net: Box<dyn NetModel>,
 }
@@ -486,6 +883,7 @@ pub struct Sim {
     tracer: Option<Arc<Tracer>>,
     profiler: Option<Arc<CausalProfiler>>,
     direct_handoff: bool,
+    workers: usize,
 }
 
 impl Sim {
@@ -499,6 +897,7 @@ impl Sim {
             tracer: None,
             profiler: None,
             direct_handoff: direct_handoff_default(),
+            workers: sim_workers_default(),
         }
     }
 
@@ -507,6 +906,19 @@ impl Sim {
     /// results are identical either way; only wall-clock differs.
     pub fn set_direct_handoff(&mut self, on: bool) {
         self.direct_handoff = on;
+    }
+
+    /// Set the number of node groups executed concurrently by the
+    /// conservative-lookahead parallel kernel (defaults to the process-wide
+    /// setting, normally 1 = sequential). Requires a network model with a
+    /// [`NetModel::lookahead`] bound at or above
+    /// [`crate::MIN_PARALLEL_LOOKAHEAD`] and an exact
+    /// [`NetModel::loopback_latency`]; otherwise the run falls back to
+    /// sequential execution with a one-time notice. Every artifact — traces,
+    /// causal logs, network statistics, results — is byte-identical at any
+    /// worker count.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
     }
 
     /// Install an event tracer. Kernel-level send/receive and process
@@ -543,45 +955,116 @@ impl Sim {
         F: Fn(AppCtx<'_>) -> R + Send + Sync,
     {
         let nprocs = self.nprocs;
+        let plan = window::decide_plan(self.workers, nprocs, self.net.as_ref());
+        let mut win_stats = WindowStats::default();
+        if plan.is_none() && self.workers > 1 {
+            win_stats.fallback_runs = 1;
+        }
+        let ngroups = plan.as_ref().map_or(1, |p| p.groups);
+        let loopback = plan.as_ref().map_or(SimDuration::ZERO, |p| p.loopback);
+
+        // Contiguous, near-even node ranges per group.
+        let mut group_of = vec![0usize; nprocs];
+        let mut bounds = Vec::with_capacity(ngroups + 1);
+        bounds.push(0usize);
+        for gi in 0..ngroups {
+            let hi = (nprocs * (gi + 1)).div_ceil(ngroups);
+            group_of[bounds[gi]..hi].fill(gi);
+            bounds.push(hi);
+        }
+
+        let mut global = GlobalState {
+            seq: 0,
+            future: BinaryHeap::new(),
+            pending_deliver: vec![0; nprocs],
+            pending_bytes: vec![0; nprocs],
+            net: self.net,
+        };
+
+        let groups: Vec<Group> = (0..ngroups)
+            .map(|gi| {
+                let cell = Arc::new(GroupCell::new());
+                Group {
+                    sched: Mutex::new(Sched {
+                        now: SimTime::ZERO,
+                        queue: BinaryHeap::new(),
+                        procs: (bounds[gi]..bounds[gi + 1])
+                            .map(|_| ProcInfo::new())
+                            .collect(),
+                        lo: bounds[gi],
+                        running: None,
+                        live: bounds[gi + 1] - bounds[gi],
+                        shutdown: false,
+                        panicked: false,
+                        direct_handoff: self.direct_handoff,
+                        draining: false,
+                        handoff: HandoffStats::default(),
+                        mode: Mode::Inline,
+                        t_end: None,
+                        local_seq: 0,
+                        window_open: false,
+                        halt: false,
+                        loopback,
+                        global: None,
+                        cell: cell.clone(),
+                        tracer: self.tracer.clone(),
+                        profiler: self.profiler.clone(),
+                    }),
+                    ctl_cv: Condvar::new(),
+                    cell,
+                }
+            })
+            .collect();
+
         let shared = Shared {
-            sched: Mutex::new(Sched {
-                now: SimTime::ZERO,
-                seq: 0,
-                queue: BinaryHeap::new(),
-                procs: (0..nprocs).map(|_| ProcInfo::new()).collect(),
-                running: None,
-                live: nprocs,
-                shutdown: false,
-                panicked: false,
-                direct_handoff: self.direct_handoff,
-                draining: false,
-                handoff: HandoffStats::default(),
-                net: self.net,
-                tracer: self.tracer.clone(),
-                profiler: self.profiler,
-            }),
+            groups,
+            group_of,
             proc_cv: (0..nprocs).map(|_| Condvar::new()).collect(),
-            ctl_cv: Condvar::new(),
             nprocs,
+            win: WinSync {
+                pending: Mutex::new(0),
+                done_cv: Condvar::new(),
+                svc_panic: Mutex::new(None),
+            },
             handlers: Mutex::new(self.handlers),
             tracer: self.tracer,
         };
-        {
-            let mut s = shared.sched.lock();
+
+        if plan.is_none() {
+            // Sequential: the single group owns the global state for the
+            // whole run and its queue is unbounded — exactly the classic
+            // one-heap scheduler.
+            let mut s = shared.groups[0].sched.lock();
+            s.global = Some(global);
             for p in 0..nprocs {
                 s.push_event(SimTime::ZERO, Event::Resume(p));
             }
+        } else {
+            for p in 0..nprocs {
+                global.push_future(SimTime::ZERO, Event::Resume(p));
+            }
+            // Parked in group 0 until the coordinator takes over; keeps the
+            // borrow checker happy about the conditional move above.
+            shared.groups[0].sched.lock().global = Some(global);
         }
 
+        let par = plan.is_some();
         let shared = &shared;
         let body = &body;
         let mut results: Vec<Option<R>> = std::thread::scope(|scope| {
             let joins: Vec<_> = (0..nprocs)
                 .map(|p| {
                     scope.spawn(move || {
+                        if par {
+                            // Side effects produced while this thread runs a
+                            // deferred window are captured into the group log.
+                            let cell = shared.group(p).cell.clone();
+                            vopp_trace::set_thread_record_sink(Some(cell.clone()));
+                            vopp_trace::set_thread_causal_sink(Some(cell));
+                        }
                         // Wait for the first resume.
                         {
-                            let mut s = shared.sched.lock();
+                            let mut s = shared.lock_proc(p);
                             while s.running != Some(p) {
                                 if s.shutdown {
                                     return None;
@@ -591,7 +1074,7 @@ impl Sim {
                         }
                         let r =
                             catch_unwind(AssertUnwindSafe(|| body(AppCtx::new(shared, p, nprocs))));
-                        let mut s = shared.sched.lock();
+                        let mut s = shared.lock_proc(p);
                         // Only the *first* panic is the real error; panics
                         // raised to unblock threads during shutdown are noise.
                         let first_panic = r.is_err() && !s.shutdown && !s.panicked;
@@ -599,14 +1082,14 @@ impl Sim {
                             s.panicked = true;
                         }
                         if let Some(tr) = &s.tracer {
-                            tr.record(s.procs[p].clock.0, p, EventKind::ProcExit);
+                            tr.record(s.pi(p).clock.0, p, EventKind::ProcExit);
                         }
-                        s.procs[p].phase = Phase::Finished;
+                        s.pi_mut(p).phase = Phase::Finished;
                         s.live -= 1;
                         if s.running == Some(p) {
                             s.running = None;
                         }
-                        shared.ctl_cv.notify_one();
+                        shared.group(p).ctl_cv.notify_all();
                         drop(s);
                         match r {
                             Ok(v) => Some(v),
@@ -617,19 +1100,17 @@ impl Sim {
                 })
                 .collect();
 
-            let handler_panic = Self::controller(shared);
+            let handler_panic = match &plan {
+                None => Self::controller(shared),
+                Some(plan) => window::coordinate(shared, scope, plan, &mut win_stats),
+            };
 
             let results: Vec<Option<R>> = joins
                 .into_iter()
-                .enumerate()
-                .map(|(p, j)| match j.join() {
+                .map(|j| match j.join() {
                     Ok(v) => v,
-                    Err(e) => {
-                        // Re-panic on the controller thread with the
-                        // process's payload.
-                        let _ = p;
-                        std::panic::resume_unwind(e)
-                    }
+                    // Re-panic on the main thread with the process's payload.
+                    Err(e) => std::panic::resume_unwind(e),
                 })
                 .collect();
             if let Some(e) = handler_panic {
@@ -638,18 +1119,29 @@ impl Sim {
             results
         });
 
-        let mut s = shared.sched.lock();
-        if s.shutdown {
+        let mut proc_end: Vec<SimTime> = Vec::with_capacity(nprocs);
+        let mut proc_times: Vec<ProcTimes> = Vec::with_capacity(nprocs);
+        let mut handoff = HandoffStats::default();
+        let mut was_shutdown = false;
+        let mut net = None;
+        for grp in &shared.groups {
+            let mut s = grp.sched.lock();
+            was_shutdown |= s.shutdown;
+            proc_end.extend(s.procs.iter().map(|pi| pi.clock));
+            proc_times.extend(s.procs.iter().map(|pi| pi.times));
+            handoff.direct += s.handoff.direct;
+            handoff.via_controller += s.handoff.via_controller;
+            if let Some(g) = s.global.take() {
+                net = Some(g.net);
+            }
+        }
+        if was_shutdown {
             panic!("simulation deadlocked: all processes blocked with no pending events");
         }
-        let proc_end: Vec<SimTime> = s.procs.iter().map(|pi| pi.clock).collect();
-        let proc_times: Vec<ProcTimes> = s.procs.iter().map(|pi| pi.times).collect();
         let end_time = proc_end.iter().copied().max().unwrap_or(SimTime::ZERO);
-        let handoff = s.handoff;
         TOTAL_DIRECT.fetch_add(handoff.direct, Ordering::Relaxed);
         TOTAL_VIA_CTL.fetch_add(handoff.via_controller, Ordering::Relaxed);
-        let net = std::mem::replace(&mut s.net, Box::new(crate::net::PerfectNet::default()));
-        drop(s);
+        add_window_totals(&win_stats);
         RunOutcome {
             results: results
                 .iter_mut()
@@ -659,44 +1151,48 @@ impl Sim {
             proc_end,
             proc_times,
             handoff,
-            net,
+            windows: win_stats,
+            sim_workers: ngroups,
+            net: net.expect("global state survives the run"),
         }
     }
 
-    /// Event loop: runs on the caller's thread until every process finished,
-    /// a process panicked, or a deadlock is detected. Returns a panic
-    /// payload if a service handler panicked on this thread. With direct
-    /// handoff on, process threads drain the queue themselves and this loop
-    /// mostly stays parked in `wake` — it only pops events itself at startup,
-    /// when handoff is disabled, and to detect termination or deadlock.
+    /// Sequential event loop: runs on the caller's thread over the single
+    /// unbounded group until every process finished, a process panicked, or
+    /// a deadlock is detected. Returns a panic payload if a service handler
+    /// panicked on this thread. With direct handoff on, process threads
+    /// drain the queue themselves and this loop mostly stays parked in
+    /// `wake_and_park` — it only pops events itself at startup, when handoff
+    /// is disabled, and to detect termination or deadlock.
     fn controller(shared: &Shared) -> Option<Box<dyn std::any::Any + Send>> {
+        let grp = &shared.groups[0];
         loop {
-            let mut s = shared.sched.lock();
+            let mut s = grp.sched.lock();
             if s.panicked {
-                Self::shutdown_all(shared, &mut s);
+                drop(s);
+                shared.shutdown_all();
                 return None;
             }
             if s.live == 0 {
                 return None;
             }
-            let Some(entry) = s.queue.pop() else {
-                s.shutdown = true;
-                Self::shutdown_all(shared, &mut s);
+            let Some(entry) = s.pop_due() else {
+                drop(s);
+                shared.shutdown_all();
                 return None;
             };
             debug_assert!(entry.at >= s.now, "event queue went backwards");
             s.now = entry.at;
             match entry.ev {
-                Event::Resume(p) => match s.procs[p].phase {
+                Event::Resume(p) => match s.pi(p).phase {
                     Phase::Startup | Phase::BlockedResume => {
-                        Self::wake(shared, &mut s, p, entry.at, NO_CTX);
+                        shared.wake_and_park(0, &mut s, p, entry.at, NO_CTX);
                     }
                     Phase::Finished => {}
                     ref ph => unreachable!("resume for proc {p} in phase {ph:?}"),
                 },
                 Event::Deliver { dst, mut pkt } => {
-                    s.procs[dst].pending_deliver -= 1;
-                    s.procs[dst].pending_bytes -= pkt.wire_bytes;
+                    s.note_deliver_pop(dst, pkt.wire_bytes);
                     pkt.arrived = entry.at;
                     if let Some(tr) = &s.tracer {
                         tr.record(
@@ -713,56 +1209,33 @@ impl Sim {
                         DeliveryClass::Svc => {
                             // A handler panic must not strand the blocked
                             // process threads: release them, then re-panic.
-                            if let Err(e) = shared.dispatch_svc(&mut s, dst, pkt, entry.at) {
-                                Self::shutdown_all(shared, &mut s);
+                            if let Err(e) = shared.dispatch_svc(dst, &mut s, dst, pkt, entry.at) {
                                 drop(s);
+                                shared.shutdown_all();
                                 return Some(e);
                             }
                         }
                         DeliveryClass::App => {
                             let cause = pkt.cause;
-                            s.procs[dst].mailbox.push_back(pkt);
-                            if matches!(s.procs[dst].phase, Phase::WaitRecv { .. }) {
-                                Self::wake(shared, &mut s, dst, entry.at, cause);
+                            s.pi_mut(dst).mailbox.push_back(pkt);
+                            if matches!(s.pi(dst).phase, Phase::WaitRecv { .. }) {
+                                shared.wake_and_park(0, &mut s, dst, entry.at, cause);
                             }
                         }
                     }
                 }
                 Event::Timer { dst, token } => {
-                    if s.procs[dst].phase
+                    if s.pi(dst).phase
                         == (Phase::WaitRecv {
                             deadline: Some(token),
                         })
                     {
-                        s.procs[dst].timed_out = true;
-                        Self::wake(shared, &mut s, dst, entry.at, NO_CTX);
+                        s.pi_mut(dst).timed_out = true;
+                        shared.wake_and_park(0, &mut s, dst, entry.at, NO_CTX);
                     }
                     // Otherwise the timer is stale (the wait already ended).
                 }
             }
-        }
-    }
-
-    /// Hand control to process `p` at virtual time `t` and block until the
-    /// controller is needed again. Must be called with the scheduler locked.
-    /// While parked here, blocking processes drain the event queue and chain
-    /// wake-ups among themselves (direct handoff) without waking this
-    /// thread; the `draining` check keeps this loop parked even if the
-    /// condvar wakes spuriously while a drain has the lock released to run a
-    /// service handler.
-    fn wake(shared: &Shared, s: &mut MutexGuard<'_, Sched>, p: ProcId, t: SimTime, pkt_cause: u64) {
-        shared.wake_now(s, p, t, pkt_cause);
-        s.handoff.via_controller += 1;
-        while (s.running.is_some() || s.draining) && !s.panicked {
-            shared.ctl_cv.wait(s);
-        }
-    }
-
-    /// Release every blocked process thread so the scope can join them.
-    fn shutdown_all(shared: &Shared, s: &mut MutexGuard<'_, Sched>) {
-        s.shutdown = true;
-        for cv in &shared.proc_cv {
-            cv.notify_all();
         }
     }
 }

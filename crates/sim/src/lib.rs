@@ -21,14 +21,16 @@ mod net;
 mod packet;
 pub mod sync;
 mod time;
+mod window;
 
 /// Identifier of a simulated process (0-based, dense).
 pub type ProcId = usize;
 
 pub use ctx::{AppCtx, SvcCtx};
 pub use kernel::{
-    direct_handoff_default, handoff_totals, run_simple, set_direct_handoff_default, Handler,
-    HandoffStats, ProcTimes, RunOutcome, Sim,
+    direct_handoff_default, handoff_totals, run_simple, set_direct_handoff_default,
+    set_sim_workers_default, sim_workers_default, window_totals, Handler, HandoffStats, ProcTimes,
+    RunOutcome, Sim, WindowStats,
 };
 pub use net::{NetModel, PerfectNet, RouteRequest};
 pub use packet::{DeliveryClass, Packet, Payload};
@@ -36,3 +38,4 @@ pub use time::{SimDuration, SimTime};
 pub use vopp_trace::{
     CausalLog, CausalProfiler, CtxKind, CtxRecord, EventKind, OpKind, OpSpan, Tracer, NO_CTX,
 };
+pub use window::MIN_PARALLEL_LOOKAHEAD;

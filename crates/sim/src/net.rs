@@ -35,6 +35,29 @@ pub trait NetModel: Send {
     /// Return the arrival time of the packet, or `None` if it is dropped.
     fn route(&mut self, req: RouteRequest) -> Option<SimTime>;
 
+    /// Conservative lookahead: a lower bound `L` such that every
+    /// *cross-node* (`src != dst`) datagram sent at time `t` is delivered
+    /// no earlier than `t + L`, regardless of congestion state. The
+    /// parallel kernel uses it as the Chandy–Misra–Bryant window length:
+    /// within a window of length `L`, no node group can receive a packet
+    /// another group sends inside the same window.
+    ///
+    /// Return `None` (the default) when no such bound exists; the kernel
+    /// then falls back to sequential execution.
+    fn lookahead(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Exact self-delivery latency: a loopback (`src == dst`) send at `t`
+    /// is delivered at exactly `t + loopback_latency()`, is never dropped,
+    /// and routing it reads or mutates no state shared with cross-node
+    /// routing (no RNG draw, no link occupancy). Models that cannot
+    /// guarantee this return `None` (the default), which also forces the
+    /// kernel back to sequential execution.
+    fn loopback_latency(&self) -> Option<SimDuration> {
+        None
+    }
+
     /// Total number of datagrams accepted onto the wire so far.
     fn sent_count(&self) -> u64 {
         0
@@ -83,6 +106,15 @@ impl NetModel for PerfectNet {
         Some(req.now + self.latency)
     }
 
+    fn lookahead(&self) -> Option<SimDuration> {
+        // Every delivery (loopback included) is exactly `latency` away.
+        Some(self.latency)
+    }
+
+    fn loopback_latency(&self) -> Option<SimDuration> {
+        Some(self.latency)
+    }
+
     fn sent_count(&self) -> u64 {
         self.sent
     }
@@ -113,5 +145,26 @@ mod tests {
         assert_eq!(n.sent_count(), 1);
         assert_eq!(n.sent_bytes(), 123);
         assert_eq!(n.dropped_count(), 0);
+    }
+
+    #[test]
+    fn perfect_net_lookahead_is_its_latency() {
+        let n = PerfectNet::new(SimDuration::from_micros(50));
+        assert_eq!(n.lookahead(), Some(SimDuration::from_micros(50)));
+        assert_eq!(n.loopback_latency(), Some(SimDuration::from_micros(50)));
+    }
+
+    #[test]
+    fn lookahead_defaults_to_none() {
+        // A model that does not opt in exposes no bound, which the kernel
+        // treats as "run sequentially".
+        struct Opaque;
+        impl NetModel for Opaque {
+            fn route(&mut self, req: RouteRequest) -> Option<SimTime> {
+                Some(req.now)
+            }
+        }
+        assert_eq!(Opaque.lookahead(), None);
+        assert_eq!(Opaque.loopback_latency(), None);
     }
 }

@@ -1,0 +1,773 @@
+//! The conservative-lookahead parallel kernel.
+//!
+//! ## Why the sequential artifacts survive parallel execution
+//!
+//! The network model exports a lookahead bound `L` ([`crate::NetModel::lookahead`]):
+//! every cross-node datagram sent at `t` arrives at or after `t + L`. The
+//! coordinator therefore pops all pending events in `[T, T + L)` — one
+//! *window* — and buckets them by node group: no event executed inside the
+//! window can schedule a cross-group event that also falls inside it, so the
+//! groups' slices are causally independent and can run on concurrent
+//! threads (Chandy–Misra–Bryant).
+//!
+//! Independence of *scheduling* is not independence of *artifacts*: the
+//! trace ring records in execution order, causal-record ids are execution
+//! indices, and the network model's RNG and link-occupancy state must be
+//! touched in exact global send order. Deferred windows therefore execute
+//! against group-local state only and append every side effect to a
+//! per-group [`Action`] log ([`GroupCell`], installed as the thread-local
+//! trace/causal sink on the group's threads). After the window, the
+//! coordinator *commits*: it replays the logs in exact global `(time, seq)`
+//! order — the order the sequential kernel would have executed — routing
+//! sends through the shared model, appending traces, and assigning real
+//! causal ids (remapping the provisional ids groups handed out). A window
+//! whose events all land in one group skips the machinery entirely: the
+//! group borrows the shared [`GlobalState`] and runs the plain sequential
+//! path *inline* (zero logging, zero divergence).
+//!
+//! Two facts make in-window execution exact rather than optimistic:
+//!
+//! * Only loopback (`src == dst`) sends can deliver inside the window, and
+//!   [`crate::NetModel::loopback_latency`] guarantees they are exact,
+//!   lossless, and touch no shared routing state — so a group predicts the
+//!   delivery locally and the commit re-routes it (for statistics and seq
+//!   assignment) and asserts the prediction.
+//! * A packet's causal stamp is consumed exactly once, at its delivery
+//!   instant. Loopback stamps are consumed in the same window (same group,
+//!   remappable); stamps that cross windows are finalized by the commit
+//!   before the packet reaches the future heap.
+
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Instant;
+
+use vopp_trace::{
+    CausalProfiler, CausalSink, CtxKind, EventKind, NodeId, OpSpan, RecordSink, Tracer, NO_CTX,
+};
+
+use crate::kernel::{Event, GlobalState, Mode, Phase, QEntry, Shared, WindowStats};
+use crate::net::{NetModel, RouteRequest};
+use crate::packet::{DeliveryClass, Packet};
+use crate::sync::{Mutex, MutexGuard};
+use crate::time::{SimDuration, SimTime};
+use crate::ProcId;
+
+/// Smallest lookahead worth parallelizing over. Below this, windows hold so
+/// few events that coordination dominates; the kernel falls back to
+/// sequential execution (with a one-time notice). The zero-latency what-if
+/// network (1 ns) lands here by design.
+pub const MIN_PARALLEL_LOOKAHEAD: SimDuration = SimDuration::from_micros(1);
+
+/// Marks a provisional causal-record id handed out by a group during a
+/// deferred window; the low bits are the group-local ordinal. Real ids are
+/// execution indices and never reach this bit.
+const PROV_BIT: u64 = 1 << 63;
+
+/// The resolved parallel configuration for one run.
+pub(crate) struct ParPlan {
+    pub(crate) groups: usize,
+    pub(crate) lookahead: SimDuration,
+    pub(crate) loopback: SimDuration,
+}
+
+fn notice(reason: &str) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "[vopp-sim] parallel kernel requested but running sequentially: {reason} \
+             (printed once per process)"
+        );
+    });
+}
+
+/// Decide whether a run can use the parallel kernel, and with how many
+/// groups. `None` means sequential.
+pub(crate) fn decide_plan(workers: usize, nprocs: usize, net: &dyn NetModel) -> Option<ParPlan> {
+    if workers <= 1 || nprocs < 2 {
+        return None;
+    }
+    let Some(lookahead) = net.lookahead() else {
+        notice("the network model exports no lookahead bound");
+        return None;
+    };
+    let Some(loopback) = net.loopback_latency() else {
+        notice("the network model exports no exact loopback latency");
+        return None;
+    };
+    if lookahead < MIN_PARALLEL_LOOKAHEAD {
+        notice("the lookahead bound is below the 1 us floor");
+        return None;
+    }
+    Some(ParPlan {
+        groups: workers.min(nprocs),
+        lookahead,
+        loopback,
+    })
+}
+
+/// An event variant a group may schedule for later than its window; the
+/// commit assigns the global seq and requeues it.
+#[derive(Debug)]
+pub(crate) enum PushedEv {
+    Resume(ProcId),
+    Timer { dst: ProcId, token: u64 },
+}
+
+/// One side effect captured during a deferred window, in group execution
+/// order. Replayed by the commit in global order.
+pub(crate) enum Action {
+    /// Execution of one popped event starts (delimits log segments; `at` is
+    /// cross-checked against the replay order).
+    Begin { at: SimTime },
+    /// A trace-ring record.
+    Trace {
+        t: u64,
+        node: NodeId,
+        kind: EventKind,
+    },
+    /// A causal wake record (provisional id = next ordinal).
+    Wake {
+        node: usize,
+        prev_ns: u64,
+        t_ns: u64,
+        kind: CtxKind,
+        cause: u64,
+    },
+    /// A causal service-dispatch record (provisional id = next ordinal).
+    Svc { node: usize, t_ns: u64, cause: u64 },
+    /// A causal op-span annotation.
+    Op { node: usize, span: OpSpan },
+    /// An event scheduled via `push_event` (resumes and timers; deliveries
+    /// are reconstructed from `Send`).
+    Push { at: SimTime, ev: PushedEv },
+    /// A delivery event was executed: the destination backlog shrinks.
+    DeliverPop { dst: ProcId, wire_bytes: usize },
+    /// A datagram submitted to the network; routed for real at commit.
+    Send {
+        now: SimTime,
+        dst: ProcId,
+        pkt: Packet,
+    },
+}
+
+impl Action {
+    fn name(&self) -> &'static str {
+        match self {
+            Action::Begin { .. } => "Begin",
+            Action::Trace { .. } => "Trace",
+            Action::Wake { .. } => "Wake",
+            Action::Svc { .. } => "Svc",
+            Action::Op { .. } => "Op",
+            Action::Push { .. } => "Push",
+            Action::DeliverPop { .. } => "DeliverPop",
+            Action::Send { .. } => "Send",
+        }
+    }
+}
+
+/// Per-group side-effect capture, shared between the group's scheduler and
+/// the thread-local sinks installed on the group's threads. Outside deferred
+/// windows the sinks decline every record, so inline windows and sequential
+/// runs hit the shared tracer/profiler directly.
+pub(crate) struct GroupCell {
+    deferred: AtomicBool,
+    log: Mutex<Vec<Action>>,
+    /// Next provisional causal ordinal (== Wake/Svc actions logged so far).
+    prof_ord: AtomicU64,
+    /// Provisional id of the group's currently-executing context.
+    prof_cur: AtomicU64,
+}
+
+impl GroupCell {
+    pub(crate) fn new() -> GroupCell {
+        GroupCell {
+            deferred: AtomicBool::new(false),
+            log: Mutex::new(Vec::new()),
+            prof_ord: AtomicU64::new(0),
+            prof_cur: AtomicU64::new(NO_CTX),
+        }
+    }
+
+    pub(crate) fn push(&self, a: Action) {
+        self.log.lock().push(a);
+    }
+
+    fn begin_deferred(&self) {
+        debug_assert!(self.log.lock().is_empty(), "stale group log");
+        self.prof_ord.store(0, Ordering::Relaxed);
+        self.prof_cur.store(NO_CTX, Ordering::Relaxed);
+        self.deferred.store(true, Ordering::Relaxed);
+    }
+
+    /// Leave deferred mode, returning the captured log and the number of
+    /// provisional causal ids handed out.
+    fn end_deferred(&self) -> (Vec<Action>, u64) {
+        self.deferred.store(false, Ordering::Relaxed);
+        (
+            std::mem::take(&mut *self.log.lock()),
+            self.prof_ord.load(Ordering::Relaxed),
+        )
+    }
+
+    #[inline]
+    fn capturing(&self) -> bool {
+        self.deferred.load(Ordering::Relaxed)
+    }
+}
+
+impl RecordSink for GroupCell {
+    fn record(&self, t: u64, node: NodeId, kind: &EventKind) -> bool {
+        if !self.capturing() {
+            return false;
+        }
+        self.push(Action::Trace {
+            t,
+            node,
+            kind: kind.clone(),
+        });
+        true
+    }
+}
+
+impl CausalSink for GroupCell {
+    fn record_wake(
+        &self,
+        node: usize,
+        prev_ns: u64,
+        t_ns: u64,
+        kind: CtxKind,
+        pkt_cause: u64,
+    ) -> Option<u64> {
+        if !self.capturing() {
+            return None;
+        }
+        let ord = self.prof_ord.fetch_add(1, Ordering::Relaxed);
+        let id = PROV_BIT | ord;
+        self.prof_cur.store(id, Ordering::Relaxed);
+        self.push(Action::Wake {
+            node,
+            prev_ns,
+            t_ns,
+            kind,
+            cause: pkt_cause,
+        });
+        Some(id)
+    }
+
+    fn record_svc(&self, node: usize, t_ns: u64, pkt_cause: u64) -> Option<u64> {
+        if !self.capturing() {
+            return None;
+        }
+        let ord = self.prof_ord.fetch_add(1, Ordering::Relaxed);
+        let id = PROV_BIT | ord;
+        self.prof_cur.store(id, Ordering::Relaxed);
+        self.push(Action::Svc {
+            node,
+            t_ns,
+            cause: pkt_cause,
+        });
+        Some(id)
+    }
+
+    fn record_op(&self, node: usize, span: OpSpan) -> bool {
+        if !self.capturing() {
+            return false;
+        }
+        self.push(Action::Op { node, span });
+        true
+    }
+
+    fn cur_ctx(&self) -> Option<u64> {
+        if !self.capturing() {
+            return None;
+        }
+        // Any context executing inside a deferred window was recorded inside
+        // it (processes park between windows), so this never reads the
+        // window-initial NO_CTX from a live context.
+        Some(self.prof_cur.load(Ordering::Relaxed))
+    }
+}
+
+/// Resolve a possibly-provisional causal id against the group's replay map.
+#[inline]
+fn map_cause(c: u64, map: &[u64]) -> u64 {
+    if c == NO_CTX || c & PROV_BIT == 0 {
+        c
+    } else {
+        map[(c ^ PROV_BIT) as usize]
+    }
+}
+
+/// A replay-heap entry: one event execution in global order, owned by group
+/// `gi` whose log supplies its side effects.
+struct ReplaySeed {
+    at: SimTime,
+    seq: u64,
+    gi: usize,
+}
+
+impl PartialEq for ReplaySeed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ReplaySeed {}
+impl PartialOrd for ReplaySeed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReplaySeed {
+    // Reversed for min-heap behaviour, like `QEntry`.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The parallel run's main loop, on the thread that called `Sim::run`.
+/// Spawns one runner per group, carves windows off the future heap,
+/// dispatches them (inline when one group is active, deferred + commit when
+/// several are), and detects termination, deadlock and panics exactly like
+/// the sequential controller. Returns a service-handler panic payload, if
+/// any, after all runners have been joined.
+pub(crate) fn coordinate<'scope, 'env>(
+    shared: &'scope Shared,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    plan: &ParPlan,
+    stats: &mut WindowStats,
+) -> Option<Box<dyn std::any::Any + Send>> {
+    let ng = shared.groups.len();
+    let mut global = shared.groups[0]
+        .sched
+        .lock()
+        .global
+        .take()
+        .expect("parked global state");
+    let profiler = shared.groups[0].sched.lock().profiler.clone();
+    let runners: Vec<_> = (0..ng)
+        .map(|gi| scope.spawn(move || runner(shared, gi)))
+        .collect();
+
+    let mut buckets: Vec<Vec<QEntry>> = (0..ng).map(|_| Vec::new()).collect();
+    let mut seeds: Vec<ReplaySeed> = Vec::new();
+    let mut logs: Vec<Vec<Action>> = (0..ng).map(|_| Vec::new()).collect();
+    let mut ords: Vec<u64> = vec![0; ng];
+    let mut active: Vec<usize> = Vec::new();
+
+    let mut payload = loop {
+        // Between windows every process is parked and every group queue is
+        // empty, so group state is quiescent and consistent to read.
+        let mut live = 0usize;
+        let mut panicked = false;
+        for grp in &shared.groups {
+            let s = grp.sched.lock();
+            live += s.live;
+            panicked |= s.panicked;
+        }
+        // Svc-panic first: a service-handler panic also marks the group
+        // `panicked`, and the payload must win over the generic shutdown.
+        if let Some(p) = shared.win.svc_panic.lock().take() {
+            shared.shutdown_all();
+            break Some(p);
+        }
+        if panicked {
+            shared.shutdown_all();
+            break None;
+        }
+        if live == 0 {
+            break None;
+        }
+        let Some(head) = global.future.peek() else {
+            // Deadlock: release the blocked process threads; `Sim::run`
+            // turns the surviving shutdown flag into the panic.
+            shared.shutdown_all();
+            break None;
+        };
+        let t_end = head.at + plan.lookahead;
+        active.clear();
+        seeds.clear();
+        while let Some(h) = global.future.peek() {
+            if h.at >= t_end {
+                break;
+            }
+            let e = global.future.pop().expect("peeked entry");
+            let gi = shared.group_ix(e.ev.target());
+            if buckets[gi].is_empty() {
+                active.push(gi);
+            }
+            seeds.push(ReplaySeed {
+                at: e.at,
+                seq: e.seq,
+                gi,
+            });
+            stats.window_events += 1;
+            buckets[gi].push(e);
+        }
+        stats.windows += 1;
+
+        if active.len() == 1 {
+            // Single-group window: lend it the global state and let it run
+            // the plain sequential path, bounded by `t_end`.
+            stats.inline_windows += 1;
+            let gi = active[0];
+            *shared.win.pending.lock() = 1;
+            {
+                let mut s = shared.groups[gi].sched.lock();
+                s.global = Some(global);
+                s.open_window(Mode::Inline, t_end, &mut buckets[gi]);
+                shared.groups[gi].ctl_cv.notify_all();
+            }
+            let t0 = Instant::now();
+            wait_windows(shared);
+            stats.exec_ns += t0.elapsed().as_nanos() as u64;
+            let mut s = shared.groups[gi].sched.lock();
+            global = s.global.take().expect("inline window returns global state");
+            s.close_window();
+        } else {
+            stats.parallel_windows += 1;
+            // Stale counts from a previous window would trip the commit's
+            // bookkeeping asserts for groups inactive in this one.
+            ords.fill(0);
+            *shared.win.pending.lock() = active.len();
+            for &gi in &active {
+                let mut s = shared.groups[gi].sched.lock();
+                shared.groups[gi].cell.begin_deferred();
+                s.open_window(Mode::Deferred, t_end, &mut buckets[gi]);
+                shared.groups[gi].ctl_cv.notify_all();
+            }
+            let t0 = Instant::now();
+            wait_windows(shared);
+            stats.exec_ns += t0.elapsed().as_nanos() as u64;
+            let mut any_panic = false;
+            for &gi in &active {
+                let mut s = shared.groups[gi].sched.lock();
+                any_panic |= s.panicked;
+                s.close_window();
+                drop(s);
+                let (log, ord) = shared.groups[gi].cell.end_deferred();
+                logs[gi] = log;
+                ords[gi] = ord;
+            }
+            if any_panic {
+                shared.shutdown_all();
+                break None;
+            }
+            if let Some(p) = shared.win.svc_panic.lock().take() {
+                shared.shutdown_all();
+                break Some(p);
+            }
+            let t1 = Instant::now();
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                commit_window(
+                    &mut global,
+                    t_end,
+                    &mut seeds,
+                    &mut logs,
+                    &ords,
+                    &shared.tracer,
+                    &profiler,
+                    plan.loopback,
+                    &shared.group_of,
+                )
+            }));
+            stats.merge_ns += t1.elapsed().as_nanos() as u64;
+            if let Err(e) = r {
+                // A commit bug must not strand parked process threads.
+                shared.shutdown_all();
+                break Some(e);
+            }
+        }
+    };
+
+    for grp in &shared.groups {
+        let mut s = grp.sched.lock();
+        s.halt = true;
+        drop(s);
+        grp.ctl_cv.notify_all();
+    }
+    for r in runners {
+        if let Err(e) = r.join() {
+            if payload.is_none() {
+                payload = Some(e);
+            }
+        }
+    }
+    shared.groups[0].sched.lock().global = Some(global);
+    payload
+}
+
+/// Park until every dispatched group finishes its window.
+fn wait_windows(shared: &Shared) {
+    let mut pending = shared.win.pending.lock();
+    while *pending > 0 {
+        shared.win.done_cv.wait(&mut pending);
+    }
+}
+
+/// A group's event-loop thread in parallel mode: waits for a window, runs it
+/// exactly like the sequential controller (restricted to the group and
+/// bounded by `t_end`), and reports completion.
+fn runner(shared: &Shared, gi: usize) {
+    let grp = &shared.groups[gi];
+    let cell = grp.cell.clone();
+    vopp_trace::set_thread_record_sink(Some(cell.clone()));
+    vopp_trace::set_thread_causal_sink(Some(cell));
+    loop {
+        let mut s = grp.sched.lock();
+        while !s.window_open && !s.halt {
+            grp.ctl_cv.wait(&mut s);
+        }
+        if s.halt {
+            return;
+        }
+        run_window(shared, gi, &mut s);
+        debug_assert!(
+            s.window_drained() || s.panicked || s.shutdown,
+            "window ended with events still queued"
+        );
+        s.window_open = false;
+        drop(s);
+        let mut pending = shared.win.pending.lock();
+        *pending -= 1;
+        if *pending == 0 {
+            shared.win.done_cv.notify_all();
+        }
+    }
+}
+
+/// One window on one group: the sequential controller's event loop bounded
+/// by the window (`pop_due`). Service-handler panics are stashed for the
+/// coordinator instead of unwinding the runner, so the completion barrier
+/// still settles.
+fn run_window<'a>(shared: &'a Shared, gi: usize, s: &mut MutexGuard<'a, crate::kernel::Sched>) {
+    loop {
+        if s.panicked || s.shutdown {
+            return;
+        }
+        let Some(entry) = s.pop_due() else {
+            return;
+        };
+        debug_assert!(entry.at >= s.now, "event queue went backwards");
+        s.now = entry.at;
+        s.note_begin(&entry);
+        match entry.ev {
+            Event::Resume(p) => match s.pi(p).phase {
+                Phase::Startup | Phase::BlockedResume => {
+                    shared.wake_and_park(gi, s, p, entry.at, NO_CTX);
+                }
+                Phase::Finished => {}
+                ref ph => unreachable!("resume for proc {p} in phase {ph:?}"),
+            },
+            Event::Deliver { dst, mut pkt } => {
+                s.note_deliver_pop(dst, pkt.wire_bytes);
+                pkt.arrived = entry.at;
+                if let Some(tr) = &s.tracer {
+                    tr.record(
+                        entry.at.0,
+                        dst,
+                        EventKind::NetRecv {
+                            src: pkt.src,
+                            wire_bytes: pkt.wire_bytes as u64,
+                            tag: pkt.tag,
+                        },
+                    );
+                }
+                match pkt.class {
+                    DeliveryClass::Svc => {
+                        if let Err(e) = shared.dispatch_svc(dst, s, dst, pkt, entry.at) {
+                            // Grabbing every other group's lock to shut down
+                            // from here could deadlock against a runner doing
+                            // the same; park the payload and let the
+                            // coordinator (which holds no locks) clean up.
+                            let mut slot = shared.win.svc_panic.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            drop(slot);
+                            s.panicked = true;
+                            return;
+                        }
+                    }
+                    DeliveryClass::App => {
+                        let cause = pkt.cause;
+                        s.pi_mut(dst).mailbox.push_back(pkt);
+                        if matches!(s.pi(dst).phase, Phase::WaitRecv { .. }) {
+                            shared.wake_and_park(gi, s, dst, entry.at, cause);
+                        }
+                    }
+                }
+            }
+            Event::Timer { dst, token } => {
+                if s.pi(dst).phase
+                    == (Phase::WaitRecv {
+                        deadline: Some(token),
+                    })
+                {
+                    s.pi_mut(dst).timed_out = true;
+                    shared.wake_and_park(gi, s, dst, entry.at, NO_CTX);
+                }
+                // Otherwise the timer is stale (the wait already ended).
+            }
+        }
+    }
+}
+
+/// Replay the groups' action logs in exact global `(time, seq)` order,
+/// applying every side effect to the shared state precisely as the
+/// sequential kernel would have: traces append to the ring, causal records
+/// get their real (execution-index) ids, sends route through the network
+/// model (consuming its RNG in global send order), and out-of-window events
+/// are assigned global seqs and pushed to the future heap.
+#[allow(clippy::too_many_arguments)]
+fn commit_window(
+    global: &mut GlobalState,
+    t_end: SimTime,
+    seeds: &mut Vec<ReplaySeed>,
+    logs: &mut [Vec<Action>],
+    ords: &[u64],
+    tracer: &Option<Arc<Tracer>>,
+    profiler: &Option<Arc<CausalProfiler>>,
+    loopback: SimDuration,
+    group_of: &[usize],
+) {
+    let ng = logs.len();
+    let mut heap: BinaryHeap<ReplaySeed> = seeds.drain(..).collect();
+    let mut pos = vec![0usize; ng];
+    // Per group: provisional ordinal -> real causal id, grown in replay
+    // order (which is each group's execution order).
+    let mut maps: Vec<Vec<u64>> = (0..ng).map(|_| Vec::new()).collect();
+
+    while let Some(seed) = heap.pop() {
+        let gi = seed.gi;
+        match logs[gi].get(pos[gi]) {
+            Some(Action::Begin { at }) => {
+                debug_assert_eq!(
+                    *at, seed.at,
+                    "group {gi} executed an event out of replay order"
+                );
+                pos[gi] += 1;
+            }
+            other => panic!(
+                "parallel commit misaligned for group {gi}: expected Begin, found {:?}",
+                other.map(Action::name)
+            ),
+        }
+        while pos[gi] < logs[gi].len() && !matches!(logs[gi][pos[gi]], Action::Begin { .. }) {
+            // Tombstone the slot; each action is consumed exactly once.
+            let a = std::mem::replace(&mut logs[gi][pos[gi]], Action::Begin { at: SimTime::ZERO });
+            pos[gi] += 1;
+            match a {
+                Action::Begin { .. } => unreachable!(),
+                Action::Trace { t, node, kind } => {
+                    if let Some(tr) = tracer {
+                        tr.record(t, node, kind);
+                    }
+                }
+                Action::Wake {
+                    node,
+                    prev_ns,
+                    t_ns,
+                    kind,
+                    cause,
+                } => {
+                    let prof = profiler.as_ref().expect("wake logged without a profiler");
+                    let id =
+                        prof.record_wake(node, prev_ns, t_ns, kind, map_cause(cause, &maps[gi]));
+                    maps[gi].push(id);
+                }
+                Action::Svc { node, t_ns, cause } => {
+                    let prof = profiler.as_ref().expect("svc logged without a profiler");
+                    let id = prof.record_svc(node, t_ns, map_cause(cause, &maps[gi]));
+                    maps[gi].push(id);
+                }
+                Action::Op { node, span } => {
+                    profiler
+                        .as_ref()
+                        .expect("op span logged without a profiler")
+                        .record_op(node, span);
+                }
+                Action::DeliverPop { dst, wire_bytes } => {
+                    global.pending_deliver[dst] -= 1;
+                    global.pending_bytes[dst] -= wire_bytes;
+                }
+                Action::Push { at, ev } => {
+                    let ev = match ev {
+                        PushedEv::Resume(p) => Event::Resume(p),
+                        PushedEv::Timer { dst, token } => Event::Timer { dst, token },
+                    };
+                    let seq = global.seq;
+                    global.seq += 1;
+                    if at < t_end {
+                        // The group already executed it locally; thread it
+                        // through the replay so its log segment is consumed.
+                        debug_assert_eq!(group_of[ev.target()], gi);
+                        heap.push(ReplaySeed { at, seq, gi });
+                    } else {
+                        global.future.push(QEntry {
+                            at,
+                            tier: 0,
+                            seq,
+                            ev,
+                        });
+                    }
+                }
+                Action::Send { now, dst, mut pkt } => {
+                    let req = RouteRequest {
+                        now,
+                        src: pkt.src,
+                        dst,
+                        wire_bytes: pkt.wire_bytes,
+                        pending_at_dst: global.pending_deliver[dst],
+                        pending_bytes_at_dst: global.pending_bytes[dst],
+                    };
+                    if let Some(at) = global.net.route(req) {
+                        let at = at.max(now);
+                        global.pending_deliver[dst] += 1;
+                        global.pending_bytes[dst] += pkt.wire_bytes;
+                        let seq = global.seq;
+                        global.seq += 1;
+                        if at < t_end {
+                            // Only loopbacks can deliver inside a window (the
+                            // lookahead bounds everything else); the group
+                            // already delivered it locally.
+                            debug_assert_eq!(pkt.src, dst, "cross-node delivery inside a window");
+                            debug_assert_eq!(
+                                at,
+                                now + loopback,
+                                "loopback delivery not exactly loopback_latency away"
+                            );
+                            debug_assert_eq!(group_of[dst], gi);
+                            heap.push(ReplaySeed { at, seq, gi });
+                        } else {
+                            // Crossing a window boundary: finalize the causal
+                            // stamp (provisional ids never leave their window).
+                            pkt.cause = map_cause(pkt.cause, &maps[gi]);
+                            global.future.push(QEntry {
+                                at,
+                                tier: 0,
+                                seq,
+                                ev: Event::Deliver { dst, pkt },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for gi in 0..ng {
+        assert_eq!(
+            pos[gi],
+            logs[gi].len(),
+            "group {gi} logged actions the replay never consumed"
+        );
+        debug_assert_eq!(
+            maps[gi].len() as u64,
+            ords[gi],
+            "group {gi} provisional-id count mismatch"
+        );
+        logs[gi].clear();
+    }
+}

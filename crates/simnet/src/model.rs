@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use vopp_sim::sync::Mutex;
-use vopp_sim::{EventKind, NetModel, RouteRequest, SimTime, Tracer};
+use vopp_sim::{EventKind, NetModel, RouteRequest, SimDuration, SimTime, Tracer};
 
 use crate::config::NetConfig;
 
@@ -141,6 +141,21 @@ impl NetModel for EthernetModel {
         Some(rx_end)
     }
 
+    fn lookahead(&self) -> Option<SimDuration> {
+        // Every surviving cross-node datagram serializes on the sender
+        // uplink (ending no earlier than `now`), then crosses the switch:
+        // `rx_end >= tx_end + latency >= now + latency`. Congestion only
+        // pushes deliveries later, so the switch latency is a sound
+        // conservative bound.
+        Some(self.cfg.latency)
+    }
+
+    fn loopback_latency(&self) -> Option<SimDuration> {
+        // The loopback short-circuit above is exact, lossless, and touches
+        // neither the RNG nor the link-occupancy state.
+        Some(self.cfg.loopback_latency)
+    }
+
     fn sent_count(&self) -> u64 {
         self.stats.lock().msgs
     }
@@ -254,6 +269,26 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn lookahead_matches_switch_latency_and_bounds_deliveries() {
+        let cfg = NetConfig::lossless();
+        let mut m = EthernetModel::new(4, cfg.clone());
+        let la = m.lookahead().unwrap();
+        assert_eq!(la, cfg.latency);
+        assert_eq!(m.loopback_latency().unwrap(), cfg.loopback_latency);
+        // Hammer one receiver from several senders: every cross-node
+        // delivery must still respect `now + lookahead`, and loopback must
+        // be exactly `now + loopback_latency`.
+        for i in 0..200u64 {
+            let now = i * 10_000;
+            let src = (i % 3) as usize;
+            let at = m.route(req(now, src, 3, 1250, 0)).unwrap();
+            assert!(at >= SimTime(now) + la, "delivery {at} beat lookahead");
+            let lb = m.route(req(now, src, src, 64, 0)).unwrap();
+            assert_eq!(lb, SimTime(now) + cfg.loopback_latency);
+        }
     }
 
     #[test]
