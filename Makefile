@@ -6,9 +6,9 @@ BASELINE_DIR ?= crates/bench/baselines
 CRITPATH_DIR ?= target/bench-critpath
 CRITPATH_BASELINE_DIR ?= crates/bench/baselines-critpath
 
-.PHONY: all check fmt clippy test tables tables-quick serve bench bench-micro \
-        bench-wallclock baseline critpath baseline-critpath metrics-demo \
-        trace-demo racecheck parkernel clean
+.PHONY: all check fmt clippy test tables tables-quick serve scaling bench \
+        bench-micro bench-wallclock baseline critpath baseline-critpath \
+        metrics-demo trace-demo racecheck parkernel clean
 
 all: check test
 
@@ -36,24 +36,34 @@ tables-quick:
 serve:
 	cargo run -p vopp-bench --release --bin tables -- serve --quick
 
+# The 64/128-node scaling family (docs/PERFORMANCE.md §7): IS/Gauss/SOR at
+# 64 and 128 nodes under LRC_d, HLRC, and VC_sd — the event-dense regime
+# the intra-run parallel kernel targets. Runs the family sequentially and
+# at `--sim-workers auto`, prints both sweep wall-clocks, and checks the
+# artifacts byte-identical. Opt-in like `ext`; not part of `all`.
+scaling:
+	cargo run -p vopp-bench --release --bin tables -- scaling --quick --metrics target/scaling-seq
+	cargo run -p vopp-bench --release --bin tables -- scaling --quick --sim-workers auto --metrics target/scaling-auto
+	diff -r --exclude=BENCH_wallclock.json target/scaling-seq target/scaling-auto
+
 # Quick tables with machine-readable metrics, then the perf-regression
 # gate against the committed baselines (>2% time drift or any count drift
 # fails the build).
 bench:
-	cargo run -p vopp-bench --release --bin tables -- all serve --quick --metrics $(METRICS_DIR)
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --metrics $(METRICS_DIR)
 	cargo run -p vopp-bench --release --bin metrics_diff -- $(BASELINE_DIR) $(METRICS_DIR)
 
 # Full quick sweep on every core, reporting real time per cell. Wall-clock
 # is machine-dependent and never gated; see docs/PERFORMANCE.md.
 bench-wallclock:
-	cargo run -p vopp-bench --release --bin tables -- all serve --quick --metrics $(METRICS_DIR)
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --metrics $(METRICS_DIR)
 	@echo "Wall-clock artifact:"
 	@cat $(METRICS_DIR)/BENCH_wallclock.json
 
 # Refresh the committed baselines after an intentional perf change. The
 # machine-dependent wall-clock artifact is never committed as a baseline.
 baseline:
-	cargo run -p vopp-bench --release --bin tables -- all serve --quick --metrics $(BASELINE_DIR)
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --metrics $(BASELINE_DIR)
 	rm -f $(BASELINE_DIR)/BENCH_wallclock.json
 
 # Critical-path profile of the full quick sweep (docs/OBSERVABILITY.md):
@@ -94,8 +104,8 @@ trace-demo:
 # by design; its `sim` section reports the window/merge counters).
 parkernel:
 	cargo test --release -p vopp-bench --test parkernel
-	cargo run -p vopp-bench --release --bin tables -- all serve --quick --jobs 4 --sim-workers 4 --metrics target/park-metrics
-	cargo run -p vopp-bench --release --bin tables -- all serve --quick --jobs 4 --metrics target/park-seq
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --jobs 4 --sim-workers 4 --metrics target/park-metrics
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --jobs 4 --metrics target/park-seq
 	cargo run -p vopp-bench --release --bin metrics_diff -- $(BASELINE_DIR) target/park-metrics
 	diff -r --exclude=BENCH_wallclock.json target/park-metrics target/park-seq
 

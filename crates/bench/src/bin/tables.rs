@@ -25,13 +25,20 @@
 //! byte-identical for any worker count — cells are independent
 //! deterministic simulations consumed in sequential order.
 //!
-//! `--sim-workers N` (or `VOPP_SIM_WORKERS=N`; default: 1) additionally
-//! parallelizes *inside* each simulation: the kernel executes conservative-
-//! lookahead windows of causally independent events on N threads and merges
-//! them in virtual-time order (see `docs/PERFORMANCE.md` §7). Composes with
+//! `--sim-workers N|auto` (or `VOPP_SIM_WORKERS=...`; default: 1)
+//! additionally parallelizes *inside* each simulation: the kernel executes
+//! conservative-lookahead windows of causally independent events on N
+//! threads and merges them in virtual-time order (see `docs/PERFORMANCE.md`
+//! §7). `auto` sizes the pool from the host and engages it only while the
+//! rolling events-per-window density clears a measured crossover threshold,
+//! so sparse paper-scale runs never pay dispatch costs. Composes with
 //! `--jobs`; every artifact stays byte-identical for any combination. Runs
 //! on networks without a lookahead bound (or below the 1 us floor, e.g. the
 //! zero-latency what-if) fall back to sequential with a one-time notice.
+//!
+//! The `scaling` table (64/128-node scale-out cells, the regime where
+//! `--sim-workers` pays) is opt-in like `ext` and `serve`: request it by
+//! name (`tables scaling`).
 //!
 //! `--cache <dir>` keeps a persistent content-addressed store of finished
 //! cells (`sweep-cache.json`) across invocations: a warm rerun simulates
@@ -110,18 +117,23 @@ fn jobs_from(args: &[String]) -> usize {
 }
 
 fn sim_workers_from(args: &[String]) -> usize {
-    let parse = |s: &str, what: &str| match s.parse::<usize>() {
-        Ok(n) if n >= 1 => n,
-        _ => {
-            eprintln!("{what} must be a positive integer, got {s:?}");
-            std::process::exit(2);
+    let parse = |s: &str, what: &str| {
+        if s == "auto" {
+            return vopp_sim::SIM_WORKERS_AUTO;
+        }
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("{what} must be a positive integer or \"auto\", got {s:?}");
+                std::process::exit(2);
+            }
         }
     };
     if let Some(i) = args.iter().position(|a| a == "--sim-workers") {
         match args.get(i + 1) {
             Some(n) if !n.starts_with("--") => return parse(n, "--sim-workers"),
             _ => {
-                eprintln!("--sim-workers requires a positive integer argument");
+                eprintln!("--sim-workers requires a positive integer or \"auto\"");
                 std::process::exit(2);
             }
         }
@@ -199,9 +211,9 @@ fn main() {
         .collect();
     if wanted.is_empty() && !racecheck {
         eprintln!(
-            "usage: tables [--quick] [--json] [--jobs N] [--sim-workers N] [--trace DIR] \
+            "usage: tables [--quick] [--json] [--jobs N] [--sim-workers N|auto] [--trace DIR] \
              [--metrics DIR] [--cache DIR] [--faults PLAN] [--critpath] [--racecheck] \
-             (all | table1 .. table9 | ext | serve)*"
+             (all | table1 .. table9 | ext | serve | scaling)*"
         );
         std::process::exit(2);
     }
@@ -232,12 +244,14 @@ fn main() {
         ("table9", tables::table9),
         ("ext", tables::table_ext),
         ("serve", tables::table_serve),
+        ("scaling", tables::table_scaling),
     ];
     let run_all = wanted.contains(&"all");
     let selected: Vec<(&str, TableFn)> = table_fns
         .into_iter()
         .filter(|(name, _)| {
-            (run_all && *name != "ext" && *name != "serve") || wanted.contains(name)
+            (run_all && *name != "ext" && *name != "serve" && *name != "scaling")
+                || wanted.contains(name)
         })
         .collect();
 

@@ -48,8 +48,12 @@ use crate::tables::{self, Scale};
 /// `host` section (peak RSS, allocation counters) and the per-stage
 /// (`enumerate`/`simulate`/`render`) timing array. `/3` adds the `sim`
 /// section: the intra-run parallel kernel's worker width, window counters,
-/// and execute/merge stage timers.
-pub const WALLCLOCK_SCHEMA: &str = "vopp-bench-wallclock/3";
+/// and execute/merge stage timers. `/4` extends `sim` with the adaptive
+/// kernel's dispatch economics: the events-per-window density histogram,
+/// the inline/parallel/serial window split (and inline share), spin-hit vs
+/// park-wake doorbell counts, and the commit's routing vs record-append
+/// nanosecond split.
+pub const WALLCLOCK_SCHEMA: &str = "vopp-bench-wallclock/4";
 
 /// Application of a sweep cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -426,6 +430,17 @@ pub fn cells_for(table: &str, scale: &Scale) -> Vec<CellSpec> {
             cells.push(serve_cell(Vopp, VcD, np, Base, Crash));
             cells.push(serve_cell(Vopp, VcSd, np, Base, Crash));
         }
+        "scaling" => {
+            // Column-major over app x nodes, protocols innermost — the
+            // exact order `table_scaling` consumes them.
+            for app in [Is, Gauss, Sor] {
+                for &n in &scale.scaling_procs() {
+                    cells.push(cell(app, Traditional, LrcD, n));
+                    cells.push(cell(app, Traditional, Hlrc, n));
+                    cells.push(cell(app, Vopp, VcSd, n));
+                }
+            }
+        }
         other => panic!("unknown table {other:?}"),
     }
     cells
@@ -758,22 +773,53 @@ pub fn wallclock_document(cache: &RunCache, stages: &[crate::hostprof::StageStat
         ),
         // Intra-run parallel kernel counters (process-wide totals): the
         // configured worker width, how many conservative-lookahead windows
-        // ran (inline = single-group sequential fast path, parallel =
-        // multi-group concurrent), the events they drained, wall time spent
-        // executing windows vs. serially committing their logs, and runs
-        // that requested workers but fell back to the sequential kernel.
-        // Virtual-time artifacts are byte-identical at any width; only
-        // these wall-clock numbers move.
+        // ran (inline = single-group on the coordinator, parallel =
+        // multi-group on the worker pool, serial = multi-group executed
+        // serially by the adaptive mode below its density threshold), the
+        // events they drained, wall time spent executing windows vs.
+        // committing their logs (split into order-sensitive routing and
+        // bulk record appends), the doorbell dispatch economics (spin-hit
+        // vs park-wake), the events-per-window density histogram
+        // (bucket i counts windows with 2^i..2^(i+1) events; the last is
+        // open-ended), and runs that requested workers but fell back to
+        // the sequential kernel. Virtual-time artifacts are byte-identical
+        // at any width; only these wall-clock numbers move.
         (
             "sim",
             obj(vec![
-                ("sim_workers", num(vopp_sim::sim_workers_default() as u64)),
+                (
+                    "sim_workers",
+                    // The adaptive sentinel is not a meaningful number;
+                    // report it as the string the CLI accepts.
+                    if vopp_sim::sim_workers_default() == vopp_sim::SIM_WORKERS_AUTO {
+                        str("auto")
+                    } else {
+                        num(vopp_sim::sim_workers_default() as u64)
+                    },
+                ),
                 ("windows", num(win.windows)),
                 ("inline_windows", num(win.inline_windows)),
                 ("parallel_windows", num(win.parallel_windows)),
+                ("serial_windows", num(win.serial_windows)),
+                (
+                    "inline_share",
+                    if win.windows > 0 {
+                        Value::Num(win.inline_windows as f64 / win.windows as f64)
+                    } else {
+                        Value::Null
+                    },
+                ),
                 ("window_events", num(win.window_events)),
+                (
+                    "density_histogram",
+                    Value::Arr(win.density.iter().map(|&c| num(c)).collect()),
+                ),
                 ("exec_ns", num(win.exec_ns)),
                 ("merge_ns", num(win.merge_ns)),
+                ("commit_route_ns", num(win.commit_route_ns)),
+                ("commit_append_ns", num(win.commit_append_ns)),
+                ("spin_hits", num(win.spin_hits)),
+                ("park_wakes", num(win.park_wakes)),
                 ("fallback_runs", num(win.fallback_runs)),
             ]),
         ),
@@ -882,6 +928,11 @@ mod tests {
         assert_eq!(serve.len(), 13);
         assert_eq!(dedup_cells(&serve).len(), 13, "serve cells are distinct");
         assert!(serve.iter().all(|c| c.serve.is_some()));
+        // scaling: 3 apps x 2 node counts x 3 protocols, all distinct.
+        let scaling = cells_for("scaling", &scale);
+        assert_eq!(scaling.len(), 18);
+        assert_eq!(dedup_cells(&scaling).len(), 18);
+        assert!(scaling.iter().all(|c| c.np >= 64));
     }
 
     #[test]
@@ -931,21 +982,33 @@ mod tests {
             Some(3)
         );
         assert!(doc.get("handoff").is_some());
-        // `/3`: the parallel-kernel section is always present, with the
-        // configured width and all window/stage counters.
+        // `/4`: the parallel-kernel section is always present, with the
+        // configured width, all window/stage counters, the dispatch
+        // economics, and the density histogram.
         let sim = doc.get("sim").expect("sim section");
         assert!(sim.get("sim_workers").and_then(Value::as_u64).is_some());
         for key in [
             "windows",
             "inline_windows",
             "parallel_windows",
+            "serial_windows",
             "window_events",
             "exec_ns",
             "merge_ns",
+            "commit_route_ns",
+            "commit_append_ns",
+            "spin_hits",
+            "park_wakes",
             "fallback_runs",
         ] {
             assert!(sim.get(key).and_then(Value::as_u64).is_some(), "sim.{key}");
         }
+        assert!(sim.get("inline_share").is_some());
+        let density = sim
+            .get("density_histogram")
+            .and_then(Value::as_arr)
+            .expect("density histogram");
+        assert_eq!(density.len(), vopp_sim::DENSITY_BUCKETS);
     }
 
     /// Fresh scratch directory under the target-adjacent temp dir; unique

@@ -242,6 +242,14 @@ impl Scale {
         }
     }
 
+    /// Node counts of the scale-out family (`tables scaling`): the regime
+    /// ROADMAP item 2 targets, well past the paper's 32-processor ceiling.
+    /// Identical at both scales — `quick` shrinks the instances, not the
+    /// cluster.
+    pub fn scaling_procs(&self) -> Vec<usize> {
+        vec![64, 128]
+    }
+
     fn is(&self) -> IsParams {
         if self.quick {
             IsParams::quick()
@@ -274,6 +282,42 @@ impl Scale {
         }
     }
 
+    /// IS instance for an `np`-node run. The paper tables (np <= 32) use
+    /// the calibrated instances; the scale-out cells keep the full bench
+    /// instance at full scale and, at quick scale, an instance sized so
+    /// every rank still holds keys at 128 nodes.
+    fn is_at(&self, np: usize) -> IsParams {
+        let mut p = self.is();
+        if self.quick && np >= SCALING_MIN_PROCS {
+            p.n_keys = 1 << 15;
+            p.reps = 2;
+        }
+        p
+    }
+
+    /// Gauss instance for an `np`-node run (see [`Scale::is_at`]).
+    fn gauss_at(&self, np: usize) -> GaussParams {
+        let mut p = self.gauss();
+        if self.quick && np >= SCALING_MIN_PROCS {
+            // 3 rows per rank at 128 nodes; short sweeps keep it smoke-test
+            // sized.
+            p.rows = 384;
+            p.iters = 3;
+        }
+        p
+    }
+
+    /// SOR instance for an `np`-node run (see [`Scale::is_at`]).
+    fn sor_at(&self, np: usize) -> SorParams {
+        let mut p = self.sor();
+        if self.quick && np >= SCALING_MIN_PROCS {
+            // 4 rows per rank at 128 nodes.
+            p.rows = 512;
+            p.iters = 3;
+        }
+        p
+    }
+
     fn serve(&self, load: ServeLoad) -> ServeParams {
         let mut p = if self.quick {
             ServeParams::quick()
@@ -287,6 +331,11 @@ impl Scale {
         p
     }
 }
+
+/// Node counts at or above this use the scale-out instances (see
+/// [`Scale::is_at`]); below it, the paper instances. The paper's largest
+/// cluster is 32 processors, so the two regimes never overlap.
+const SCALING_MIN_PROCS: usize = 64;
 
 /// The conformance-invariant set a protocol's traces must satisfy.
 ///
@@ -533,7 +582,7 @@ pub(crate) fn execute_cell(scale: &Scale, spec: &CellSpec) -> (RunStats, Option<
                 CellVariant::VoppLb => IsVariant::VoppLb,
                 CellVariant::Mpi => panic!("IS has no MPI variant"),
             };
-            is_exec(scale, np, proto, &scale.is(), v)
+            is_exec(scale, np, proto, &scale.is_at(np), v)
         }
         CellApp::Gauss => {
             let v = match spec.variant {
@@ -541,7 +590,7 @@ pub(crate) fn execute_cell(scale: &Scale, spec: &CellSpec) -> (RunStats, Option<
                 CellVariant::Vopp => GaussVariant::Vopp,
                 other => panic!("Gauss has no {other:?} variant"),
             };
-            gauss_exec(scale, np, proto, &scale.gauss(), v)
+            gauss_exec(scale, np, proto, &scale.gauss_at(np), v)
         }
         CellApp::Sor => {
             let v = match spec.variant {
@@ -549,7 +598,7 @@ pub(crate) fn execute_cell(scale: &Scale, spec: &CellSpec) -> (RunStats, Option<
                 CellVariant::Vopp => SorVariant::Vopp,
                 other => panic!("SOR has no {other:?} variant"),
             };
-            sor_exec(scale, np, proto, &scale.sor(), v)
+            sor_exec(scale, np, proto, &scale.sor_at(np), v)
         }
         CellApp::Nn => {
             let v = match spec.variant {
@@ -1219,6 +1268,98 @@ pub fn table_serve(scale: &Scale) -> Table {
             .iter()
             .map(|(_, s, _)| s.crit.as_deref())
             .collect::<Vec<_>>(),
+    );
+    t
+}
+
+// -------------------------------------------------------------------
+// Scale-out (the `scaling` cell family; not in the paper)
+// -------------------------------------------------------------------
+
+/// One scale-out run, recorded under the `scaling` app so the family ships
+/// its own gated `BENCH_scaling.json`. The variant label carries the
+/// application (`is_trad`, `sor_vopp`, ...) to keep cell keys unique
+/// within the table.
+fn scaling_run(
+    scale: &Scale,
+    app: CellApp,
+    variant: CellVariant,
+    proto: Protocol,
+    np: usize,
+) -> RunStats {
+    let stats = scale.cached(app, variant, proto, np).unwrap_or_else(|| {
+        let spec = CellSpec {
+            app,
+            variant,
+            proto,
+            np,
+            serve: None,
+        };
+        execute_cell(scale, &spec).0
+    });
+    scale.record(
+        "scaling",
+        &format!("{}_{}", app.label(), variant.label()),
+        &proto_label(proto),
+        np,
+        &stats,
+    );
+    stats
+}
+
+/// Scale-out table (not in the paper): IS, Gauss and SOR at 64 and 128
+/// nodes on the paper's baseline (LRC_d), home-based LRC and the headline
+/// VOPP protocol (VC_sd). This is the regime ROADMAP item 2 targets —
+/// and the one where conservative-lookahead windows are dense enough for
+/// `--sim-workers` to pay off (docs/PERFORMANCE.md §7).
+pub fn table_scaling(scale: &Scale) -> Table {
+    scale.begin_table("scaling");
+    let procs = scale.scaling_procs();
+    let apps = [
+        (CellApp::Is, "IS"),
+        (CellApp::Gauss, "Gauss"),
+        (CellApp::Sor, "SOR"),
+    ];
+    let protos = [
+        (Protocol::LrcD, CellVariant::Traditional),
+        (Protocol::Hlrc, CellVariant::Traditional),
+        (Protocol::VcSd, CellVariant::Vopp),
+    ];
+    let mut headers = Vec::new();
+    // runs[proto][column]: column-major over app x nodes, matching
+    // `cells_for("scaling")` cell order exactly.
+    let mut runs: Vec<Vec<RunStats>> = protos.iter().map(|_| Vec::new()).collect();
+    for (app, label) in apps {
+        for &np in &procs {
+            headers.push(format!("{label} {np}p"));
+            for (i, &(proto, variant)) in protos.iter().enumerate() {
+                runs[i].push(scaling_run(scale, app, variant, proto, np));
+            }
+        }
+    }
+    let mut t = Table::new(
+        "Scale-out: IS/Gauss/SOR at 64 and 128 nodes".to_string(),
+        headers,
+    );
+    for (i, &(proto, _)) in protos.iter().enumerate() {
+        t.row(
+            format!("{} Time (Sec.)", proto.label()),
+            runs[i].iter().map(|s| Table::f(s.time_secs(), 2)).collect(),
+        );
+    }
+    // The headline protocol's communication profile at scale.
+    let vc = &runs[2];
+    t.row(
+        "VC_sd Data (MByte)",
+        vc.iter().map(|s| Table::f(s.data_mbytes(), 2)).collect(),
+    );
+    t.row(
+        "VC_sd Num. Msg",
+        vc.iter().map(|s| Table::i(s.num_msgs())).collect(),
+    );
+    critpath_rows(
+        &mut t,
+        &vc.iter().map(|s| s.crit.as_deref()).collect::<Vec<_>>(),
     );
     t
 }

@@ -46,6 +46,7 @@ fn table_fn(name: &str) -> TableFn {
         "table9" => tables::table9,
         "ext" => tables::table_ext,
         "serve" => tables::table_serve,
+        "scaling" => tables::table_scaling,
         other => panic!("unknown table {other}"),
     }
 }
@@ -196,6 +197,117 @@ fn critpath_artifacts_are_byte_identical() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+/// `--sim-workers auto` must be as invisible as a forced width, on every
+/// side of its engage boundary: never engaged (huge threshold), always
+/// engaged (threshold 1), and toggling mid-run (a threshold near the quick
+/// cells' mean density, so dense and sparse stretches cross it both ways).
+/// The sweep covers faulted and `--critpath` cells; the width override pins
+/// `auto` to 4 groups so the adaptive machinery is exercised even on hosts
+/// whose available parallelism would resolve `auto` to sequential.
+#[test]
+fn auto_width_is_byte_identical_across_engage_boundaries() {
+    let _w = lock_width();
+    let base = std::env::temp_dir().join(format!("vopp-parkernel-auto-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let plan = FaultPlan::parse("loss=0.02@7,slow=0x1.5").expect("fault plan");
+    let names = ["table1", "serve"];
+
+    let seq = artifacts(1, &base.join("w1"), &names, &plan, true);
+
+    vopp_sim::set_auto_workers_override(4);
+
+    // Never engages: every multi-group window takes the serial deferred path.
+    vopp_sim::set_auto_engage_threshold(u64::MAX >> 8);
+    let before = vopp_sim::window_totals();
+    let lazy = artifacts(
+        vopp_sim::SIM_WORKERS_AUTO,
+        &base.join("lazy"),
+        &names,
+        &plan,
+        true,
+    );
+    let after = vopp_sim::window_totals();
+    assert!(
+        after.serial_windows > before.serial_windows,
+        "lazy auto sweep ran no serially-deferred windows"
+    );
+    assert_eq!(
+        after.parallel_windows, before.parallel_windows,
+        "lazy auto sweep dispatched to the worker pool despite the threshold"
+    );
+
+    // Always engaged: every multi-group window goes to the worker pool.
+    vopp_sim::set_auto_engage_threshold(1);
+    let before = vopp_sim::window_totals();
+    let eager = artifacts(
+        vopp_sim::SIM_WORKERS_AUTO,
+        &base.join("eager"),
+        &names,
+        &plan,
+        true,
+    );
+    let after = vopp_sim::window_totals();
+    assert!(
+        after.parallel_windows > before.parallel_windows,
+        "eager auto sweep never engaged the worker pool"
+    );
+
+    // Mid-run transitions: a threshold near the mean density makes the
+    // rolling estimate cross the boundary in both directions within a run.
+    vopp_sim::set_auto_engage_threshold(4);
+    let before = vopp_sim::window_totals();
+    let mixed = artifacts(
+        vopp_sim::SIM_WORKERS_AUTO,
+        &base.join("mixed"),
+        &names,
+        &plan,
+        true,
+    );
+    let after = vopp_sim::window_totals();
+    assert!(
+        after.parallel_windows > before.parallel_windows
+            && after.serial_windows > before.serial_windows,
+        "mixed-threshold auto sweep never toggled engagement mid-run \
+         (parallel {}->{}, serial {}->{})",
+        before.parallel_windows,
+        after.parallel_windows,
+        before.serial_windows,
+        after.serial_windows,
+    );
+
+    vopp_sim::set_auto_workers_override(0);
+    vopp_sim::set_auto_engage_threshold(vopp_sim::AUTO_ENGAGE_DEFAULT);
+    vopp_sim::set_sim_workers_default(1);
+
+    assert_identical("auto never engaged", &seq, &lazy);
+    assert_identical("auto always engaged", &seq, &eager);
+    assert_identical("auto mid-run toggling", &seq, &mixed);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The 64/128-node scaling family (`tables scaling`) is byte-identical
+/// between sequential and 4 sim workers — the family exists to showcase the
+/// parallel kernel, so its artifacts especially must not depend on it.
+#[test]
+fn scaling_table_is_byte_identical_at_4_sim_workers() {
+    let _w = lock_width();
+    let base = std::env::temp_dir().join(format!("vopp-parkernel-scaling-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let none = FaultPlan::none();
+    let names = ["scaling"];
+
+    let seq = artifacts(1, &base.join("w1"), &names, &none, false);
+    let par = artifacts(4, &base.join("w4"), &names, &none, false);
+    vopp_sim::set_sim_workers_default(1);
+
+    assert!(
+        seq.1.contains_key("metrics/BENCH_scaling.json"),
+        "scaling sweep produced no BENCH_scaling.json"
+    );
+    assert_identical("scaling table", &seq, &par);
+    std::fs::remove_dir_all(&base).ok();
+}
+
 /// Wall-clock measurement for `docs/PERFORMANCE.md` §7: one full-instance
 /// 32-processor SOR cell (VC_sd) at sim-worker widths 1/2/4. Ignored by
 /// default — it is a measurement, not a correctness gate; run it with
@@ -213,7 +325,12 @@ fn measure_full_instance_speedup() {
     let _w = lock_width();
     let measure = |label: &str, run: &dyn Fn(&ClusterConfig) -> (u64, u64)| {
         let mut checksum = None;
-        for width in [1usize, 2, 4] {
+        for width in [1usize, 2, 4, vopp_sim::SIM_WORKERS_AUTO] {
+            let name = if width == vopp_sim::SIM_WORKERS_AUTO {
+                "auto".to_string()
+            } else {
+                width.to_string()
+            };
             let mut cfg = ClusterConfig::new(32, Protocol::VcSd);
             cfg.sim_workers = width;
             let t0 = std::time::Instant::now();
@@ -221,9 +338,9 @@ fn measure_full_instance_speedup() {
             let wall = t0.elapsed();
             match checksum {
                 None => checksum = Some(sum),
-                Some(c) => assert_eq!(c, sum, "{label}: checksum diverged at width {width}"),
+                Some(c) => assert_eq!(c, sum, "{label}: checksum diverged at width {name}"),
             }
-            println!("{label} 32p VC_sd: sim_workers={width} wall={wall:.2?} virtual={virt}ns");
+            println!("{label} 32p VC_sd: sim_workers={name} wall={wall:.2?} virtual={virt}ns");
         }
     };
     measure("sor bench", &|cfg| {

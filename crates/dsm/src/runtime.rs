@@ -59,7 +59,9 @@ pub struct ClusterConfig {
     pub profiler: Option<Arc<vopp_trace::CausalProfiler>>,
     /// Intra-run parallel kernel width: how many event-loop workers the
     /// simulation kernel may use for this run (`0`, the default, inherits
-    /// the process-wide setting, see [`vopp_sim::set_sim_workers_default`]).
+    /// the process-wide setting, see [`vopp_sim::set_sim_workers_default`];
+    /// [`vopp_sim::SIM_WORKERS_AUTO`] sizes the pool from the host and
+    /// engages it adaptively by event density).
     /// Any value produces byte-identical results, statistics, traces, and
     /// critical paths — the kernel only parallelizes causally independent
     /// windows and merges them in virtual-time order. Ignored (forced to 1)

@@ -55,7 +55,7 @@ use crate::net::{NetModel, RouteRequest};
 use crate::packet::{DeliveryClass, Packet};
 use crate::sync::{Condvar, Mutex, MutexGuard};
 use crate::time::{SimDuration, SimTime};
-use crate::window::{self, Action, GroupCell, PushedEv};
+use crate::window::{self, Action, Doorbell, GroupCell, PushedEv};
 use crate::ProcId;
 
 /// A service-request handler: invoked by the kernel when a [`DeliveryClass::Svc`]
@@ -87,6 +87,60 @@ static DIRECT_HANDOFF_DEFAULT: AtomicBool = AtomicBool::new(true);
 /// Process-wide default for [`Sim::set_workers`].
 static SIM_WORKERS_DEFAULT: AtomicUsize = AtomicUsize::new(1);
 
+/// Sentinel worker count selecting the event-density-adaptive kernel
+/// (`--sim-workers auto`): the group count is resolved from the host's
+/// available parallelism and the coordinator engages the worker pool only
+/// for windows dense enough to amortize dispatch, tracked by a rolling
+/// events-per-window estimate against [`auto_engage_threshold`]. Sparse
+/// stretches run on the coordinator thread alone, so auto never pays
+/// worker wake-ups where parallelism cannot win.
+pub const SIM_WORKERS_AUTO: usize = usize::MAX;
+
+/// Default events-per-window engage threshold for `auto` mode. Deliberately
+/// conservative: the `parkernel_density` sweep in
+/// `crates/bench/benches/substrate.rs` measures the host's actual crossover
+/// (the lowest density where a 4-worker pool beats sequential) and prints it
+/// next to this default — on hosts where no crossover exists (a single
+/// hardware thread resolves `auto` to sequential before the threshold is
+/// ever consulted) the sweep says so instead. Misjudging high only costs the
+/// parallel win on moderately dense windows; misjudging low pays dispatch
+/// overhead on every sparse window, so the default errs high.
+pub const AUTO_ENGAGE_DEFAULT: u64 = 96;
+
+/// Process-wide engage threshold for `auto` mode, in events per window.
+static AUTO_ENGAGE_THRESHOLD: AtomicU64 = AtomicU64::new(AUTO_ENGAGE_DEFAULT);
+
+/// Set the events-per-window threshold above which `auto` mode dispatches
+/// windows to the worker pool (clamped to at least 1). Exposed for tests
+/// and calibration; the default is [`AUTO_ENGAGE_DEFAULT`].
+pub fn set_auto_engage_threshold(events_per_window: u64) {
+    AUTO_ENGAGE_THRESHOLD.store(events_per_window.max(1), Ordering::Relaxed);
+}
+
+/// The current `auto`-mode engage threshold (events per window).
+pub fn auto_engage_threshold() -> u64 {
+    AUTO_ENGAGE_THRESHOLD.load(Ordering::Relaxed).max(1)
+}
+
+/// Process-wide override for the group count `auto` resolves to
+/// (0 = derive from the host's available parallelism).
+static AUTO_WORKERS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the group count [`SIM_WORKERS_AUTO`] resolves to instead of deriving
+/// it from the host's available parallelism (0 restores host-derived sizing;
+/// larger values are clamped to the same cap as host-derived widths). Any
+/// value yields byte-identical results — this only exists so tests and
+/// calibration runs can exercise the adaptive kernel's engage/disengage
+/// machinery on hosts whose parallelism would resolve `auto` to sequential.
+pub fn set_auto_workers_override(workers: usize) {
+    AUTO_WORKERS_OVERRIDE.store(workers, Ordering::Relaxed);
+}
+
+/// The current `auto`-width override (0 = host-derived).
+pub fn auto_workers_override() -> usize {
+    AUTO_WORKERS_OVERRIDE.load(Ordering::Relaxed)
+}
+
 /// Handoff totals accumulated by every run finished in this process so far.
 pub fn handoff_totals() -> HandoffStats {
     HandoffStats {
@@ -108,17 +162,28 @@ pub fn direct_handoff_default() -> bool {
 }
 
 /// Set the process-wide default worker count for new [`Sim`]s (clamped to at
-/// least 1). Runs built afterwards use it unless overridden per run with
-/// [`Sim::set_workers`]. Wired to `--sim-workers` / `VOPP_SIM_WORKERS` by the
-/// bench CLI.
+/// least 1; [`SIM_WORKERS_AUTO`] selects the adaptive kernel). Runs built
+/// afterwards use it unless overridden per run with [`Sim::set_workers`].
+/// Wired to `--sim-workers` / `VOPP_SIM_WORKERS` by the bench CLI.
 pub fn set_sim_workers_default(workers: usize) {
-    SIM_WORKERS_DEFAULT.store(workers.max(1), Ordering::Relaxed);
+    let w = if workers == SIM_WORKERS_AUTO {
+        workers
+    } else {
+        workers.max(1)
+    };
+    SIM_WORKERS_DEFAULT.store(w, Ordering::Relaxed);
 }
 
-/// The current process-wide simulation worker-count default.
+/// The current process-wide simulation worker-count default
+/// ([`SIM_WORKERS_AUTO`] when the adaptive kernel is selected).
 pub fn sim_workers_default() -> usize {
     SIM_WORKERS_DEFAULT.load(Ordering::Relaxed).max(1)
 }
+
+/// Number of events-per-window histogram buckets in [`WindowStats::density`]:
+/// bucket `i < 7` counts windows holding `2^i ..= 2^(i+1)-1` events, the
+/// last bucket counts windows of 128 events or more.
+pub const DENSITY_BUCKETS: usize = 8;
 
 /// Intra-run parallel-kernel counters for one run. Wall-clock bookkeeping
 /// only — never part of the virtual-time results.
@@ -131,6 +196,10 @@ pub struct WindowStats {
     pub inline_windows: u64,
     /// Windows executed by two or more groups concurrently.
     pub parallel_windows: u64,
+    /// Multi-group windows the adaptive kernel ran serially on the
+    /// coordinator thread because the rolling density estimate sat below
+    /// the engage threshold (still deferred + committed; no dispatch).
+    pub serial_windows: u64,
     /// Events drained into windows.
     pub window_events: u64,
     /// Wall time spent executing windows, including coordinator idle while
@@ -138,17 +207,42 @@ pub struct WindowStats {
     pub exec_ns: u64,
     /// Wall time spent in the serial commit replay that merges group logs.
     pub merge_ns: u64,
+    /// Share of `merge_ns` replaying order-sensitive effects (network
+    /// routing, seq assignment, backlog bookkeeping).
+    pub commit_route_ns: u64,
+    /// Share of `merge_ns` bulk-appending trace/causal records from the
+    /// per-group record logs.
+    pub commit_append_ns: u64,
+    /// Window dispatches a worker observed while still spinning (cheap).
+    pub spin_hits: u64,
+    /// Window dispatches a worker observed only after parking (an OS wake).
+    pub park_wakes: u64,
+    /// Events-per-window histogram; see [`DENSITY_BUCKETS`].
+    pub density: [u64; DENSITY_BUCKETS],
     /// Runs that requested workers but fell back to sequential (no lookahead
     /// bound, or one below the floor).
     pub fallback_runs: u64,
 }
 
+impl WindowStats {
+    /// The histogram bucket a window with `events` events lands in.
+    pub fn density_bucket(events: u64) -> usize {
+        (63 - (events.max(1).leading_zeros() as usize).min(63)).min(DENSITY_BUCKETS - 1)
+    }
+}
+
 static TOTAL_WINDOWS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_INLINE_WINDOWS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_PAR_WINDOWS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_SERIAL_WINDOWS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_WINDOW_EVENTS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_EXEC_NS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_MERGE_NS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ROUTE_NS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_APPEND_NS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_SPIN_HITS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_PARK_WAKES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_DENSITY: [AtomicU64; DENSITY_BUCKETS] = [const { AtomicU64::new(0) }; DENSITY_BUCKETS];
 static TOTAL_FALLBACK_RUNS: AtomicU64 = AtomicU64::new(0);
 
 /// Parallel-kernel totals accumulated by every run finished in this process.
@@ -157,9 +251,15 @@ pub fn window_totals() -> WindowStats {
         windows: TOTAL_WINDOWS.load(Ordering::Relaxed),
         inline_windows: TOTAL_INLINE_WINDOWS.load(Ordering::Relaxed),
         parallel_windows: TOTAL_PAR_WINDOWS.load(Ordering::Relaxed),
+        serial_windows: TOTAL_SERIAL_WINDOWS.load(Ordering::Relaxed),
         window_events: TOTAL_WINDOW_EVENTS.load(Ordering::Relaxed),
         exec_ns: TOTAL_EXEC_NS.load(Ordering::Relaxed),
         merge_ns: TOTAL_MERGE_NS.load(Ordering::Relaxed),
+        commit_route_ns: TOTAL_ROUTE_NS.load(Ordering::Relaxed),
+        commit_append_ns: TOTAL_APPEND_NS.load(Ordering::Relaxed),
+        spin_hits: TOTAL_SPIN_HITS.load(Ordering::Relaxed),
+        park_wakes: TOTAL_PARK_WAKES.load(Ordering::Relaxed),
+        density: std::array::from_fn(|i| TOTAL_DENSITY[i].load(Ordering::Relaxed)),
         fallback_runs: TOTAL_FALLBACK_RUNS.load(Ordering::Relaxed),
     }
 }
@@ -168,9 +268,17 @@ fn add_window_totals(w: &WindowStats) {
     TOTAL_WINDOWS.fetch_add(w.windows, Ordering::Relaxed);
     TOTAL_INLINE_WINDOWS.fetch_add(w.inline_windows, Ordering::Relaxed);
     TOTAL_PAR_WINDOWS.fetch_add(w.parallel_windows, Ordering::Relaxed);
+    TOTAL_SERIAL_WINDOWS.fetch_add(w.serial_windows, Ordering::Relaxed);
     TOTAL_WINDOW_EVENTS.fetch_add(w.window_events, Ordering::Relaxed);
     TOTAL_EXEC_NS.fetch_add(w.exec_ns, Ordering::Relaxed);
     TOTAL_MERGE_NS.fetch_add(w.merge_ns, Ordering::Relaxed);
+    TOTAL_ROUTE_NS.fetch_add(w.commit_route_ns, Ordering::Relaxed);
+    TOTAL_APPEND_NS.fetch_add(w.commit_append_ns, Ordering::Relaxed);
+    TOTAL_SPIN_HITS.fetch_add(w.spin_hits, Ordering::Relaxed);
+    TOTAL_PARK_WAKES.fetch_add(w.park_wakes, Ordering::Relaxed);
+    for (total, n) in TOTAL_DENSITY.iter().zip(w.density) {
+        total.fetch_add(n, Ordering::Relaxed);
+    }
     TOTAL_FALLBACK_RUNS.fetch_add(w.fallback_runs, Ordering::Relaxed);
 }
 
@@ -334,11 +442,6 @@ pub(crate) struct Sched {
     pub(crate) t_end: Option<SimTime>,
     /// Window-local seq counter for tier-1 entries (deferred mode).
     local_seq: u64,
-    /// Set by the coordinator when a window is dispatched to this group;
-    /// cleared by the group's runner when the window is exhausted.
-    pub(crate) window_open: bool,
-    /// Tells the group's runner thread to exit.
-    pub(crate) halt: bool,
     /// The model's exact self-delivery latency (deferred-mode loopbacks are
     /// predicted locally and re-verified at commit). Unused sequentially.
     loopback: SimDuration,
@@ -383,7 +486,6 @@ impl Sched {
         for e in bucket.drain(..) {
             self.queue.push(e);
         }
-        self.window_open = true;
     }
 
     /// Coordinator-side: drop the window bounds once the group has parked.
@@ -411,7 +513,7 @@ impl Sched {
     /// the group's action log with the global event order.
     pub(crate) fn note_begin(&self, entry: &QEntry) {
         if self.mode == Mode::Deferred {
-            self.cell.push(Action::Begin { at: entry.at });
+            self.cell.begin_event(entry.at);
         }
     }
 
@@ -538,11 +640,7 @@ impl Sched {
                 // can land inside the window (cross-node deliveries are
                 // bounded below by the lookahead, the window length).
                 let loopback = pkt.src == dst;
-                self.cell.push(Action::Send {
-                    now,
-                    dst,
-                    pkt: pkt.clone(),
-                });
+                self.cell.log_send(now, dst, pkt.clone());
                 if loopback {
                     let at = now + self.loopback;
                     if self.in_window(at) {
@@ -555,18 +653,22 @@ impl Sched {
 }
 
 /// One node group: its scheduler, the condvar its event-loop thread (the
-/// controller sequentially, the group runner in parallel mode) parks on, and
-/// the side-effect cell shared with the thread-local sinks.
+/// controller sequentially, the group runner in parallel mode) parks on
+/// *during* a window, the lock-free dispatch slot its runner watches
+/// *between* windows, and the side-effect cell shared with the thread-local
+/// sinks.
 pub(crate) struct Group {
     pub(crate) sched: Mutex<Sched>,
     pub(crate) ctl_cv: Condvar,
     pub(crate) cell: Arc<GroupCell>,
+    pub(crate) bell: Doorbell,
 }
 
-/// Parallel-window completion barrier: dispatched-but-unfinished group count.
+/// Parallel-window completion barrier: dispatched-but-unfinished group
+/// count, decremented lock-free by finishing runners; the last one unparks
+/// the coordinator.
 pub(crate) struct WinSync {
-    pub(crate) pending: Mutex<usize>,
-    pub(crate) done_cv: Condvar,
+    pub(crate) pending: AtomicUsize,
     /// First service-handler panic raised on a runner thread; rethrown by
     /// the coordinator once every window participant has parked.
     pub(crate) svc_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
@@ -824,7 +926,8 @@ impl Shared {
     }
 
     /// Release every blocked process thread in every group so the scope can
-    /// join them, and wake the group runners so they can observe `halt`.
+    /// join them. (Parallel-mode group runners are halted separately through
+    /// their dispatch slots; see [`Doorbell::halt`].)
     pub(crate) fn shutdown_all(&self) {
         for grp in &self.groups {
             let mut s = grp.sched.lock();
@@ -910,15 +1013,20 @@ impl Sim {
 
     /// Set the number of node groups executed concurrently by the
     /// conservative-lookahead parallel kernel (defaults to the process-wide
-    /// setting, normally 1 = sequential). Requires a network model with a
+    /// setting, normally 1 = sequential; [`SIM_WORKERS_AUTO`] selects the
+    /// event-density-adaptive kernel). Requires a network model with a
     /// [`NetModel::lookahead`] bound at or above
     /// [`crate::MIN_PARALLEL_LOOKAHEAD`] and an exact
     /// [`NetModel::loopback_latency`]; otherwise the run falls back to
     /// sequential execution with a one-time notice. Every artifact — traces,
     /// causal logs, network statistics, results — is byte-identical at any
-    /// worker count.
+    /// worker count, in auto mode included.
     pub fn set_workers(&mut self, workers: usize) {
-        self.workers = workers.max(1);
+        self.workers = if workers == SIM_WORKERS_AUTO {
+            workers
+        } else {
+            workers.max(1)
+        };
     }
 
     /// Install an event tracer. Kernel-level send/receive and process
@@ -957,7 +1065,11 @@ impl Sim {
         let nprocs = self.nprocs;
         let plan = window::decide_plan(self.workers, nprocs, self.net.as_ref());
         let mut win_stats = WindowStats::default();
-        if plan.is_none() && self.workers > 1 {
+        // A run counts as a fallback only when parallelism was genuinely
+        // requested and denied (no lookahead bound, floor, ...). Auto mode
+        // resolving to one worker on a single-core host is a choice, not a
+        // fallback.
+        if plan.is_none() && window::resolve_workers(self.workers) > 1 {
             win_stats.fallback_runs = 1;
         }
         let ngroups = plan.as_ref().map_or(1, |p| p.groups);
@@ -1002,8 +1114,6 @@ impl Sim {
                         mode: Mode::Inline,
                         t_end: None,
                         local_seq: 0,
-                        window_open: false,
-                        halt: false,
                         loopback,
                         global: None,
                         cell: cell.clone(),
@@ -1012,6 +1122,7 @@ impl Sim {
                     }),
                     ctl_cv: Condvar::new(),
                     cell,
+                    bell: Doorbell::new(),
                 }
             })
             .collect();
@@ -1022,8 +1133,7 @@ impl Sim {
             proc_cv: (0..nprocs).map(|_| Condvar::new()).collect(),
             nprocs,
             win: WinSync {
-                pending: Mutex::new(0),
-                done_cv: Condvar::new(),
+                pending: AtomicUsize::new(0),
                 svc_panic: Mutex::new(None),
             },
             handlers: Mutex::new(self.handlers),

@@ -28,9 +28,10 @@ pub type ProcId = usize;
 
 pub use ctx::{AppCtx, SvcCtx};
 pub use kernel::{
-    direct_handoff_default, handoff_totals, run_simple, set_direct_handoff_default,
+    auto_engage_threshold, auto_workers_override, direct_handoff_default, handoff_totals,
+    run_simple, set_auto_engage_threshold, set_auto_workers_override, set_direct_handoff_default,
     set_sim_workers_default, sim_workers_default, window_totals, Handler, HandoffStats, ProcTimes,
-    RunOutcome, Sim, WindowStats,
+    RunOutcome, Sim, WindowStats, AUTO_ENGAGE_DEFAULT, DENSITY_BUCKETS, SIM_WORKERS_AUTO,
 };
 pub use net::{NetModel, PerfectNet, RouteRequest};
 pub use packet::{DeliveryClass, Packet, Payload};

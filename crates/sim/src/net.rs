@@ -78,18 +78,40 @@ pub trait NetModel: Send {
 #[derive(Debug, Clone)]
 pub struct PerfectNet {
     latency: SimDuration,
+    lookahead: SimDuration,
     sent: u64,
     bytes: u64,
 }
 
 impl PerfectNet {
-    /// A perfect network with the given one-way latency.
+    /// A perfect network with the given one-way latency. The advertised
+    /// lookahead defaults to the latency — the tightest valid bound.
     pub fn new(latency: SimDuration) -> PerfectNet {
         PerfectNet {
             latency,
+            lookahead: latency,
             sent: 0,
             bytes: 0,
         }
+    }
+
+    /// Advertise a smaller conservative lookahead than the latency. Any
+    /// bound at or below the latency is still correct (every delivery is
+    /// exactly `latency` away); a shorter one shrinks the parallel kernel's
+    /// windows, which is useful for exercising window-boundary behavior.
+    ///
+    /// # Panics
+    ///
+    /// If `lookahead` exceeds the latency — that would *not* be a valid
+    /// bound.
+    pub fn with_lookahead(mut self, lookahead: SimDuration) -> PerfectNet {
+        assert!(
+            lookahead <= self.latency,
+            "lookahead {lookahead} exceeds the delivery latency {latency}: not a conservative bound",
+            latency = self.latency
+        );
+        self.lookahead = lookahead;
+        self
     }
 }
 
@@ -107,8 +129,9 @@ impl NetModel for PerfectNet {
     }
 
     fn lookahead(&self) -> Option<SimDuration> {
-        // Every delivery (loopback included) is exactly `latency` away.
-        Some(self.latency)
+        // Every delivery (loopback included) is exactly `latency` away, so
+        // any configured bound at or below it is conservative.
+        Some(self.lookahead)
     }
 
     fn loopback_latency(&self) -> Option<SimDuration> {
@@ -152,6 +175,22 @@ mod tests {
         let n = PerfectNet::new(SimDuration::from_micros(50));
         assert_eq!(n.lookahead(), Some(SimDuration::from_micros(50)));
         assert_eq!(n.loopback_latency(), Some(SimDuration::from_micros(50)));
+    }
+
+    #[test]
+    fn lookahead_is_configurable_below_the_latency() {
+        let n = PerfectNet::new(SimDuration::from_micros(50))
+            .with_lookahead(SimDuration::from_micros(5));
+        assert_eq!(n.lookahead(), Some(SimDuration::from_micros(5)));
+        // Delivery timing is unchanged — only the advertised bound shrinks.
+        assert_eq!(n.loopback_latency(), Some(SimDuration::from_micros(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a conservative bound")]
+    fn lookahead_above_the_latency_is_rejected() {
+        let _ = PerfectNet::new(SimDuration::from_micros(50))
+            .with_lookahead(SimDuration::from_micros(51));
     }
 
     #[test]

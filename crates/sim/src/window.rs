@@ -14,16 +14,47 @@
 //! trace ring records in execution order, causal-record ids are execution
 //! indices, and the network model's RNG and link-occupancy state must be
 //! touched in exact global send order. Deferred windows therefore execute
-//! against group-local state only and append every side effect to a
-//! per-group [`Action`] log ([`GroupCell`], installed as the thread-local
-//! trace/causal sink on the group's threads). After the window, the
-//! coordinator *commits*: it replays the logs in exact global `(time, seq)`
-//! order — the order the sequential kernel would have executed — routing
-//! sends through the shared model, appending traces, and assigning real
-//! causal ids (remapping the provisional ids groups handed out). A window
-//! whose events all land in one group skips the machinery entirely: the
-//! group borrows the shared [`GlobalState`] and runs the plain sequential
-//! path *inline* (zero logging, zero divergence).
+//! against group-local state only and capture every side effect into two
+//! per-group logs ([`GroupCell`], installed as the thread-local trace/causal
+//! sink on the group's threads): an *fx* log of order-sensitive effects
+//! (sends, event pushes, backlog pops, delimited by [`Action::Begin`]
+//! markers) and a *record* log of pure observations (trace events, causal
+//! wakes/spans). After the window, the coordinator *commits*: it replays the
+//! fx logs in exact global `(time, seq)` order — the order the sequential
+//! kernel would have executed — routing sends through the shared model, and
+//! bulk-appends the captured records in runs between the order-sensitive
+//! effects (flushed up to each send's record cursor before its route call,
+//! because a routing model may emit trace records of its own — drops,
+//! retransmits — that must interleave exactly as they did sequentially).
+//! Only the fx actions are re-walked; records append without re-execution
+//! or per-record ordering decisions. A window whose events
+//! all land in one group skips the machinery entirely: the group borrows the
+//! shared [`GlobalState`] and the *coordinator itself* runs the plain
+//! sequential path inline (zero logging, zero dispatch, zero divergence).
+//!
+//! ## Dispatch: spin-then-park doorbells
+//!
+//! Runners never touch a condvar between windows. Each group owns a
+//! [`Doorbell`] — one atomic dispatch word. The coordinator publishes the
+//! window under the scheduler lock, stores `ARMED`, and unparks the runner's
+//! thread; the runner spins a few thousand cycles before parking, so on a
+//! busy simulation the hand-off is a single cache-line transfer instead of
+//! an OS wake. Completion uses one shared atomic countdown
+//! ([`crate::kernel::WinSync::pending`]): the last finishing runner unparks
+//! the coordinator, which spins the same way. The spin-hit vs park-wake
+//! split is surfaced in [`WindowStats`].
+//!
+//! ## Adaptive engagement (`--sim-workers auto`)
+//!
+//! Dispatch only pays above a measured events-per-window density (see the
+//! `parkernel_exchange` density sweep in `vopp-bench`). In auto mode the
+//! coordinator keeps a rolling (EWMA) density estimate; while it sits below
+//! [`crate::auto_engage_threshold`], multi-group windows are executed
+//! *serially on the coordinator thread* — still deferred + committed, since
+//! group-major execution order is not global order and routing/RNG state
+//! must be touched in global order — which preserves byte identity while
+//! paying zero dispatch. Dense stretches engage the worker pool; the
+//! estimate naturally re-disengages when the workload thins out.
 //!
 //! Two facts make in-window execution exact rather than optimistic:
 //!
@@ -39,18 +70,22 @@
 
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Once};
+use std::thread::Thread;
 use std::time::Instant;
 
 use vopp_trace::{
     CausalProfiler, CausalSink, CtxKind, EventKind, NodeId, OpSpan, RecordSink, Tracer, NO_CTX,
 };
 
-use crate::kernel::{Event, GlobalState, Mode, Phase, QEntry, Shared, WindowStats};
+use crate::kernel::{
+    auto_engage_threshold, Event, GlobalState, Mode, Phase, QEntry, Shared, WindowStats,
+    SIM_WORKERS_AUTO,
+};
 use crate::net::{NetModel, RouteRequest};
 use crate::packet::{DeliveryClass, Packet};
-use crate::sync::{Mutex, MutexGuard};
+use crate::sync::MutexGuard;
 use crate::time::{SimDuration, SimTime};
 use crate::ProcId;
 
@@ -65,11 +100,38 @@ pub const MIN_PARALLEL_LOOKAHEAD: SimDuration = SimDuration::from_micros(1);
 /// execution indices and never reach this bit.
 const PROV_BIT: u64 = 1 << 63;
 
+/// Busy-poll iterations before a waiter (runner doorbell or coordinator
+/// barrier) parks its thread. At ~1–3 ns per `spin_loop` round this is a few
+/// µs of spinning — comfortably longer than a typical window, so steady-state
+/// dispatch stays in userspace.
+const SPIN_ROUNDS: u32 = 1 << 12;
+
+/// The spin budget actually used: [`SPIN_ROUNDS`] on multi-core hosts, zero
+/// when only one hardware thread exists — a lone core can never observe
+/// another thread's progress while spinning, so every spin round there just
+/// steals time from the thread being waited on.
+fn spin_rounds() -> u32 {
+    static ROUNDS: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *ROUNDS.get_or_init(|| {
+        if std::thread::available_parallelism().map_or(1, usize::from) > 1 {
+            SPIN_ROUNDS
+        } else {
+            0
+        }
+    })
+}
+
+/// Hard cap on auto-mode group counts: beyond this the serial commit is the
+/// bottleneck and extra runners only inflate the barrier.
+const AUTO_MAX_GROUPS: usize = 8;
+
 /// The resolved parallel configuration for one run.
 pub(crate) struct ParPlan {
     pub(crate) groups: usize,
     pub(crate) lookahead: SimDuration,
     pub(crate) loopback: SimDuration,
+    /// Auto mode: gate worker dispatch on the rolling window density.
+    pub(crate) adaptive: bool,
 }
 
 fn notice(reason: &str) {
@@ -83,8 +145,25 @@ fn notice(reason: &str) {
 }
 
 /// Decide whether a run can use the parallel kernel, and with how many
-/// groups. `None` means sequential.
+/// groups. `None` means sequential. [`SIM_WORKERS_AUTO`] resolves the group
+/// count from the host's available parallelism and marks the plan adaptive.
+/// The effective pool width a configured `workers` value stands for:
+/// explicit widths pass through; the [`SIM_WORKERS_AUTO`] sentinel resolves
+/// to the host's available parallelism (capped at [`AUTO_MAX_GROUPS`]).
+pub(crate) fn resolve_workers(workers: usize) -> usize {
+    if workers == SIM_WORKERS_AUTO {
+        match crate::kernel::auto_workers_override() {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get().min(AUTO_MAX_GROUPS)),
+            n => n.min(AUTO_MAX_GROUPS),
+        }
+    } else {
+        workers
+    }
+}
+
 pub(crate) fn decide_plan(workers: usize, nprocs: usize, net: &dyn NetModel) -> Option<ParPlan> {
+    let adaptive = workers == SIM_WORKERS_AUTO;
+    let workers = resolve_workers(workers);
     if workers <= 1 || nprocs < 2 {
         return None;
     }
@@ -104,7 +183,85 @@ pub(crate) fn decide_plan(workers: usize, nprocs: usize, net: &dyn NetModel) -> 
         groups: workers.min(nprocs),
         lookahead,
         loopback,
+        adaptive,
     })
+}
+
+/// Doorbell dispatch states.
+const IDLE: u32 = 0;
+const ARMED: u32 = 1;
+const HALT: u32 = 2;
+
+/// A group runner's lock-free dispatch slot. The coordinator publishes the
+/// window (scheduler state, under the group's mutex), arms the bell with a
+/// release store, and unparks the runner's thread; the runner spins before
+/// parking and consumes the dispatch by storing [`IDLE`] back. Unpark-token
+/// semantics make the wake race-free: an unpark delivered before the park
+/// makes the park return immediately, and a stale token merely costs one
+/// spurious re-check. The coordinator only re-arms after the completion
+/// barrier settles, so dispatches are never lost or coalesced.
+pub(crate) struct Doorbell {
+    state: AtomicU32,
+    /// Dispatches observed while still spinning (no OS wake involved).
+    spin_hits: AtomicU64,
+    /// Dispatches observed only after parking (one OS wake each).
+    park_wakes: AtomicU64,
+}
+
+impl Doorbell {
+    pub(crate) fn new() -> Doorbell {
+        Doorbell {
+            state: AtomicU32::new(IDLE),
+            spin_hits: AtomicU64::new(0),
+            park_wakes: AtomicU64::new(0),
+        }
+    }
+
+    /// Runner-side: wait for the next dispatch; returns [`ARMED`] (window
+    /// published) or [`HALT`] (run over).
+    fn wait_dispatch(&self) -> u32 {
+        for _ in 0..spin_rounds() {
+            let st = self.state.load(Ordering::Acquire);
+            if st != IDLE {
+                if st == ARMED {
+                    self.state.store(IDLE, Ordering::Relaxed);
+                    self.spin_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return st;
+            }
+            std::hint::spin_loop();
+        }
+        loop {
+            let st = self.state.load(Ordering::Acquire);
+            if st != IDLE {
+                if st == ARMED {
+                    self.state.store(IDLE, Ordering::Relaxed);
+                    self.park_wakes.fetch_add(1, Ordering::Relaxed);
+                }
+                return st;
+            }
+            std::thread::park();
+        }
+    }
+
+    /// Coordinator-side: publish a window to the runner. The unpark is
+    /// unconditional — against a spinning runner it is a cheap atomic swap.
+    fn ring(&self, runner: &Thread) {
+        self.state.store(ARMED, Ordering::Release);
+        runner.unpark();
+    }
+
+    /// Coordinator-side: tell the runner the run is over.
+    fn halt(&self, runner: &Thread) {
+        self.state.store(HALT, Ordering::Release);
+        runner.unpark();
+    }
+
+    /// Drain the dispatch counters into run stats.
+    fn harvest(&self, stats: &mut WindowStats) {
+        stats.spin_hits += self.spin_hits.load(Ordering::Relaxed);
+        stats.park_wakes += self.park_wakes.load(Ordering::Relaxed);
+    }
 }
 
 /// An event variant a group may schedule for later than its window; the
@@ -115,12 +272,49 @@ pub(crate) enum PushedEv {
     Timer { dst: ProcId, token: u64 },
 }
 
-/// One side effect captured during a deferred window, in group execution
-/// order. Replayed by the commit in global order.
+/// One *order-sensitive* side effect captured during a deferred window, in
+/// group execution order. Replayed by the commit in global order. Pure
+/// observations (traces, causal records) live in the separate [`Rec`] log
+/// and are appended in bulk runs; the `rec_mark` cursors carried on `Begin`
+/// and `Send` tie the two logs together, so the commit appends each run at
+/// exactly the position the sequential kernel would have — a network model
+/// that records its own trace events while routing (drops, retransmits)
+/// still lands them in exact ring order.
 pub(crate) enum Action {
-    /// Execution of one popped event starts (delimits log segments; `at` is
-    /// cross-checked against the replay order).
-    Begin { at: SimTime },
+    /// Execution of one popped event starts. `at` is cross-checked against
+    /// the replay order; `rec_mark` is the record-log length at that point.
+    Begin { at: SimTime, rec_mark: usize },
+    /// An event scheduled via `push_event` (resumes and timers; deliveries
+    /// are reconstructed from `Send`).
+    Push { at: SimTime, ev: PushedEv },
+    /// A delivery event was executed: the destination backlog shrinks.
+    DeliverPop { dst: ProcId, wire_bytes: usize },
+    /// A datagram submitted to the network; routed for real at commit.
+    /// `rec_mark` delimits the records captured before the send, which must
+    /// reach the shared sinks before the route call.
+    Send {
+        now: SimTime,
+        dst: ProcId,
+        pkt: Packet,
+        rec_mark: usize,
+    },
+}
+
+impl Action {
+    fn name(&self) -> &'static str {
+        match self {
+            Action::Begin { .. } => "Begin",
+            Action::Push { .. } => "Push",
+            Action::DeliverPop { .. } => "DeliverPop",
+            Action::Send { .. } => "Send",
+        }
+    }
+}
+
+/// One captured pure observation: bulk-appended to the shared
+/// tracer/profiler by the commit in runs between order-sensitive effects,
+/// without re-execution.
+pub(crate) enum Rec {
     /// A trace-ring record.
     Trace {
         t: u64,
@@ -139,42 +333,20 @@ pub(crate) enum Action {
     Svc { node: usize, t_ns: u64, cause: u64 },
     /// A causal op-span annotation.
     Op { node: usize, span: OpSpan },
-    /// An event scheduled via `push_event` (resumes and timers; deliveries
-    /// are reconstructed from `Send`).
-    Push { at: SimTime, ev: PushedEv },
-    /// A delivery event was executed: the destination backlog shrinks.
-    DeliverPop { dst: ProcId, wire_bytes: usize },
-    /// A datagram submitted to the network; routed for real at commit.
-    Send {
-        now: SimTime,
-        dst: ProcId,
-        pkt: Packet,
-    },
-}
-
-impl Action {
-    fn name(&self) -> &'static str {
-        match self {
-            Action::Begin { .. } => "Begin",
-            Action::Trace { .. } => "Trace",
-            Action::Wake { .. } => "Wake",
-            Action::Svc { .. } => "Svc",
-            Action::Op { .. } => "Op",
-            Action::Push { .. } => "Push",
-            Action::DeliverPop { .. } => "DeliverPop",
-            Action::Send { .. } => "Send",
-        }
-    }
 }
 
 /// Per-group side-effect capture, shared between the group's scheduler and
 /// the thread-local sinks installed on the group's threads. Outside deferred
 /// windows the sinks decline every record, so inline windows and sequential
-/// runs hit the shared tracer/profiler directly.
+/// runs hit the shared tracer/profiler directly. The backing vectors are
+/// bump arenas owned by the coordinator: [`GroupCell::begin_deferred`]
+/// installs cleared-with-capacity buffers and [`GroupCell::end_deferred`]
+/// hands them back, so steady-state windows allocate nothing.
 pub(crate) struct GroupCell {
     deferred: AtomicBool,
-    log: Mutex<Vec<Action>>,
-    /// Next provisional causal ordinal (== Wake/Svc actions logged so far).
+    fx: crate::sync::Mutex<Vec<Action>>,
+    recs: crate::sync::Mutex<Vec<Rec>>,
+    /// Next provisional causal ordinal (== Wake/Svc records logged so far).
     prof_ord: AtomicU64,
     /// Provisional id of the group's currently-executing context.
     prof_cur: AtomicU64,
@@ -184,29 +356,56 @@ impl GroupCell {
     pub(crate) fn new() -> GroupCell {
         GroupCell {
             deferred: AtomicBool::new(false),
-            log: Mutex::new(Vec::new()),
+            fx: crate::sync::Mutex::new(Vec::new()),
+            recs: crate::sync::Mutex::new(Vec::new()),
             prof_ord: AtomicU64::new(0),
             prof_cur: AtomicU64::new(NO_CTX),
         }
     }
 
+    /// Append an order-sensitive action to the fx log.
     pub(crate) fn push(&self, a: Action) {
-        self.log.lock().push(a);
+        self.fx.lock().push(a);
     }
 
-    fn begin_deferred(&self) {
-        debug_assert!(self.log.lock().is_empty(), "stale group log");
+    /// Delimit the start of one event's execution: a `Begin` marker carrying
+    /// the record-log cursor so the commit can tie fx segments to their
+    /// captured records.
+    pub(crate) fn begin_event(&self, at: SimTime) {
+        let rec_mark = self.recs.lock().len();
+        self.fx.lock().push(Action::Begin { at, rec_mark });
+    }
+
+    /// Capture a deferred send, stamping it with the record-log cursor so
+    /// the commit can flush pending records before routing it.
+    pub(crate) fn log_send(&self, now: SimTime, dst: ProcId, pkt: Packet) {
+        let rec_mark = self.recs.lock().len();
+        self.fx.lock().push(Action::Send {
+            now,
+            dst,
+            pkt,
+            rec_mark,
+        });
+    }
+
+    /// Enter deferred mode, installing the coordinator's (empty, capacity-
+    /// bearing) arena buffers.
+    fn begin_deferred(&self, fx: Vec<Action>, recs: Vec<Rec>) {
+        debug_assert!(fx.is_empty() && recs.is_empty(), "dirty arena buffers");
+        *self.fx.lock() = fx;
+        *self.recs.lock() = recs;
         self.prof_ord.store(0, Ordering::Relaxed);
         self.prof_cur.store(NO_CTX, Ordering::Relaxed);
         self.deferred.store(true, Ordering::Relaxed);
     }
 
-    /// Leave deferred mode, returning the captured log and the number of
+    /// Leave deferred mode, returning the captured logs and the number of
     /// provisional causal ids handed out.
-    fn end_deferred(&self) -> (Vec<Action>, u64) {
+    fn end_deferred(&self) -> (Vec<Action>, Vec<Rec>, u64) {
         self.deferred.store(false, Ordering::Relaxed);
         (
-            std::mem::take(&mut *self.log.lock()),
+            std::mem::take(&mut *self.fx.lock()),
+            std::mem::take(&mut *self.recs.lock()),
             self.prof_ord.load(Ordering::Relaxed),
         )
     }
@@ -222,7 +421,7 @@ impl RecordSink for GroupCell {
         if !self.capturing() {
             return false;
         }
-        self.push(Action::Trace {
+        self.recs.lock().push(Rec::Trace {
             t,
             node,
             kind: kind.clone(),
@@ -246,7 +445,7 @@ impl CausalSink for GroupCell {
         let ord = self.prof_ord.fetch_add(1, Ordering::Relaxed);
         let id = PROV_BIT | ord;
         self.prof_cur.store(id, Ordering::Relaxed);
-        self.push(Action::Wake {
+        self.recs.lock().push(Rec::Wake {
             node,
             prev_ns,
             t_ns,
@@ -263,7 +462,7 @@ impl CausalSink for GroupCell {
         let ord = self.prof_ord.fetch_add(1, Ordering::Relaxed);
         let id = PROV_BIT | ord;
         self.prof_cur.store(id, Ordering::Relaxed);
-        self.push(Action::Svc {
+        self.recs.lock().push(Rec::Svc {
             node,
             t_ns,
             cause: pkt_cause,
@@ -275,7 +474,7 @@ impl CausalSink for GroupCell {
         if !self.capturing() {
             return false;
         }
-        self.push(Action::Op { node, span });
+        self.recs.lock().push(Rec::Op { node, span });
         true
     }
 
@@ -326,12 +525,110 @@ impl Ord for ReplaySeed {
     }
 }
 
+/// Reusable commit workspace, cleared (capacity retained) between windows so
+/// steady-state commits allocate nothing.
+struct CommitScratch {
+    heap: BinaryHeap<ReplaySeed>,
+    /// Per group: fx-log read cursor.
+    pos: Vec<usize>,
+    /// Per group: record-log read cursor.
+    rec_pos: Vec<usize>,
+    /// Per group: provisional ordinal -> real causal id, grown in replay
+    /// order (which is each group's execution order).
+    maps: Vec<Vec<u64>>,
+}
+
+impl CommitScratch {
+    fn new(ng: usize) -> CommitScratch {
+        CommitScratch {
+            heap: BinaryHeap::new(),
+            pos: vec![0; ng],
+            rec_pos: vec![0; ng],
+            maps: (0..ng).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.pos.fill(0);
+        self.rec_pos.fill(0);
+        for m in &mut self.maps {
+            m.clear();
+        }
+    }
+}
+
+/// Append one group's captured records `[*rec_pos, upto)` to the shared
+/// sinks, growing the provisional→real id map as the profiler hands out
+/// execution-index ids. Non-empty runs are timed into `append_ns`; the
+/// perf-measurement path (no tracer, no profiler) captures no records and
+/// never pays the clock reads.
+fn append_recs(
+    recs: &mut [Rec],
+    rec_pos: &mut usize,
+    upto: usize,
+    map: &mut Vec<u64>,
+    tracer: &Option<Arc<Tracer>>,
+    profiler: &Option<Arc<CausalProfiler>>,
+    append_ns: &mut u64,
+) {
+    if *rec_pos >= upto {
+        return;
+    }
+    let t0 = Instant::now();
+    for slot in recs[*rec_pos..upto].iter_mut() {
+        let r = std::mem::replace(
+            slot,
+            Rec::Trace {
+                t: 0,
+                node: 0,
+                kind: EventKind::ProcExit,
+            },
+        );
+        match r {
+            Rec::Trace { t, node, kind } => {
+                if let Some(tr) = tracer {
+                    tr.record(t, node, kind);
+                }
+            }
+            Rec::Wake {
+                node,
+                prev_ns,
+                t_ns,
+                kind,
+                cause,
+            } => {
+                let prof = profiler.as_ref().expect("wake logged without a profiler");
+                let id = prof.record_wake(node, prev_ns, t_ns, kind, map_cause(cause, map));
+                map.push(id);
+            }
+            Rec::Svc { node, t_ns, cause } => {
+                let prof = profiler.as_ref().expect("svc logged without a profiler");
+                let id = prof.record_svc(node, t_ns, map_cause(cause, map));
+                map.push(id);
+            }
+            Rec::Op { node, span } => {
+                profiler
+                    .as_ref()
+                    .expect("op span logged without a profiler")
+                    .record_op(node, span);
+            }
+        }
+    }
+    *rec_pos = upto;
+    *append_ns += t0.elapsed().as_nanos() as u64;
+}
+
 /// The parallel run's main loop, on the thread that called `Sim::run`.
-/// Spawns one runner per group, carves windows off the future heap,
-/// dispatches them (inline when one group is active, deferred + commit when
-/// several are), and detects termination, deadlock and panics exactly like
-/// the sequential controller. Returns a service-handler panic payload, if
-/// any, after all runners have been joined.
+/// Spawns one runner per group, carves windows off the future heap, and
+/// executes each by the cheapest sound means: single-active-group windows
+/// run inline *on this thread* over the lent global state (no logging, no
+/// dispatch); multi-group windows defer side effects and either fan out to
+/// the runner pool through the doorbells or — in auto mode below the engage
+/// density — run serially on this thread, then commit. Detects termination,
+/// deadlock and panics exactly like the sequential controller. Returns a
+/// service-handler panic payload, if any, after all runners have been
+/// joined.
 pub(crate) fn coordinate<'scope, 'env>(
     shared: &'scope Shared,
     scope: &'scope std::thread::Scope<'scope, 'env>,
@@ -346,15 +643,31 @@ pub(crate) fn coordinate<'scope, 'env>(
         .take()
         .expect("parked global state");
     let profiler = shared.groups[0].sched.lock().profiler.clone();
+    let coord = std::thread::current();
     let runners: Vec<_> = (0..ng)
-        .map(|gi| scope.spawn(move || runner(shared, gi)))
+        .map(|gi| {
+            let coord = coord.clone();
+            scope.spawn(move || runner(shared, gi, coord))
+        })
         .collect();
+    let threads: Vec<Thread> = runners.iter().map(|r| r.thread().clone()).collect();
 
     let mut buckets: Vec<Vec<QEntry>> = (0..ng).map(|_| Vec::new()).collect();
     let mut seeds: Vec<ReplaySeed> = Vec::new();
-    let mut logs: Vec<Vec<Action>> = (0..ng).map(|_| Vec::new()).collect();
+    // Arena buffers cycled through the group cells; taken logs come back
+    // here after each commit with their capacity intact.
+    let mut arenas: Vec<(Vec<Action>, Vec<Rec>)> = (0..ng).map(|_| Default::default()).collect();
+    let mut fx_logs: Vec<Vec<Action>> = (0..ng).map(|_| Vec::new()).collect();
+    let mut rec_logs: Vec<Vec<Rec>> = (0..ng).map(|_| Vec::new()).collect();
     let mut ords: Vec<u64> = vec![0; ng];
     let mut active: Vec<usize> = Vec::new();
+    let mut scratch = CommitScratch::new(ng);
+
+    // Rolling events-per-window estimate, x16 fixed point:
+    // ewma += (sample - ewma) / 8. Starts at zero so sparse paper-scale runs
+    // never dispatch before the estimate earns it.
+    let mut ewma16: u64 = 0;
+    let threshold16 = auto_engage_threshold() << 4;
 
     let mut payload = loop {
         // Between windows every process is parked and every group queue is
@@ -388,6 +701,7 @@ pub(crate) fn coordinate<'scope, 'env>(
         let t_end = head.at + plan.lookahead;
         active.clear();
         seeds.clear();
+        let mut n_ev: u64 = 0;
         while let Some(h) = global.future.peek() {
             if h.at >= t_end {
                 break;
@@ -402,43 +716,75 @@ pub(crate) fn coordinate<'scope, 'env>(
                 seq: e.seq,
                 gi,
             });
-            stats.window_events += 1;
+            n_ev += 1;
             buckets[gi].push(e);
         }
         stats.windows += 1;
+        stats.window_events += n_ev;
+        stats.density[WindowStats::density_bucket(n_ev)] += 1;
+        // Compare against the estimate *before* folding this window in, so
+        // one dense window can't engage itself.
+        let engage = !plan.adaptive || ewma16 >= threshold16;
+        ewma16 = ewma16 - ewma16 / 8 + (n_ev << 4) / 8;
 
         if active.len() == 1 {
-            // Single-group window: lend it the global state and let it run
-            // the plain sequential path, bounded by `t_end`.
+            // Single-group window: lend it the global state and run the
+            // plain sequential path right here, bounded by `t_end`. No
+            // logging, no dispatch, no barrier.
             stats.inline_windows += 1;
             let gi = active[0];
-            *shared.win.pending.lock() = 1;
-            {
-                let mut s = shared.groups[gi].sched.lock();
-                s.global = Some(global);
-                s.open_window(Mode::Inline, t_end, &mut buckets[gi]);
-                shared.groups[gi].ctl_cv.notify_all();
-            }
-            let t0 = Instant::now();
-            wait_windows(shared);
-            stats.exec_ns += t0.elapsed().as_nanos() as u64;
             let mut s = shared.groups[gi].sched.lock();
+            s.global = Some(global);
+            s.open_window(Mode::Inline, t_end, &mut buckets[gi]);
+            let t0 = Instant::now();
+            run_window(shared, gi, &mut s);
+            stats.exec_ns += t0.elapsed().as_nanos() as u64;
+            debug_assert!(
+                s.window_drained() || s.panicked || s.shutdown,
+                "window ended with events still queued"
+            );
             global = s.global.take().expect("inline window returns global state");
             s.close_window();
         } else {
-            stats.parallel_windows += 1;
             // Stale counts from a previous window would trip the commit's
             // bookkeeping asserts for groups inactive in this one.
             ords.fill(0);
-            *shared.win.pending.lock() = active.len();
-            for &gi in &active {
-                let mut s = shared.groups[gi].sched.lock();
-                shared.groups[gi].cell.begin_deferred();
-                s.open_window(Mode::Deferred, t_end, &mut buckets[gi]);
-                shared.groups[gi].ctl_cv.notify_all();
-            }
             let t0 = Instant::now();
-            wait_windows(shared);
+            if engage {
+                stats.parallel_windows += 1;
+                // The full count must be published before the first bell
+                // rings: a fast runner may finish and decrement while later
+                // groups are still being dispatched.
+                shared.win.pending.store(active.len(), Ordering::Release);
+                for &gi in &active {
+                    let (fx, recs) = std::mem::take(&mut arenas[gi]);
+                    shared.groups[gi].cell.begin_deferred(fx, recs);
+                    let mut s = shared.groups[gi].sched.lock();
+                    s.open_window(Mode::Deferred, t_end, &mut buckets[gi]);
+                    drop(s);
+                    shared.groups[gi].bell.ring(&threads[gi]);
+                }
+                wait_windows(shared);
+            } else {
+                // Auto mode, sparse regime: execute the groups' slices
+                // serially on this thread. Still deferred + committed —
+                // group-major execution is not global order, and the
+                // network model's RNG/backlog state must be touched in
+                // global order — but dispatch and barrier cost vanish.
+                stats.serial_windows += 1;
+                for &gi in &active {
+                    let (fx, recs) = std::mem::take(&mut arenas[gi]);
+                    let cell = &shared.groups[gi].cell;
+                    cell.begin_deferred(fx, recs);
+                    vopp_trace::set_thread_record_sink(Some(cell.clone()));
+                    vopp_trace::set_thread_causal_sink(Some(cell.clone()));
+                    let mut s = shared.groups[gi].sched.lock();
+                    s.open_window(Mode::Deferred, t_end, &mut buckets[gi]);
+                    run_window(shared, gi, &mut s);
+                }
+                vopp_trace::set_thread_record_sink(None);
+                vopp_trace::set_thread_causal_sink(None);
+            }
             stats.exec_ns += t0.elapsed().as_nanos() as u64;
             let mut any_panic = false;
             for &gi in &active {
@@ -446,8 +792,9 @@ pub(crate) fn coordinate<'scope, 'env>(
                 any_panic |= s.panicked;
                 s.close_window();
                 drop(s);
-                let (log, ord) = shared.groups[gi].cell.end_deferred();
-                logs[gi] = log;
+                let (fx, recs, ord) = shared.groups[gi].cell.end_deferred();
+                fx_logs[gi] = fx;
+                rec_logs[gi] = recs;
                 ords[gi] = ord;
             }
             if any_panic {
@@ -464,12 +811,15 @@ pub(crate) fn coordinate<'scope, 'env>(
                     &mut global,
                     t_end,
                     &mut seeds,
-                    &mut logs,
+                    &mut fx_logs,
+                    &mut rec_logs,
                     &ords,
                     &shared.tracer,
                     &profiler,
                     plan.loopback,
                     &shared.group_of,
+                    &mut scratch,
+                    stats,
                 )
             }));
             stats.merge_ns += t1.elapsed().as_nanos() as u64;
@@ -478,14 +828,23 @@ pub(crate) fn coordinate<'scope, 'env>(
                 shared.shutdown_all();
                 break Some(e);
             }
+            // Recycle the drained logs as next window's arenas.
+            for &gi in &active {
+                fx_logs[gi].clear();
+                rec_logs[gi].clear();
+                arenas[gi] = (
+                    std::mem::take(&mut fx_logs[gi]),
+                    std::mem::take(&mut rec_logs[gi]),
+                );
+            }
         }
     };
 
-    for grp in &shared.groups {
-        let mut s = grp.sched.lock();
-        s.halt = true;
-        drop(s);
-        grp.ctl_cv.notify_all();
+    for (grp, t) in shared.groups.iter().zip(&threads) {
+        grp.bell.halt(t);
+        // A runner can also be parked inside a window (on the group condvar,
+        // waiting for its processes); shutdown paths have already notified
+        // those. This covers runners idling between windows.
     }
     for r in runners {
         if let Err(e) = r.join() {
@@ -494,52 +853,57 @@ pub(crate) fn coordinate<'scope, 'env>(
             }
         }
     }
+    for grp in &shared.groups {
+        grp.bell.harvest(stats);
+    }
     shared.groups[0].sched.lock().global = Some(global);
     payload
 }
 
-/// Park until every dispatched group finishes its window.
+/// Spin, then park, until every dispatched group finishes its window. Stale
+/// unpark tokens (from a previous window's last runner racing ahead) cause
+/// at most one spurious loop iteration.
 fn wait_windows(shared: &Shared) {
-    let mut pending = shared.win.pending.lock();
-    while *pending > 0 {
-        shared.win.done_cv.wait(&mut pending);
+    for _ in 0..spin_rounds() {
+        if shared.win.pending.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        std::hint::spin_loop();
+    }
+    while shared.win.pending.load(Ordering::Acquire) != 0 {
+        std::thread::park();
     }
 }
 
-/// A group's event-loop thread in parallel mode: waits for a window, runs it
-/// exactly like the sequential controller (restricted to the group and
-/// bounded by `t_end`), and reports completion.
-fn runner(shared: &Shared, gi: usize) {
+/// A group's event-loop thread in parallel mode: waits on its doorbell for a
+/// window, runs it exactly like the sequential controller (restricted to the
+/// group and bounded by `t_end`), and counts down the shared completion
+/// barrier — the last finisher unparks the coordinator.
+fn runner(shared: &Shared, gi: usize, coord: Thread) {
     let grp = &shared.groups[gi];
     let cell = grp.cell.clone();
     vopp_trace::set_thread_record_sink(Some(cell.clone()));
     vopp_trace::set_thread_causal_sink(Some(cell));
     loop {
-        let mut s = grp.sched.lock();
-        while !s.window_open && !s.halt {
-            grp.ctl_cv.wait(&mut s);
-        }
-        if s.halt {
+        if grp.bell.wait_dispatch() == HALT {
             return;
         }
+        let mut s = grp.sched.lock();
         run_window(shared, gi, &mut s);
         debug_assert!(
             s.window_drained() || s.panicked || s.shutdown,
             "window ended with events still queued"
         );
-        s.window_open = false;
         drop(s);
-        let mut pending = shared.win.pending.lock();
-        *pending -= 1;
-        if *pending == 0 {
-            shared.win.done_cv.notify_all();
+        if shared.win.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            coord.unpark();
         }
     }
 }
 
 /// One window on one group: the sequential controller's event loop bounded
 /// by the window (`pop_due`). Service-handler panics are stashed for the
-/// coordinator instead of unwinding the runner, so the completion barrier
+/// coordinator instead of unwinding the caller, so the completion barrier
 /// still settles.
 fn run_window<'a>(shared: &'a Shared, gi: usize, s: &mut MutexGuard<'a, crate::kernel::Sched>) {
     loop {
@@ -614,38 +978,53 @@ fn run_window<'a>(shared: &'a Shared, gi: usize, s: &mut MutexGuard<'a, crate::k
     }
 }
 
-/// Replay the groups' action logs in exact global `(time, seq)` order,
-/// applying every side effect to the shared state precisely as the
-/// sequential kernel would have: traces append to the ring, causal records
-/// get their real (execution-index) ids, sends route through the network
-/// model (consuming its RNG in global send order), and out-of-window events
-/// are assigned global seqs and pushed to the future heap.
+/// Commit one deferred window: replay the fx logs in exact global
+/// `(time, seq)` order, applying every order-sensitive effect precisely as
+/// the sequential kernel would have — sends route through the network model
+/// (consuming its RNG in global send order), out-of-window events get global
+/// seqs and move to the future heap, backlog counters pop. The captured
+/// trace/causal records are *not* threaded through the replay heap: they are
+/// appended in bulk runs from the per-group record logs, flushed up to each
+/// send's `rec_mark` before its route call (a routing model may emit its own
+/// trace records — drops, retransmits — which must interleave exactly as
+/// they did sequentially) and up to the segment boundary otherwise.
 #[allow(clippy::too_many_arguments)]
 fn commit_window(
     global: &mut GlobalState,
     t_end: SimTime,
     seeds: &mut Vec<ReplaySeed>,
-    logs: &mut [Vec<Action>],
+    fx_logs: &mut [Vec<Action>],
+    rec_logs: &mut [Vec<Rec>],
     ords: &[u64],
     tracer: &Option<Arc<Tracer>>,
     profiler: &Option<Arc<CausalProfiler>>,
     loopback: SimDuration,
     group_of: &[usize],
+    scratch: &mut CommitScratch,
+    stats: &mut WindowStats,
 ) {
-    let ng = logs.len();
-    let mut heap: BinaryHeap<ReplaySeed> = seeds.drain(..).collect();
-    let mut pos = vec![0usize; ng];
-    // Per group: provisional ordinal -> real causal id, grown in replay
-    // order (which is each group's execution order).
-    let mut maps: Vec<Vec<u64>> = (0..ng).map(|_| Vec::new()).collect();
+    let t0 = Instant::now();
+    let mut append_ns = 0u64;
+    scratch.reset();
+    let CommitScratch {
+        heap,
+        pos,
+        rec_pos,
+        maps,
+    } = scratch;
+    heap.extend(seeds.drain(..));
 
     while let Some(seed) = heap.pop() {
         let gi = seed.gi;
-        match logs[gi].get(pos[gi]) {
-            Some(Action::Begin { at }) => {
+        match fx_logs[gi].get(pos[gi]) {
+            Some(&Action::Begin { at, rec_mark }) => {
                 debug_assert_eq!(
-                    *at, seed.at,
+                    at, seed.at,
                     "group {gi} executed an event out of replay order"
+                );
+                debug_assert_eq!(
+                    rec_mark, rec_pos[gi],
+                    "group {gi} record cursor out of sync"
                 );
                 pos[gi] += 1;
             }
@@ -654,44 +1033,30 @@ fn commit_window(
                 other.map(Action::name)
             ),
         }
-        while pos[gi] < logs[gi].len() && !matches!(logs[gi][pos[gi]], Action::Begin { .. }) {
-            // Tombstone the slot; each action is consumed exactly once.
-            let a = std::mem::replace(&mut logs[gi][pos[gi]], Action::Begin { at: SimTime::ZERO });
+        // The segment's records end where the next segment's begin (or the
+        // log tail). Segments hold only a handful of fx actions, so this
+        // forward scan is cheap — and it never revisits consumed slots.
+        let mut j = pos[gi];
+        let rec_end = loop {
+            match fx_logs[gi].get(j) {
+                Some(&Action::Begin { rec_mark, .. }) => break rec_mark,
+                Some(_) => j += 1,
+                None => break rec_logs[gi].len(),
+            }
+        };
+        while pos[gi] < j {
+            // Tombstone the slot; each action is consumed exactly once, and
+            // forward scans only ever look past the consumption cursor.
+            let a = std::mem::replace(
+                &mut fx_logs[gi][pos[gi]],
+                Action::Begin {
+                    at: SimTime::ZERO,
+                    rec_mark: 0,
+                },
+            );
             pos[gi] += 1;
             match a {
                 Action::Begin { .. } => unreachable!(),
-                Action::Trace { t, node, kind } => {
-                    if let Some(tr) = tracer {
-                        tr.record(t, node, kind);
-                    }
-                }
-                Action::Wake {
-                    node,
-                    prev_ns,
-                    t_ns,
-                    kind,
-                    cause,
-                } => {
-                    let prof = profiler.as_ref().expect("wake logged without a profiler");
-                    let id =
-                        prof.record_wake(node, prev_ns, t_ns, kind, map_cause(cause, &maps[gi]));
-                    maps[gi].push(id);
-                }
-                Action::Svc { node, t_ns, cause } => {
-                    let prof = profiler.as_ref().expect("svc logged without a profiler");
-                    let id = prof.record_svc(node, t_ns, map_cause(cause, &maps[gi]));
-                    maps[gi].push(id);
-                }
-                Action::Op { node, span } => {
-                    profiler
-                        .as_ref()
-                        .expect("op span logged without a profiler")
-                        .record_op(node, span);
-                }
-                Action::DeliverPop { dst, wire_bytes } => {
-                    global.pending_deliver[dst] -= 1;
-                    global.pending_bytes[dst] -= wire_bytes;
-                }
                 Action::Push { at, ev } => {
                     let ev = match ev {
                         PushedEv::Resume(p) => Event::Resume(p),
@@ -713,7 +1078,28 @@ fn commit_window(
                         });
                     }
                 }
-                Action::Send { now, dst, mut pkt } => {
+                Action::DeliverPop { dst, wire_bytes } => {
+                    global.pending_deliver[dst] -= 1;
+                    global.pending_bytes[dst] -= wire_bytes;
+                }
+                Action::Send {
+                    now,
+                    dst,
+                    mut pkt,
+                    rec_mark,
+                } => {
+                    // Records captured before this send (its own NetSend
+                    // trace included) must reach the sinks before the model
+                    // can emit anything of its own.
+                    append_recs(
+                        &mut rec_logs[gi],
+                        &mut rec_pos[gi],
+                        rec_mark,
+                        &mut maps[gi],
+                        tracer,
+                        profiler,
+                        &mut append_ns,
+                    );
                     let req = RouteRequest {
                         now,
                         src: pkt.src,
@@ -755,19 +1141,35 @@ fn commit_window(
                 }
             }
         }
+        // Flush the segment's remaining records.
+        append_recs(
+            &mut rec_logs[gi],
+            &mut rec_pos[gi],
+            rec_end,
+            &mut maps[gi],
+            tracer,
+            profiler,
+            &mut append_ns,
+        );
     }
 
-    for gi in 0..ng {
+    for gi in 0..fx_logs.len() {
         assert_eq!(
             pos[gi],
-            logs[gi].len(),
+            fx_logs[gi].len(),
             "group {gi} logged actions the replay never consumed"
+        );
+        assert_eq!(
+            rec_pos[gi],
+            rec_logs[gi].len(),
+            "group {gi} captured records the replay never appended"
         );
         debug_assert_eq!(
             maps[gi].len() as u64,
             ords[gi],
             "group {gi} provisional-id count mismatch"
         );
-        logs[gi].clear();
     }
+    stats.commit_append_ns += append_ns;
+    stats.commit_route_ns += (t0.elapsed().as_nanos() as u64).saturating_sub(append_ns);
 }

@@ -182,6 +182,86 @@ fn artifacts_identical_at_any_worker_count() {
     }
 }
 
+/// Spin/park boundary stress: each round, every process joins a dense
+/// all-to-all burst, then process 0 ping-pongs loopback messages alone while
+/// the rest sleep through many windows. The dispatch doorbells swing from
+/// steady-state re-arming (burst) to parked runners (lone-group stretch) and
+/// back every round, and windows cover all three shapes — fully parallel,
+/// partially idle groups, and single-active-group inline. Artifacts must
+/// stay byte-identical through every transition.
+#[test]
+fn spin_park_boundary_stress_is_byte_identical() {
+    fn run_bursty(workers: usize) -> (Vec<u64>, String, vopp_sim::WindowStats) {
+        let mut sim = Sim::new(N, Box::new(JitterNet { sent: 0, bytes: 0 }));
+        sim.set_workers(workers);
+        for p in 0..N {
+            sim.set_handler(
+                p,
+                Box::new(|ctx, pkt| {
+                    let k: u64 = *pkt.peek().unwrap();
+                    ctx.send(pkt.src, 64, DeliveryClass::App, 900_000 + k, Arc::new(k));
+                }),
+            );
+        }
+        let tracer = Arc::new(Tracer::new(1 << 20));
+        sim.set_tracer(tracer.clone());
+        let out = sim.run(|ctx| {
+            let p = ctx.me();
+            let mut sum = 0u64;
+            for round in 0..12u64 {
+                // Dense phase: all processes exchange request/replies at
+                // once, so every group is active in the same windows.
+                for i in 0..6u64 {
+                    let k = round * 100 + i;
+                    let dst = (p + 1 + (round as usize % (N - 1))) % N;
+                    ctx.send(dst, 96, DeliveryClass::Svc, k, Arc::new(k));
+                    let reply = ctx
+                        .recv_filter_timeout(SimDuration::from_secs(1), |pk| {
+                            pk.tag == 900_000 + k && pk.src == dst
+                        })
+                        .expect("burst reply");
+                    sum = sum.wrapping_mul(31).wrapping_add(reply.arrived.nanos());
+                }
+                // Lone-group phase: process 0 ping-pongs loopback messages
+                // (5 us each, well under the 50 us lookahead) while everyone
+                // else sleeps through the stretch — its group's windows run
+                // inline and the parked runners must re-wake cleanly for the
+                // next burst.
+                if p == 0 {
+                    for i in 0..8u64 {
+                        let k = round * 100 + 50 + i;
+                        ctx.send(p, 32, DeliveryClass::App, 2_000_000 + k, Arc::new(k));
+                        let lb = ctx.recv_filter(|pk| pk.tag == 2_000_000 + k);
+                        sum = sum.wrapping_mul(31).wrapping_add(lb.arrived.nanos());
+                    }
+                } else {
+                    ctx.compute(SimDuration::from_millis(1));
+                }
+            }
+            sum
+        });
+        (out.results, tracer.take().to_json(), out.windows)
+    }
+
+    let (seq, seq_trace, seq_win) = run_bursty(1);
+    assert_eq!(seq_win.windows, 0, "sequential runs carve no windows");
+    let (par, par_trace, par_win) = run_bursty(4);
+    assert!(
+        par_win.parallel_windows > 0,
+        "stress never ran a multi-group window"
+    );
+    assert!(
+        par_win.inline_windows > 0,
+        "stress never took the single-active-group inline path"
+    );
+    assert!(
+        par_win.spin_hits + par_win.park_wakes > 0,
+        "multi-group windows dispatched without touching a doorbell"
+    );
+    assert_eq!(seq, par, "results differ under bursty dispatch");
+    assert_eq!(seq_trace, par_trace, "traces differ under bursty dispatch");
+}
+
 #[test]
 fn falls_back_without_a_lookahead_bound() {
     struct Opaque;

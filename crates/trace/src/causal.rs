@@ -309,6 +309,14 @@ impl CausalProfiler {
         log.spans[node].push(span);
     }
 
+    /// The id the next appended context record will receive (ids are
+    /// execution indices). The parallel kernel's commit uses this to
+    /// pre-assign real ids to a whole window of captured records before
+    /// bulk-appending them.
+    pub fn next_id(&self) -> u64 {
+        self.log.lock().expect("causal log lock").records.len() as u64
+    }
+
     /// Consume the recording (the run is over).
     pub fn take(&self) -> CausalLog {
         std::mem::take(&mut *self.log.lock().expect("causal log lock"))
