@@ -6,8 +6,8 @@ BASELINE_DIR ?= crates/bench/baselines
 CRITPATH_DIR ?= target/bench-critpath
 CRITPATH_BASELINE_DIR ?= crates/bench/baselines-critpath
 
-.PHONY: all check fmt clippy test tables tables-quick serve scaling bench \
-        bench-micro bench-wallclock baseline critpath baseline-critpath \
+.PHONY: all check fmt clippy test tables tables-quick serve scaling netgen \
+        bench bench-micro bench-wallclock baseline critpath baseline-critpath \
         metrics-demo trace-demo racecheck parkernel clean
 
 all: check test
@@ -46,24 +46,34 @@ scaling:
 	cargo run -p vopp-bench --release --bin tables -- scaling --quick --sim-workers auto --metrics target/scaling-auto
 	diff -r --exclude=BENCH_wallclock.json target/scaling-seq target/scaling-auto
 
+# Modern network generations (docs/NETWORK.md): IS/Gauss/SOR/NN across
+# 100 Mbps / 10 GbE / RDMA under LRC_d, VC_sd, and the RDMA-native VC_rdma,
+# with phase-accounting breakdown rows. Runs the byte-identity test suite
+# first; the BENCH_netgen.json regression gate runs inside `bench`, which
+# sweeps netgen alongside the paper tables. Opt-in like `ext`; not part of
+# `all`.
+netgen:
+	cargo test --release -p vopp-bench --test netgen
+	cargo run -p vopp-bench --release --bin tables -- netgen --quick --metrics target/netgen-metrics
+
 # Quick tables with machine-readable metrics, then the perf-regression
 # gate against the committed baselines (>2% time drift or any count drift
 # fails the build).
 bench:
-	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --metrics $(METRICS_DIR)
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling netgen --quick --metrics $(METRICS_DIR)
 	cargo run -p vopp-bench --release --bin metrics_diff -- $(BASELINE_DIR) $(METRICS_DIR)
 
 # Full quick sweep on every core, reporting real time per cell. Wall-clock
 # is machine-dependent and never gated; see docs/PERFORMANCE.md.
 bench-wallclock:
-	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --metrics $(METRICS_DIR)
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling netgen --quick --metrics $(METRICS_DIR)
 	@echo "Wall-clock artifact:"
 	@cat $(METRICS_DIR)/BENCH_wallclock.json
 
 # Refresh the committed baselines after an intentional perf change. The
 # machine-dependent wall-clock artifact is never committed as a baseline.
 baseline:
-	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --metrics $(BASELINE_DIR)
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling netgen --quick --metrics $(BASELINE_DIR)
 	rm -f $(BASELINE_DIR)/BENCH_wallclock.json
 
 # Critical-path profile of the full quick sweep (docs/OBSERVABILITY.md):
@@ -104,8 +114,8 @@ trace-demo:
 # by design; its `sim` section reports the window/merge counters).
 parkernel:
 	cargo test --release -p vopp-bench --test parkernel
-	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --jobs 4 --sim-workers 4 --metrics target/park-metrics
-	cargo run -p vopp-bench --release --bin tables -- all serve scaling --quick --jobs 4 --metrics target/park-seq
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling netgen --quick --jobs 4 --sim-workers 4 --metrics target/park-metrics
+	cargo run -p vopp-bench --release --bin tables -- all serve scaling netgen --quick --jobs 4 --metrics target/park-seq
 	cargo run -p vopp-bench --release --bin metrics_diff -- $(BASELINE_DIR) target/park-metrics
 	diff -r --exclude=BENCH_wallclock.json target/park-metrics target/park-seq
 

@@ -146,8 +146,8 @@ fn bench_net(r: &mut Runner) {
             src: (t % 31) as usize,
             dst: ((t + 7) % 32) as usize,
             wire_bytes: 512,
-            pending_at_dst: 2,
             pending_bytes_at_dst: 1024,
+            reliable: false,
         })
     });
 }

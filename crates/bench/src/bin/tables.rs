@@ -40,6 +40,10 @@
 //! `--sim-workers` pays) is opt-in like `ext` and `serve`: request it by
 //! name (`tables scaling`).
 //!
+//! The `netgen` table (IS/Gauss/SOR/NN across network generations under
+//! LRC_d, VC_sd and VC_rdma, see `docs/NETWORK.md`) is opt-in the same
+//! way: request it by name (`tables netgen`).
+//!
 //! `--cache <dir>` keeps a persistent content-addressed store of finished
 //! cells (`sweep-cache.json`) across invocations: a warm rerun simulates
 //! nothing and replays the identical tables/metrics from disk. The cache is
@@ -213,7 +217,7 @@ fn main() {
         eprintln!(
             "usage: tables [--quick] [--json] [--jobs N] [--sim-workers N|auto] [--trace DIR] \
              [--metrics DIR] [--cache DIR] [--faults PLAN] [--critpath] [--racecheck] \
-             (all | table1 .. table9 | ext | serve | scaling)*"
+             (all | table1 .. table9 | ext | serve | scaling | netgen)*"
         );
         std::process::exit(2);
     }
@@ -227,6 +231,7 @@ fn main() {
         trace_dir,
         metrics: sink.clone(),
         net_override: None,
+        netgen: None,
         cache: None,
         faults,
         critpath,
@@ -245,14 +250,13 @@ fn main() {
         ("ext", tables::table_ext),
         ("serve", tables::table_serve),
         ("scaling", tables::table_scaling),
+        ("netgen", tables::table_netgen),
     ];
     let run_all = wanted.contains(&"all");
+    let opt_in = ["ext", "serve", "scaling", "netgen"];
     let selected: Vec<(&str, TableFn)> = table_fns
         .into_iter()
-        .filter(|(name, _)| {
-            (run_all && *name != "ext" && *name != "serve" && *name != "scaling")
-                || wanted.contains(name)
-        })
+        .filter(|(name, _)| (run_all && !opt_in.contains(name)) || wanted.contains(name))
         .collect();
 
     // Precompute every selected cell on the worker pool; the table

@@ -35,6 +35,13 @@ pub const SERVE_SCHEMA: &str = "vopp-bench-serve/1";
 /// values; gated by its own baselines (`baselines-critpath/`).
 pub const CRITPATH_SCHEMA: &str = "vopp-bench-critpath/1";
 
+/// Schema tag of the network-generation artifact (`BENCH_netgen.json`):
+/// the `tables netgen` family, whose cells carry the generation in the
+/// variant label (`is_vopp_rdma`). Structurally identical to [`SCHEMA`]
+/// cells but tagged separately so the baseline's sweep dimensions are
+/// explicit; gated exactly like every other artifact.
+pub const NETGEN_SCHEMA: &str = "vopp-bench-netgen/1";
+
 /// Maximum tolerated relative drift of a cell's `time_ns`, in percent.
 pub const TIME_DRIFT_PCT: f64 = 2.0;
 
@@ -232,7 +239,11 @@ impl MetricsSink {
             let doc = obj(vec![
                 (
                     "schema",
-                    str(if app == "serve" { SERVE_SCHEMA } else { SCHEMA }),
+                    str(match app.as_str() {
+                        "serve" => SERVE_SCHEMA,
+                        "netgen" => NETGEN_SCHEMA,
+                        _ => SCHEMA,
+                    }),
                 ),
                 ("app", str(&app)),
                 (
@@ -621,6 +632,56 @@ mod tests {
             sor_cells[0].get("time_ns").unwrap().as_u64(),
             Some(1_000_000)
         );
+    }
+
+    #[test]
+    fn netgen_cells_carry_their_own_schema_and_gate_exactly() {
+        let sink = sink_with(&[
+            (
+                "netgen",
+                "netgen",
+                "is_vopp_rdma",
+                "vc_rdma",
+                4,
+                stats(500_000, 20, 0),
+            ),
+            (
+                "netgen",
+                "netgen",
+                "is_vopp_eth100m",
+                "vc_sd",
+                4,
+                stats(4_000_000, 20, 0),
+            ),
+        ]);
+        let doc = &sink.to_documents()["netgen"];
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(NETGEN_SCHEMA));
+        assert_eq!(compare("netgen", doc, doc), Vec::<String>::new());
+        // The generation lives in the variant label, so the same
+        // app/protocol/np under another generation is a distinct gated cell.
+        let drifted = sink_with(&[
+            (
+                "netgen",
+                "netgen",
+                "is_vopp_rdma",
+                "vc_rdma",
+                4,
+                stats(500_000, 21, 0),
+            ),
+            (
+                "netgen",
+                "netgen",
+                "is_vopp_eth100m",
+                "vc_sd",
+                4,
+                stats(4_000_000, 20, 0),
+            ),
+        ]);
+        // The fixture derives bytes from msgs, so one msgs bump drifts both
+        // exact counters — and only in the rdma cell.
+        let errs = compare("netgen", doc, &drifted.to_documents()["netgen"]);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().all(|e| e.contains("is_vopp_rdma")), "{errs:?}");
     }
 
     #[test]

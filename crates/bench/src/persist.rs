@@ -205,6 +205,7 @@ pub fn stats_to_value(s: &RunStats) -> Value {
                 ("bytes", num(s.net.bytes)),
                 ("drops", num(s.net.drops)),
                 ("loopback_msgs", num(s.net.loopback_msgs)),
+                ("one_sided", num(s.net.one_sided)),
             ]),
         ),
         (
@@ -239,6 +240,7 @@ pub fn stats_from_value(v: &Value) -> Option<RunStats> {
             bytes: net_v.get("bytes")?.as_u64()?,
             drops: net_v.get("drops")?.as_u64()?,
             loopback_msgs: net_v.get("loopback_msgs")?.as_u64()?,
+            one_sided: net_v.get("one_sided")?.as_u64()?,
         },
         node_breakdowns,
         node_end,
@@ -308,6 +310,7 @@ mod tests {
                 bytes: 2000,
                 drops: 3,
                 loopback_msgs: 44,
+                one_sided: 55,
             },
             node_breakdowns: vec![bd0, bd1],
             node_end: vec![SimTime(100), SimTime(123_456_789)],

@@ -39,6 +39,7 @@ use std::time::Instant;
 use vopp_core::{Protocol, RunStats};
 use vopp_dsm::CostModel;
 use vopp_sim::handoff_totals;
+use vopp_simnet::NetGen;
 use vopp_trace::json::{num, obj, str, Value};
 
 use crate::persist;
@@ -186,17 +187,27 @@ pub struct CellSpec {
     /// Serve-only dimensions: offered load and fault scenario. Always
     /// `Some` on [`CellApp::Serve`] cells, `None` otherwise.
     pub serve: Option<ServeCell>,
+    /// Network generation the cell runs on (`tables netgen` cells only).
+    /// `None` means the default configuration — the paper's 100 Mbps
+    /// testbed — so every pre-existing cell key is unchanged.
+    pub netgen: Option<NetGen>,
 }
 
 impl CellSpec {
     /// Cache/artifact key, matching the trace-file stem convention:
     /// `{app}_{variant}_{proto}_{np}p`, with the load/fault fragment after
-    /// the variant on serve cells (`serve_vopp_base_crash_vc_sd_4p`).
+    /// the variant on serve cells (`serve_vopp_base_crash_vc_sd_4p`) and
+    /// the generation label after the variant on netgen cells
+    /// (`is_vopp_rdma_vc_rdma_16p`).
     pub fn key(&self) -> String {
         let mut head = format!("{}_{}", self.app.label(), self.variant.label());
         if let Some(sc) = self.serve {
             head.push('_');
             head.push_str(&sc.label());
+        }
+        if let Some(gen) = self.netgen {
+            head.push('_');
+            head.push_str(gen.label());
         }
         format!("{head}_{}_{}p", self.proto.label().to_lowercase(), self.np)
     }
@@ -307,6 +318,7 @@ fn cell(app: CellApp, variant: CellVariant, proto: Protocol, np: usize) -> CellS
         proto,
         np,
         serve: None,
+        netgen: None,
     }
 }
 
@@ -323,8 +335,35 @@ fn serve_cell(
         proto,
         np,
         serve: Some(ServeCell { load, fault }),
+        netgen: None,
     }
 }
+
+fn netgen_cell(
+    app: CellApp,
+    variant: CellVariant,
+    gen: NetGen,
+    proto: Protocol,
+    np: usize,
+) -> CellSpec {
+    CellSpec {
+        netgen: Some(gen),
+        ..cell(app, variant, proto, np)
+    }
+}
+
+/// The generations the `netgen` family sweeps: the paper's testbed, a
+/// modern Ethernet, and the RDMA-class interconnect. The in-between
+/// presets exist ([`NetGen::ALL`]) but three points tell the story.
+pub const NETGEN_GENS: [NetGen; 3] = [NetGen::Eth100m, NetGen::Eth10g, NetGen::Rdma];
+
+/// The protocol columns of the `netgen` family: the paper's baseline, its
+/// headline protocol, and the RDMA-native variant.
+pub const NETGEN_PROTOS: [(Protocol, CellVariant); 3] = [
+    (Protocol::LrcD, CellVariant::Traditional),
+    (Protocol::VcSd, CellVariant::Vopp),
+    (Protocol::VcRdma, CellVariant::Vopp),
+];
 
 /// The cells one table renders, in its sequential run order. Mirrors the
 /// table functions in [`crate::tables`] exactly (cell-equivalence is
@@ -441,6 +480,20 @@ pub fn cells_for(table: &str, scale: &Scale) -> Vec<CellSpec> {
                 }
             }
         }
+        "netgen" => {
+            // App-major, generations next, protocols innermost — the exact
+            // order `table_netgen` consumes them. Every cell (including
+            // eth100m, which equals the default config bit-for-bit) carries
+            // its generation in the key, so the family never aliases the
+            // paper tables' cells in the sweep cache.
+            for app in [Is, Gauss, Sor, Nn] {
+                for gen in NETGEN_GENS {
+                    for (proto, variant) in NETGEN_PROTOS {
+                        cells.push(netgen_cell(app, variant, gen, proto, np));
+                    }
+                }
+            }
+        }
         other => panic!("unknown table {other:?}"),
     }
     cells
@@ -457,8 +510,9 @@ pub fn dedup_cells(specs: &[CellSpec]) -> Vec<CellSpec> {
         .collect()
 }
 
-/// Schema tag of the persistent sweep-cache file.
-pub const CACHE_SCHEMA: &str = "vopp-sweep-cache/2";
+/// Schema tag of the persistent sweep-cache file. `/3` adds the one-sided
+/// datagram counter to the persisted network statistics.
+pub const CACHE_SCHEMA: &str = "vopp-sweep-cache/3";
 
 /// File name of the persistent sweep cache inside `--cache DIR`.
 pub const CACHE_FILE: &str = "sweep-cache.json";
@@ -901,6 +955,25 @@ mod tests {
             ServeFault::Clean,
         );
         assert_eq!(spec.key(), "serve_trad_hi_clean_scc_d_16p");
+        // Netgen cells carry the generation after the variant; the default
+        // (None) keys are untouched, so pre-existing caches and artifacts
+        // keep their addressing.
+        let spec = netgen_cell(
+            CellApp::Is,
+            CellVariant::Vopp,
+            NetGen::Rdma,
+            Protocol::VcRdma,
+            16,
+        );
+        assert_eq!(spec.key(), "is_vopp_rdma_vc_rdma_16p");
+        let spec = netgen_cell(
+            CellApp::Sor,
+            CellVariant::Traditional,
+            NetGen::Eth100m,
+            Protocol::LrcD,
+            4,
+        );
+        assert_eq!(spec.key(), "sor_trad_eth100m_lrc_d_4p");
     }
 
     #[test]
@@ -933,6 +1006,37 @@ mod tests {
         assert_eq!(scaling.len(), 18);
         assert_eq!(dedup_cells(&scaling).len(), 18);
         assert!(scaling.iter().all(|c| c.np >= 64));
+        // netgen: 4 apps x 3 generations x 3 protocols, all distinct, every
+        // cell tagged with its generation (no aliasing the paper cells).
+        let netgen = cells_for("netgen", &scale);
+        assert_eq!(netgen.len(), 36);
+        assert_eq!(dedup_cells(&netgen).len(), 36);
+        assert!(netgen.iter().all(|c| c.netgen.is_some()));
+    }
+
+    /// The sweep cache can never serve a cell across network generations:
+    /// the generation is part of the cell key, and the scale-level override
+    /// is part of the context hash.
+    #[test]
+    fn cache_addressing_covers_the_network_dimension() {
+        // Same (app, variant, proto, np) under different generations are
+        // different cache keys.
+        let keys: std::collections::BTreeSet<String> = NETGEN_GENS
+            .iter()
+            .map(|&g| netgen_cell(CellApp::Is, CellVariant::Vopp, g, Protocol::VcSd, 4).key())
+            .collect();
+        assert_eq!(keys.len(), NETGEN_GENS.len());
+        // A scale-wide net override flips the context hash, so a cache
+        // populated under one network can never warm another.
+        let base = Scale::quick();
+        let mut overridden = Scale::quick();
+        overridden.net_override = Some(NetGen::Rdma.config());
+        assert_ne!(context_hash(&base), context_hash(&overridden));
+        // eth100m is bit-for-bit the default config, so its override hashes
+        // like no override at all — the byte-identity invariant in hash form.
+        let mut eth = Scale::quick();
+        eth.net_override = Some(NetGen::Eth100m.config());
+        assert_eq!(context_hash(&base), context_hash(&eth));
     }
 
     #[test]

@@ -16,9 +16,12 @@ use vopp_serve::{build_schedule, run_serve, serve_reference, ServeParams, ServeV
 use vopp_sim::{SimDuration, SimTime};
 use vopp_trace::{check, report, to_chrome_json, CheckConfig, Tracer};
 
+use vopp_simnet::NetGen;
+
 use crate::metrics::MetricsSink;
 use crate::sweep::{
     CellApp, CellSpec, CellVariant, RunCache, ServeCell, ServeFault, ServeLoad, ServePayload,
+    NETGEN_GENS, NETGEN_PROTOS,
 };
 use crate::table::Table;
 
@@ -46,6 +49,12 @@ pub struct Scale {
     /// regression-gate tests to demonstrate that perturbing the cost model
     /// fails the gate).
     pub net_override: Option<NetConfig>,
+    /// Run on a named network generation instead of the default (the
+    /// paper's 100 Mbps testbed). Set per-cell by [`execute_cell`] from
+    /// [`CellSpec::netgen`]; takes precedence over `net_override` and
+    /// folds its label into trace/critpath file stems so netgen artifacts
+    /// never collide with the paper tables'.
+    pub netgen: Option<NetGen>,
     /// Global fault plan applied to every run (the `tables --faults SPEC`
     /// flag): datagram loss and node slowdowns reshape all cells; crash
     /// windows are acted on by the serving workload only. Folded into the
@@ -83,6 +92,9 @@ impl Scale {
         if let Some(net) = &self.net_override {
             config.net = net.clone();
         }
+        if let Some(gen) = self.netgen {
+            config.net = gen.config();
+        }
         config.faults = self.faults.clone();
         if self.critpath {
             // One fresh profiler per run: causal logs are per-run state.
@@ -119,6 +131,7 @@ impl Scale {
             proto,
             np,
             serve: None,
+            netgen: self.netgen,
         };
         self.cache
             .as_ref()
@@ -142,11 +155,25 @@ impl Scale {
             proto,
             np,
             serve: Some(sc),
+            netgen: None,
         };
         self.cache
             .as_ref()
             .and_then(|c| c.get(&spec.key()))
             .and_then(|r| Some((r.stats.clone(), r.serve.clone()?)))
+    }
+
+    /// Trace/critpath file stem of one run, matching [`CellSpec::key`]:
+    /// the generation label rides after the variant on netgen runs, so
+    /// their artifacts never overwrite the default-network ones.
+    fn stem(&self, app: &str, variant: &str, proto: Protocol, np: usize) -> String {
+        let gen = self
+            .netgen
+            .map_or_else(String::new, |g| format!("{}_", g.label()));
+        format!(
+            "{app}_{variant}_{gen}{}_{np}p",
+            proto.label().to_lowercase()
+        )
     }
 
     /// Install a fresh tracer on `config` when tracing is requested.
@@ -173,7 +200,7 @@ impl Scale {
         let Some(tr) = tracer else { return };
         let dir = self.trace_dir.as_ref().expect("tracer implies trace_dir");
         let trace = tr.take();
-        let stem = format!("{app}_{variant}_{}_{np}p", proto.label().to_lowercase());
+        let stem = self.stem(app, variant, proto, np);
         let w = |suffix: &str, content: String| {
             let path = dir.join(format!("{stem}.{suffix}"));
             std::fs::write(&path, content)
@@ -217,7 +244,7 @@ impl Scale {
     ) {
         if let (Some(dir), Some(cp)) = (self.trace_dir.as_ref(), stats.crit.as_deref()) {
             std::fs::create_dir_all(dir).expect("failed to create trace directory");
-            let stem = format!("{app}_{variant}_{}_{np}p", proto.label().to_lowercase());
+            let stem = self.stem(app, variant, proto, np);
             let path = dir.join(format!("{stem}.critpath.perfetto.json"));
             std::fs::write(&path, vopp_metrics::critpath_to_chrome_json(cp))
                 .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
@@ -340,18 +367,21 @@ const SCALING_MIN_PROCS: usize = 64;
 /// The conformance-invariant set a protocol's traces must satisfy.
 ///
 /// * `VC_sd` ships integrated diffs on grants, so its runs must emit zero
-///   diff requests (the paper's headline protocol property).
+///   diff requests (the paper's headline protocol property). `VC_rdma`
+///   ships the same integrated diffs as one-sided writes, so it inherits
+///   the invariant.
 /// * Both VC protocols scope consistency to views, so their barrier
 ///   releases must carry no write notices (paper §3.2).
-/// * All protocols run over the reliable transport with the default 1 s
-///   timeout, far above the simulated network round trip, so every
+/// * All protocols run over the reliable transport whose retransmission
+///   timeout is derived from the network generation (the historical 1 s on
+///   the paper testbed), far above that network's round trip, so every
 ///   retransmission outside a synchronization wait must be covered by a
 ///   preceding datagram drop (queue overflow under bursts, or a background
 ///   bit error); during barrier/lock/view waits the reply is legitimately
 ///   deferred past the timeout.
 pub fn check_config_for(proto: Protocol) -> CheckConfig {
     CheckConfig {
-        expect_zero_diff_requests: proto == Protocol::VcSd,
+        expect_zero_diff_requests: matches!(proto, Protocol::VcSd | Protocol::VcRdma),
         expect_no_barrier_notices: proto.is_vc(),
         check_rexmit_overflow: true,
         check_non_nested: true,
@@ -573,6 +603,13 @@ impl From<NnVariant> for CellVariant {
 /// sweep workers; does *not* record metrics — that happens at consumption
 /// time so cell order stays sequential.
 pub(crate) fn execute_cell(scale: &Scale, spec: &CellSpec) -> (RunStats, Option<ServePayload>) {
+    // Netgen cells run on their named generation; everything else on the
+    // scale's defaults. The derived scale also routes the generation label
+    // into trace stems and cache lookups.
+    let scale = &Scale {
+        netgen: spec.netgen,
+        ..scale.clone()
+    };
     let (np, proto) = (spec.np, spec.proto);
     let stats = match spec.app {
         CellApp::Is => {
@@ -1294,6 +1331,7 @@ fn scaling_run(
             proto,
             np,
             serve: None,
+            netgen: None,
         };
         execute_cell(scale, &spec).0
     });
@@ -1361,6 +1399,124 @@ pub fn table_scaling(scale: &Scale) -> Table {
         &mut t,
         &vc.iter().map(|s| s.crit.as_deref()).collect::<Vec<_>>(),
     );
+    t
+}
+
+// -------------------------------------------------------------------
+// Network generations (the `netgen` cell family; not in the paper)
+// -------------------------------------------------------------------
+
+/// One netgen run, recorded under the `netgen` app so the family ships its
+/// own gated `BENCH_netgen.json`. The variant label carries the
+/// application and generation (`is_vopp_rdma`, ...) to keep cell keys
+/// unique within the table.
+fn netgen_run(
+    scale: &Scale,
+    app: CellApp,
+    variant: CellVariant,
+    gen: NetGen,
+    proto: Protocol,
+    np: usize,
+) -> RunStats {
+    let spec = CellSpec {
+        app,
+        variant,
+        proto,
+        np,
+        serve: None,
+        netgen: Some(gen),
+    };
+    let stats = scale
+        .cache
+        .as_ref()
+        .and_then(|c| c.get(&spec.key()))
+        .map(|r| r.stats.clone())
+        .unwrap_or_else(|| execute_cell(scale, &spec).0);
+    scale.record(
+        "netgen",
+        &format!("{}_{}_{}", app.label(), variant.label(), gen.label()),
+        &proto_label(proto),
+        np,
+        &stats,
+    );
+    stats
+}
+
+/// Network-generation table (not in the paper): the four applications
+/// under LRC_d, VC_sd and VC_rdma as the interconnect advances from the
+/// paper's 100 Mbps testbed through 10 GbE to an RDMA-class fabric. The
+/// phase-accounting rows make the bottleneck shift directly visible: the
+/// wait shares that dominate at 100 Mbps collapse with the network, the
+/// compute share rises toward 100%, and on the RDMA fabric VC_rdma sheds
+/// the residual acquire wait and protocol CPU that VC_sd still pays for
+/// inline diff application.
+pub fn table_netgen(scale: &Scale) -> Table {
+    scale.begin_table("netgen");
+    let np = scale.stats_procs();
+    let apps = [
+        (CellApp::Is, "IS"),
+        (CellApp::Gauss, "Gauss"),
+        (CellApp::Sor, "SOR"),
+        (CellApp::Nn, "NN"),
+    ];
+    let mut headers = Vec::new();
+    for gen in NETGEN_GENS {
+        for (proto, _) in NETGEN_PROTOS {
+            headers.push(format!("{} {}", gen.label(), proto.label()));
+        }
+    }
+    // runs[app][column]: generation-major columns, matching
+    // `cells_for("netgen")` cell order exactly.
+    let runs: Vec<Vec<RunStats>> = apps
+        .iter()
+        .map(|&(app, _)| {
+            let mut row = Vec::new();
+            for gen in NETGEN_GENS {
+                for (proto, variant) in NETGEN_PROTOS {
+                    row.push(netgen_run(scale, app, variant, gen, proto, np));
+                }
+            }
+            row
+        })
+        .collect();
+    let mut t = Table::new(
+        format!("Netgen: network generations on {np} processors (LRC_d / VC_sd / VC_rdma)"),
+        headers,
+    );
+    for ((_, label), runs) in apps.iter().zip(&runs) {
+        t.row(
+            format!("{label} Time (Sec.)"),
+            runs.iter().map(|s| Table::f(s.time_secs(), 2)).collect(),
+        );
+        t.row(
+            format!("{label} Data (MByte)"),
+            runs.iter().map(|s| Table::f(s.data_mbytes(), 2)).collect(),
+        );
+        t.row(
+            format!("{label} Rexmit"),
+            runs.iter().map(|s| Table::i(s.rexmits())).collect(),
+        );
+        for (phase_label, phase) in [
+            ("Compute (%)", Phase::Compute),
+            ("Proto CPU (%)", Phase::ProtoCpu),
+            ("Barrier Wait (%)", Phase::BarrierWait),
+            ("Acquire Wait (%)", Phase::AcquireWait),
+            ("Diff Wait (%)", Phase::DataWait),
+        ] {
+            t.row(
+                format!("{label} {phase_label}"),
+                runs.iter()
+                    .map(|s| Table::f(s.phase_pct(phase), 1))
+                    .collect(),
+            );
+        }
+        t.row(
+            format!("{label} Send Overhead (%)"),
+            runs.iter()
+                .map(|s| Table::f(s.send_overhead_pct(), 1))
+                .collect(),
+        );
+    }
     t
 }
 

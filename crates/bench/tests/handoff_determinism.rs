@@ -44,7 +44,7 @@ fn traced_trace(proto: Protocol) -> String {
             });
         }
         // View bracket + barrier workload on the VOPP API.
-        Protocol::VcD | Protocol::VcSd => {
+        Protocol::VcD | Protocol::VcSd | Protocol::VcRdma => {
             let mut w = WorldBuilder::new();
             let v = w.view_u32(64);
             run_cluster(&cfg, w.build(), move |ctx| {
@@ -70,6 +70,7 @@ fn handoff_on_and_off_produce_identical_traces() {
         Protocol::LrcD,
         Protocol::VcD,
         Protocol::VcSd,
+        Protocol::VcRdma,
         Protocol::Hlrc,
         Protocol::ScC,
     ] {

@@ -1,0 +1,187 @@
+//! The `netgen` table (modern network generations × protocol, see
+//! docs/NETWORK.md) must obey the same artifact invariants as the paper
+//! tables: the sweep-pool worker count, the persistent disk cache, and the
+//! intra-run parallel kernel are all invisible in the rendered table, in
+//! `BENCH_netgen.json`, and in the trace files. The RDMA generation is the
+//! interesting one for the parallel kernel — its ~1 us one-way latency sits
+//! near the conservative-lookahead floor, so the test also proves that an
+//! RDMA cell still opens parallel windows instead of degenerating to a
+//! serial sweep.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use vopp_bench::metrics::NETGEN_SCHEMA;
+use vopp_bench::sweep::{
+    cells_for, context_hash, dedup_cells, run_sweep, run_sweep_cached, DiskCache,
+};
+use vopp_bench::{tables, MetricsSink, Scale};
+
+/// Every test in this binary that mutates the process-wide sim-worker
+/// default serializes on this lock (surviving another test's panic).
+static WIDTH: Mutex<()> = Mutex::new(());
+
+fn lock_width() -> MutexGuard<'static, ()> {
+    WIDTH.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Render the quick netgen sweep with `jobs` pool workers, mirroring
+/// `tables netgen --quick --trace ... --metrics ...`. Returns the table
+/// text plus every metrics/trace artifact, keyed by relative name
+/// (wall-clock excluded — machine-dependent by design).
+fn netgen_artifacts(jobs: usize, base: &Path) -> (String, BTreeMap<String, String>) {
+    let traces = base.join("traces");
+    let metrics = base.join("metrics");
+    let sink = Arc::new(MetricsSink::new());
+    let mut scale = Scale {
+        quick: true,
+        trace_dir: Some(traces.clone()),
+        metrics: Some(sink.clone()),
+        ..Scale::default()
+    };
+    let specs = dedup_cells(&cells_for("netgen", &scale));
+    scale.cache = Some(Arc::new(run_sweep(&scale, &specs, jobs)));
+    let text = tables::table_netgen(&scale).to_string();
+    std::fs::create_dir_all(&metrics).expect("create metrics dir");
+    sink.write_all(&metrics).expect("write metrics artifacts");
+    let mut files = BTreeMap::new();
+    for (dir, tag) in [(&metrics, "metrics"), (&traces, "traces")] {
+        for entry in std::fs::read_dir(dir).expect("read artifact dir") {
+            let entry = entry.expect("artifact entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name == "BENCH_wallclock.json" {
+                continue;
+            }
+            files.insert(
+                format!("{tag}/{name}"),
+                std::fs::read_to_string(entry.path()).expect("read artifact"),
+            );
+        }
+    }
+    (text, files)
+}
+
+#[test]
+fn netgen_four_jobs_match_one_job_byte_for_byte() {
+    let _w = lock_width();
+    let base = std::env::temp_dir().join(format!("vopp-netgen-jobs-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let (t1, f1) = netgen_artifacts(1, &base.join("j1"));
+    let (t4, f4) = netgen_artifacts(4, &base.join("j4"));
+
+    assert_eq!(t1, t4, "netgen table text must not depend on worker count");
+    assert_eq!(
+        f1.keys().collect::<Vec<_>>(),
+        f4.keys().collect::<Vec<_>>(),
+        "artifact file sets must match"
+    );
+    let netgen_json = &f1["metrics/BENCH_netgen.json"];
+    assert!(
+        netgen_json.contains(NETGEN_SCHEMA),
+        "BENCH_netgen.json must carry {NETGEN_SCHEMA}"
+    );
+    // Every generation folds into the trace stems, so rdma / 10g / eth100m
+    // runs of the same app+protocol never collide on one file.
+    for stem in [
+        "traces/is_vopp_rdma_vc_rdma_4p.events.json",
+        "traces/is_vopp_10g_vc_sd_4p.events.json",
+        "traces/is_trad_eth100m_lrc_d_4p.events.json",
+    ] {
+        assert!(f1.contains_key(stem), "missing trace artifact {stem}");
+    }
+    for (name, body) in &f1 {
+        assert_eq!(body, &f4[name], "{name} differs between --jobs 1 and 4");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn netgen_warm_disk_cache_replays_byte_identical_artifacts() {
+    let _w = lock_width();
+    let base = std::env::temp_dir().join(format!("vopp-netgen-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let cache_dir = base.join("cache");
+
+    let run = |metrics_dir: &Path| {
+        let sink = Arc::new(MetricsSink::new());
+        let mut scale = Scale {
+            quick: true,
+            metrics: Some(sink.clone()),
+            ..Scale::default()
+        };
+        let specs = dedup_cells(&cells_for("netgen", &scale));
+        let mut disk = DiskCache::open(&cache_dir, context_hash(&scale));
+        let cache = run_sweep_cached(&scale, &specs, 2, Some(&mut disk));
+        let simulated = cache.simulated_cells;
+        assert_eq!(cache.warm_cells + simulated, specs.len());
+        scale.cache = Some(Arc::new(cache));
+        let text = tables::table_netgen(&scale).to_string();
+        std::fs::create_dir_all(metrics_dir).expect("create metrics dir");
+        sink.write_all(metrics_dir)
+            .expect("write metrics artifacts");
+        let json = std::fs::read_to_string(metrics_dir.join("BENCH_netgen.json"))
+            .expect("read BENCH_netgen.json");
+        (text, json, simulated)
+    };
+
+    // Cold: populates the persistent cache. The netgen generation lives in
+    // the cell *key*, so all 36 cells are distinct entries under one
+    // context hash.
+    let (t_cold, j_cold, sim_cold) = run(&base.join("cold"));
+    assert_eq!(sim_cold, 36, "cold run must simulate every netgen cell");
+
+    // Warm: must simulate *nothing* and replay identical bytes — the
+    // persisted stats round-trip includes the one-sided datagram counter.
+    let (t_warm, j_warm, sim_warm) = run(&base.join("warm"));
+    assert_eq!(sim_warm, 0, "warm run simulated cells despite a hot cache");
+    assert_eq!(t_cold, t_warm, "table text differs between cold and warm");
+    assert_eq!(j_cold, j_warm, "BENCH_netgen.json differs cold vs warm");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn rdma_cell_is_byte_identical_at_4_sim_workers_and_opens_windows() {
+    let _w = lock_width();
+    let base = std::env::temp_dir().join(format!("vopp-netgen-simw-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    // One RDMA-generation VC_rdma cell — the tightest lookahead in the
+    // netgen family, so if any cell degenerates to a serial sweep it is
+    // this one.
+    let run = |width: usize, dir: &Path| {
+        vopp_sim::set_sim_workers_default(width);
+        let traces = dir.join("traces");
+        let sink = Arc::new(MetricsSink::new());
+        let mut scale = Scale {
+            quick: true,
+            trace_dir: Some(traces.clone()),
+            metrics: Some(sink.clone()),
+            ..Scale::default()
+        };
+        let spec = cells_for("netgen", &scale)
+            .into_iter()
+            .find(|s| s.key() == "is_vopp_rdma_vc_rdma_4p")
+            .expect("rdma cell present in the netgen sweep");
+        scale.cache = Some(Arc::new(run_sweep(&scale, &[spec], 1)));
+        std::fs::read_to_string(traces.join("is_vopp_rdma_vc_rdma_4p.events.json"))
+            .expect("read rdma trace")
+    };
+
+    let seq = run(1, &base.join("w1"));
+    let before = vopp_sim::window_totals();
+    let par = run(4, &base.join("w4"));
+    let after = vopp_sim::window_totals();
+    vopp_sim::set_sim_workers_default(1);
+
+    // The conservative-lookahead floor must leave the RDMA generation room
+    // to carve windows — a 4-worker run that windows nothing would mean the
+    // ~1 us link latency collapsed the lookahead below the floor.
+    assert!(
+        after.windows > before.windows,
+        "4-worker rdma cell carved no parallel windows"
+    );
+    assert_eq!(seq, par, "rdma trace differs between sim-workers 1 and 4");
+    std::fs::remove_dir_all(&base).ok();
+}

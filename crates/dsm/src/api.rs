@@ -53,6 +53,7 @@ impl<'a> DsmCtx<'a> {
         sim: AppCtx<'a>,
         node: Arc<Mutex<NodeState>>,
         barrier_timeout: SimDuration,
+        rexmit_timeout: SimDuration,
         rc: Option<Arc<RaceChecker>>,
     ) -> DsmCtx<'a> {
         let (cost, layout, protocol) = {
@@ -63,7 +64,7 @@ impl<'a> DsmCtx<'a> {
         DsmCtx {
             sim,
             node,
-            rpc: RefCell::new(RpcClient::new()),
+            rpc: RefCell::new(RpcClient::with_timeout(rexmit_timeout)),
             debt: CpuDebt::new(),
             cost,
             layout,
@@ -722,6 +723,17 @@ impl<'a> DsmCtx<'a> {
             );
             (n.view_home(v), n.view_applied[v as usize])
         };
+        if self.protocol == Protocol::VcRdma {
+            // Drop stale one-sided grant data left from a previous tenure
+            // of this view (a duplicate grant whose data landed after we
+            // moved on). Link FIFO guarantees any such straggler has landed
+            // by now: the release ack that ended the previous tenure
+            // travelled the same home→here link behind it.
+            let stale = crate::msg::rdma_grant_tag(v);
+            self.sim.purge_filter(|p| {
+                p.class == vopp_sim::DeliveryClass::OneSided && p.src == home && p.tag == stale
+            });
+        }
         let req = Req::ViewAcquire {
             view: v,
             mode,
@@ -743,6 +755,28 @@ impl<'a> DsmCtx<'a> {
                 version,
                 lamport,
             } => {
+                let diffs = if self.protocol == Protocol::VcRdma {
+                    debug_assert!(diffs.is_empty(), "VC_rdma grants carry no inline diffs");
+                    let tag = crate::msg::rdma_grant_tag(v);
+                    // The home wrote the view data one-sided ahead of this
+                    // reply, so FIFO has landed it already; an empty poll
+                    // therefore means the home had nothing to send, not
+                    // that the data is still in flight.
+                    let polled = match self.sim.poll_one_sided(home, tag) {
+                        Some(pkt) => pkt.expect::<Vec<(PageId, Arc<vopp_page::Diff>)>>(),
+                        None => Vec::new(),
+                    };
+                    // A retransmitted acquire can leave a byte-identical
+                    // duplicate deposit behind the one we just consumed.
+                    self.sim.purge_filter(|p| {
+                        p.class == vopp_sim::DeliveryClass::OneSided
+                            && p.src == home
+                            && p.tag == tag
+                    });
+                    polled
+                } else {
+                    diffs
+                };
                 let napplied = diffs.len();
                 let grant_bytes: u64 = diffs
                     .iter()
@@ -773,7 +807,11 @@ impl<'a> DsmCtx<'a> {
                 vs.wait_ns += waited;
                 vs.grant_bytes += grant_bytes;
                 drop(n);
-                if napplied > 0 {
+                // VC_rdma: the data arrived by one-sided write into the
+                // preposted buffer — nothing for the acquirer's CPU to
+                // apply, so no diff-apply charge. The other VC protocols
+                // pay software diff application per stale page.
+                if napplied > 0 && self.protocol != Protocol::VcRdma {
                     self.debt
                         .add_overhead_diff(self.cost.diff_apply * napplied as u64);
                 }
@@ -837,7 +875,9 @@ impl<'a> DsmCtx<'a> {
             let home = n.view_home(v);
             match closed {
                 Some((id, lamport, pages, diffs)) => {
-                    let sd = if self.protocol == Protocol::VcSd {
+                    // VC_sd ships the diffs inline with the release; VC_rdma
+                    // deposits them at the home by one-sided write below.
+                    let sd = if matches!(self.protocol, Protocol::VcSd | Protocol::VcRdma) {
                         diffs
                     } else {
                         Vec::new()
@@ -852,6 +892,25 @@ impl<'a> DsmCtx<'a> {
                 .add_overhead_diff(self.cost.diff_create * ndiffs as u64);
             self.flush();
         }
+        let diffs = if self.protocol == Protocol::VcRdma {
+            if !diffs.is_empty() {
+                // One-sided deposit ahead of the (slim) release request:
+                // link FIFO lands the data before the control message, and
+                // only the control message is ever retransmitted, so the
+                // home's take on first processing cannot miss.
+                let wire = crate::msg::one_sided_diffs_wire_bytes(&diffs);
+                self.sim.send(
+                    home,
+                    wire,
+                    vopp_sim::DeliveryClass::OneSided,
+                    crate::msg::rdma_release_tag(v),
+                    Arc::new(diffs),
+                );
+            }
+            Vec::new()
+        } else {
+            diffs
+        };
         let req = Req::ViewRelease {
             view: v,
             mode: AccessMode::Write,

@@ -248,10 +248,27 @@ fn handle(n: &mut NodeState, svc: &mut SvcCtx<'_>, src: ProcId, tag: u64, req: R
                         lamport,
                         pages,
                     }));
-                    if n.protocol == Protocol::VcSd {
-                        for (p, d) in diffs {
-                            h.integrated.entry(p).or_default().push((v, d));
+                    match n.protocol {
+                        Protocol::VcSd => {
+                            for (p, d) in diffs {
+                                h.integrated.entry(p).or_default().push((v, d));
+                            }
                         }
+                        Protocol::VcRdma => {
+                            // The diffs travelled out-of-band: a one-sided
+                            // write deposited them in this node's preposted
+                            // buffer before the (slim) release request, and
+                            // link FIFO guarantees they have landed by now.
+                            // Retransmitted duplicates take the else branch
+                            // below and never reach this take.
+                            let data = svc
+                                .take_one_sided(src, crate::msg::rdma_release_tag(view))
+                                .expect("VC_rdma release data must precede the release request");
+                            for (p, d) in data.expect::<Vec<(PageId, Arc<Diff>)>>() {
+                                h.integrated.entry(p).or_default().push((v, d));
+                            }
+                        }
+                        _ => {}
                     }
                     v
                 };
@@ -398,6 +415,10 @@ fn send_view_grant(
     tag: u64,
     have: u32,
 ) {
+    // VC_rdma moves the integrated diffs by a one-sided write into the
+    // requester's preposted buffer, issued ahead of the control reply so
+    // link FIFO lands the data first. The grant reply itself stays slim.
+    let mut one_sided: Vec<(PageId, Arc<Diff>)> = Vec::new();
     let (records, diffs) = match n.protocol {
         // ScC scoped grants look exactly like VC_d view grants: release
         // records newer than the requester's version, diffs on fault.
@@ -415,9 +436,9 @@ fn send_view_grant(
                 .collect(),
             Vec::new(),
         ),
-        Protocol::VcSd => (
-            Vec::new(),
-            h.integrated
+        Protocol::VcSd | Protocol::VcRdma => {
+            let integrated: Vec<(PageId, Arc<Diff>)> = h
+                .integrated
                 .iter()
                 .filter(|(_, vs)| vs.last().is_some_and(|(v, _)| *v > have))
                 .map(|(p, vs)| {
@@ -439,12 +460,30 @@ fn send_view_grant(
                         }
                     }
                 })
-                .collect(),
-        ),
+                .collect();
+            if n.protocol == Protocol::VcRdma {
+                one_sided = integrated;
+                (Vec::new(), Vec::new())
+            } else {
+                (Vec::new(), integrated)
+            }
+        }
         Protocol::LrcD | Protocol::Hlrc => {
             unreachable!("views/scopes are not a homeless/home-based LRC feature")
         }
     };
+    let mut data_bytes = 0u64;
+    if !one_sided.is_empty() {
+        let wire = crate::msg::one_sided_diffs_wire_bytes(&one_sided);
+        data_bytes = wire as u64;
+        svc.send(
+            dst,
+            wire,
+            vopp_sim::DeliveryClass::OneSided,
+            crate::msg::rdma_grant_tag(view),
+            Arc::new(one_sided),
+        );
+    }
     let resp = Resp::ViewGrant {
         records,
         diffs,
@@ -456,7 +495,7 @@ fn send_view_grant(
         view: view as u64,
         to: dst,
         version: h.version as u64,
-        bytes: bytes as u64,
+        bytes: bytes as u64 + data_bytes,
     });
     reply(svc, dst, bytes, tag, Arc::new(resp));
 }

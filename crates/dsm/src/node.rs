@@ -30,6 +30,14 @@ pub enum Protocol {
     /// View-based Consistency with the integrated-diff update protocol:
     /// a single merged diff per page, piggy-backed on the view grant.
     VcSd,
+    /// `VC_sd` retargeted at an RDMA-capable fabric: view data moves by
+    /// one-sided writes into preposted per-node buffers (no request/reply
+    /// round trip, no remote CPU on the data path), and release diffs are
+    /// written to the home and applied there asynchronously — off the
+    /// acquirer's critical path. Identical consistency semantics to
+    /// [`Protocol::VcSd`]; only the transport and the CPU accounting of
+    /// diff application differ.
+    VcRdma,
     /// Home-based Lazy Release Consistency (extension; the authors'
     /// companion work on homeless vs. home-based protocols): every page has
     /// a home node to which diffs are flushed eagerly at interval end;
@@ -51,14 +59,15 @@ impl Protocol {
             Protocol::LrcD => "LRC_d",
             Protocol::VcD => "VC_d",
             Protocol::VcSd => "VC_sd",
+            Protocol::VcRdma => "VC_rdma",
             Protocol::Hlrc => "HLRC_d",
             Protocol::ScC => "ScC_d",
         }
     }
 
-    /// True for the two VOPP protocols.
+    /// True for the VOPP protocols.
     pub fn is_vc(self) -> bool {
-        matches!(self, Protocol::VcD | Protocol::VcSd)
+        matches!(self, Protocol::VcD | Protocol::VcSd | Protocol::VcRdma)
     }
 
     /// True for the traditional lock/barrier protocols (homeless or

@@ -137,7 +137,12 @@ where
 {
     let n = cfg.nprocs;
     assert!(n > 0);
-    let mut model = EthernetModel::new(n, cfg.faults.apply_net(&cfg.net));
+    let effective_net = cfg.faults.apply_net(&cfg.net);
+    // Each node's RPC endpoint retransmits on the effective network's
+    // timescale: the historical 1 s on the paper testbed, milliseconds on
+    // modern generations.
+    let rexmit_timeout = effective_net.rexmit_timeout;
+    let mut model = EthernetModel::new(n, effective_net);
     if let Some(tr) = &cfg.tracer {
         model.set_tracer(tr.clone());
     }
@@ -182,6 +187,7 @@ where
             ctx,
             nodes_ref[ctx.me()].clone(),
             barrier_timeout,
+            rexmit_timeout,
             racecheck.clone(),
         );
         let r = body(&dctx);

@@ -1,5 +1,6 @@
-//! End-to-end protocol tests: correctness of LRC_d, VC_d and VC_sd on a
-//! simulated cluster, plus runtime enforcement of the VOPP discipline.
+//! End-to-end protocol tests: correctness of LRC_d, VC_d, VC_sd and
+//! VC_rdma on a simulated cluster, plus runtime enforcement of the VOPP
+//! discipline.
 
 use std::sync::Arc;
 
@@ -13,6 +14,9 @@ fn vcd(n: usize) -> ClusterConfig {
 }
 fn vcsd(n: usize) -> ClusterConfig {
     ClusterConfig::lossless(n, Protocol::VcSd)
+}
+fn vcrdma(n: usize) -> ClusterConfig {
+    ClusterConfig::lossless(n, Protocol::VcRdma)
 }
 
 // ---------------------------------------------------------------------
@@ -187,8 +191,18 @@ fn vcsd_view_passes_value_without_diff_requests() {
 }
 
 #[test]
+fn vcrdma_view_passes_value_without_diff_requests() {
+    let (v, dr) = vopp_producer_consumer(&vcrdma(2));
+    assert_eq!(v, 42);
+    assert_eq!(
+        dr, 0,
+        "VC_rdma writes view data one-sided: zero diff requests"
+    );
+}
+
+#[test]
 fn vc_exclusive_view_serializes_increments() {
-    for cfg in [vcd(4), vcsd(4)] {
+    for cfg in [vcd(4), vcsd(4), vcrdma(4)] {
         let mut l = Layout::new();
         let (v, addr) = l.add_view(4);
         let out = run_cluster(&cfg, l.freeze(), move |ctx| {
@@ -519,7 +533,7 @@ fn runs_are_deterministic() {
 fn lossy_network_still_correct() {
     let mut l = Layout::new();
     let (v, addr) = l.add_view(16);
-    for proto in [Protocol::VcD, Protocol::VcSd] {
+    for proto in [Protocol::VcD, Protocol::VcSd, Protocol::VcRdma] {
         let mut cfg = ClusterConfig::new(4, proto);
         cfg.net.base_drop_prob = 0.05; // harsh
         cfg.net.seed = 42;
@@ -543,6 +557,119 @@ fn lossy_network_still_correct() {
             "5% loss must cause retransmissions"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// VC_rdma (one-sided transport)
+// ---------------------------------------------------------------------
+
+/// The modeled RDMA benefit: view data lands in the acquirer's preposted
+/// buffer by one-sided write, so the acquirer pays no software diff
+/// application. VC_sd charges `diff_apply` per stale page on the same
+/// workload.
+#[test]
+fn vcrdma_skips_acquirer_diff_apply_cpu() {
+    use vopp_metrics::Phase;
+    let consumer_proto_cpu = |proto: Protocol| {
+        let mut l = Layout::new();
+        let (v, addr) = l.add_view(16 * 4096);
+        let out = run_cluster(&ClusterConfig::lossless(2, proto), l.freeze(), move |ctx| {
+            if ctx.me() == 0 {
+                ctx.acquire_view(v);
+                let big = vec![7u32; 16 * 1024]; // dirty all 16 pages
+                ctx.write_u32s(addr, &big);
+                ctx.release_view(v);
+                ctx.barrier();
+                0
+            } else {
+                ctx.barrier();
+                ctx.acquire_rview(v);
+                let got = ctx.read_u32(addr);
+                ctx.release_rview(v);
+                got
+            }
+        });
+        assert_eq!(out.results[1], 7, "{proto}");
+        assert_eq!(out.stats.diff_requests(), 0, "{proto}");
+        out.stats.node_breakdowns[1].get(Phase::ProtoCpu)
+    };
+    let sd = consumer_proto_cpu(Protocol::VcSd);
+    let rdma = consumer_proto_cpu(Protocol::VcRdma);
+    // VC_sd applies 16 diffs at 15us each on the acquirer's CPU; VC_rdma
+    // must not. Allow slack for the other protocol overheads both pay.
+    assert!(
+        sd >= rdma + 200_000,
+        "VC_sd consumer proto CPU ({sd} ns) should exceed VC_rdma ({rdma} ns) by ~16 diff applications"
+    );
+}
+
+/// VC_rdma on the RDMA-class generation: microsecond fabric, no losses,
+/// no retransmissions, and a run dominated by CPU costs instead of wire
+/// time.
+#[test]
+fn vcrdma_on_rdma_generation() {
+    use vopp_simnet::NetGen;
+    let mut l = Layout::new();
+    let (v, addr) = l.add_view(16);
+    let mut cfg = ClusterConfig::new(4, Protocol::VcRdma);
+    cfg.net = NetGen::Rdma.config();
+    let out = run_cluster(&cfg, l.freeze(), move |ctx| {
+        for _ in 0..8 {
+            ctx.acquire_view(v);
+            ctx.update_u32(addr, |x| x + 1);
+            ctx.release_view(v);
+        }
+        ctx.barrier();
+        ctx.acquire_rview(v);
+        let got = ctx.read_u32(addr);
+        ctx.release_rview(v);
+        got
+    });
+    for r in &out.results {
+        assert_eq!(*r, 32);
+    }
+    assert_eq!(out.stats.rexmits(), 0, "RDMA-class profile is lossless");
+    assert!(
+        out.stats.time.as_secs_f64() < 0.05,
+        "an RDMA fabric run must be CPU-bound, took {}",
+        out.stats.time
+    );
+}
+
+/// Regression for the hardcoded 1 s retransmission timeout: a loss on
+/// 10 GbE recovers on that generation's 25 ms timescale. Under the old
+/// fixed timeout any loss on the critical path cost at least a full
+/// second.
+#[test]
+fn vcrdma_loss_on_10g_recovers_on_generation_timescale() {
+    use vopp_simnet::NetGen;
+    let mut l = Layout::new();
+    let (v, addr) = l.add_view(16);
+    let mut cfg = ClusterConfig::new(4, Protocol::VcRdma);
+    cfg.net = NetGen::Eth10g.config();
+    cfg.net.base_drop_prob = 0.05; // force losses
+    cfg.net.seed = 7;
+    let out = run_cluster(&cfg, l.freeze(), move |ctx| {
+        for _ in 0..8 {
+            ctx.acquire_view(v);
+            ctx.update_u32(addr, |x| x + 1);
+            ctx.release_view(v);
+        }
+        ctx.barrier();
+        ctx.acquire_rview(v);
+        let got = ctx.read_u32(addr);
+        ctx.release_rview(v);
+        got
+    });
+    for r in &out.results {
+        assert_eq!(*r, 32);
+    }
+    assert!(out.stats.rexmits() >= 1, "5% loss must cause rexmits");
+    assert!(
+        out.stats.time.as_secs_f64() < 1.0,
+        "rexmits must recover at the 25 ms generation timeout, took {}",
+        out.stats.time
+    );
 }
 
 /// Helper so the lossy test can reuse one layout for two runs.

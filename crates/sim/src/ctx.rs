@@ -97,11 +97,19 @@ impl<'a> AppCtx<'a> {
     }
 
     /// Receive the first mailbox packet satisfying `want`, blocking until one
-    /// arrives. Non-matching packets stay queued in arrival order.
+    /// arrives. Non-matching packets stay queued in arrival order. One-sided
+    /// writes ([`DeliveryClass::OneSided`]) are invisible here — they landed
+    /// without CPU involvement and are only observed by an explicit
+    /// [`AppCtx::poll_one_sided`].
     pub fn recv_filter(&self, want: impl Fn(&Packet) -> bool) -> Packet {
         let mut s = self.shared.lock_proc(self.me);
         loop {
-            if let Some(pos) = s.pi(self.me).mailbox.iter().position(&want) {
+            if let Some(pos) = s
+                .pi(self.me)
+                .mailbox
+                .iter()
+                .position(|p| p.class != DeliveryClass::OneSided && want(p))
+            {
                 let pkt = s.pi_mut(self.me).mailbox.remove(pos).unwrap();
                 shrink_if_drained(&mut s.pi_mut(self.me).mailbox);
                 return pkt;
@@ -124,7 +132,12 @@ impl<'a> AppCtx<'a> {
         s.pi_mut(self.me).next_token += 1;
         let mut timer_armed = false;
         loop {
-            if let Some(pos) = s.pi(self.me).mailbox.iter().position(&want) {
+            if let Some(pos) = s
+                .pi(self.me)
+                .mailbox
+                .iter()
+                .position(|p| p.class != DeliveryClass::OneSided && want(p))
+            {
                 let pkt = s.pi_mut(self.me).mailbox.remove(pos).unwrap();
                 shrink_if_drained(&mut s.pi_mut(self.me).mailbox);
                 return Some(pkt);
@@ -158,6 +171,23 @@ impl<'a> AppCtx<'a> {
     /// Number of packets currently queued in this process's mailbox.
     pub fn mailbox_len(&self) -> usize {
         self.shared.lock_proc(self.me).pi(self.me).mailbox.len()
+    }
+
+    /// Take the earliest one-sided write from `src` with tag `tag` out of
+    /// this process's preposted buffer, if one has landed. Non-blocking: a
+    /// one-sided write involves no remote CPU, so there is no wake to wait
+    /// for — callers know data is present from protocol ordering (a
+    /// same-link control message sent after the write arrives after it).
+    pub fn poll_one_sided(&self, src: ProcId, tag: u64) -> Option<Packet> {
+        let mut s = self.shared.lock_proc(self.me);
+        let pos = s
+            .pi(self.me)
+            .mailbox
+            .iter()
+            .position(|p| p.class == DeliveryClass::OneSided && p.src == src && p.tag == tag)?;
+        let pkt = s.pi_mut(self.me).mailbox.remove(pos).unwrap();
+        shrink_if_drained(&mut s.pi_mut(self.me).mailbox);
+        Some(pkt)
     }
 
     /// Remove every queued packet matching `unwanted`, returning how many
@@ -248,6 +278,21 @@ impl<'a> SvcCtx<'a> {
             pkt.cause = p.cur_ctx();
         }
         s.submit_send(self.now, dst, pkt);
+    }
+
+    /// Take the earliest one-sided write from `src` with tag `tag` out of
+    /// this process's preposted buffer, if one has landed. The handler-side
+    /// twin of [`AppCtx::poll_one_sided`]: a service handler for a control
+    /// message sent *after* a same-link one-sided write finds the write
+    /// already present (FIFO link ordering).
+    pub fn take_one_sided(&mut self, src: ProcId, tag: u64) -> Option<Packet> {
+        let mut s = self.shared.lock_proc(self.me);
+        let pos = s
+            .pi(self.me)
+            .mailbox
+            .iter()
+            .position(|p| p.class == DeliveryClass::OneSided && p.src == src && p.tag == tag)?;
+        s.pi_mut(self.me).mailbox.remove(pos)
     }
 
     /// Record a trace event at the handled packet's arrival time.

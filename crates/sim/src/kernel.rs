@@ -399,7 +399,6 @@ pub(crate) enum Mode {
 pub(crate) struct GlobalState {
     pub(crate) seq: u64,
     pub(crate) future: BinaryHeap<QEntry>,
-    pub(crate) pending_deliver: Vec<usize>,
     pub(crate) pending_bytes: Vec<usize>,
     pub(crate) net: Box<dyn NetModel>,
 }
@@ -518,6 +517,8 @@ impl Sched {
     }
 
     /// Deliver-event bookkeeping: the destination's backlog shrinks.
+    /// One-sided deliveries never enter the backlog (preposted buffers, not
+    /// the receive queue), so callers skip this for them.
     pub(crate) fn note_deliver_pop(&mut self, dst: ProcId, wire_bytes: usize) {
         match self.mode {
             Mode::Inline => {
@@ -525,7 +526,6 @@ impl Sched {
                     .global
                     .as_mut()
                     .expect("inline group owns global state");
-                g.pending_deliver[dst] -= 1;
                 g.pending_bytes[dst] -= wire_bytes;
             }
             Mode::Deferred => self.cell.push(Action::DeliverPop { dst, wire_bytes }),
@@ -617,17 +617,21 @@ impl Sched {
                     .global
                     .as_mut()
                     .expect("inline group owns global state");
+                let one_sided = pkt.class == DeliveryClass::OneSided;
                 let req = RouteRequest {
                     now,
                     src: pkt.src,
                     dst,
                     wire_bytes: pkt.wire_bytes,
-                    pending_at_dst: g.pending_deliver[dst],
                     pending_bytes_at_dst: g.pending_bytes[dst],
+                    reliable: one_sided,
                 };
                 if let Some(at) = g.net.route(req) {
-                    g.pending_deliver[dst] += 1;
-                    g.pending_bytes[dst] += pkt.wire_bytes;
+                    // One-sided writes land in preposted buffers, not the
+                    // receive queue, so they add no overflow occupancy.
+                    if !one_sided {
+                        g.pending_bytes[dst] += pkt.wire_bytes;
+                    }
                     self.push_event(at.max(now), Event::Deliver { dst, pkt });
                 }
             }
@@ -773,7 +777,9 @@ impl Shared {
                     ref ph => unreachable!("resume for proc {p} in phase {ph:?}"),
                 },
                 Event::Deliver { dst, mut pkt } => {
-                    s.note_deliver_pop(dst, pkt.wire_bytes);
+                    if pkt.class != DeliveryClass::OneSided {
+                        s.note_deliver_pop(dst, pkt.wire_bytes);
+                    }
                     pkt.arrived = entry.at;
                     if let Some(tr) = &s.tracer {
                         tr.record(
@@ -806,6 +812,12 @@ impl Shared {
                                 s.handoff.direct += 1;
                                 return true;
                             }
+                        }
+                        // One-sided write: lands in the preposted buffer with
+                        // no remote CPU involvement — no handler dispatch, no
+                        // wake of a blocked receiver.
+                        DeliveryClass::OneSided => {
+                            s.pi_mut(dst).mailbox.push_back(pkt);
                         }
                     }
                 }
@@ -1088,7 +1100,6 @@ impl Sim {
         let mut global = GlobalState {
             seq: 0,
             future: BinaryHeap::new(),
-            pending_deliver: vec![0; nprocs],
             pending_bytes: vec![0; nprocs],
             net: self.net,
         };
@@ -1302,7 +1313,9 @@ impl Sim {
                     ref ph => unreachable!("resume for proc {p} in phase {ph:?}"),
                 },
                 Event::Deliver { dst, mut pkt } => {
-                    s.note_deliver_pop(dst, pkt.wire_bytes);
+                    if pkt.class != DeliveryClass::OneSided {
+                        s.note_deliver_pop(dst, pkt.wire_bytes);
+                    }
                     pkt.arrived = entry.at;
                     if let Some(tr) = &s.tracer {
                         tr.record(
@@ -1331,6 +1344,10 @@ impl Sim {
                             if matches!(s.pi(dst).phase, Phase::WaitRecv { .. }) {
                                 shared.wake_and_park(0, &mut s, dst, entry.at, cause);
                             }
+                        }
+                        // One-sided write: no handler dispatch, no wake.
+                        DeliveryClass::OneSided => {
+                            s.pi_mut(dst).mailbox.push_back(pkt);
                         }
                     }
                 }

@@ -39,4 +39,4 @@ pub use time::{SimDuration, SimTime};
 pub use vopp_trace::{
     CausalLog, CausalProfiler, CtxKind, CtxRecord, EventKind, OpKind, OpSpan, Tracer, NO_CTX,
 };
-pub use window::MIN_PARALLEL_LOOKAHEAD;
+pub use window::{HARD_MIN_PARALLEL_LOOKAHEAD, MIN_PARALLEL_LOOKAHEAD};

@@ -19,12 +19,15 @@ pub struct RouteRequest {
     pub dst: ProcId,
     /// Bytes on the wire, including headers.
     pub wire_bytes: usize,
-    /// Number of packets already queued for delivery at `dst` (scheduled but
-    /// not yet handed over). Lets models emulate receiver-queue overflow.
-    pub pending_at_dst: usize,
-    /// Total wire bytes of those queued packets — the receive-buffer
-    /// occupancy a bursting sender overflows.
+    /// Total wire bytes of the packets already queued for delivery at `dst`
+    /// (scheduled but not yet handed over) — the receive-buffer occupancy a
+    /// bursting sender overflows.
     pub pending_bytes_at_dst: usize,
+    /// The datagram is a one-sided verb carried by reliable transport
+    /// (RDMA RC): the model must not apply its loss machinery (hardware
+    /// retransmission is below the timescale modelled here), though the
+    /// datagram still occupies link time and counts in traffic statistics.
+    pub reliable: bool,
 }
 
 /// Decides delivery time and loss for each datagram.
@@ -160,8 +163,8 @@ mod tests {
                 src: 0,
                 dst: 1,
                 wire_bytes: 123,
-                pending_at_dst: 0,
                 pending_bytes_at_dst: 0,
+                reliable: false,
             })
             .unwrap();
         assert_eq!(t, SimTime(51_000));

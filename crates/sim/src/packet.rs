@@ -30,6 +30,14 @@ pub enum DeliveryClass {
     /// it arrives, even while the application thread is computing — the
     /// simulation equivalent of a SIGIO/SIGSEGV-driven DSM request handler.
     Svc,
+    /// A one-sided RDMA-style write: the payload lands in the destination's
+    /// preposted buffer (its mailbox) with **no remote CPU involvement** —
+    /// no service dispatch, and a blocked receiver is not woken. Invisible
+    /// to `recv`/`recv_filter`; retrieved explicitly with
+    /// [`crate::AppCtx::poll_one_sided`] / [`crate::SvcCtx::take_one_sided`].
+    /// Routed reliably by network models (hardware retransmission, no loss
+    /// draw) and never counted toward receive-queue overflow occupancy.
+    OneSided,
 }
 
 /// A message in flight (or in a mailbox) between two simulated processes.

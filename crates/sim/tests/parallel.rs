@@ -28,7 +28,7 @@ impl NetModel for JitterNet {
         }
         self.sent += 1;
         self.bytes += req.wire_bytes as u64;
-        let jitter = (self.sent * 1_771 + req.pending_at_dst as u64 * 13) % 7_000;
+        let jitter = (self.sent * 1_771 + req.pending_bytes_at_dst as u64 * 13) % 7_000;
         Some(req.now + SimDuration::from_micros(50) + SimDuration::from_nanos(jitter))
     }
 

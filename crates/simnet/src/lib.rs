@@ -7,15 +7,19 @@
 //!
 //! * [`NetConfig`] — bandwidth/latency/loss parameters (defaults calibrated
 //!   to the paper's Godzilla cluster).
-//! * [`EthernetModel`] — per-link serialization, store-and-forward switch,
-//!   receiver-overflow losses; plugs into the `vopp-sim` kernel.
-//! * [`RpcClient`] — blocking request/reply with ~1 s retransmission
-//!   timeouts; source of the `Rexmit` statistic in the paper's tables.
+//! * [`NetGen`] — named generation presets (the testbed plus 1/10/100 GbE
+//!   and an RDMA-class fabric) for the modern-interconnect what-ifs.
+//! * [`EthernetModel`] — per-link serialization (picosecond-resolution link
+//!   occupancy), store-and-forward switch, receiver-overflow losses; plugs
+//!   into the `vopp-sim` kernel.
+//! * [`RpcClient`] — blocking request/reply with generation-appropriate
+//!   retransmission timeouts (~1 s on the testbed); source of the `Rexmit`
+//!   statistic in the paper's tables.
 
 mod config;
 mod model;
 mod transport;
 
-pub use config::{NetConfig, HEADER_BYTES};
+pub use config::{NetConfig, NetGen, HEADER_BYTES};
 pub use model::{EthernetModel, NetStats};
 pub use transport::{reply, RpcClient, RPC_TAG_BIT};

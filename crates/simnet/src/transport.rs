@@ -59,6 +59,30 @@ impl RpcClient {
         RpcClient::default()
     }
 
+    /// An endpoint whose retransmission timeout matches the network it runs
+    /// over ([`NetConfig::rexmit_timeout`]): exactly the historical 1 s on
+    /// the paper's testbed, milliseconds on modern generations — a loss on
+    /// an RDMA-class fabric must not stall the protocol six orders of
+    /// magnitude past the round trip.
+    pub fn for_net(cfg: &crate::config::NetConfig) -> RpcClient {
+        RpcClient::with_timeout(cfg.rexmit_timeout)
+    }
+
+    /// An endpoint with the given retransmission timeout. The retry budget
+    /// scales inversely so the give-up horizon stays at the historical
+    /// ~60 s of unanswered waiting regardless of how short one try is: a
+    /// deferred grant (view or lock held elsewhere) legitimately outlasts
+    /// many millisecond-scale tries on a modern generation.
+    pub fn with_timeout(timeout: SimDuration) -> RpcClient {
+        let horizon_ns: u64 = 60 * 1_000_000_000;
+        let max_retries = horizon_ns.div_ceil(timeout.nanos().max(1)).max(60) as u32;
+        RpcClient {
+            timeout,
+            max_retries,
+            ..RpcClient::default()
+        }
+    }
+
     /// Send `msg` to the service handler of `dst` and block until the reply
     /// arrives, retransmitting on timeout. `wire_bytes` is the request's
     /// on-wire size including headers.
@@ -380,6 +404,135 @@ mod tests {
             }
         });
         assert_eq!(out.results[0], 0, "stale duplicate reply left in mailbox");
+    }
+
+    #[test]
+    fn for_net_matches_the_generation_timeout() {
+        use crate::config::NetGen;
+        assert_eq!(
+            RpcClient::for_net(&NetConfig::default()).timeout,
+            SimDuration::from_secs(1)
+        );
+        for gen in NetGen::ALL {
+            let cfg = gen.config();
+            let rpc = RpcClient::for_net(&cfg);
+            assert_eq!(rpc.timeout, cfg.rexmit_timeout);
+            // The give-up horizon stays ~constant: shorter tries, more of
+            // them. The paper preset keeps the historical 60 retries.
+            assert!(
+                rpc.timeout.nanos() * rpc.max_retries as u64 >= 60_000_000_000,
+                "{gen}: horizon shrank"
+            );
+        }
+        assert_eq!(RpcClient::new().max_retries, 60);
+        assert_eq!(
+            RpcClient::with_timeout(SimDuration::from_secs(1)).max_retries,
+            60
+        );
+    }
+
+    #[test]
+    fn loss_on_a_modern_generation_retries_at_its_own_timescale() {
+        // Regression for the hardcoded 1 s timeout: a swallowed request on
+        // 10 GbE must be retried after that generation's 25 ms timeout, not
+        // the paper testbed's 1 s — otherwise one loss costs ~40x the
+        // generation-appropriate stall.
+        use crate::config::NetGen;
+        let cfg = NetConfig {
+            base_drop_prob: 0.0,
+            ..NetGen::Eth10g.config()
+        };
+        let rexmit = cfg.rexmit_timeout;
+        let mut sim = Sim::new(2, Box::new(EthernetModel::new(2, cfg.clone())));
+        let mut first = true;
+        sim.set_handler(
+            1,
+            Box::new(move |svc, pkt| {
+                if first {
+                    first = false; // swallow the first request
+                    return;
+                }
+                let (tag, src) = (pkt.tag, pkt.src);
+                let v = pkt.expect::<u64>();
+                reply(svc, src, 64, tag, Arc::new(v + 1));
+            }),
+        );
+        let out = sim.run(move |ctx| {
+            if ctx.me() == 0 {
+                let mut rpc = RpcClient::for_net(&cfg);
+                let v = rpc.call(&ctx, 1, 64, 41u64).expect::<u64>();
+                (v, rpc.rexmits, ctx.now())
+            } else {
+                (0, 0, ctx.now())
+            }
+        });
+        let (v, rexmits, finished) = out.results[0];
+        assert_eq!(v, 42);
+        assert_eq!(rexmits, 1);
+        // One retransmission wait plus a round trip: far below the paper's
+        // 1 s, at least the generation timeout.
+        assert!(finished >= vopp_sim::SimTime::ZERO + rexmit);
+        assert!(
+            finished < vopp_sim::SimTime::ZERO + rexmit + rexmit,
+            "retry did not happen at the generation timescale: {finished}"
+        );
+    }
+
+    #[test]
+    fn one_sided_write_does_not_wake_a_blocked_receiver() {
+        // The defining property of a one-sided verb: data lands in the
+        // preposted buffer with no remote CPU involvement. A receiver
+        // blocked in recv must not be woken, and the write must be
+        // invisible to receive filters — only an explicit poll sees it.
+        let sim = Sim::new(2, Box::new(EthernetModel::new(2, NetConfig::lossless())));
+        let out = sim.run(|ctx| {
+            if ctx.me() == 0 {
+                ctx.send(1, 4096, DeliveryClass::OneSided, 7, Arc::new(123u64));
+                0
+            } else {
+                // The write is in flight well before this 10 ms deadline;
+                // the timeout firing proves no wake and no filter match.
+                assert!(ctx.recv_timeout(SimDuration::from_millis(10)).is_none());
+                assert!(ctx.poll_one_sided(0, 99).is_none(), "wrong tag matched");
+                assert!(ctx.poll_one_sided(1, 7).is_none(), "wrong src matched");
+                let pkt = ctx.poll_one_sided(0, 7).expect("write did not land");
+                pkt.expect::<u64>()
+            }
+        });
+        assert_eq!(out.results[1], 123);
+    }
+
+    #[test]
+    fn one_sided_write_lands_before_a_trailing_control_message() {
+        // The ordering VC_rdma relies on: a one-sided write issued before a
+        // control message on the same link is delivered first (FIFO link
+        // occupancy), so the control handler always finds the data present.
+        let mut sim = Sim::new(2, Box::new(EthernetModel::new(2, NetConfig::lossless())));
+        sim.set_handler(
+            1,
+            Box::new(|svc, pkt| {
+                let (rpc_tag, src) = (pkt.tag, pkt.src);
+                let grant_tag = pkt.expect::<u64>();
+                let data = svc
+                    .take_one_sided(src, grant_tag)
+                    .expect("control message arrived before its one-sided write");
+                let v = data.expect::<u64>();
+                reply(svc, src, 64, rpc_tag, Arc::new(v));
+            }),
+        );
+        let out = sim.run(|ctx| {
+            if ctx.me() == 0 {
+                // Large one-sided payload first, small control message after:
+                // if ordering were by size rather than FIFO, the control
+                // message would win the race and the handler would panic.
+                ctx.send(1, 60_000, DeliveryClass::OneSided, 42, Arc::new(999u64));
+                let mut rpc = RpcClient::new();
+                rpc.call(&ctx, 1, 64, 42u64).expect::<u64>()
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[0], 999);
     }
 
     #[test]

@@ -34,8 +34,8 @@ fn req(now: u64, src: usize, dst: usize, bytes: usize) -> RouteRequest {
         src,
         dst,
         wire_bytes: bytes,
-        pending_at_dst: 0,
         pending_bytes_at_dst: 0,
+        reliable: false,
     }
 }
 
